@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks (E1-E8 + ablations).
+
+Every benchmark regenerates one figure-equivalent or companion-study
+result of the paper (see DESIGN.md's experiment index) and asserts the
+*shape* of the outcome — who wins, in which direction — rather than
+absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis import classify_campaign
+from repro.analysis.report import render_campaign_report, render_comparison
+from repro.core import CampaignData, create_target
+
+
+def run_campaign(**kwargs):
+    """Run a campaign on a fresh target; returns (target, sink, summary)."""
+    campaign = CampaignData(**kwargs)
+    target = create_target(campaign.target_name)
+    sink = target.run_campaign(campaign)
+    summary = classify_campaign(sink.results, sink.reference)
+    return target, sink, summary
+
+
+def print_report(campaign_name, summary):
+    print()
+    print(render_campaign_report(campaign_name, summary))
+
+
+def print_comparison(labels, summaries, title=""):
+    print()
+    if title:
+        print(title)
+    print(render_comparison(labels, summaries))

@@ -1,0 +1,56 @@
+"""E10 — error-detection latency.
+
+A coverage number alone does not characterise a detection mechanism: how
+*fast* it fires determines how far the error propagates before the
+system can react (the recovery designs of the paper's companion study
+depend on this). This bench measures, per mechanism, the distribution of
+cycles between fault injection and the detecting trap.
+
+Shapes asserted: cache-parity detections fire strictly after injection
+(the corrupted word must be accessed) but within the experiment budget;
+the D-cache parity latency is bounded by the workload's data-reuse
+distance, so its median is far below the experiment length.
+"""
+
+from repro.analysis.latency import detection_latency
+from benchmarks.conftest import print_report, run_campaign
+
+N = 200
+
+
+def test_bench_e10_detection_latency(benchmark):
+    def body():
+        return run_campaign(
+            campaign_name="e10-latency",
+            technique="scifi",
+            workload_name="bubblesort",
+            workload_params={"n": 12, "seed": 3},
+            location_patterns=[
+                "scan:internal/dcache.*",
+                "scan:internal/icache.*",
+                "scan:internal/cpu.pc",
+            ],
+            n_experiments=N,
+            seed=1010,
+        )
+
+    target, sink, summary = benchmark.pedantic(body, rounds=1, iterations=1)
+    print_report("E10: detection-latency campaign", summary)
+
+    report = detection_latency(sink.results)
+    print()
+    print(report.render())
+
+    assert len(report) >= 20, "campaign produced too few detections"
+    duration = sink.reference.duration_cycles
+    budget = duration * 3  # campaign timeout factor
+
+    for sample in report.samples:
+        assert 0 <= sample.latency <= budget
+
+    stats = report.summary()
+    assert stats["median"] > 0
+    # Parity latency is bounded by data reuse, well below the run length.
+    parity = report.summary("dcache_parity")
+    if parity["count"] >= 5:
+        assert parity["median"] < duration

@@ -1,0 +1,66 @@
+"""E1 — the SCIFI fault-injection algorithm (paper Figure 2).
+
+Regenerates: an end-to-end SCIFI campaign exactly as Figure 2 composes it
+(reference run, then per experiment: init / load / writeMemory / run /
+waitForBreakpoint / readScanChain / injectFault / writeScanChain /
+waitForTermination / readMemory / readScanChain), and reports the
+tool-level throughput figures a GOOFI user sees: experiments per second
+and scan-shift cycles per experiment.
+
+Shape asserted: every experiment injects exactly one fault through the
+chains, the campaign is reproducible, and scan access dominates the
+per-experiment target-side overhead (two full chain reads + one write
+minimum per experiment).
+"""
+
+from benchmarks.conftest import print_report, run_campaign
+
+N_EXPERIMENTS = 120
+
+
+def _campaign():
+    return dict(
+        campaign_name="e1-scifi",
+        target_name="thor-rd",
+        technique="scifi",
+        workload_name="bubblesort",
+        workload_params={"n": 12, "seed": 7},
+        location_patterns=[
+            "scan:internal/cpu.regfile.*",
+            "scan:internal/cpu.psr",
+            "scan:internal/dcache.*",
+        ],
+        n_experiments=N_EXPERIMENTS,
+        seed=101,
+    )
+
+
+def test_bench_e1_scifi_campaign(benchmark):
+    target, sink, summary = benchmark.pedantic(
+        lambda: run_campaign(**_campaign()), rounds=1, iterations=1
+    )
+
+    assert len(sink.results) == N_EXPERIMENTS
+    assert all(len(r.injections) == 1 for r in sink.results)
+
+    wall = sum(r.wall_seconds for r in sink.results)
+    internal = target.card.chains["internal"]
+    scan_per_experiment = target.card.total_scan_cycles / N_EXPERIMENTS
+
+    print_report("E1: SCIFI campaign (Figure 2 algorithm)", summary)
+    print()
+    print(f"experiments:            {N_EXPERIMENTS}")
+    print(f"experiment wall time:   {wall:.2f} s "
+          f"({N_EXPERIMENTS / wall:.1f} experiments/s)")
+    print(f"internal chain length:  {internal.total_bits} bits")
+    print(f"scan ops (reads/writes): {internal.reads}/{internal.writes}")
+    print(f"scan cycles/experiment: {scan_per_experiment:.0f}")
+
+    # Figure 2 performs >= 2 chain reads and >= 1 chain write per
+    # experiment (plus the observation reads of the state capture).
+    assert internal.reads >= 2 * N_EXPERIMENTS
+    assert internal.writes >= N_EXPERIMENTS
+    # Scan access really is the dominant target-side overhead: several
+    # thousand shift cycles per experiment vs a few hundred workload
+    # cycles for this workload.
+    assert scan_per_experiment > internal.total_bits

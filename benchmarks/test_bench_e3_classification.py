@@ -1,0 +1,72 @@
+"""E3 — outcome classification (paper Section 3.4).
+
+Regenerates: the Effective {Detected-per-mechanism, Escaped} /
+Non-effective {Latent, Overwritten} distribution for SCIFI campaigns on
+three location classes — register file, D-cache arrays, and PC/PSR/IR —
+across two workloads.
+
+Shapes asserted (the qualitative results of the Thor studies):
+* random register-file injections are mostly non-effective (overwritten),
+* D-cache array injections that are effective are detected overwhelmingly
+  by the cache parity mechanism,
+* control-state (PC/PSR/IR) injections produce a markedly higher
+  effective-error fraction than register-file injections.
+"""
+
+from repro.analysis import Outcome
+from benchmarks.conftest import print_comparison, run_campaign
+
+N = 120
+
+
+def _run(tag, workload, patterns, seed):
+    return run_campaign(
+        campaign_name=f"e3-{tag}",
+        technique="scifi",
+        workload_name=workload,
+        location_patterns=patterns,
+        n_experiments=N,
+        seed=seed,
+    )
+
+
+def test_bench_e3_classification(benchmark):
+    def body():
+        return {
+            "regs/sort": _run("regs", "bubblesort",
+                              ["scan:internal/cpu.regfile.*"], 31),
+            "dcache/sort": _run("dcache", "bubblesort",
+                                ["scan:internal/dcache.*"], 32),
+            "ctrl/sort": _run(
+                "ctrl", "bubblesort",
+                ["scan:internal/cpu.pc", "scan:internal/cpu.psr",
+                 "scan:internal/cpu.pipeline.ir"], 33),
+            "regs/matmul": _run("regs-mm", "matmul",
+                                ["scan:internal/cpu.regfile.*"], 34),
+        }
+
+    outcomes = benchmark.pedantic(body, rounds=1, iterations=1)
+    labels = list(outcomes)
+    summaries = [outcomes[label][2] for label in labels]
+    print_comparison(labels, summaries,
+                     title="E3: outcome distribution by location class")
+
+    regs = outcomes["regs/sort"][2]
+    dcache = outcomes["dcache/sort"][2]
+    ctrl = outcomes["ctrl/sort"][2]
+
+    # Registers: non-effective errors dominate (most register bits are
+    # dead most of the time — the flip is either overwritten or stays
+    # latent in a register the workload never reads again).
+    assert regs.non_effective > regs.total / 2
+
+    # Cache arrays: among detected errors, parity is the top mechanism.
+    detections = dcache.detections_by_mechanism
+    assert detections, "no detections in the dcache campaign"
+    top_mechanism = max(detections, key=detections.get)
+    assert top_mechanism == "dcache_parity"
+
+    # Control state is far more sensitive than the register file.
+    regs_effective = regs.effective / regs.total
+    ctrl_effective = ctrl.effective / ctrl.total
+    assert ctrl_effective > 2 * regs_effective

@@ -1,0 +1,73 @@
+"""E4 — fault-injection technique comparison (paper Section 1 + [10]).
+
+Regenerates: the SCIFI vs pre-runtime SWIFI vs runtime SWIFI vs
+simulation-based comparison of the companion study: reachable fault
+space, access cost, and outcome mix, all on the same workload and chip.
+
+Shapes asserted:
+* reachability ordering: simfi >= scifi > swifi-pre (in injectable bits),
+* scifi pays scan-shift cycles, simfi pays none (design decision D3),
+* pre-runtime SWIFI — whose whole fault space is the *used* program
+  image — yields a higher effective-error fraction than random SCIFI
+  flips over all internal state.
+"""
+
+from benchmarks.conftest import print_comparison, run_campaign
+
+N = 100
+
+SETUPS = [
+    ("scifi", "scifi", "thor-rd", ["scan:internal/*"]),
+    ("swifi-pre", "swifi-pre", "thor-rd", ["memory:code/*", "memory:data/*"]),
+    ("swifi-rt", "swifi-runtime", "thor-rd", ["swreg/cpu.regfile.*"]),
+    ("simfi", "simfi", "thor-rd-sim",
+     ["scan:internal/*", "memory:code/*", "memory:data/*"]),
+]
+
+
+def test_bench_e4_technique_comparison(benchmark):
+    def body():
+        outcomes = {}
+        for label, technique, target_name, patterns in SETUPS:
+            target, sink, summary = run_campaign(
+                campaign_name=f"e4-{label}",
+                target_name=target_name,
+                technique=technique,
+                workload_name="quicksort",
+                workload_params={"n": 12, "seed": 3},
+                location_patterns=patterns,
+                n_experiments=N,
+                seed=404,
+            )
+            space_bits = len(target.location_space().expand(patterns))
+            outcomes[label] = (target, sink, summary, space_bits)
+        return outcomes
+
+    outcomes = benchmark.pedantic(body, rounds=1, iterations=1)
+
+    labels = [label for label, *_ in SETUPS]
+    print_comparison(
+        labels,
+        [outcomes[label][2] for label in labels],
+        title="E4: outcome mix by technique (same chip, same workload)",
+    )
+    print()
+    print(f"{'technique':12s} {'fault space (bits)':>20s} {'scan cycles':>14s}")
+    for label in labels:
+        target, _, _, space_bits = outcomes[label]
+        print(f"{label:12s} {space_bits:>20d} "
+              f"{target.card.total_scan_cycles:>14d}")
+
+    scifi_bits = outcomes["scifi"][3]
+    swifi_bits = outcomes["swifi-pre"][3]
+    simfi_bits = outcomes["simfi"][3]
+    assert simfi_bits >= scifi_bits > swifi_bits
+
+    # D3: access cost — the simulation baseline shifts no chains.
+    assert outcomes["scifi"][0].card.total_scan_cycles > 0
+    assert outcomes["simfi"][0].card.total_scan_cycles == 0
+
+    # Pre-runtime SWIFI concentrates faults in state the workload uses.
+    scifi_eff = outcomes["scifi"][2].effective / N
+    swifi_eff = outcomes["swifi-pre"][2].effective / N
+    assert swifi_eff > scifi_eff

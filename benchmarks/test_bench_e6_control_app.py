@@ -1,0 +1,87 @@
+"""E6 — control application with executable assertions + recovery
+(paper Section 3.2 environment simulator; companion study [12]).
+
+Regenerates: the dependability-improvement experiment GOOFI's
+environment-simulator support exists for — a Q8 PID controller balancing
+an open-loop-unstable inverted pendulum, fed by the plant model at every
+SYNC iteration boundary, hit with transient register faults:
+
+* unprotected controller vs
+* controller with executable assertions on sensor/actuation values and
+  best-effort recovery (hold last good output, reset state).
+
+A *critical failure* is an experiment whose plant deviation exceeds a
+bound the fault-free run never approaches (control loss).
+
+Shapes asserted: both variants see the same fault set (same seed); the
+protected variant suffers no more critical failures than the unprotected
+one and actually performs recoveries; the unprotected variant loses
+control at least once.
+"""
+
+from benchmarks.conftest import print_comparison, run_campaign
+from repro.core.campaign import EnvironmentSpec
+
+N = 80
+CRITICAL_DEVIATION = 50.0  # engineering units; fault-free max is ~12
+
+
+def _run(assertions):
+    return run_campaign(
+        campaign_name=f"e6-{'protected' if assertions else 'unprotected'}",
+        technique="scifi",
+        workload_name="pid-control",
+        workload_params={"assertions": assertions},
+        location_patterns=["scan:internal/cpu.regfile.*"],
+        environment=EnvironmentSpec(
+            name="inverted-pendulum", params={"initial": 0.2}
+        ),
+        max_iterations=150,
+        n_experiments=N,
+        seed=606,
+    )
+
+
+def _critical_failures(sink):
+    return sum(
+        1
+        for result in sink.results
+        if result.outputs.get("env.max_abs_error", 0) / 256.0
+        > CRITICAL_DEVIATION
+    )
+
+
+def test_bench_e6_control_application(benchmark):
+    def body():
+        return _run(False), _run(True)
+
+    (unprot, prot) = benchmark.pedantic(body, rounds=1, iterations=1)
+    _, unprot_sink, unprot_summary = unprot
+    _, prot_sink, prot_summary = prot
+
+    unprot_critical = _critical_failures(unprot_sink)
+    prot_critical = _critical_failures(prot_sink)
+    recoveries = sum(
+        result.outputs.get("rec_count", 0) for result in prot_sink.results
+    )
+
+    print_comparison(
+        ["unprotected", "protected"],
+        [unprot_summary, prot_summary],
+        title="E6: PID control under register faults — outcome mix",
+    )
+    ref_dev = prot_sink.reference.outputs["env.max_abs_error"] / 256.0
+    print()
+    print(f"fault-free max deviation:  {ref_dev:.2f} "
+          f"(critical bound {CRITICAL_DEVIATION})")
+    print(f"{'variant':12s} {'critical failures':>18s} {'recoveries':>12s}")
+    print(f"{'unprotected':12s} {unprot_critical:>13d}/{N:<4d} {'-':>12s}")
+    print(f"{'protected':12s} {prot_critical:>13d}/{N:<4d} {recoveries:>12d}")
+
+    # Fault-free closed loop is far inside the critical bound.
+    assert ref_dev < CRITICAL_DEVIATION / 2
+    # The unprotected controller loses the plant for some faults.
+    assert unprot_critical > 0
+    # Protection never hurts and the recovery path actually fires.
+    assert prot_critical <= unprot_critical
+    assert recoveries > 0

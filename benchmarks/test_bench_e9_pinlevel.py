@@ -1,0 +1,71 @@
+"""E9 — pin-level fault injection (paper Section 2.1).
+
+"By combining different abstract methods we can define algorithms for
+fault injection techniques such as SCIFI, SWIFI or pin level fault
+injection." This bench exercises the third family: EXTEST-style forcing
+of data-bus pads armed through the boundary chain, compared against
+SCIFI injections into the cache *arrays* on the same workload.
+
+Shape asserted: array faults that are effective get caught by the cache
+parity mechanism (parity is computed over the stored array); pin faults
+corrupt words *before* parity is computed, so their effective outcomes
+are dominated by undetected wrong results — the classic argument for
+why parity does not protect against bus/pad faults.
+"""
+
+from repro.analysis import Outcome
+from benchmarks.conftest import print_comparison, run_campaign
+
+N = 120
+
+
+def _run(tag, technique, patterns):
+    return run_campaign(
+        campaign_name=f"e9-{tag}",
+        technique=technique,
+        workload_name="bubblesort",
+        workload_params={"n": 12, "seed": 9},
+        location_patterns=patterns,
+        n_experiments=N,
+        seed=909,
+    )
+
+
+def test_bench_e9_pinlevel(benchmark):
+    def body():
+        return (
+            _run("pins", "pinlevel", ["scan:boundary/pins.data_bus"]),
+            _run("arrays", "scifi", ["scan:internal/dcache.*",
+                                     "scan:internal/icache.*"]),
+        )
+
+    (pins, arrays) = benchmark.pedantic(body, rounds=1, iterations=1)
+    _, pin_sink, pin_summary = pins
+    _, array_sink, array_summary = arrays
+
+    print_comparison(
+        ["bus pins (pinlevel)", "cache arrays (scifi)"],
+        [pin_summary, array_summary],
+        title="E9: pin-level bus forcing vs cache-array injection",
+    )
+
+    # Cache-array faults: parity is the dominant detector.
+    parity_detections = sum(
+        count
+        for name, count in array_summary.detections_by_mechanism.items()
+        if name.endswith("_parity")
+    )
+    assert parity_detections > 0
+    assert parity_detections >= 0.8 * array_summary.detected
+
+    # Pin faults: invisible to parity; wrong results dominate escapes.
+    assert "dcache_parity" not in pin_summary.detections_by_mechanism
+    assert "icache_parity" not in pin_summary.detections_by_mechanism
+    assert pin_summary.count(Outcome.ESCAPED_VALUE) > pin_summary.detected
+
+    pin_escape_rate = pin_summary.escaped / max(1, pin_summary.effective)
+    array_escape_rate = array_summary.escaped / max(1, array_summary.effective)
+    print()
+    print(f"escape rate among effective faults: "
+          f"pins {pin_escape_rate:.0%} vs arrays {array_escape_rate:.0%}")
+    assert pin_escape_rate > array_escape_rate

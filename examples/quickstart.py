@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: one SCIFI fault-injection campaign, end to end.
+
+Covers the paper's four phases in ~50 lines:
+  configuration  - save the target's scan-chain layout (TargetSystemData)
+  set-up         - define a campaign (CampaignData)
+  fault injection- run it with live progress (LoggedSystemState)
+  analysis       - classify outcomes and estimate coverage
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CampaignData, CampaignController, create_target
+from repro.db import GoofiDatabase
+from repro.db.autoanalysis import run_auto_analysis
+from repro.ui import ProgressWindow, TargetConfigurationWindow
+
+
+def main() -> None:
+    db = GoofiDatabase(":memory:")  # use a file path to keep results
+
+    # --- configuration phase (Figure 5) --------------------------------
+    target = create_target("thor-rd")
+    config_window = TargetConfigurationWindow(target, db)
+    config_window.save()
+    print(config_window.render(max_rows=10))
+    print()
+
+    # --- set-up phase (Figure 6) ----------------------------------------
+    campaign = CampaignData(
+        campaign_name="quickstart",
+        target_name="thor-rd",
+        technique="scifi",
+        workload_name="bubblesort",
+        location_patterns=[
+            "scan:internal/cpu.regfile.*",
+            "scan:internal/dcache.*",
+        ],
+        n_experiments=150,
+        seed=2026,
+    )
+    db.save_campaign(campaign)
+
+    # --- fault-injection phase (Figure 7) --------------------------------
+    controller = CampaignController(target, sink=db)
+    window = ProgressWindow(controller)
+    controller.run(campaign)
+    print(window.render())
+    print()
+
+    # --- analysis phase ----------------------------------------------------
+    print(run_auto_analysis(db, "quickstart"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Offline hosts with older setuptools cannot build PEP 660 editable wheels;
+``pip install -e . --no-build-isolation`` falls back to this legacy path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Analysis phase (paper Section 3.4).
+
+Classifies every fault-injection experiment against the reference run:
+
+* **Effective errors**
+  * *Detected* — terminated by an error-detection mechanism, broken down
+    per mechanism,
+  * *Escaped* — wrong results (value failures) or timeliness violations,
+* **Non-effective errors**
+  * *Latent* — final state differs from the reference but outputs are
+    correct and nothing detected,
+  * *Overwritten* — no observable difference at all.
+
+Plus coverage estimation with confidence intervals and detail-mode
+error-propagation analysis.
+"""
+
+from repro.analysis.classify import (
+    CampaignClassification,
+    Classification,
+    Outcome,
+    classify_campaign,
+    classify_experiment,
+)
+from repro.analysis.coverage import (
+    CoverageEstimate,
+    detection_coverage,
+    wilson_interval,
+)
+from repro.analysis.latency import LatencyReport, detection_latency
+from repro.analysis.propagation import PropagationReport, analyse_propagation
+from repro.analysis.report import render_campaign_report
+
+__all__ = [
+    "Outcome",
+    "Classification",
+    "CampaignClassification",
+    "classify_experiment",
+    "classify_campaign",
+    "CoverageEstimate",
+    "wilson_interval",
+    "detection_coverage",
+    "PropagationReport",
+    "analyse_propagation",
+    "render_campaign_report",
+    "LatencyReport",
+    "detection_latency",
+]

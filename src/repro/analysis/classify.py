@@ -1,0 +1,210 @@
+"""Outcome classification of fault-injection experiments."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import ExperimentResult, ReferenceRun
+from repro.util.errors import CampaignError
+
+
+class Outcome(enum.Enum):
+    """The paper's Section 3.4 outcome classes."""
+
+    DETECTED = "detected"
+    ESCAPED_VALUE = "escaped_value"
+    ESCAPED_TIMING = "escaped_timing"
+    LATENT = "latent"
+    OVERWRITTEN = "overwritten"
+
+    @property
+    def is_effective(self) -> bool:
+        return self in (
+            Outcome.DETECTED,
+            Outcome.ESCAPED_VALUE,
+            Outcome.ESCAPED_TIMING,
+        )
+
+    @property
+    def is_escaped(self) -> bool:
+        return self in (Outcome.ESCAPED_VALUE, Outcome.ESCAPED_TIMING)
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of one experiment, with the detecting mechanism if any."""
+
+    outcome: Outcome
+    mechanism: str = ""
+    diff_cells: Tuple[str, ...] = ()
+    wrong_outputs: Tuple[str, ...] = ()
+
+
+# State-vector cells that legitimately differ between runs even when the
+# fault had no effect (counters, latched status) are excluded from the
+# latent/overwritten comparison.
+_VOLATILE_SUFFIXES = (
+    "cpu.cycle_counter",
+    "cpu.instret_counter",
+    "cpu.trap_status",
+    "pins.sync_count",
+    "pins.halt",
+)
+
+
+def _stable_items(vector: Dict[str, int]) -> Iterable[Tuple[str, int]]:
+    for key, value in vector.items():
+        if any(key.endswith(suffix) for suffix in _VOLATILE_SUFFIXES):
+            continue
+        yield key, value
+
+
+def diff_state_vectors(
+    reference: Dict[str, int], observed: Dict[str, int]
+) -> List[str]:
+    """Cells whose value differs (ignoring volatile counters)."""
+    diffs = []
+    observed_stable = dict(_stable_items(observed))
+    for key, ref_value in _stable_items(reference):
+        if observed_stable.get(key, ref_value) != ref_value:
+            diffs.append(key)
+    return sorted(diffs)
+
+
+def diff_outputs(
+    reference: Dict[str, int], observed: Dict[str, int]
+) -> List[str]:
+    wrong = []
+    for key, ref_value in reference.items():
+        if key.startswith("env."):
+            # Environment metrics are judged by the consequence model in
+            # the E6 analysis, not by exact equality (plant trajectories
+            # under recovered faults legitimately differ slightly).
+            continue
+        if observed.get(key) != ref_value:
+            wrong.append(key)
+    return sorted(wrong)
+
+
+def classify_experiment(
+    result: ExperimentResult, reference: ReferenceRun
+) -> Classification:
+    """Classify one experiment against the campaign's reference run."""
+    termination = result.termination
+    if termination is None:
+        raise CampaignError(f"experiment {result.name} has no termination")
+
+    if termination.kind == "trap":
+        return Classification(
+            outcome=Outcome.DETECTED, mechanism=termination.trap_name
+        )
+    if termination.kind == "timeout":
+        return Classification(outcome=Outcome.ESCAPED_TIMING)
+
+    # Terminated like the reference did (halt / max_iterations): compare
+    # outputs first, then the logged state.
+    wrong = diff_outputs(reference.outputs, result.outputs)
+    if wrong:
+        return Classification(
+            outcome=Outcome.ESCAPED_VALUE, wrong_outputs=tuple(wrong)
+        )
+    if termination.kind != reference.termination.kind:
+        # e.g. a loop workload that HALTed instead of hitting the
+        # iteration bound — behaviourally wrong even with matching memory.
+        return Classification(outcome=Outcome.ESCAPED_TIMING)
+    diffs = diff_state_vectors(reference.state_vector, result.state_vector)
+    if diffs:
+        return Classification(outcome=Outcome.LATENT, diff_cells=tuple(diffs))
+    return Classification(outcome=Outcome.OVERWRITTEN)
+
+
+@dataclass
+class CampaignClassification:
+    """Aggregated outcome distribution of one campaign."""
+
+    total: int = 0
+    counts: Dict[Outcome, int] = field(default_factory=dict)
+    detections_by_mechanism: Dict[str, int] = field(default_factory=dict)
+    per_experiment: List[Classification] = field(default_factory=list)
+
+    def count(self, outcome: Outcome) -> int:
+        return self.counts.get(outcome, 0)
+
+    def fraction(self, outcome: Outcome) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.count(outcome) / self.total
+
+    @property
+    def effective(self) -> int:
+        return sum(
+            count for outcome, count in self.counts.items()
+            if outcome.is_effective
+        )
+
+    @property
+    def non_effective(self) -> int:
+        return self.total - self.effective
+
+    @property
+    def detected(self) -> int:
+        return self.count(Outcome.DETECTED)
+
+    @property
+    def escaped(self) -> int:
+        return self.count(Outcome.ESCAPED_VALUE) + self.count(
+            Outcome.ESCAPED_TIMING
+        )
+
+    def as_rows(self) -> List[Tuple[str, int, float]]:
+        """(label, count, fraction) rows in the paper's presentation order."""
+        rows = [
+            ("effective", self.effective,
+             self.effective / self.total if self.total else 0.0),
+            ("  detected", self.detected,
+             self.fraction(Outcome.DETECTED)),
+        ]
+        for mechanism in sorted(self.detections_by_mechanism):
+            count = self.detections_by_mechanism[mechanism]
+            rows.append(
+                (f"    by {mechanism}", count,
+                 count / self.total if self.total else 0.0)
+            )
+        rows.extend(
+            [
+                ("  escaped (wrong results)",
+                 self.count(Outcome.ESCAPED_VALUE),
+                 self.fraction(Outcome.ESCAPED_VALUE)),
+                ("  escaped (timeliness)",
+                 self.count(Outcome.ESCAPED_TIMING),
+                 self.fraction(Outcome.ESCAPED_TIMING)),
+                ("non-effective", self.non_effective,
+                 self.non_effective / self.total if self.total else 0.0),
+                ("  latent", self.count(Outcome.LATENT),
+                 self.fraction(Outcome.LATENT)),
+                ("  overwritten", self.count(Outcome.OVERWRITTEN),
+                 self.fraction(Outcome.OVERWRITTEN)),
+            ]
+        )
+        return rows
+
+
+def classify_campaign(
+    results: Sequence[ExperimentResult],
+    reference: ReferenceRun,
+) -> CampaignClassification:
+    summary = CampaignClassification(total=len(results))
+    for result in results:
+        classification = classify_experiment(result, reference)
+        summary.per_experiment.append(classification)
+        summary.counts[classification.outcome] = (
+            summary.counts.get(classification.outcome, 0) + 1
+        )
+        if classification.outcome is Outcome.DETECTED:
+            summary.detections_by_mechanism[classification.mechanism] = (
+                summary.detections_by_mechanism.get(classification.mechanism, 0)
+                + 1
+            )
+    return summary

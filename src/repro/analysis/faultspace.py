@@ -1,0 +1,134 @@
+"""Fault-space accounting and campaign planning statistics.
+
+A fault-injection campaign samples a tiny fraction of an enormous fault
+space (locations x injection instants). This module provides the numbers
+an experimenter needs around that fact:
+
+* how big the fault space of a campaign actually is,
+* how many experiments are needed for a target confidence-interval
+  width (sample-size planning),
+* whether two campaigns' outcome proportions differ significantly
+  (e.g. protected vs unprotected controller — the E6 comparison).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.coverage import _z_value
+from repro.core.campaign import CampaignData
+from repro.core.locations import LocationSpace
+
+
+@dataclass(frozen=True)
+class FaultSpace:
+    """Size of a campaign's fault space."""
+
+    n_locations: int
+    n_instants: int
+
+    @property
+    def size(self) -> int:
+        return self.n_locations * self.n_instants
+
+    def sampled_fraction(self, n_experiments: int) -> float:
+        if self.size == 0:
+            return 0.0
+        return n_experiments / self.size
+
+    def describe(self, n_experiments: Optional[int] = None) -> str:
+        text = (
+            f"{self.n_locations} locations x {self.n_instants} instants "
+            f"= {self.size:,} (location, time) pairs"
+        )
+        if n_experiments is not None:
+            text += (
+                f"; {n_experiments} experiments sample "
+                f"{self.sampled_fraction(n_experiments):.2e} of it"
+            )
+        return text
+
+
+def campaign_fault_space(
+    campaign: CampaignData,
+    space: LocationSpace,
+    reference_duration_cycles: int,
+) -> FaultSpace:
+    """Fault space of one campaign: selected bits x injection instants."""
+    locations = space.expand(campaign.location_patterns)
+    return FaultSpace(
+        n_locations=len(locations),
+        n_instants=max(1, reference_duration_cycles),
+    )
+
+
+def required_experiments(
+    expected_proportion: float,
+    half_width: float,
+    confidence: float = 0.95,
+) -> int:
+    """Experiments needed so the CI of a proportion has +-``half_width``.
+
+    Standard normal-approximation sample sizing:
+    n = z^2 * p(1-p) / w^2, rounded up. Use ``expected_proportion=0.5``
+    for the worst case when nothing is known beforehand.
+    """
+    if not 0.0 <= expected_proportion <= 1.0:
+        raise ValueError(f"proportion must be in [0,1]: {expected_proportion}")
+    if not 0.0 < half_width < 1.0:
+        raise ValueError(f"half width must be in (0,1): {half_width}")
+    z = _z_value(confidence)
+    p = expected_proportion
+    return math.ceil(z * z * p * (1.0 - p) / (half_width * half_width))
+
+
+@dataclass(frozen=True)
+class ProportionComparison:
+    """Result of a two-proportion z-test."""
+
+    p1: float
+    p2: float
+    z: float
+    p_value: float
+    significant_05: bool
+
+    def describe(self) -> str:
+        verdict = "significant" if self.significant_05 else "not significant"
+        return (
+            f"p1={self.p1:.3f} vs p2={self.p2:.3f}: z={self.z:+.2f}, "
+            f"p={self.p_value:.4f} ({verdict} at 0.05)"
+        )
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal (via erfc)."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def compare_proportions(
+    successes1: int, trials1: int, successes2: int, trials2: int
+) -> ProportionComparison:
+    """Two-sided two-proportion z-test (pooled standard error).
+
+    Used to decide whether, e.g., a fault-tolerance mechanism really
+    lowered the failure rate or the campaigns were just lucky.
+    """
+    if trials1 <= 0 or trials2 <= 0:
+        raise ValueError("both campaigns need at least one experiment")
+    if not (0 <= successes1 <= trials1 and 0 <= successes2 <= trials2):
+        raise ValueError("successes cannot exceed trials")
+    p1 = successes1 / trials1
+    p2 = successes2 / trials2
+    pooled = (successes1 + successes2) / (trials1 + trials2)
+    se = math.sqrt(pooled * (1 - pooled) * (1 / trials1 + 1 / trials2))
+    if se == 0.0:
+        z = 0.0
+        p_value = 1.0
+    else:
+        z = (p1 - p2) / se
+        p_value = 2.0 * _normal_sf(abs(z))
+    return ProportionComparison(
+        p1=p1, p2=p2, z=z, p_value=p_value, significant_05=p_value < 0.05
+    )

@@ -1,0 +1,119 @@
+"""Error-detection latency analysis.
+
+For every *detected* error, the latency is the number of target cycles
+between the fault's injection instant and the moment the error-detection
+mechanism fired (the trap cycle recorded in the termination). Detection
+latency is a standard dependability measure alongside coverage: a
+mechanism that detects late lets the error propagate further before the
+system can react, which matters for recovery-oriented designs like the
+paper's companion control application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import ExperimentResult
+
+
+@dataclass
+class LatencySample:
+    """One detected error's latency."""
+
+    experiment: str
+    mechanism: str
+    injection_cycle: int
+    detection_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return max(0, self.detection_cycle - self.injection_cycle)
+
+
+@dataclass
+class LatencyReport:
+    """Detection-latency distribution of one campaign."""
+
+    samples: List[LatencySample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def latencies(self, mechanism: Optional[str] = None) -> List[int]:
+        return [
+            sample.latency
+            for sample in self.samples
+            if mechanism is None or sample.mechanism == mechanism
+        ]
+
+    def mechanisms(self) -> List[str]:
+        return sorted({sample.mechanism for sample in self.samples})
+
+    @staticmethod
+    def _percentile(values: List[int], fraction: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = fraction * (len(ordered) - 1)
+        low = int(index)
+        high = min(low + 1, len(ordered) - 1)
+        weight = index - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    def summary(self, mechanism: Optional[str] = None) -> Dict[str, float]:
+        values = self.latencies(mechanism)
+        if not values:
+            return {"count": 0, "min": 0.0, "median": 0.0, "p90": 0.0,
+                    "max": 0.0, "mean": 0.0}
+        return {
+            "count": len(values),
+            "min": float(min(values)),
+            "median": self._percentile(values, 0.5),
+            "p90": self._percentile(values, 0.9),
+            "max": float(max(values)),
+            "mean": sum(values) / len(values),
+        }
+
+    def render(self) -> str:
+        lines = [
+            "Detection latency (cycles from injection to trap)",
+            f"{'mechanism':20s} {'n':>4s} {'min':>7s} {'median':>8s} "
+            f"{'p90':>8s} {'max':>8s} {'mean':>8s}",
+            "-" * 68,
+        ]
+        for mechanism in ["(all)"] + self.mechanisms():
+            selector = None if mechanism == "(all)" else mechanism
+            stats = self.summary(selector)
+            lines.append(
+                f"{mechanism:20s} {stats['count']:>4d} {stats['min']:>7.0f} "
+                f"{stats['median']:>8.1f} {stats['p90']:>8.1f} "
+                f"{stats['max']:>8.0f} {stats['mean']:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def detection_latency(results: Sequence[ExperimentResult]) -> LatencyReport:
+    """Collect detection latencies from a campaign's detected errors.
+
+    Experiments that were not detected, or whose injection record is
+    missing, contribute nothing. For multi-injection experiments the
+    *first* injection instant is used (the earliest possible activation).
+    """
+    report = LatencyReport()
+    for result in results:
+        termination = result.termination
+        if termination is None or termination.kind != "trap":
+            continue
+        if not result.injections:
+            continue
+        injection_cycle = min(injection.time for injection in result.injections)
+        report.samples.append(
+            LatencySample(
+                experiment=result.name,
+                mechanism=termination.trap_name,
+                injection_cycle=injection_cycle,
+                detection_cycle=termination.cycle,
+            )
+        )
+    return report

@@ -1,0 +1,87 @@
+"""Error-propagation analysis of detail-mode traces (paper Section 3.3).
+
+"In detail mode the system state is logged as frequently as the target
+system allows, typically after the execution of each machine instruction
+... The detail mode operation is used to produce an execution trace,
+allowing the error propagation to be analysed in detail."
+
+Given the per-instruction state logs of the reference run and of a
+fault-injected run, this module locates the first architectural
+divergence and follows the set of *infected* state cells over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.classify import diff_state_vectors
+
+StateVector = Dict[str, int]
+
+
+@dataclass
+class PropagationReport:
+    """How an injected error spread through the architectural state."""
+
+    first_divergence_step: Optional[int]
+    diverged: bool
+    infected_counts: List[int] = field(default_factory=list)
+    first_infected_cells: List[str] = field(default_factory=list)
+    max_infected: int = 0
+    final_infected: int = 0
+    steps_compared: int = 0
+
+    def describe(self) -> str:
+        if not self.diverged:
+            return (
+                f"no divergence over {self.steps_compared} compared steps "
+                "(fault overwritten or out of the observed state)"
+            )
+        return (
+            f"diverged at step {self.first_divergence_step} in "
+            f"{', '.join(self.first_infected_cells[:4])}"
+            f"{'...' if len(self.first_infected_cells) > 4 else ''}; "
+            f"peak {self.max_infected} infected cells, "
+            f"{self.final_infected} at the end"
+        )
+
+
+def analyse_propagation(
+    reference_states: Sequence[StateVector],
+    experiment_states: Sequence[StateVector],
+) -> PropagationReport:
+    """Compare two detail-mode state logs step by step.
+
+    Runs diverge in *length* as well (an injected fault changes control
+    flow); comparison stops at the shorter log, and the infected-cell
+    counts are reported per compared step.
+    """
+    steps = min(len(reference_states), len(experiment_states))
+    infected_counts: List[int] = []
+    first_divergence: Optional[int] = None
+    first_cells: List[str] = []
+    max_infected = 0
+    for i in range(steps):
+        diffs = diff_state_vectors(reference_states[i], experiment_states[i])
+        infected_counts.append(len(diffs))
+        if diffs and first_divergence is None:
+            first_divergence = i
+            first_cells = diffs
+        max_infected = max(max_infected, len(diffs))
+    # A length difference alone also counts as divergence (control flow
+    # changed even if every compared state matched).
+    diverged = first_divergence is not None or (
+        len(reference_states) != len(experiment_states)
+    )
+    if first_divergence is None and diverged:
+        first_divergence = steps
+    return PropagationReport(
+        first_divergence_step=first_divergence,
+        diverged=diverged,
+        infected_counts=infected_counts,
+        first_infected_cells=first_cells,
+        max_infected=max_infected,
+        final_infected=infected_counts[-1] if infected_counts else 0,
+        steps_compared=steps,
+    )

@@ -1,0 +1,109 @@
+"""Textual campaign reports (what the analysis phase hands to the user)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.classify import CampaignClassification
+from repro.analysis.coverage import detection_coverage, effectiveness_ratio
+
+
+def report_to_dict(
+    campaign_name: str,
+    summary: CampaignClassification,
+    confidence: float = 0.95,
+) -> dict:
+    """Machine-readable form of the campaign report (for dashboards or
+    downstream tooling; the text renderers below use the same numbers)."""
+    detection = detection_coverage(summary, confidence)
+    effectiveness = effectiveness_ratio(summary, confidence)
+    return {
+        "campaign": campaign_name,
+        "total": summary.total,
+        "outcomes": {
+            label.strip(): {"count": count, "fraction": fraction}
+            for label, count, fraction in summary.as_rows()
+        },
+        "detections_by_mechanism": dict(summary.detections_by_mechanism),
+        "detection_coverage": {
+            "estimate": detection.estimate,
+            "interval": list(detection.interval),
+            "confidence": confidence,
+        },
+        "effectiveness_ratio": {
+            "estimate": effectiveness.estimate,
+            "interval": list(effectiveness.interval),
+            "confidence": confidence,
+        },
+    }
+
+
+def render_campaign_report(
+    campaign_name: str,
+    summary: CampaignClassification,
+    confidence: float = 0.95,
+    title: Optional[str] = None,
+) -> str:
+    """Render the outcome distribution as the table the paper's analysis
+    phase produces (Effective/Detected-per-mechanism/Escaped,
+    Non-effective/Latent/Overwritten) plus coverage estimates."""
+    lines = [
+        title or f"Campaign analysis: {campaign_name}",
+        "=" * 60,
+        f"{'outcome':40s} {'count':>6s} {'frac':>8s}",
+        "-" * 60,
+    ]
+    for label, count, fraction in summary.as_rows():
+        lines.append(f"{label:40s} {count:6d} {fraction:7.1%}")
+    lines.append("-" * 60)
+    lines.append(
+        f"detection coverage (of effective): {detection_coverage(summary, confidence)}"
+    )
+    lines.append(
+        f"effectiveness ratio (of injected): {effectiveness_ratio(summary, confidence)}"
+    )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    labels: Sequence[str],
+    summaries: Sequence[CampaignClassification],
+) -> str:
+    """Side-by-side outcome distributions (used by the E4/E6/E7 benches)."""
+    if len(labels) != len(summaries):
+        raise ValueError("labels and summaries must align")
+    header = f"{'outcome':32s}" + "".join(f"{label:>18s}" for label in labels)
+    lines = [header, "-" * len(header)]
+    all_rows = [summary.as_rows() for summary in summaries]
+    # Canonical row order: the fixed taxonomy skeleton with the union of
+    # all detection mechanisms slotted directly under "  detected".
+    mechanisms = sorted(
+        {
+            mechanism
+            for summary in summaries
+            for mechanism in summary.detections_by_mechanism
+        }
+    )
+    row_labels = (
+        ["effective", "  detected"]
+        + [f"    by {mechanism}" for mechanism in mechanisms]
+        + [
+            "  escaped (wrong results)",
+            "  escaped (timeliness)",
+            "non-effective",
+            "  latent",
+            "  overwritten",
+        ]
+    )
+    for i, row_label in enumerate(row_labels):
+        cells = ""
+        for rows in all_rows:
+            # Row sets can differ (different mechanisms detected); align
+            # by label where possible.
+            match = next((r for r in rows if r[0] == row_label), None)
+            if match is None:
+                cells += f"{'-':>18s}"
+            else:
+                cells += f"{match[1]:>8d} {match[2]:>8.1%} "
+        lines.append(f"{row_label:32s}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""GOOFI core: the paper's primary contribution.
+
+This package is the middle layer of Figure 1 — the
+:class:`~repro.core.algorithms.FaultInjectionAlgorithms` class whose
+abstract methods are the building blocks of fault-injection techniques,
+the :class:`~repro.core.framework.Framework` template used to port the
+tool to a new target system, and the campaign machinery around them
+(fault models, triggers, location spaces, pre-injection analysis, and the
+campaign controller with its progress/pause/resume interface).
+"""
+
+from repro.core.algorithms import FaultInjectionAlgorithms
+from repro.core.campaign import CampaignData, FaultModelSpec, TriggerSpec
+from repro.core.controller import CampaignController, CampaignProgress
+from repro.core.experiment import ExperimentResult, Injection
+from repro.core.framework import (
+    Framework,
+    available_targets,
+    available_techniques,
+    create_target,
+    register_target,
+)
+from repro.core.locations import FaultLocation, LocationCell, LocationSpace
+
+__all__ = [
+    "FaultInjectionAlgorithms",
+    "CampaignData",
+    "FaultModelSpec",
+    "TriggerSpec",
+    "CampaignController",
+    "CampaignProgress",
+    "ExperimentResult",
+    "Injection",
+    "Framework",
+    "available_targets",
+    "available_techniques",
+    "create_target",
+    "register_target",
+    "FaultLocation",
+    "LocationCell",
+    "LocationSpace",
+]

@@ -1,0 +1,635 @@
+"""The FaultInjectionAlgorithms class (paper Figure 2).
+
+Fault-injection algorithms are *compositions of abstract building blocks*:
+``init_test_card``, ``load_workload``, ``run_workload``,
+``wait_for_breakpoint``, ``read_scan_chain``, ``inject_fault``,
+``write_scan_chain``, ``wait_for_termination`` and so on. The concrete
+algorithms — ``fault_injector_scifi``, ``fault_injector_swifi_pre``,
+``fault_injector_swifi_runtime``, ``fault_injector_simfi`` — call only
+these blocks, never target-specific code. Porting the tool to a new
+target means implementing the blocks in a subclass of
+:class:`~repro.core.framework.Framework` (paper Figure 3); adding a new
+technique means writing one more composition here and, when needed, adding
+previously-undefined blocks (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.campaign import CampaignData
+from repro.core.experiment import (
+    ExperimentResult,
+    Injection,
+    ReferenceRun,
+    StateVector,
+    Termination,
+)
+from repro.core.faultmodels import FaultModel, InjectionPlan, build_fault_model
+from repro.core.locations import FaultLocation, LocationSpace
+from repro.core.preinjection import PreInjectionAnalysis
+from repro.core.trace import Trace
+from repro.util.errors import CampaignError
+from repro.util.rng import CampaignRandom
+
+# Reference-run cycle budget when the campaign does not set an explicit
+# timeout (the reference run has no prior duration to derive one from).
+_REFERENCE_BUDGET = 50_000_000
+
+
+class StopCampaign(Exception):
+    """Raised by a control hook to end the campaign early (the progress
+    window's End button)."""
+
+
+class _NullControl:
+    """Default no-op control hooks (no GUI attached)."""
+
+    def checkpoint(self, index: int) -> None:
+        pass
+
+    def report(self, index: int, result: ExperimentResult) -> None:
+        pass
+
+
+class _ListSink:
+    """Default in-memory result sink."""
+
+    def __init__(self) -> None:
+        self.reference: Optional[ReferenceRun] = None
+        self.results: List[ExperimentResult] = []
+
+    def log_reference(self, campaign: CampaignData, ref: ReferenceRun) -> None:
+        self.reference = ref
+
+    def log_experiment(
+        self, campaign: CampaignData, result: ExperimentResult
+    ) -> None:
+        self.results.append(result)
+
+
+class FaultInjectionAlgorithms(abc.ABC):
+    """Abstract algorithm layer: building blocks + their compositions."""
+
+    # Map technique name -> bound method name, used by the framework layer
+    # and the campaign controller to dispatch a campaign.
+    TECHNIQUE_METHODS = {
+        "scifi": "fault_injector_scifi",
+        "swifi-pre": "fault_injector_swifi_pre",
+        "swifi-runtime": "fault_injector_swifi_runtime",
+        "simfi": "fault_injector_simfi",
+        "pinlevel": "fault_injector_pinlevel",
+    }
+
+    # Which location spaces each technique can reach. SCIFI reaches what
+    # the scan chains expose; pre-runtime SWIFI only the downloaded
+    # program/data image; runtime SWIFI the software-visible state;
+    # simulation-based FI everything.
+    TECHNIQUE_SPACES = {
+        "scifi": ("scan:",),
+        "swifi-pre": ("memory:",),
+        "swifi-runtime": ("memory:", "swreg"),
+        "simfi": ("scan:", "memory:", "swreg"),
+        "pinlevel": ("scan:boundary",),
+    }
+
+    def __init__(self) -> None:
+        self.campaign: Optional[CampaignData] = None
+        self._locations: List[FaultLocation] = []
+        self._fault_model: Optional[FaultModel] = None
+        self._rng: Optional[CampaignRandom] = None
+        self._liveness: Optional[PreInjectionAnalysis] = None
+        self._reference: Optional[ReferenceRun] = None
+
+    # ------------------------------------------------------------------
+    # Abstract building blocks (Figure 2). A port implements the subset
+    # needed by the techniques it supports; the Framework template provides
+    # "Write your code here!" stubs for all of them.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def init_test_card(self) -> None:
+        """Power-cycle / reinitialise the target system."""
+
+    @abc.abstractmethod
+    def load_workload(self) -> None:
+        """Download the campaign's workload image to the target."""
+
+    @abc.abstractmethod
+    def write_memory(self) -> None:
+        """Download the workload's initial input data."""
+
+    @abc.abstractmethod
+    def read_memory(self) -> Dict[str, int]:
+        """Read back the workload's output values."""
+
+    @abc.abstractmethod
+    def run_workload(self) -> None:
+        """Start (arm) execution of the downloaded workload."""
+
+    @abc.abstractmethod
+    def wait_for_breakpoint(self, stop_cycle: int) -> Optional[Termination]:
+        """Run until the injection point. Returns None when the breakpoint
+        was reached, or a Termination if the experiment ended first."""
+
+    @abc.abstractmethod
+    def read_scan_chain(self) -> Dict[str, List[int]]:
+        """Shift out all scan chains (chain name -> bit list)."""
+
+    @abc.abstractmethod
+    def inject_fault(self, chains: Dict[str, List[int]], action) -> List[Injection]:
+        """Manipulate the chain image according to one injection action."""
+
+    @abc.abstractmethod
+    def write_scan_chain(self, chains: Dict[str, List[int]]) -> None:
+        """Shift the (possibly fault-injected) chains back in."""
+
+    @abc.abstractmethod
+    def wait_for_termination(
+        self, timeout_cycles: int, max_iterations: Optional[int]
+    ) -> Termination:
+        """Run until a termination condition: workload end, detected
+        error, time-out or iteration limit — whichever comes first."""
+
+    # Blocks added for the pre-runtime SWIFI technique (Section 2.1: the
+    # previously-undefined abstract methods a new technique needs are
+    # added to the Framework class).
+
+    @abc.abstractmethod
+    def inject_fault_preruntime(self, action) -> List[Injection]:
+        """Flip bits of the downloaded program/data image before start."""
+
+    # Blocks added for the runtime SWIFI extension.
+
+    @abc.abstractmethod
+    def instrument_workload(self, plan: InjectionPlan) -> None:
+        """Instrument the workload with injection code (trap planting)."""
+
+    @abc.abstractmethod
+    def collect_runtime_injections(self) -> List[Injection]:
+        """Injections the instrumentation actually performed at runtime."""
+
+    # Block added for the simulation-based baseline.
+
+    @abc.abstractmethod
+    def inject_fault_direct(self, action) -> List[Injection]:
+        """Inject via direct simulator state access (full observability)."""
+
+    # Block added for the pin-level technique (Section 2.1 names pin-level
+    # fault injection as a third family the building blocks can compose).
+
+    @abc.abstractmethod
+    def force_pins(self, action) -> List[Injection]:
+        """Arm boundary-scan pin forcing for the action's bus lines."""
+
+    # Support blocks used by every algorithm.
+
+    @abc.abstractmethod
+    def location_space(self) -> LocationSpace:
+        """All injectable/observable state of the configured target."""
+
+    @abc.abstractmethod
+    def capture_state_vector(self) -> StateVector:
+        """Observe the campaign's observe-pattern cells (plus outputs are
+        read separately via read_memory)."""
+
+    @abc.abstractmethod
+    def start_trace(self) -> None:
+        """Begin collecting the reference execution trace."""
+
+    @abc.abstractmethod
+    def stop_trace(self) -> Trace:
+        """Finish trace collection and return the trace."""
+
+    @abc.abstractmethod
+    def set_detail_logging(self, enabled: bool) -> None:
+        """Enable per-instruction state logging (detail mode)."""
+
+    @abc.abstractmethod
+    def drain_detail_states(self) -> List[StateVector]:
+        """Per-instruction states collected since the last drain."""
+
+    @abc.abstractmethod
+    def describe_target(self) -> dict:
+        """Structural description stored in TargetSystemData."""
+
+    def available_workloads(self):
+        """Names of the workloads this target can run, or None when the
+        port does not restrict them (optional override, used by the
+        set-up window to validate workload selections per target)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Campaign preparation (readCampaignData + set-up interpretation)
+    # ------------------------------------------------------------------
+
+    def read_campaign_data(self, campaign: CampaignData) -> None:
+        """Bind this algorithm instance to one campaign."""
+        campaign.validate()
+        self._check_technique_spaces(campaign)
+        self.campaign = campaign
+        space = self.location_space()
+        space.validate_selection(campaign.location_patterns)
+        self._locations = space.expand(campaign.location_patterns)
+        self._fault_model = build_fault_model(campaign.fault_model)
+        self._rng = CampaignRandom(campaign.seed)
+        self._liveness = None
+
+    def _check_technique_spaces(self, campaign: CampaignData) -> None:
+        allowed = self.TECHNIQUE_SPACES[campaign.technique]
+        for pattern in campaign.location_patterns:
+            space_part = pattern.split("/", 1)[0]
+            if not any(space_part.startswith(prefix) for prefix in allowed):
+                raise CampaignError(
+                    f"technique {campaign.technique!r} cannot reach locations "
+                    f"in {pattern!r} (allowed spaces: {allowed})"
+                )
+
+    # ------------------------------------------------------------------
+    # Reference run (makeReferenceRun in Figure 2)
+    # ------------------------------------------------------------------
+
+    def make_reference_run(self) -> ReferenceRun:
+        campaign = self._require_campaign()
+        detail = campaign.logging_mode == "detail"
+        self.init_test_card()
+        self.load_workload()
+        self.write_memory()
+        self.start_trace()
+        self.set_detail_logging(detail)
+        self.run_workload()
+        budget = campaign.timeout_cycles or _REFERENCE_BUDGET
+        termination = self.wait_for_termination(budget, campaign.max_iterations)
+        trace = self.stop_trace()
+        self.set_detail_logging(False)
+        if termination.kind not in ("halt", "max_iterations"):
+            raise CampaignError(
+                "reference run did not terminate normally: "
+                f"{termination.kind} ({termination.trap_name})"
+            )
+        reference = ReferenceRun(
+            duration_cycles=termination.cycle,
+            duration_instructions=len(trace),
+            termination=termination,
+            state_vector=self.capture_state_vector(),
+            outputs=self.read_memory(),
+            trace=trace,
+            detail_states=self.drain_detail_states() if detail else [],
+        )
+        if campaign.use_preinjection:
+            self._liveness = PreInjectionAnalysis.from_trace(
+                trace, self.location_space()
+            )
+        return reference
+
+    # ------------------------------------------------------------------
+    # Per-experiment planning
+    # ------------------------------------------------------------------
+
+    def plan_experiment(self, index: int, reference: ReferenceRun) -> InjectionPlan:
+        """Sample the (time, location) fault for experiment ``index``.
+
+        With pre-injection analysis enabled, the (location, time) pair is
+        re-sampled until the location holds live data at the injection
+        time (Section 4: "injecting a fault into a location that does not
+        hold live data serves no purpose").
+        """
+        campaign = self._require_campaign()
+        assert self._fault_model is not None and self._rng is not None
+        rng = self._rng.substream(index)
+        duration = max(1, reference.duration_cycles)
+        k = self._fault_model.locations_per_experiment()
+
+        attempts = 0
+        while True:
+            times = campaign.trigger.resolve(rng, reference.trace, duration)
+            chosen = (
+                rng.sample(self._locations, min(k, len(self._locations)))
+                if k > 1
+                else [rng.choice(self._locations)]
+            )
+            attempts += 1
+            if self._liveness is None:
+                break
+            if all(self._liveness.is_live(loc, times[0]) for loc in chosen):
+                break
+            if attempts >= 1000:
+                raise CampaignError(
+                    "pre-injection analysis found no live (location, time) "
+                    "pair in 1000 samples; widen the location selection"
+                )
+        return self._fault_model.plan(rng, chosen, times, max_time=duration)
+
+    # ------------------------------------------------------------------
+    # Concrete fault-injection algorithms (the Figure 2 compositions)
+    # ------------------------------------------------------------------
+
+    def fault_injector_scifi(self, campaign, sink=None, control=None,
+                             _fixed_plans=None, skip_indices=None):
+        """Scan-Chain Implemented Fault Injection — the algorithm of
+        Figure 2, step for step."""
+
+        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
+            result = self._new_result(index)
+            self.init_test_card()
+            self.load_workload()
+            self.write_memory()
+            self._apply_detail_mode()
+            self.run_workload()
+            termination: Optional[Termination] = None
+            for action in plan.sorted_actions():
+                termination = self.wait_for_breakpoint(action.time)
+                if termination is not None:
+                    break
+                chains = self.read_scan_chain()
+                result.injections.extend(self.inject_fault(chains, action))
+                self.write_scan_chain(chains)
+            if termination is None:
+                termination = self.wait_for_termination(
+                    self._experiment_budget(), campaign.max_iterations
+                )
+            self._finish(result, termination)
+            return result
+
+        return self._campaign_loop(campaign, experiment, sink, control,
+                                   _fixed_plans=_fixed_plans,
+                                   skip_indices=skip_indices)
+
+    def fault_injector_swifi_pre(self, campaign, sink=None, control=None,
+                                 _fixed_plans=None, skip_indices=None):
+        """Pre-runtime SWIFI: faults are injected into the program and
+        data areas of the target before it starts to execute."""
+
+        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
+            result = self._new_result(index)
+            self.init_test_card()
+            self.load_workload()
+            self.write_memory()
+            # Inject after the full image (program + input data) is down
+            # loaded — "before it starts to execute", not before download.
+            for action in plan.sorted_actions():
+                result.injections.extend(self.inject_fault_preruntime(action))
+            self._apply_detail_mode()
+            self.run_workload()
+            termination = self.wait_for_termination(
+                self._experiment_budget(), campaign.max_iterations
+            )
+            self._finish(result, termination)
+            return result
+
+        return self._campaign_loop(campaign, experiment, sink, control,
+                                   _fixed_plans=_fixed_plans,
+                                   skip_indices=skip_indices)
+
+    def fault_injector_swifi_runtime(self, campaign, sink=None, control=None,
+                                     _fixed_plans=None, skip_indices=None):
+        """Runtime SWIFI (Section 4 extension): the workload is
+        instrumented with additional software for injecting faults."""
+
+        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
+            result = self._new_result(index)
+            self.init_test_card()
+            self.load_workload()
+            self.write_memory()
+            self.instrument_workload(plan)
+            self._apply_detail_mode()
+            self.run_workload()
+            termination = self.wait_for_termination(
+                self._experiment_budget(), campaign.max_iterations
+            )
+            result.injections.extend(self.collect_runtime_injections())
+            self._finish(result, termination)
+            return result
+
+        return self._campaign_loop(campaign, experiment, sink, control,
+                                   _fixed_plans=_fixed_plans,
+                                   skip_indices=skip_indices)
+
+    def fault_injector_simfi(self, campaign, sink=None, control=None,
+                             _fixed_plans=None, skip_indices=None):
+        """Simulation-based FI baseline (MEFISTO-style): direct state
+        access, no scan-chain serialization."""
+
+        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
+            result = self._new_result(index)
+            self.init_test_card()
+            self.load_workload()
+            self.write_memory()
+            self._apply_detail_mode()
+            self.run_workload()
+            termination: Optional[Termination] = None
+            for action in plan.sorted_actions():
+                termination = self.wait_for_breakpoint(action.time)
+                if termination is not None:
+                    break
+                result.injections.extend(self.inject_fault_direct(action))
+            if termination is None:
+                termination = self.wait_for_termination(
+                    self._experiment_budget(), campaign.max_iterations
+                )
+            self._finish(result, termination)
+            return result
+
+        return self._campaign_loop(campaign, experiment, sink, control,
+                                   _fixed_plans=_fixed_plans,
+                                   skip_indices=skip_indices)
+
+    def fault_injector_pinlevel(self, campaign, sink=None, control=None,
+                                _fixed_plans=None, skip_indices=None):
+        """Pin-level fault injection through boundary scan: stop at the
+        injection instant, arm EXTEST forcing of the selected bus lines,
+        resume — the forced lines corrupt the next read transactions."""
+
+        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
+            result = self._new_result(index)
+            self.init_test_card()
+            self.load_workload()
+            self.write_memory()
+            self._apply_detail_mode()
+            self.run_workload()
+            termination: Optional[Termination] = None
+            for action in plan.sorted_actions():
+                termination = self.wait_for_breakpoint(action.time)
+                if termination is not None:
+                    break
+                result.injections.extend(self.force_pins(action))
+            if termination is None:
+                termination = self.wait_for_termination(
+                    self._experiment_budget(), campaign.max_iterations
+                )
+            self._finish(result, termination)
+            return result
+
+        return self._campaign_loop(campaign, experiment, sink, control,
+                                   _fixed_plans=_fixed_plans,
+                                   skip_indices=skip_indices)
+
+    def run_campaign(self, campaign, sink=None, control=None,
+                     skip_indices=None):
+        """Dispatch to the technique the campaign selected.
+
+        ``skip_indices`` supports resuming an interrupted campaign:
+        experiments whose index is in the set are not re-run (their
+        results are already in the sink); because every experiment draws
+        its fault from an index-keyed RNG substream, the remaining
+        experiments inject exactly what they would have in the original
+        run."""
+        method = getattr(self, self.TECHNIQUE_METHODS[campaign.technique])
+        return method(campaign, sink=sink, control=control,
+                      skip_indices=skip_indices)
+
+    # ------------------------------------------------------------------
+    # Fault-list preview (set-up phase aid)
+    # ------------------------------------------------------------------
+
+    def preview_fault_list(self, campaign: CampaignData, count: int = 10):
+        """The first ``count`` experiments' planned faults, without
+        injecting anything.
+
+        Performs the reference run (plans are trigger- and
+        liveness-dependent), then resolves each experiment's injection
+        plan exactly as the campaign run would — the preview is
+        guaranteed to match what ``run_campaign`` later injects, because
+        both draw from the same index-keyed RNG substreams.
+        """
+        self.read_campaign_data(campaign)
+        reference = self.make_reference_run()
+        self._reference = reference
+        previews = []
+        for index in range(min(count, campaign.n_experiments)):
+            plan = self.plan_experiment(index, reference)
+            previews.append(
+                {
+                    "index": index,
+                    "actions": [
+                        {
+                            "time": action.time,
+                            "op": action.op,
+                            "locations": [
+                                location.key() for location in action.locations
+                            ],
+                        }
+                        for action in plan.sorted_actions()
+                    ],
+                }
+            )
+        return previews
+
+    # ------------------------------------------------------------------
+    # Re-run with provenance (the parentExperiment mechanism of Figure 4)
+    # ------------------------------------------------------------------
+
+    def rerun_experiment(
+        self,
+        campaign: CampaignData,
+        index: int,
+        sink=None,
+        logging_mode: str = "detail",
+    ) -> ExperimentResult:
+        """Re-run experiment ``index`` of ``campaign`` — typically in
+        detail mode to analyse an interesting result — producing a new
+        experiment whose ``parent_experiment`` names the original."""
+        detail_campaign = campaign.modified(logging_mode=logging_mode)
+        parent_name = self.experiment_name(campaign.campaign_name, index)
+        sink = sink if sink is not None else _ListSink()
+        self.read_campaign_data(detail_campaign)
+        reference = self.make_reference_run()
+        sink.log_reference(detail_campaign, reference)
+        plan = self.plan_experiment(index, reference)
+        runner = {
+            "scifi": self.fault_injector_scifi,
+            "swifi-pre": self.fault_injector_swifi_pre,
+            "swifi-runtime": self.fault_injector_swifi_runtime,
+            "simfi": self.fault_injector_simfi,
+            "pinlevel": self.fault_injector_pinlevel,
+        }
+        # Run just this one experiment through the technique's inner
+        # experiment procedure by making a single-experiment campaign and
+        # reusing the substream of the original index so the same fault is
+        # injected.
+        single = detail_campaign.modified(n_experiments=1)
+        outer = runner[single.technique]
+        results = outer(
+            single,
+            sink=_ListSink(),
+            control=None,
+            _fixed_plans={0: plan},
+        )
+        result = results.results[0]
+        result.name = f"{parent_name}-rerun"
+        result.parent_experiment = parent_name
+        sink.log_experiment(detail_campaign, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def experiment_name(campaign_name: str, index: int) -> str:
+        return f"{campaign_name}-exp{index:05d}"
+
+    def _require_campaign(self) -> CampaignData:
+        if self.campaign is None:
+            raise CampaignError("read_campaign_data() has not been called")
+        return self.campaign
+
+    def _new_result(self, index: int) -> ExperimentResult:
+        campaign = self._require_campaign()
+        return ExperimentResult(
+            name=self.experiment_name(campaign.campaign_name, index),
+            index=index,
+            campaign_name=campaign.campaign_name,
+        )
+
+    def _apply_detail_mode(self) -> None:
+        campaign = self._require_campaign()
+        self.set_detail_logging(campaign.logging_mode == "detail")
+
+    def _experiment_budget(self) -> int:
+        campaign = self._require_campaign()
+        if campaign.timeout_cycles is not None:
+            return campaign.timeout_cycles
+        reference = getattr(self, "_reference", None)
+        if reference is None:
+            return _REFERENCE_BUDGET
+        return int(reference.duration_cycles * campaign.timeout_factor) + 1
+
+    def _finish(self, result: ExperimentResult, termination: Termination) -> None:
+        campaign = self._require_campaign()
+        result.termination = termination
+        result.outputs = self.read_memory()
+        result.state_vector = self.capture_state_vector()
+        if campaign.logging_mode == "detail":
+            result.detail_states = self.drain_detail_states()
+            self.set_detail_logging(False)
+
+    def _campaign_loop(self, campaign, experiment_proc, sink, control,
+                       _fixed_plans: Optional[dict] = None,
+                       skip_indices=None):
+        sink = sink if sink is not None else _ListSink()
+        control = control if control is not None else _NullControl()
+        skip = frozenset(skip_indices or ())
+        self.read_campaign_data(campaign)
+        reference = self.make_reference_run()
+        self._reference = reference
+        sink.log_reference(campaign, reference)
+        for index in range(campaign.n_experiments):
+            if index in skip:
+                continue
+            try:
+                control.checkpoint(index)
+            except StopCampaign:
+                break
+            if _fixed_plans is not None and index in _fixed_plans:
+                plan = _fixed_plans[index]
+            else:
+                plan = self.plan_experiment(index, reference)
+            started = _time.perf_counter()
+            result = experiment_proc(index, plan)
+            result.wall_seconds = _time.perf_counter() - started
+            sink.log_experiment(campaign, result)
+            control.report(index, result)
+        return sink

@@ -1,0 +1,171 @@
+"""Campaign controller: run control and live progress (Figure 7).
+
+"During the fault injection campaign, a progress window is shown enabling
+the user to monitor the experiments, e.g. getting information about the
+number of faults injected and also to pause, restart or end the campaign."
+
+The controller wraps a fault-injection algorithm run with exactly those
+affordances: progress listeners receive a :class:`CampaignProgress`
+snapshot after every experiment, and :meth:`pause` / :meth:`resume` /
+:meth:`stop` work both from another thread and from inside a progress
+listener (cooperative, checked between experiments).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.algorithms import FaultInjectionAlgorithms, StopCampaign
+from repro.core.campaign import CampaignData
+from repro.core.experiment import ExperimentResult
+from repro.util.errors import CampaignError
+
+
+@dataclass
+class CampaignProgress:
+    """Snapshot rendered by the progress window."""
+
+    campaign_name: str = ""
+    n_total: int = 0
+    n_done: int = 0
+    n_injected_faults: int = 0
+    terminations: Dict[str, int] = field(default_factory=dict)
+    detections: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    state: str = "idle"
+
+    @property
+    def experiments_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.n_done / self.elapsed_seconds
+
+    @property
+    def percent_done(self) -> float:
+        if self.n_total == 0:
+            return 0.0
+        return 100.0 * self.n_done / self.n_total
+
+
+ProgressListener = Callable[[CampaignProgress], None]
+
+
+class CampaignController:
+    """Run a campaign with pause/restart/end control and progress events."""
+
+    def __init__(self, algorithm: FaultInjectionAlgorithms, sink=None):
+        self.algorithm = algorithm
+        self.sink = sink
+        self.progress = CampaignProgress()
+        self._listeners: List[ProgressListener] = []
+        self._resume_event = threading.Event()
+        self._resume_event.set()
+        self._stop_requested = False
+        self._started_at = 0.0
+
+    # -- listeners -----------------------------------------------------------
+
+    def add_listener(self, listener: ProgressListener) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self.progress)
+
+    # -- run control (the progress-window buttons) ------------------------------
+
+    def pause(self) -> None:
+        self._resume_event.clear()
+        self.progress.state = "paused"
+
+    def resume(self) -> None:
+        self.progress.state = "running"
+        self._resume_event.set()
+
+    def stop(self) -> None:
+        self._stop_requested = True
+        self._resume_event.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._resume_event.is_set()
+
+    # -- hooks called by the algorithm's campaign loop ----------------------------
+
+    def checkpoint(self, index: int) -> None:
+        if self._stop_requested:
+            self.progress.state = "stopped"
+            raise StopCampaign()
+        # Cooperative pause: wait in short slices so stop() still works.
+        while not self._resume_event.wait(timeout=0.05):
+            if self._stop_requested:
+                self.progress.state = "stopped"
+                raise StopCampaign()
+
+    def report(self, index: int, result: ExperimentResult) -> None:
+        progress = self.progress
+        progress.n_done += 1
+        progress.n_injected_faults += len(result.injections)
+        termination = result.termination
+        if termination is not None:
+            progress.terminations[termination.kind] = (
+                progress.terminations.get(termination.kind, 0) + 1
+            )
+            if termination.kind == "trap" and termination.trap_name:
+                progress.detections[termination.trap_name] = (
+                    progress.detections.get(termination.trap_name, 0) + 1
+                )
+        progress.elapsed_seconds = time.perf_counter() - self._started_at
+        self._notify()
+
+    # -- campaign execution ---------------------------------------------------------
+
+    def run(self, campaign: CampaignData, resume: bool = False):
+        """Run the campaign to completion (or until stopped).
+
+        With ``resume=True`` and a sink that knows which experiments are
+        already logged (the GOOFI database does), previously completed
+        experiments are skipped — restarting an interrupted campaign
+        picks up exactly where it stopped, injecting the same faults the
+        skipped indices would not have re-drawn."""
+        if self.progress.state == "running":
+            raise CampaignError("controller is already running a campaign")
+        skip_indices = None
+        if resume:
+            if self.sink is None or not hasattr(self.sink, "completed_indices"):
+                raise CampaignError(
+                    "resume needs a sink that records completed experiments"
+                )
+            skip_indices = set(
+                self.sink.completed_indices(campaign.campaign_name)
+            )
+        self.progress = CampaignProgress(
+            campaign_name=campaign.campaign_name,
+            n_total=campaign.n_experiments,
+            n_done=len(skip_indices or ()),
+            state="running",
+        )
+        self._stop_requested = False
+        self._resume_event.set()
+        self._started_at = time.perf_counter()
+        self._notify()
+        sink = self.algorithm.run_campaign(
+            campaign, sink=self.sink, control=self, skip_indices=skip_indices
+        )
+        if self.progress.state != "stopped":
+            self.progress.state = "finished"
+        self.progress.elapsed_seconds = time.perf_counter() - self._started_at
+        self._notify()
+        return sink
+
+    def run_in_thread(self, campaign: CampaignData) -> threading.Thread:
+        """Start the campaign on a worker thread (the GUI mode of
+        operation); returns the thread, results flow into the sink."""
+        thread = threading.Thread(
+            target=self.run, args=(campaign,), name=f"campaign-{campaign.campaign_name}"
+        )
+        thread.start()
+        return thread

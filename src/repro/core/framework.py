@@ -1,0 +1,207 @@
+"""The Framework template and the target/technique registries (Figures 1, 3).
+
+:class:`Framework` is the template a programmer copies when adapting GOOFI
+to a new target system: it subclasses
+:class:`~repro.core.algorithms.FaultInjectionAlgorithms` and stubs *every*
+abstract building block with a "Write your code here!" implementation that
+raises :class:`~repro.util.errors.NotImplementedByPort`. A port only fills
+in the blocks the fault-injection algorithms it wants to support actually
+use — exactly the paper's contract.
+
+The module also keeps the registry that the GUI's target-system menu is
+built from, and utilities to check which techniques a port supports and to
+generate a fresh port skeleton (the Figure 3 source template).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.core.algorithms import FaultInjectionAlgorithms
+from repro.util.errors import ConfigurationError, NotImplementedByPort
+
+# Building blocks shared by every fault-injection algorithm.
+COMMON_BLOCKS = (
+    "init_test_card",
+    "load_workload",
+    "write_memory",
+    "read_memory",
+    "run_workload",
+    "wait_for_termination",
+    "location_space",
+    "capture_state_vector",
+    "start_trace",
+    "stop_trace",
+    "set_detail_logging",
+    "drain_detail_states",
+    "describe_target",
+)
+
+# Technique-specific blocks (Section 2.1: "Many of the abstract methods
+# used by one fault injection technique are reusable when defining the
+# algorithm for another ... Other abstract methods need to be implemented
+# specifically for each new fault injection technique").
+TECHNIQUE_BLOCKS: Dict[str, tuple] = {
+    "scifi": (
+        "wait_for_breakpoint",
+        "read_scan_chain",
+        "inject_fault",
+        "write_scan_chain",
+    ),
+    "swifi-pre": ("inject_fault_preruntime",),
+    "swifi-runtime": ("instrument_workload", "collect_runtime_injections"),
+    "simfi": ("wait_for_breakpoint", "inject_fault_direct"),
+    "pinlevel": ("wait_for_breakpoint", "force_pins"),
+}
+
+
+def _stub(name: str) -> Callable:
+    def method(self, *args, **kwargs):
+        # Write your code here!   (Figure 3)
+        raise NotImplementedByPort(type(self).__name__, name)
+
+    method.__name__ = name
+    method.__doc__ = f"Template stub for {name}(). Write your code here!"
+    method._is_framework_stub = True
+    return method
+
+
+class Framework(FaultInjectionAlgorithms):
+    """``public class <FrameWork> extends FaultInjectionAlgorithms`` —
+    every building block stubbed, ready to be filled in by a port."""
+
+
+# Install the stubs programmatically so the block lists above are the
+# single source of truth; this also clears the ABC abstract-method set so
+# a port can be instantiated before all blocks are filled in (unused
+# blocks raise NotImplementedByPort only when an algorithm calls them).
+_ALL_BLOCKS = tuple(
+    dict.fromkeys(
+        COMMON_BLOCKS + tuple(b for blocks in TECHNIQUE_BLOCKS.values() for b in blocks)
+    )
+)
+for _name in _ALL_BLOCKS:
+    setattr(Framework, _name, _stub(_name))
+Framework.__abstractmethods__ = frozenset()
+
+
+def implemented_blocks(port_class: Type[Framework]) -> List[str]:
+    """Blocks the port actually filled in (overrode the stub)."""
+    implemented = []
+    for name in _ALL_BLOCKS:
+        method = getattr(port_class, name, None)
+        if method is not None and not getattr(method, "_is_framework_stub", False):
+            implemented.append(name)
+    return implemented
+
+
+def required_blocks(technique: str) -> List[str]:
+    if technique not in TECHNIQUE_BLOCKS:
+        raise ConfigurationError(f"unknown technique {technique!r}")
+    return list(COMMON_BLOCKS) + list(TECHNIQUE_BLOCKS[technique])
+
+
+def supports_technique(port_class: Type[Framework], technique: str) -> bool:
+    have = set(implemented_blocks(port_class))
+    return all(block in have for block in required_blocks(technique))
+
+
+def supported_techniques(port_class: Type[Framework]) -> List[str]:
+    return [
+        technique
+        for technique in TECHNIQUE_BLOCKS
+        if supports_technique(port_class, technique)
+    ]
+
+
+def missing_blocks(port_class: Type[Framework], technique: str) -> List[str]:
+    have = set(implemented_blocks(port_class))
+    return [b for b in required_blocks(technique) if b not in have]
+
+
+# ---------------------------------------------------------------------------
+# Target-system registry (feeds the GUI's target menu)
+# ---------------------------------------------------------------------------
+
+_TARGETS: Dict[str, Type[Framework]] = {}
+
+
+def register_target(name: str):
+    """Class decorator: make a TargetSystemInterface selectable by name."""
+
+    def decorator(cls: Type[Framework]) -> Type[Framework]:
+        if not issubclass(cls, FaultInjectionAlgorithms):
+            raise ConfigurationError(
+                f"{cls.__name__} must extend FaultInjectionAlgorithms"
+            )
+        if name in _TARGETS:
+            raise ConfigurationError(f"target {name!r} already registered")
+        _TARGETS[name] = cls
+        cls.target_name = name
+        return cls
+
+    return decorator
+
+
+def unregister_target(name: str) -> None:
+    _TARGETS.pop(name, None)
+
+
+def available_targets() -> List[str]:
+    _ensure_builtin_targets()
+    return sorted(_TARGETS)
+
+
+def create_target(name: str, **kwargs) -> Framework:
+    _ensure_builtin_targets()
+    cls = _TARGETS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown target {name!r}; available: {sorted(_TARGETS)}"
+        )
+    return cls(**kwargs)
+
+
+def available_techniques() -> List[str]:
+    return list(TECHNIQUE_BLOCKS)
+
+
+def _ensure_builtin_targets() -> None:
+    """Import the bundled target interfaces on first use (they
+    self-register); keeps repro.core import-light."""
+    if "thor-rd" not in _TARGETS:
+        import repro.scifi.interface  # noqa: F401
+    if "thor-rd-sim" not in _TARGETS:
+        import repro.simfi.interface  # noqa: F401
+    if "tsm-1" not in _TARGETS:
+        import repro.tsm.interface  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Port skeleton generation (the Figure 3 artefact)
+# ---------------------------------------------------------------------------
+
+def generate_port_skeleton(class_name: str, techniques: List[str]) -> str:
+    """Source text of a new TargetSystemInterface skeleton implementing
+    the blocks needed for ``techniques`` — what a programmer starts from
+    when adapting GOOFI to a new target system."""
+    blocks: List[str] = list(COMMON_BLOCKS)
+    for technique in techniques:
+        for block in TECHNIQUE_BLOCKS.get(technique, ()):
+            if block not in blocks:
+                blocks.append(block)
+    lines = [
+        "from repro.core.framework import Framework, register_target",
+        "",
+        "",
+        f'@register_target("{class_name.lower()}")',
+        f"class {class_name}(Framework):",
+        f'    """Target system interface for {class_name}."""',
+        "",
+    ]
+    for block in blocks:
+        lines.append(f"    def {block}(self, *args, **kwargs):")
+        lines.append("        # Write your code here!")
+        lines.append("        raise NotImplementedError")
+        lines.append("")
+    return "\n".join(lines)

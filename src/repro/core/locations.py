@@ -1,0 +1,193 @@
+"""Fault-location spaces and the hierarchical location tree.
+
+A *fault location* is one bit of one state element in one address space of
+the target:
+
+* ``scan:internal`` / ``scan:boundary`` — bits of scan-chain cells
+  (SCIFI reaches these),
+* ``memory:code`` / ``memory:data`` — bits of words in the downloaded
+  workload image (pre-runtime SWIFI reaches these),
+* ``sim:*`` — anything the simulation-based baseline can touch directly.
+
+The set-up window of Figure 6 presents "a hierarchical list of possible
+locations"; :class:`LocationTree` reproduces that hierarchy by splitting
+cell paths on dots, and campaign definitions select locations with glob
+patterns over ``space/path`` (e.g. ``scan:internal/cpu.regfile.*``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultLocation:
+    """One injectable bit."""
+
+    space: str
+    path: str
+    bit: int
+
+    def key(self) -> str:
+        return f"{self.space}/{self.path}[{self.bit}]"
+
+    @staticmethod
+    def parse(key: str) -> "FaultLocation":
+        try:
+            space, rest = key.split("/", 1)
+            path, bit_text = rest.rsplit("[", 1)
+            bit = int(bit_text.rstrip("]"))
+        except (ValueError, IndexError) as exc:
+            raise ConfigurationError(f"bad location key {key!r}") from exc
+        return FaultLocation(space=space, path=path, bit=bit)
+
+
+@dataclass(frozen=True)
+class LocationCell:
+    """One state element: a named group of ``width`` injectable bits."""
+
+    space: str
+    path: str
+    width: int
+    read_only: bool = False
+
+    def locations(self) -> List[FaultLocation]:
+        return [FaultLocation(self.space, self.path, b) for b in range(self.width)]
+
+    @property
+    def full_path(self) -> str:
+        return f"{self.space}/{self.path}"
+
+
+class LocationSpace:
+    """All injectable state of one target, with pattern-based selection."""
+
+    def __init__(self, cells: Sequence[LocationCell]):
+        self._cells: List[LocationCell] = list(cells)
+        self._by_path: Dict[str, LocationCell] = {}
+        for cell in self._cells:
+            if cell.full_path in self._by_path:
+                raise ConfigurationError(f"duplicate cell {cell.full_path!r}")
+            self._by_path[cell.full_path] = cell
+
+    def cells(self) -> List[LocationCell]:
+        return list(self._cells)
+
+    def cell(self, space: str, path: str) -> LocationCell:
+        cell = self._by_path.get(f"{space}/{path}")
+        if cell is None:
+            raise ConfigurationError(f"unknown cell {space}/{path}")
+        return cell
+
+    def total_bits(self, writable_only: bool = True) -> int:
+        return sum(
+            c.width
+            for c in self._cells
+            if not (writable_only and c.read_only)
+        )
+
+    def select_cells(
+        self, patterns: Sequence[str], writable_only: bool = True
+    ) -> List[LocationCell]:
+        """Cells matching any ``space/path`` glob pattern, in space order."""
+        selected: List[LocationCell] = []
+        seen = set()
+        for cell in self._cells:
+            if writable_only and cell.read_only:
+                continue
+            for pattern in patterns:
+                if fnmatch.fnmatchcase(cell.full_path, pattern):
+                    if cell.full_path not in seen:
+                        seen.add(cell.full_path)
+                        selected.append(cell)
+                    break
+        return selected
+
+    def expand(
+        self, patterns: Sequence[str], writable_only: bool = True
+    ) -> List[FaultLocation]:
+        """All injectable bit locations matching the patterns."""
+        locations: List[FaultLocation] = []
+        for cell in self.select_cells(patterns, writable_only=writable_only):
+            locations.extend(cell.locations())
+        if not locations:
+            raise ConfigurationError(
+                f"no injectable locations match patterns {list(patterns)!r}"
+            )
+        return locations
+
+    def validate_selection(self, patterns: Sequence[str]) -> None:
+        """Raise if the selection matches nothing or only read-only cells
+        (read-only scan locations 'can only be used to observe the state',
+        paper Section 3.1)."""
+        matched_any = self.select_cells(patterns, writable_only=False)
+        if not matched_any:
+            raise ConfigurationError(
+                f"patterns {list(patterns)!r} match no cells of this target"
+            )
+        writable = self.select_cells(patterns, writable_only=True)
+        if not writable:
+            raise ConfigurationError(
+                f"patterns {list(patterns)!r} match only read-only "
+                "(observe-only) locations"
+            )
+
+    def tree(self) -> "LocationTree":
+        return LocationTree.from_cells(self._cells)
+
+
+@dataclass
+class LocationTree:
+    """Hierarchical view of a location space (the Figure 6 list).
+
+    Nodes are keyed by path component; a leaf carries its
+    :class:`LocationCell`.
+    """
+
+    name: str = ""
+    cell: Optional[LocationCell] = None
+    children: Dict[str, "LocationTree"] = field(default_factory=dict)
+
+    @staticmethod
+    def from_cells(cells: Iterable[LocationCell]) -> "LocationTree":
+        root = LocationTree(name="target")
+        for cell in cells:
+            parts = [cell.space] + cell.path.split(".")
+            node = root
+            for part in parts:
+                node = node.children.setdefault(part, LocationTree(name=part))
+            node.cell = cell
+        return root
+
+    def leaf_cells(self) -> List[LocationCell]:
+        cells: List[LocationCell] = []
+        if self.cell is not None:
+            cells.append(self.cell)
+        for child in self.children.values():
+            cells.extend(child.leaf_cells())
+        return cells
+
+    def subtree(self, dotted: str) -> "LocationTree":
+        node = self
+        for part in dotted.split("."):
+            if part not in node.children:
+                raise ConfigurationError(f"no tree node {dotted!r}")
+            node = node.children[part]
+        return node
+
+    def render(self, indent: int = 0, show_bits: bool = False) -> str:
+        """ASCII rendering used by the campaign set-up window."""
+        lines: List[str] = []
+        pad = "  " * indent
+        label = self.name or "target"
+        if self.cell is not None:
+            ro = " [read-only]" if self.cell.read_only else ""
+            label += f"  ({self.cell.width} bits){ro}"
+        lines.append(pad + label)
+        for key in sorted(self.children):
+            lines.append(self.children[key].render(indent + 1, show_bits))
+        return "\n".join(lines)

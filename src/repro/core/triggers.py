@@ -1,0 +1,130 @@
+"""Fault triggers: when to inject.
+
+The shipped GOOFI triggers on points in time (breakpoints derived from the
+campaign data); Section 4 lists the planned richer triggers — "access of
+certain data values, execution of branch instructions or subprogram calls
+... or at specific times determined by a real-time clock". All are
+implemented here. A trigger *resolves* to one concrete injection instant
+(a cycle number) per experiment, using the reference trace where the
+trigger is event-based.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+from repro.core.trace import Trace, TraceStep
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class TriggerSpec:
+    """Declarative trigger description stored in CampaignData.
+
+    kind:
+        "time-uniform"  — uniform over (0, reference duration]   (default)
+        "time-fixed"    — always at cycle ``time``
+        "address"       — at an execution of instruction address ``address``
+        "branch"        — at an executed branch instruction
+        "call"          — at an executed CALL
+        "data-access"   — at an access to memory address ``address``
+                          (optionally only when the value equals ``value``)
+        "task-switch"   — at an execution of the workload's task-switch
+                          routine (address resolved by the target
+                          interface from the workload's ``task_switch``
+                          label)
+        "clock"         — at a multiple of ``period`` cycles (real-time
+                          clock tick), chosen uniformly
+
+    ``occurrence`` selects which matching event: a 1-based index, or 0 for
+    "uniformly random occurrence" (the default).
+    """
+
+    kind: str = "time-uniform"
+    time: int = 0
+    address: int = 0
+    value: Optional[int] = None
+    occurrence: int = 0
+    period: int = 1000
+
+    VALID_KINDS = (
+        "time-uniform",
+        "time-fixed",
+        "address",
+        "branch",
+        "call",
+        "data-access",
+        "task-switch",
+        "clock",
+    )
+
+    def __post_init__(self):
+        if self.kind not in self.VALID_KINDS:
+            raise ConfigurationError(f"unknown trigger kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "TriggerSpec":
+        return TriggerSpec(**data)
+
+    @property
+    def needs_trace(self) -> bool:
+        return self.kind in (
+            "address", "branch", "call", "data-access", "task-switch"
+        )
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(
+        self, rng: random.Random, trace: Optional[Trace], duration_cycles: int
+    ) -> List[int]:
+        """Concrete injection instant(s) for one experiment."""
+        if duration_cycles <= 0:
+            raise ConfigurationError("reference duration must be positive")
+        if self.kind == "time-uniform":
+            return [rng.randint(1, duration_cycles)]
+        if self.kind == "time-fixed":
+            return [self.time]
+        if self.kind == "clock":
+            ticks = max(1, duration_cycles // self.period)
+            return [self.period * rng.randint(1, ticks)]
+        if trace is None:
+            raise ConfigurationError(
+                f"trigger {self.kind!r} needs a reference trace"
+            )
+        candidates = self._candidates(trace)
+        if not candidates:
+            raise ConfigurationError(
+                f"trigger {self.kind!r} matched no events in the reference run"
+            )
+        if self.occurrence > 0:
+            if self.occurrence > len(candidates):
+                raise ConfigurationError(
+                    f"trigger asks for occurrence {self.occurrence} but only "
+                    f"{len(candidates)} events matched"
+                )
+            step = candidates[self.occurrence - 1]
+        else:
+            step = rng.choice(candidates)
+        # Stop at the instruction boundary *before* the triggering step.
+        return [max(1, step.cycle_before)]
+
+    def _candidates(self, trace: Trace) -> List[TraceStep]:
+        if self.kind in ("address", "task-switch"):
+            # task-switch is an address trigger whose address the target
+            # interface filled in from the workload's task_switch label.
+            return trace.executions_of(self.address)
+        if self.kind == "branch":
+            return trace.branch_steps()
+        if self.kind == "call":
+            return trace.call_steps()
+        if self.kind == "data-access":
+            steps = trace.accesses_to(self.address)
+            if self.value is not None:
+                steps = [s for s in steps if s.mem_value == self.value]
+            return steps
+        raise AssertionError(self.kind)  # pragma: no cover

@@ -1,0 +1,23 @@
+"""The GOOFI database (paper Figure 4).
+
+Three tables linked by foreign keys:
+
+* ``TargetSystemData``   — everything needed to set up campaigns for a
+  target (scan-chain structure, memory geometry, …),
+* ``CampaignData``       — everything needed to conduct a campaign,
+* ``LoggedSystemState``  — the system state logged during and after each
+  experiment, with ``parentExperiment`` provenance for detail-mode
+  re-runs.
+
+"Through the foreign keys, we prevent inconsistencies in the database and
+minimize the information stored in the tables while still being able to
+track all information about the campaign and the target system."
+
+The store is sqlite3 (SQL-compatible and in the standard library — the
+portability property the paper gets from "a SQL compatible database").
+"""
+
+from repro.db.database import GoofiDatabase
+from repro.db.statevector import decode_state_payload, encode_state_payload
+
+__all__ = ["GoofiDatabase", "encode_state_payload", "decode_state_payload"]

@@ -1,0 +1,291 @@
+"""GoofiDatabase: connection management, CRUD and the result-sink protocol.
+
+The database object doubles as the *sink* the fault-injection algorithms
+log into (``log_reference`` / ``log_experiment``), so a campaign run with
+``algorithm.run_campaign(campaign, sink=db)`` lands directly in
+``LoggedSystemState`` — the paper's fault-injection phase, verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.campaign import CampaignData
+from repro.core.experiment import ExperimentResult, ReferenceRun, Termination
+from repro.db.schema import DDL, SCHEMA_VERSION
+from repro.db.statevector import decode_state_payload, encode_state_payload
+from repro.util.errors import DatabaseError
+
+
+class GoofiDatabase:
+    """A GOOFI campaign database (sqlite3 file or in-memory)."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(DDL)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        row = self._conn.execute("SELECT version FROM SchemaInfo").fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO SchemaInfo(version) VALUES (?)", (SCHEMA_VERSION,)
+            )
+        elif row["version"] != SCHEMA_VERSION:
+            raise DatabaseError(
+                f"database schema version {row['version']} != {SCHEMA_VERSION}"
+            )
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "GoofiDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # TargetSystemData
+    # ------------------------------------------------------------------
+
+    def save_target(self, name: str, description: dict) -> None:
+        self._conn.execute(
+            "INSERT INTO TargetSystemData(targetName, description) VALUES (?, ?) "
+            "ON CONFLICT(targetName) DO UPDATE SET description = excluded.description",
+            (name, json.dumps(description, sort_keys=True)),
+        )
+        self._conn.commit()
+
+    def load_target(self, name: str) -> dict:
+        row = self._conn.execute(
+            "SELECT description FROM TargetSystemData WHERE targetName = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no target {name!r} in database")
+        return json.loads(row["description"])
+
+    def list_targets(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT targetName FROM TargetSystemData ORDER BY targetName"
+        ).fetchall()
+        return [row["targetName"] for row in rows]
+
+    def _ensure_target(self, name: str) -> None:
+        self._conn.execute(
+            "INSERT OR IGNORE INTO TargetSystemData(targetName, description) "
+            "VALUES (?, '{}')",
+            (name,),
+        )
+
+    # ------------------------------------------------------------------
+    # CampaignData
+    # ------------------------------------------------------------------
+
+    def save_campaign(self, campaign: CampaignData) -> None:
+        self._ensure_target(campaign.target_name)
+        self._conn.execute(
+            "INSERT INTO CampaignData(campaignName, targetName, data) "
+            "VALUES (?, ?, ?) "
+            "ON CONFLICT(campaignName) DO UPDATE SET "
+            "targetName = excluded.targetName, data = excluded.data",
+            (campaign.campaign_name, campaign.target_name, campaign.to_json()),
+        )
+        self._conn.commit()
+
+    def load_campaign(self, name: str) -> CampaignData:
+        row = self._conn.execute(
+            "SELECT data FROM CampaignData WHERE campaignName = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no campaign {name!r} in database")
+        return CampaignData.from_json(row["data"])
+
+    def list_campaigns(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT campaignName FROM CampaignData ORDER BY campaignName"
+        ).fetchall()
+        return [row["campaignName"] for row in rows]
+
+    def delete_campaign(self, name: str) -> None:
+        self._conn.execute(
+            "DELETE FROM CampaignData WHERE campaignName = ?", (name,)
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # LoggedSystemState — the sink protocol
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def reference_name(campaign_name: str) -> str:
+        return f"{campaign_name}-ref"
+
+    def log_reference(self, campaign: CampaignData, ref: ReferenceRun) -> None:
+        self.save_campaign(campaign)
+        experiment_data = {
+            "reference": True,
+            "duration_cycles": ref.duration_cycles,
+            "duration_instructions": ref.duration_instructions,
+            "termination": ref.termination.to_dict(),
+            "outputs": ref.outputs,
+        }
+        self._insert_logged(
+            name=self.reference_name(campaign.campaign_name),
+            parent=None,
+            campaign_name=campaign.campaign_name,
+            experiment_data=experiment_data,
+            state_blob=encode_state_payload(ref.state_vector, ref.detail_states),
+            is_reference=True,
+        )
+
+    def log_experiment(
+        self, campaign: CampaignData, result: ExperimentResult
+    ) -> None:
+        self._insert_logged(
+            name=result.name,
+            parent=result.parent_experiment,
+            campaign_name=campaign.campaign_name,
+            experiment_data=result.experiment_data(),
+            state_blob=encode_state_payload(
+                result.state_vector, result.detail_states
+            ),
+            is_reference=False,
+        )
+
+    def _insert_logged(
+        self,
+        name: str,
+        parent: Optional[str],
+        campaign_name: str,
+        experiment_data: dict,
+        state_blob: bytes,
+        is_reference: bool,
+    ) -> None:
+        self._conn.execute(
+            "INSERT INTO LoggedSystemState("
+            "experimentName, parentExperiment, campaignName, experimentData, "
+            "stateVector, isReference) VALUES (?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(experimentName) DO UPDATE SET "
+            "parentExperiment = excluded.parentExperiment, "
+            "experimentData = excluded.experimentData, "
+            "stateVector = excluded.stateVector, "
+            "isReference = excluded.isReference",
+            (
+                name,
+                parent,
+                campaign_name,
+                json.dumps(experiment_data, sort_keys=True),
+                state_blob,
+                int(is_reference),
+            ),
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Retrieval for the analysis phase
+    # ------------------------------------------------------------------
+
+    def load_reference(self, campaign_name: str) -> ReferenceRun:
+        row = self._fetch_logged(self.reference_name(campaign_name))
+        data = json.loads(row["experimentData"])
+        payload = decode_state_payload(row["stateVector"])
+        return ReferenceRun(
+            duration_cycles=data["duration_cycles"],
+            duration_instructions=data["duration_instructions"],
+            termination=Termination.from_dict(data["termination"]),
+            state_vector=payload["final"],
+            outputs=data["outputs"],
+            detail_states=payload["detail"],
+        )
+
+    def load_experiment(self, name: str) -> ExperimentResult:
+        row = self._fetch_logged(name)
+        return self._row_to_result(row)
+
+    def load_experiments(self, campaign_name: str) -> List[ExperimentResult]:
+        rows = self._conn.execute(
+            "SELECT * FROM LoggedSystemState "
+            "WHERE campaignName = ? AND isReference = 0 "
+            "ORDER BY experimentName",
+            (campaign_name,),
+        ).fetchall()
+        return [self._row_to_result(row) for row in rows]
+
+    def count_experiments(self, campaign_name: str) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM LoggedSystemState "
+            "WHERE campaignName = ? AND isReference = 0",
+            (campaign_name,),
+        ).fetchone()
+        return int(row["n"])
+
+    def completed_indices(self, campaign_name: str) -> List[int]:
+        """Indices of experiments already logged for this campaign —
+        what a resumed campaign run can skip."""
+        import json as _json
+
+        rows = self._conn.execute(
+            "SELECT experimentData FROM LoggedSystemState "
+            "WHERE campaignName = ? AND isReference = 0 "
+            "AND parentExperiment IS NULL",
+            (campaign_name,),
+        ).fetchall()
+        indices = []
+        for row in rows:
+            data = _json.loads(row["experimentData"])
+            index = data.get("index")
+            if isinstance(index, int) and index >= 0:
+                indices.append(index)
+        return sorted(indices)
+
+    def children_of(self, experiment_name: str) -> List[str]:
+        """Experiments re-run from ``experiment_name`` (the
+        parentExperiment provenance chain of Figure 4)."""
+        rows = self._conn.execute(
+            "SELECT experimentName FROM LoggedSystemState "
+            "WHERE parentExperiment = ? ORDER BY experimentName",
+            (experiment_name,),
+        ).fetchall()
+        return [row["experimentName"] for row in rows]
+
+    def _fetch_logged(self, name: str) -> sqlite3.Row:
+        row = self._conn.execute(
+            "SELECT * FROM LoggedSystemState WHERE experimentName = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no logged experiment {name!r}")
+        return row
+
+    @staticmethod
+    def _row_to_result(row: sqlite3.Row) -> ExperimentResult:
+        from repro.core.experiment import Injection  # local to avoid cycle
+
+        data = json.loads(row["experimentData"])
+        payload = decode_state_payload(row["stateVector"])
+        termination = data.get("termination")
+        result = ExperimentResult(
+            name=row["experimentName"],
+            index=data.get("index", -1),
+            campaign_name=row["campaignName"],
+            parent_experiment=row["parentExperiment"],
+            injections=[Injection.from_dict(i) for i in data.get("injections", [])],
+            termination=Termination.from_dict(termination) if termination else None,
+            state_vector=payload["final"],
+            outputs=data.get("outputs", {}),
+            detail_states=payload["detail"],
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Raw SQL access for user analysis scripts (the paper's analysis
+    # phase lets users run tailor-made queries).
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str, params: Tuple = ()) -> List[sqlite3.Row]:
+        return self._conn.execute(sql, params).fetchall()

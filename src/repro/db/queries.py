@@ -1,0 +1,92 @@
+"""Canned analysis queries over the GOOFI database.
+
+The paper's analysis phase has users write "tailor made scripts or
+programs that query the database"; this module collects the queries every
+campaign needs, working directly on ``LoggedSystemState`` rows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.db.database import GoofiDatabase
+
+
+def termination_breakdown(db: GoofiDatabase, campaign_name: str) -> Dict[str, int]:
+    """Count of experiments per termination kind."""
+    rows = db.query(
+        "SELECT experimentData FROM LoggedSystemState "
+        "WHERE campaignName = ? AND isReference = 0",
+        (campaign_name,),
+    )
+    counts: Dict[str, int] = {}
+    for row in rows:
+        data = json.loads(row["experimentData"])
+        termination = data.get("termination") or {}
+        kind = termination.get("kind", "unknown")
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def detection_breakdown(db: GoofiDatabase, campaign_name: str) -> Dict[str, int]:
+    """Detected errors per error-detection mechanism."""
+    rows = db.query(
+        "SELECT experimentData FROM LoggedSystemState "
+        "WHERE campaignName = ? AND isReference = 0",
+        (campaign_name,),
+    )
+    counts: Dict[str, int] = {}
+    for row in rows:
+        data = json.loads(row["experimentData"])
+        termination = data.get("termination") or {}
+        if termination.get("kind") == "trap":
+            name = termination.get("trap_name", "unknown")
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def injection_locations(
+    db: GoofiDatabase, campaign_name: str
+) -> List[Tuple[str, int]]:
+    """(location key, count) of every injected fault, most frequent first."""
+    rows = db.query(
+        "SELECT experimentData FROM LoggedSystemState "
+        "WHERE campaignName = ? AND isReference = 0",
+        (campaign_name,),
+    )
+    counts: Dict[str, int] = {}
+    for row in rows:
+        data = json.loads(row["experimentData"])
+        for injection in data.get("injections", []):
+            key = injection["location"]
+            counts[key] = counts.get(key, 0) + 1
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def campaign_wall_time(db: GoofiDatabase, campaign_name: str) -> float:
+    """Total wall-clock seconds spent in the campaign's experiments."""
+    rows = db.query(
+        "SELECT experimentData FROM LoggedSystemState "
+        "WHERE campaignName = ? AND isReference = 0",
+        (campaign_name,),
+    )
+    return sum(
+        json.loads(row["experimentData"]).get("wall_seconds", 0.0)
+        for row in rows
+    )
+
+
+def rerun_tree(db: GoofiDatabase, campaign_name: str) -> Dict[str, List[str]]:
+    """parentExperiment provenance: original -> list of re-runs."""
+    rows = db.query(
+        "SELECT experimentName, parentExperiment FROM LoggedSystemState "
+        "WHERE campaignName = ? AND parentExperiment IS NOT NULL",
+        (campaign_name,),
+    )
+    tree: Dict[str, List[str]] = {}
+    for row in rows:
+        tree.setdefault(row["parentExperiment"], []).append(
+            row["experimentName"]
+        )
+    return tree

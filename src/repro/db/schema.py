@@ -1,0 +1,43 @@
+"""DDL for the GOOFI database (Figure 4)."""
+
+SCHEMA_VERSION = 1
+
+DDL = """
+PRAGMA foreign_keys = ON;
+
+CREATE TABLE IF NOT EXISTS TargetSystemData (
+    targetName   TEXT PRIMARY KEY,
+    description  TEXT NOT NULL,
+    createdAt    TEXT NOT NULL DEFAULT CURRENT_TIMESTAMP
+);
+
+CREATE TABLE IF NOT EXISTS CampaignData (
+    campaignName TEXT PRIMARY KEY,
+    targetName   TEXT NOT NULL
+                 REFERENCES TargetSystemData(targetName)
+                 ON DELETE RESTRICT,
+    data         TEXT NOT NULL,
+    createdAt    TEXT NOT NULL DEFAULT CURRENT_TIMESTAMP
+);
+
+CREATE TABLE IF NOT EXISTS LoggedSystemState (
+    experimentName   TEXT PRIMARY KEY,
+    parentExperiment TEXT
+                     REFERENCES LoggedSystemState(experimentName)
+                     ON DELETE SET NULL,
+    campaignName     TEXT NOT NULL
+                     REFERENCES CampaignData(campaignName)
+                     ON DELETE CASCADE,
+    experimentData   TEXT NOT NULL,
+    stateVector      BLOB NOT NULL,
+    isReference      INTEGER NOT NULL DEFAULT 0,
+    loggedAt         TEXT NOT NULL DEFAULT CURRENT_TIMESTAMP
+);
+
+CREATE INDEX IF NOT EXISTS idx_logged_campaign
+    ON LoggedSystemState(campaignName);
+
+CREATE TABLE IF NOT EXISTS SchemaInfo (
+    version INTEGER NOT NULL
+);
+"""

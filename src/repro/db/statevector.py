@@ -1,0 +1,37 @@
+"""State-vector codec.
+
+The ``stateVector`` column of ``LoggedSystemState`` holds the final
+observed state and, in detail mode, one state per executed instruction.
+Detail-mode payloads are large (the paper notes the time overhead), so
+they are stored as zlib-compressed JSON blobs with a small header.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, List, Optional
+
+from repro.util.errors import DatabaseError
+
+_MAGIC = b"GSV1"
+
+
+def encode_state_payload(
+    final: Dict[str, int], detail: Optional[List[Dict[str, int]]] = None
+) -> bytes:
+    """Pack the final state vector (and optional detail trace) into a blob."""
+    payload = {"final": final, "detail": detail or []}
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return _MAGIC + zlib.compress(raw, level=6)
+
+
+def decode_state_payload(blob: bytes) -> Dict:
+    """Inverse of :func:`encode_state_payload`."""
+    if not blob.startswith(_MAGIC):
+        raise DatabaseError("state vector blob has unknown format")
+    raw = zlib.decompress(bytes(blob[len(_MAGIC):]))
+    payload = json.loads(raw)
+    if "final" not in payload or "detail" not in payload:
+        raise DatabaseError("state vector payload is incomplete")
+    return payload

@@ -1,0 +1,18 @@
+"""Environment simulators (paper Figure 1, Section 3.2).
+
+"During each loop iteration, data may be exchanged with a user provided
+environment simulator emulating the target system environment." The
+simulator runs on the host; at every SYNC boundary it reads the target's
+OUTPUT memory window, advances a plant model by one control period and
+writes fresh sensor values into the INPUT window.
+"""
+
+from repro.environment.simulator import EnvironmentSimulator, build_environment
+from repro.environment.plants import DCMotorEnv, InvertedPendulumEnv
+
+__all__ = [
+    "EnvironmentSimulator",
+    "build_environment",
+    "DCMotorEnv",
+    "InvertedPendulumEnv",
+]

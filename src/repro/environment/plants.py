@@ -1,0 +1,96 @@
+"""Plant models for the environment simulator.
+
+Both plants are deliberately simple, well-conditioned models whose
+closed-loop behaviour under the Q8 PID controller is easy to reason
+about; the point is not plant fidelity but a realistic *consequence
+model* for escaped errors — a corrupted actuation value drives the plant
+away from its setpoint, which the campaign analysis classifies as a
+critical (control-loss) failure when the deviation exceeds a bound.
+"""
+
+from __future__ import annotations
+
+from repro.environment.simulator import EnvironmentSimulator, register_environment
+
+
+@register_environment("dc-motor")
+class DCMotorEnv(EnvironmentSimulator):
+    """First-order DC motor speed loop:  tau * y' = -y + k * u."""
+
+    def __init__(
+        self,
+        k: float = 1.0,
+        tau: float = 0.25,
+        dt: float = 0.05,
+        setpoint: float = 20.0,
+        initial: float = 0.0,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.k = k
+        self.tau = tau
+        self.dt = dt
+        self.setpoint = setpoint
+        self.initial = initial
+        self.y = initial
+
+    def reset_plant(self) -> None:
+        self.y = self.initial
+
+    def step(self, actuation: float) -> None:
+        self.y += self.dt / self.tau * (-self.y + self.k * actuation)
+
+    def sensor_values(self) -> tuple:
+        return (self.setpoint, self.y)
+
+    def tracking_error(self) -> float:
+        return self.setpoint - self.y
+
+
+@register_environment("inverted-pendulum")
+class InvertedPendulumEnv(EnvironmentSimulator):
+    """Linearised inverted pendulum:  theta'' = a*theta + b*u.
+
+    Open-loop unstable (a > 0), so an escaped error in the controller can
+    genuinely lose the plant — the sharpest consequence model available
+    for the E6 experiment. ``theta`` is clamped to +-clamp to keep the
+    Q8 encoding finite after control loss.
+    """
+
+    def __init__(
+        self,
+        a: float = 2.0,
+        b: float = 4.0,
+        dt: float = 0.02,
+        setpoint: float = 0.0,
+        initial: float = 0.2,
+        clamp: float = 8.0e3,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.a = a
+        self.b = b
+        self.dt = dt
+        self.setpoint = setpoint
+        self.initial = initial
+        self.clamp = clamp
+        self.theta = initial
+        self.omega = 0.0
+
+    def reset_plant(self) -> None:
+        self.theta = self.initial
+        self.omega = 0.0
+
+    def step(self, actuation: float) -> None:
+        accel = self.a * self.theta + self.b * actuation
+        self.omega += self.dt * accel
+        self.theta += self.dt * self.omega
+        if abs(self.theta) > self.clamp:
+            self.theta = self.clamp if self.theta > 0 else -self.clamp
+            self.omega = 0.0
+
+    def sensor_values(self) -> tuple:
+        return (self.setpoint, self.theta)
+
+    def tracking_error(self) -> float:
+        return self.setpoint - self.theta

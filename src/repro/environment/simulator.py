@@ -1,0 +1,118 @@
+"""Environment-simulator framework: the host side of the data exchange."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.thor.memory import ENV_INPUT_BASE, ENV_OUTPUT_BASE
+from repro.util.bits import to_signed, to_unsigned
+from repro.util.errors import ConfigurationError
+
+Q8 = 256.0
+
+
+def q8_encode(value: float) -> int:
+    """Engineering value -> Q8 two's-complement word."""
+    return to_unsigned(int(round(value * Q8)))
+
+
+def q8_decode(word: int) -> float:
+    """Q8 two's-complement word -> engineering value."""
+    return to_signed(word) / Q8
+
+
+class EnvironmentSimulator(abc.ABC):
+    """Base class: plant model stepped once per workload loop iteration.
+
+    Subclasses implement :meth:`step` (read actuation, advance the plant,
+    return the new sensor readings) and may extend :meth:`summary` with
+    model-specific dependability metrics.
+    """
+
+    def __init__(
+        self,
+        input_base: int = ENV_INPUT_BASE,
+        output_base: int = ENV_OUTPUT_BASE,
+    ):
+        self.input_base = input_base
+        self.output_base = output_base
+        self.iterations = 0
+        self.max_abs_error = 0.0
+        self.sum_abs_error = 0.0
+
+    # -- target-facing protocol ------------------------------------------------
+
+    def initialize(self, card) -> None:
+        """Write the first sensor values before the workload starts."""
+        self.iterations = 0
+        self.max_abs_error = 0.0
+        self.sum_abs_error = 0.0
+        self.reset_plant()
+        self._write_inputs(card, *self.sensor_values())
+
+    def exchange(self, card, iteration: int) -> None:
+        """SYNC-boundary data exchange (installed as the test card's
+        on_sync hook)."""
+        actuation = q8_decode(card.read_memory(self.output_base))
+        self.step(actuation)
+        self.iterations = iteration
+        error = abs(self.tracking_error())
+        self.max_abs_error = max(self.max_abs_error, error)
+        self.sum_abs_error += error
+        self._write_inputs(card, *self.sensor_values())
+
+    def _write_inputs(self, card, setpoint: float, measured: float) -> None:
+        card.write_memory(self.input_base, q8_encode(setpoint))
+        card.write_memory(self.input_base + 1, q8_encode(measured))
+
+    # -- plant model interface ----------------------------------------------------
+
+    @abc.abstractmethod
+    def reset_plant(self) -> None:
+        """Reset the plant to its initial condition."""
+
+    @abc.abstractmethod
+    def step(self, actuation: float) -> None:
+        """Advance the plant one control period under ``actuation``."""
+
+    @abc.abstractmethod
+    def sensor_values(self) -> tuple:
+        """Current (setpoint, measured output)."""
+
+    @abc.abstractmethod
+    def tracking_error(self) -> float:
+        """Setpoint minus measured output, engineering units."""
+
+    # -- dependability metrics ------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        mean = self.sum_abs_error / self.iterations if self.iterations else 0.0
+        return {
+            "iterations": float(self.iterations),
+            "max_abs_error": self.max_abs_error,
+            "mean_abs_error": mean,
+        }
+
+
+_ENVIRONMENTS: Dict[str, type] = {}
+
+
+def register_environment(name: str):
+    def decorator(cls):
+        if name in _ENVIRONMENTS:
+            raise ConfigurationError(f"environment {name!r} already registered")
+        _ENVIRONMENTS[name] = cls
+        cls.environment_name = name
+        return cls
+
+    return decorator
+
+
+def build_environment(name: str, params: dict = None) -> EnvironmentSimulator:
+    cls = _ENVIRONMENTS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown environment {name!r}; available: {sorted(_ENVIRONMENTS)}"
+        )
+    return cls(**(params or {}))

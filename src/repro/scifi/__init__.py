@@ -1,0 +1,13 @@
+"""SCIFI: Scan-Chain Implemented Fault Injection.
+
+The technique the paper implements for the Thor RD target: faults are
+injected "via the built-in test-logic, i.e. boundary scan-chains and
+internal scan-chains ... into the pins and many of the internal state
+elements of an integrated circuit as well as observation of the internal
+state". This package provides the TargetSystemInterface for the simulated
+Thor RD test card.
+"""
+
+from repro.scifi.interface import ThorRDInterface
+
+__all__ = ["ThorRDInterface"]

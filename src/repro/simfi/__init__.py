@@ -1,0 +1,14 @@
+"""Simulation-based fault injection baseline.
+
+MEFISTO- and VERIFY-style tools (the paper's Section 1 taxonomy) inject
+faults into a *simulation model* of the system: every state element is
+directly readable and writable, with no scan-chain serialization cost and
+no reachability limits. Because the repro target is itself a simulator,
+this baseline is the same test card accessed without going through the
+scan chains — which is exactly the comparison of the paper's companion
+study [10] (simulation-based vs. scan-chain implemented fault injection).
+"""
+
+from repro.simfi.interface import ThorSimInterface
+
+__all__ = ["ThorSimInterface"]

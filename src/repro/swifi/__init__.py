@@ -1,0 +1,19 @@
+"""SWIFI: Software-Implemented Fault Injection.
+
+Two flavours, matching the paper:
+
+* **pre-runtime** (shipped in GOOFI): "faults are injected into the
+  program and data areas of the target system before it starts to
+  execute" — :mod:`repro.swifi.preruntime` flips bits of the downloaded
+  image through the test card's download port.
+* **runtime** (Section 4 extension): "the target system workload is
+  instrumented with additional software for injecting faults" —
+  :mod:`repro.swifi.instrument` plants TRAP instructions at the injection
+  point; the trap handler flips the targeted software-visible state and
+  resumes the workload.
+"""
+
+from repro.swifi.instrument import SWIFI_TRAP_CODE, TrapInstrumenter
+from repro.swifi.preruntime import flip_image_bit
+
+__all__ = ["TrapInstrumenter", "SWIFI_TRAP_CODE", "flip_image_bit"]

@@ -1,0 +1,167 @@
+"""Runtime SWIFI: trap-based workload instrumentation.
+
+The injector plants a TRAP instruction (reserved code 63) at the address
+that executes at the planned injection time. When the trap fires, the
+handler — standing in for the instrumentation code a real runtime-SWIFI
+tool links into the workload — restores the original instruction, applies
+the bit flips to software-visible state (registers or memory) and resumes
+the workload at the same PC.
+
+Occurrence targeting: the planted address may execute several times before
+the planned instant. The instrumenter counts trap hits; for a skipped
+occurrence it restores the original instruction, lets it execute once
+(single step), then re-plants the trap — exactly the dance a
+debugger-based injector performs on real hardware.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.experiment import Injection
+from repro.core.faultmodels import InjectionAction, InjectionPlan, apply_op
+from repro.core.trace import Trace
+from repro.thor import isa
+from repro.thor.isa import Instruction, Opcode, assemble_word
+from repro.util.bits import bit_get, bit_set
+from repro.util.errors import CampaignError
+
+SWIFI_TRAP_CODE = 63
+
+_SWREG_RE = re.compile(r"^cpu\.regfile\.r(\d+)$")
+_MEM_PATH_RE = re.compile(r"^word\.0x([0-9a-fA-F]+)$")
+
+
+@dataclass
+class _PlantedTrap:
+    original: int
+    action: InjectionAction
+    target_occurrence: int
+    hits: int = 0
+    armed: bool = True
+
+
+def _trap_word() -> int:
+    return assemble_word(Instruction(Opcode.TRAP, imm=SWIFI_TRAP_CODE))
+
+
+def _invalidate_cached_word(cache, address: int) -> None:
+    tag, index, _ = cache.split(address)
+    line = cache.lines[index]
+    if line.valid and line.tag == tag:
+        line.valid = False
+
+
+@dataclass
+class TrapInstrumenter:
+    """One experiment's worth of runtime-SWIFI instrumentation."""
+
+    card: object
+    injections: List[Injection] = field(default_factory=list)
+    _planted: Dict[int, _PlantedTrap] = field(default_factory=dict)
+    _replant_pc: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Planting
+    # ------------------------------------------------------------------
+
+    def instrument(self, plan: InjectionPlan, trace: Trace) -> None:
+        """Place a trap for every action of the plan, using the reference
+        trace to find the instruction executing at each injection time and
+        its occurrence index."""
+        for action in plan.sorted_actions():
+            step = trace.step_after_cycle(action.time)
+            if step is None:
+                if not trace.steps:
+                    raise CampaignError("empty reference trace")
+                step = trace.steps[-1]
+            pc = step.pc
+            earlier = sum(1 for s in trace.steps[: step.index] if s.pc == pc)
+            self._plant(pc, action, earlier + 1)
+
+    def _plant(self, pc: int, action: InjectionAction, occurrence: int) -> None:
+        original = self.card.read_memory(pc)
+        self.card.write_memory(pc, _trap_word())
+        _invalidate_cached_word(self.card.cpu.icache, pc)
+        self._planted[pc] = _PlantedTrap(
+            original=original, action=action, target_occurrence=occurrence
+        )
+
+    # ------------------------------------------------------------------
+    # Trap servicing (installed as the test card's trap hook)
+    # ------------------------------------------------------------------
+
+    def handle_trap(self, card, trap_event) -> bool:
+        """Returns True when the trap was a SWIFI trap and was serviced."""
+        if trap_event.code != SWIFI_TRAP_CODE:
+            return False
+        pc = card.cpu.pc
+        planted = self._planted.get(pc)
+        if planted is None or not planted.armed:
+            return False
+        planted.hits += 1
+        card.write_memory(pc, planted.original)
+        _invalidate_cached_word(card.cpu.icache, pc)
+        if planted.hits >= planted.target_occurrence:
+            planted.armed = False
+            self._apply(planted.action, card)
+        else:
+            # Wrong occurrence: run the original instruction once, then
+            # re-plant (completed in on_step).
+            self._replant_pc = pc
+        return True
+
+    def on_step(self, card) -> None:
+        """Re-plant a trap skipped at the previous step, if any."""
+        if self._replant_pc is None:
+            return
+        pc = self._replant_pc
+        self._replant_pc = None
+        planted = self._planted[pc]
+        planted.original = card.read_memory(pc)
+        card.write_memory(pc, _trap_word())
+        _invalidate_cached_word(card.cpu.icache, pc)
+
+    # ------------------------------------------------------------------
+    # The injection itself (what the instrumentation code would do)
+    # ------------------------------------------------------------------
+
+    def _apply(self, action: InjectionAction, card) -> None:
+        for location in action.locations:
+            if location.space == "swreg":
+                match = _SWREG_RE.match(location.path)
+                if not match:
+                    raise CampaignError(
+                        f"runtime SWIFI cannot reach {location.key()}"
+                    )
+                index = int(match.group(1))
+                word = card.cpu.regs.read(index)
+                before = bit_get(word, location.bit)
+                after = apply_op(before, action.op)
+                card.cpu.regs.write(index, bit_set(word, location.bit, after))
+            elif location.space.startswith("memory:"):
+                match = _MEM_PATH_RE.match(location.path)
+                if not match:
+                    raise CampaignError(f"bad memory location {location.key()}")
+                address = int(match.group(1), 16)
+                word = card.read_memory(address)
+                before = bit_get(word, location.bit)
+                after = apply_op(before, action.op)
+                card.write_memory(address, bit_set(word, location.bit, after))
+                _invalidate_cached_word(card.cpu.dcache, address)
+                _invalidate_cached_word(card.cpu.icache, address)
+            else:
+                raise CampaignError(
+                    f"runtime SWIFI cannot reach {location.key()}"
+                )
+            self.injections.append(
+                Injection(
+                    time=card.cpu.cycles,
+                    location=location,
+                    op=action.op,
+                    bit_before=before,
+                    bit_after=after,
+                )
+            )

@@ -1,0 +1,22 @@
+"""Pre-runtime SWIFI: bit manipulation of the downloaded workload image."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.faultmodels import apply_op
+from repro.util.bits import bit_get, bit_set
+
+
+def flip_image_bit(card, address: int, bit: int, op: str = "flip") -> Tuple[int, int]:
+    """Apply ``op`` to one bit of the word at ``address`` through the test
+    card's download port (before execution starts, so no cache coherence
+    concerns exist yet).
+
+    Returns ``(bit_before, bit_after)``.
+    """
+    word = card.read_memory(address)
+    before = bit_get(word, bit)
+    after = apply_op(before, op)
+    card.write_memory(address, bit_set(word, bit, after))
+    return before, after

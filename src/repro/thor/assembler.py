@@ -1,0 +1,418 @@
+"""Two-pass assembler for THOR-lite workloads.
+
+Syntax::
+
+    ; comment (also '#')
+    .equ  LIMIT 100        ; symbolic constant
+    .org  0x100            ; set location counter
+    start:                 ; label
+        ldi   r1, LIMIT
+        ldi   r2, buffer   ; labels are word addresses
+        ld    r3, [r2+1]
+        st    r3, [r2-1]
+        addi  r3, r3, -1
+        cmpi  r3, 0
+        bne   start        ; branches take label operands (PC-relative)
+        li    r4, 0x12345678  ; pseudo: expands to LUI+ORI when needed
+        call  subroutine
+        halt
+    buffer:
+        .word 1, 2, 0xff   ; data words
+        .space 8           ; zero-filled words
+
+Registers are ``r0``..``r15`` with aliases ``sp`` (r14) and ``lr`` (r15).
+The assembler records which words are code and which are data so the
+pre-runtime SWIFI technique can target "program area" and "data area"
+separately, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.thor import isa
+from repro.thor.isa import Instruction, Opcode
+from repro.util.errors import AssemblerError
+
+_REG_ALIASES = {"sp": isa.REG_SP, "lr": isa.REG_LR}
+
+# Pseudo-instruction expansion may grow; 'li' is 1 or 2 words.
+_R3 = {  # op rd, rs1, rs2
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "mul": Opcode.MUL,
+    "div": Opcode.DIV,
+    "mod": Opcode.MOD,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "shl": Opcode.SHL,
+    "shr": Opcode.SHR,
+    "sra": Opcode.SRA,
+}
+_R2 = {  # op rd, rs1
+    "not": Opcode.NOT,
+    "mov": Opcode.MOV,
+}
+_I3 = {  # op rd, rs1, imm
+    "addi": Opcode.ADDI,
+    "subi": Opcode.SUBI,
+    "muli": Opcode.MULI,
+    "andi": Opcode.ANDI,
+    "ori": Opcode.ORI,
+    "xori": Opcode.XORI,
+    "shli": Opcode.SHLI,
+    "shri": Opcode.SHRI,
+}
+_BRANCHES = {
+    "beq": Opcode.BEQ,
+    "bne": Opcode.BNE,
+    "blt": Opcode.BLT,
+    "bge": Opcode.BGE,
+    "bgt": Opcode.BGT,
+    "ble": Opcode.BLE,
+}
+_NO_OPERAND = {
+    "nop": Opcode.NOP,
+    "halt": Opcode.HALT,
+    "ret": Opcode.RET,
+    "sync": Opcode.SYNC,
+}
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\w+)\s*)?\]$")
+
+
+@dataclass
+class Program:
+    """An assembled workload image.
+
+    ``words`` maps word address → 32-bit value. ``kinds`` maps address →
+    ``"code"`` or ``"data"``. ``symbols`` is the label table. ``source``
+    maps address → (line number, source text) for diagnostics.
+    """
+
+    words: Dict[int, int] = field(default_factory=dict)
+    kinds: Dict[int, str] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    source: Dict[int, Tuple[int, str]] = field(default_factory=dict)
+    entry: int = 0
+
+    def code_addresses(self) -> List[int]:
+        return sorted(a for a, k in self.kinds.items() if k == "code")
+
+    def data_addresses(self) -> List[int]:
+        return sorted(a for a, k in self.kinds.items() if k == "data")
+
+    def extent(self) -> Tuple[int, int]:
+        """Lowest and highest occupied word address (inclusive)."""
+        if not self.words:
+            return (0, 0)
+        addrs = self.words.keys()
+        return (min(addrs), max(addrs))
+
+
+@dataclass
+class _Line:
+    number: int
+    text: str
+    label: Optional[str]
+    mnemonic: Optional[str]
+    operands: List[str]
+
+
+def _strip_comment(text: str) -> str:
+    for marker in (";", "#"):
+        pos = text.find(marker)
+        if pos >= 0:
+            text = text[:pos]
+    return text.strip()
+
+
+def _split_operands(rest: str) -> List[str]:
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _parse_lines(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(raw)
+        if not stripped:
+            continue
+        label = None
+        if ":" in stripped:
+            head, _, tail = stripped.partition(":")
+            head = head.strip()
+            if not re.fullmatch(r"[A-Za-z_]\w*", head):
+                raise AssemblerError(f"invalid label {head!r}", number)
+            label = head
+            stripped = tail.strip()
+        mnemonic = None
+        operands: List[str] = []
+        if stripped:
+            parts = stripped.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        lines.append(_Line(number, raw.strip(), label, mnemonic, operands))
+    return lines
+
+
+class _Assembler:
+    def __init__(self, text: str, origin: int):
+        self.lines = _parse_lines(text)
+        self.origin = origin
+        self.symbols: Dict[str, int] = {}
+        self.constants: Dict[str, int] = {}
+
+    # -- operand parsing --------------------------------------------------
+
+    def _reg(self, token: str, line: int) -> int:
+        token = token.lower()
+        if token in _REG_ALIASES:
+            return _REG_ALIASES[token]
+        m = re.fullmatch(r"r(\d{1,2})", token)
+        if m:
+            index = int(m.group(1))
+            if 0 <= index < isa.NUM_REGISTERS:
+                return index
+        raise AssemblerError(f"unknown register {token!r}", line)
+
+    def _value(self, token: str, line: int) -> int:
+        token = token.strip()
+        neg = False
+        if token.startswith("-"):
+            neg = True
+            token = token[1:].strip()
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+", token):
+            value = int(token, 16)
+        elif re.fullmatch(r"0[bB][01]+", token):
+            value = int(token, 2)
+        elif re.fullmatch(r"\d+", token):
+            value = int(token, 10)
+        elif token in self.constants:
+            value = self.constants[token]
+        elif token in self.symbols:
+            value = self.symbols[token]
+        else:
+            raise AssemblerError(f"undefined symbol {token!r}", line)
+        return -value if neg else value
+
+    # -- sizing (pass 1) ---------------------------------------------------
+
+    def _instruction_size(self, ln: _Line) -> int:
+        mnemonic = ln.mnemonic
+        if mnemonic == ".word":
+            return len(ln.operands)
+        if mnemonic == ".space":
+            # .space size must be a literal or .equ constant; labels are
+            # not yet resolved during sizing.
+            return self._value(ln.operands[0], ln.number)
+        if mnemonic == "li":
+            # Conservatively reserve 2 words; pass 2 pads with NOP when
+            # the constant fits in one LDI.
+            return 2
+        return 1
+
+    # -- encoding (pass 2) -------------------------------------------------
+
+    def _encode(self, ln: _Line, pc: int) -> List[Instruction]:
+        m = ln.mnemonic
+        ops = ln.operands
+        n = ln.number
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{m} expects {count} operand(s), got {len(ops)}", n
+                )
+
+        if m in _NO_OPERAND:
+            need(0)
+            return [Instruction(_NO_OPERAND[m])]
+        if m in _R3:
+            need(3)
+            return [
+                Instruction(
+                    _R3[m],
+                    rd=self._reg(ops[0], n),
+                    rs1=self._reg(ops[1], n),
+                    rs2=self._reg(ops[2], n),
+                )
+            ]
+        if m in _R2:
+            need(2)
+            return [
+                Instruction(
+                    _R2[m], rd=self._reg(ops[0], n), rs1=self._reg(ops[1], n)
+                )
+            ]
+        if m in _I3:
+            need(3)
+            return [
+                Instruction(
+                    _I3[m],
+                    rd=self._reg(ops[0], n),
+                    rs1=self._reg(ops[1], n),
+                    imm=self._value(ops[2], n),
+                )
+            ]
+        if m == "cmp":
+            need(2)
+            return [
+                Instruction(
+                    Opcode.CMP, rs1=self._reg(ops[0], n), rs2=self._reg(ops[1], n)
+                )
+            ]
+        if m == "cmpi":
+            need(2)
+            return [
+                Instruction(
+                    Opcode.CMPI, rs1=self._reg(ops[0], n), imm=self._value(ops[1], n)
+                )
+            ]
+        if m == "ldi":
+            need(2)
+            return [
+                Instruction(
+                    Opcode.LDI, rd=self._reg(ops[0], n), imm=self._value(ops[1], n)
+                )
+            ]
+        if m == "lui":
+            need(2)
+            return [
+                Instruction(
+                    Opcode.LUI, rd=self._reg(ops[0], n), imm=self._value(ops[1], n)
+                )
+            ]
+        if m == "li":
+            need(2)
+            rd = self._reg(ops[0], n)
+            value = self._value(ops[1], n) & isa.WORD_MASK
+            if value <= isa.IMM_MAX:
+                return [Instruction(Opcode.LDI, rd=rd, imm=value), Instruction(Opcode.NOP)]
+            high = (value >> 14) & isa.IMM_MASK
+            low = value & 0x3FFF
+            return [
+                Instruction(Opcode.LUI, rd=rd, imm=high),
+                Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=low),
+            ]
+        if m in ("ld", "st"):
+            need(2)
+            reg = self._reg(ops[0], n)
+            mm = _MEM_RE.match(ops[1])
+            if not mm:
+                raise AssemblerError(f"bad memory operand {ops[1]!r}", n)
+            base = self._reg(mm.group(1), n)
+            offset = 0
+            if mm.group(3) is not None:
+                offset = self._value(mm.group(3), n)
+                if mm.group(2) == "-":
+                    offset = -offset
+            opcode = Opcode.LD if m == "ld" else Opcode.ST
+            return [Instruction(opcode, rd=reg, rs1=base, imm=offset)]
+        if m in _BRANCHES:
+            need(1)
+            target = self._value(ops[0], n)
+            return [Instruction(_BRANCHES[m], imm=target - (pc + 1))]
+        if m == "jmp":
+            need(1)
+            return [Instruction(Opcode.JMP, imm=self._value(ops[0], n))]
+        if m == "call":
+            need(1)
+            return [Instruction(Opcode.CALL, imm=self._value(ops[0], n))]
+        if m == "jr":
+            need(1)
+            return [Instruction(Opcode.JR, rs1=self._reg(ops[0], n))]
+        if m == "push":
+            need(1)
+            return [Instruction(Opcode.PUSH, rd=self._reg(ops[0], n))]
+        if m == "pop":
+            need(1)
+            return [Instruction(Opcode.POP, rd=self._reg(ops[0], n))]
+        if m == "trap":
+            need(1)
+            return [Instruction(Opcode.TRAP, imm=self._value(ops[0], n))]
+        raise AssemblerError(f"unknown mnemonic {m!r}", n)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> Program:
+        # Pass 0: collect .equ constants (they may be used before defined
+        # textually, but must not reference labels).
+        for ln in self.lines:
+            if ln.mnemonic == ".equ":
+                if len(ln.operands) == 1:
+                    parts = ln.operands[0].split()
+                    if len(parts) != 2:
+                        raise AssemblerError(".equ expects NAME VALUE", ln.number)
+                    name, value_token = parts
+                else:
+                    if len(ln.operands) != 2:
+                        raise AssemblerError(".equ expects NAME VALUE", ln.number)
+                    name, value_token = ln.operands
+                self.constants[name] = self._value(value_token, ln.number)
+
+        # Pass 1: lay out addresses and define labels.
+        pc = self.origin
+        entry = None
+        for ln in self.lines:
+            if ln.mnemonic == ".org":
+                pc = self._value(ln.operands[0], ln.number)
+                continue
+            if ln.label is not None:
+                if ln.label in self.symbols:
+                    raise AssemblerError(f"duplicate label {ln.label!r}", ln.number)
+                self.symbols[ln.label] = pc
+                if entry is None and ln.label in ("start", "main", "_start"):
+                    entry = pc
+            if ln.mnemonic is None or ln.mnemonic == ".equ":
+                continue
+            pc += self._instruction_size(ln)
+
+        program = Program(entry=entry if entry is not None else self.origin)
+        program.symbols = dict(self.symbols)
+
+        # Pass 2: encode.
+        pc = self.origin
+        for ln in self.lines:
+            if ln.mnemonic is None or ln.mnemonic == ".equ":
+                continue
+            if ln.mnemonic == ".org":
+                pc = self._value(ln.operands[0], ln.number)
+                continue
+            if ln.mnemonic == ".word":
+                for token in ln.operands:
+                    self._emit(program, pc, self._value(token, ln.number) & isa.WORD_MASK,
+                               "data", ln)
+                    pc += 1
+                continue
+            if ln.mnemonic == ".space":
+                count = self._value(ln.operands[0], ln.number)
+                for _ in range(count):
+                    self._emit(program, pc, 0, "data", ln)
+                    pc += 1
+                continue
+            for instr in self._encode(ln, pc):
+                self._emit(program, pc, isa.assemble_word(instr), "code", ln)
+                pc += 1
+        return program
+
+    @staticmethod
+    def _emit(program: Program, addr: int, word: int, kind: str, ln: _Line) -> None:
+        if addr in program.words:
+            raise AssemblerError(f"address {addr:#x} assembled twice", ln.number)
+        program.words[addr] = word
+        program.kinds[addr] = kind
+        program.source[addr] = (ln.number, ln.text)
+
+
+def assemble(text: str, origin: int = 0x100) -> Program:
+    """Assemble ``text`` into a :class:`Program` image.
+
+    The default origin 0x100 leaves the low page free, matching the memory
+    map in :mod:`repro.thor.memory`.
+    """
+    return _Assembler(text, origin).run()

@@ -1,0 +1,180 @@
+"""Parity-protected caches.
+
+The Thor RD — the paper's target chip — features parity-protected
+instruction and data caches; cache parity is one of its main
+error-detection mechanisms and a large share of SCIFI injections land in
+the cache arrays. THOR-lite models a direct-mapped, write-through,
+write-allocate-on-read cache whose *stored* state (valid bits, tags, data
+words and their parity bits) is genuine mutable state reachable from the
+internal scan chain.
+
+Parity convention: each protected field stores one even-parity bit, so a
+single bit flip in either the field or its parity bit is detected on the
+next access. A double flip inside one field escapes the parity check —
+which is why the multiplicity benchmark (E7) sees more escapes with
+multiple simultaneous flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.util.bits import parity
+
+DEFAULT_LINES = 16
+DEFAULT_WORDS_PER_LINE = 4
+DEFAULT_MISS_PENALTY = 8
+
+
+class CacheParityError(Exception):
+    """A parity check failed on access. The CPU converts this into the
+    ICACHE_PARITY / DCACHE_PARITY trap depending on which cache raised it."""
+
+    def __init__(self, cache_name: str, line: int, array: str, address: int):
+        self.cache_name = cache_name
+        self.line = line
+        self.array = array  # "tag" or "data"
+        self.address = address
+        super().__init__(
+            f"{cache_name}: {array} parity error in line {line} "
+            f"(access to {address:#x})"
+        )
+
+
+@dataclass
+class CacheLine:
+    valid: bool = False
+    tag: int = 0
+    tag_parity: int = 0
+    data: List[int] = field(default_factory=list)
+    data_parity: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    parity_errors: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.parity_errors = 0
+
+
+class Cache:
+    """Direct-mapped, write-through cache with per-word and per-tag parity."""
+
+    def __init__(
+        self,
+        name: str,
+        n_lines: int = DEFAULT_LINES,
+        words_per_line: int = DEFAULT_WORDS_PER_LINE,
+        miss_penalty: int = DEFAULT_MISS_PENALTY,
+        check_parity: bool = True,
+        address_bits: int = 16,
+    ):
+        if n_lines <= 0 or (n_lines & (n_lines - 1)):
+            raise ValueError(f"n_lines must be a power of two, got {n_lines}")
+        if words_per_line <= 0 or (words_per_line & (words_per_line - 1)):
+            raise ValueError(
+                f"words_per_line must be a power of two, got {words_per_line}"
+            )
+        self.name = name
+        self.n_lines = n_lines
+        self.words_per_line = words_per_line
+        self.miss_penalty = miss_penalty
+        self.check_parity = check_parity
+        self._offset_bits = words_per_line.bit_length() - 1
+        self._index_bits = n_lines.bit_length() - 1
+        self.tag_bits = max(1, address_bits - self._offset_bits - self._index_bits)
+        self.lines: List[CacheLine] = []
+        self.stats = CacheStats()
+        self.reset()
+
+    def reset(self) -> None:
+        self.lines = [
+            CacheLine(
+                valid=False,
+                tag=0,
+                tag_parity=0,
+                data=[0] * self.words_per_line,
+                data_parity=[0] * self.words_per_line,
+            )
+            for _ in range(self.n_lines)
+        ]
+        self.stats.reset()
+
+    # -- address split -----------------------------------------------------
+
+    def split(self, address: int) -> Tuple[int, int, int]:
+        offset = address & (self.words_per_line - 1)
+        index = (address >> self._offset_bits) & (self.n_lines - 1)
+        tag = address >> (self._offset_bits + self._index_bits)
+        return tag, index, offset
+
+    # -- access path ---------------------------------------------------------
+
+    def _check_tag(self, line: CacheLine, index: int, address: int) -> None:
+        if self.check_parity and parity(line.tag) != line.tag_parity:
+            self.stats.parity_errors += 1
+            raise CacheParityError(self.name, index, "tag", address)
+
+    def read(self, address: int, memory) -> Tuple[int, int]:
+        """Read one word through the cache.
+
+        Returns ``(value, extra_cycles)`` where ``extra_cycles`` is the
+        miss penalty (0 on a hit). Raises :class:`CacheParityError` when a
+        stored parity bit disagrees with its protected field.
+        """
+        tag, index, offset = self.split(address)
+        line = self.lines[index]
+        if line.valid:
+            self._check_tag(line, index, address)
+            if line.tag == tag:
+                value = line.data[offset]
+                if self.check_parity and parity(value) != line.data_parity[offset]:
+                    self.stats.parity_errors += 1
+                    raise CacheParityError(self.name, index, "data", address)
+                self.stats.hits += 1
+                return value, 0
+        # Miss: fill the whole line from memory.
+        self.stats.misses += 1
+        base = address - offset
+        line.valid = True
+        line.tag = tag
+        line.tag_parity = parity(tag)
+        for i in range(self.words_per_line):
+            word = memory.read(base + i)
+            line.data[i] = word
+            line.data_parity[i] = parity(word)
+        return line.data[offset], self.miss_penalty
+
+    def write(self, address: int, value: int, memory) -> int:
+        """Write-through one word. Returns extra cycles (always 0: the
+        write buffer hides the memory latency in this model)."""
+        memory.write(address, value)
+        tag, index, offset = self.split(address)
+        line = self.lines[index]
+        if line.valid:
+            self._check_tag(line, index, address)
+            if line.tag == tag:
+                line.data[offset] = value
+                line.data_parity[offset] = parity(value)
+                self.stats.hits += 1
+                return 0
+        self.stats.misses += 1
+        return 0
+
+    def invalidate_all(self) -> None:
+        for line in self.lines:
+            line.valid = False
+
+    # -- scan-chain access ----------------------------------------------------
+    # The scan chain exposes every stored bit of the arrays. These accessors
+    # are the raw state ports it uses; they perform no parity maintenance —
+    # that is the whole point: a scan write can create a parity violation.
+
+    def peek_line(self, index: int) -> CacheLine:
+        return self.lines[index]

@@ -1,0 +1,435 @@
+"""THOR-lite CPU core: functional execution with cycle accounting.
+
+The core executes one instruction per :meth:`Cpu.step`, charging base
+cycle costs plus cache-miss penalties, and raising traps through the
+error-detection mechanisms in :mod:`repro.thor.traps`. A trap halts the
+CPU (the experiment terminates with a *detected error*, per the paper's
+termination conditions); ``SYNC`` emits an iteration-boundary event used
+by the environment-simulator exchange; ``HALT`` terminates the workload
+normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.thor import isa
+from repro.thor.cache import Cache, CacheParityError
+from repro.thor.isa import Instruction, IllegalOpcode, Opcode
+from repro.thor.memory import IllegalAddress, Memory, MemoryBus
+from repro.thor.pipeline import PipelineLatches
+from repro.thor.registers import Psr, RegisterFile
+from repro.thor.traps import Trap, TrapEvent
+from repro.util.bits import to_signed, to_unsigned
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Static configuration of one THOR-lite chip."""
+
+    memory_size: int = 65536
+    icache_lines: int = 16
+    dcache_lines: int = 16
+    words_per_line: int = 4
+    miss_penalty: int = 8
+    parity_checking: bool = True
+    overflow_trap: bool = False
+    # Memory-mapped I/O window (the environment-simulator exchange area):
+    # loads/stores at or above this address bypass the D-cache, as real
+    # MMIO regions must — the environment simulator writes this window
+    # from outside the cache hierarchy.
+    uncached_base: int = 0xFF00
+    # CPU-internal watchdog: traps when a single run exceeds this many
+    # cycles. None disables it (the test card still enforces its own
+    # experiment timeout).
+    watchdog_cycles: Optional[int] = None
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, (self.memory_size - 1).bit_length())
+
+
+@dataclass
+class LastExec:
+    """What the last executed instruction did — consumed by fault triggers
+    (branch / call / data-access triggers of the paper's Section 4)."""
+
+    pc: int = 0
+    opcode: Optional[Opcode] = None
+    branch_taken: bool = False
+    mem_address: Optional[int] = None
+    mem_value: Optional[int] = None
+    mem_is_write: bool = False
+    reg_reads: Tuple[int, ...] = ()
+    reg_writes: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CpuEvent:
+    """Event surfaced by one step: "halt", "trap" or "sync"."""
+
+    kind: str
+    trap: Optional[TrapEvent] = None
+    iteration: int = 0
+
+
+class CpuHalted(Exception):
+    """step() was called on a halted CPU."""
+
+
+@dataclass
+class _Next:
+    """Control-flow decision of the executing instruction."""
+
+    pc: int
+    taken: bool = False
+
+
+class Cpu:
+    """One THOR-lite chip: registers, PSR, PC, pipeline latches, caches,
+    memory, cycle/instruction counters."""
+
+    def __init__(self, config: Optional[CpuConfig] = None):
+        self.config = config or CpuConfig()
+        self.memory = Memory(self.config.memory_size)
+        self.bus = MemoryBus(self.memory)
+        self.regs = RegisterFile()
+        self.psr = Psr()
+        self.pipeline = PipelineLatches()
+        self.icache = Cache(
+            "icache",
+            n_lines=self.config.icache_lines,
+            words_per_line=self.config.words_per_line,
+            miss_penalty=self.config.miss_penalty,
+            check_parity=self.config.parity_checking,
+            address_bits=self.config.address_bits,
+        )
+        self.dcache = Cache(
+            "dcache",
+            n_lines=self.config.dcache_lines,
+            words_per_line=self.config.words_per_line,
+            miss_penalty=self.config.miss_penalty,
+            check_parity=self.config.parity_checking,
+            address_bits=self.config.address_bits,
+        )
+        self.pc = 0
+        self.cycles = 0
+        self.instret = 0
+        self.iterations = 0
+        self.halted = False
+        self.trap_event: Optional[TrapEvent] = None
+        self.last_exec = LastExec()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self, entry: int = 0) -> None:
+        """Power-on reset: clears all state except main memory contents
+        (memory is loaded separately by the test card download port)."""
+        overflow = self.config.overflow_trap
+        self.regs.reset()
+        self.psr.reset()
+        self.psr.overflow_enable = overflow
+        self.pipeline.reset()
+        self.icache.reset()
+        self.dcache.reset()
+        self.bus.reset_force()
+        self.pc = entry
+        self.cycles = 0
+        self.instret = 0
+        self.iterations = 0
+        self.halted = False
+        self.trap_event = None
+        self.last_exec = LastExec()
+
+    def clear_trap(self) -> None:
+        """Un-halt after a trap without touching any other state.
+
+        Used by the test card's trap-hook path (runtime SWIFI resumes the
+        workload after servicing the software trap it planted)."""
+        self.halted = False
+        self.trap_event = None
+
+    # -- trap path -------------------------------------------------------------
+
+    def _raise_trap(self, trap: Trap, detail: str = "", code: int = 0) -> CpuEvent:
+        event = TrapEvent(
+            trap=trap, pc=self.pc, cycle=self.cycles, detail=detail, code=code
+        )
+        self.trap_event = event
+        self.halted = True
+        return CpuEvent(kind="trap", trap=event)
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> Optional[CpuEvent]:
+        """Execute one instruction. Returns an event or None."""
+        if self.halted:
+            raise CpuHalted("CPU is halted")
+
+        start_pc = self.pc
+
+        # Fetch (through the I-cache, unless the scan chain forced the IR).
+        if self.pipeline.ir_forced:
+            word = self.pipeline.consume_forced_ir()
+            self.cycles += 0  # forced IR models an already-latched fetch
+        else:
+            if not 0 <= self.pc < self.config.memory_size:
+                return self._raise_trap(
+                    Trap.ILLEGAL_ADDRESS, detail=f"fetch from {self.pc:#x}"
+                )
+            try:
+                word, extra = self.icache.read(self.pc, self.bus)
+            except CacheParityError as exc:
+                return self._raise_trap(Trap.ICACHE_PARITY, detail=str(exc))
+            self.cycles += extra
+            self.pipeline.latch_fetch(word)
+
+        # Decode.
+        try:
+            instr = isa.decode(word)
+        except IllegalOpcode:
+            return self._raise_trap(
+                Trap.ILLEGAL_OPCODE, detail=f"word {word:#010x}"
+            )
+
+        # Execute.
+        self.cycles += isa.CYCLE_COST[instr.opcode]
+        try:
+            event, nxt = self._execute(instr)
+        except CacheParityError as exc:
+            return self._raise_trap(Trap.DCACHE_PARITY, detail=str(exc))
+        except IllegalAddress as exc:
+            return self._raise_trap(Trap.ILLEGAL_ADDRESS, detail=str(exc))
+
+        if event is not None and event.kind == "trap":
+            return event
+
+        if nxt.taken:
+            self.cycles += 1
+        self.pc = nxt.pc & isa.WORD_MASK
+        self.instret += 1
+        self.last_exec.pc = start_pc
+        self.last_exec.opcode = instr.opcode
+        self.last_exec.branch_taken = nxt.taken
+
+        if (
+            self.config.watchdog_cycles is not None
+            and self.cycles > self.config.watchdog_cycles
+        ):
+            return self._raise_trap(
+                Trap.WATCHDOG, detail=f"cycle budget {self.config.watchdog_cycles}"
+            )
+        return event
+
+    # -- per-opcode semantics -----------------------------------------------------
+
+    def _execute(self, instr: Instruction) -> Tuple[Optional[CpuEvent], _Next]:
+        op = instr.opcode
+        regs = self.regs
+        seq = _Next(pc=self.pc + 1)
+        self.last_exec = LastExec()
+
+        if op is Opcode.NOP:
+            return None, seq
+        if op is Opcode.HALT:
+            self.halted = True
+            return CpuEvent(kind="halt"), seq
+        if op is Opcode.SYNC:
+            self.iterations += 1
+            return CpuEvent(kind="sync", iteration=self.iterations), seq
+
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.ADDI, Opcode.SUBI):
+            a = regs[instr.rs1]
+            if op in (Opcode.ADD, Opcode.SUB):
+                b = regs[instr.rs2]
+            else:
+                b = to_unsigned(instr.imm)
+            subtract = op in (Opcode.SUB, Opcode.SUBI)
+            result, carry, overflow = _add_sub(a, b, subtract)
+            regs[instr.rd] = result
+            self.psr.set_nz(result)
+            self.psr.c = carry
+            self.psr.v = overflow
+            if overflow and self.psr.overflow_enable:
+                return self._raise_trap(Trap.OVERFLOW), seq
+            return None, seq
+
+        if op in (Opcode.MUL, Opcode.MULI):
+            a = to_signed(regs[instr.rs1])
+            b = to_signed(regs[instr.rs2]) if op is Opcode.MUL else instr.imm
+            result = to_unsigned(a * b)
+            regs[instr.rd] = result
+            self.psr.set_nz(result)
+            return None, seq
+
+        if op in (Opcode.DIV, Opcode.MOD):
+            a = to_signed(regs[instr.rs1])
+            b = to_signed(regs[instr.rs2])
+            if b == 0:
+                return self._raise_trap(Trap.DIV_ZERO), seq
+            quotient = int(a / b)  # truncate toward zero
+            result = quotient if op is Opcode.DIV else a - quotient * b
+            regs[instr.rd] = to_unsigned(result)
+            self.psr.set_nz(regs[instr.rd])
+            return None, seq
+
+        if op in (Opcode.AND, Opcode.OR, Opcode.XOR,
+                  Opcode.ANDI, Opcode.ORI, Opcode.XORI):
+            a = regs[instr.rs1]
+            if op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+                b = regs[instr.rs2]
+            else:
+                b = to_unsigned(instr.imm)
+            if op in (Opcode.AND, Opcode.ANDI):
+                result = a & b
+            elif op in (Opcode.OR, Opcode.ORI):
+                result = a | b
+            else:
+                result = a ^ b
+            regs[instr.rd] = result
+            self.psr.set_nz(result)
+            return None, seq
+
+        if op in (Opcode.SHL, Opcode.SHR, Opcode.SRA,
+                  Opcode.SHLI, Opcode.SHRI):
+            a = regs[instr.rs1]
+            if op in (Opcode.SHL, Opcode.SHR, Opcode.SRA):
+                amount = regs[instr.rs2] & 31
+            else:
+                amount = instr.imm & 31
+            if op in (Opcode.SHL, Opcode.SHLI):
+                result = to_unsigned(a << amount)
+            elif op in (Opcode.SHR, Opcode.SHRI):
+                result = a >> amount
+            else:  # SRA
+                result = to_unsigned(to_signed(a) >> amount)
+            regs[instr.rd] = result
+            self.psr.set_nz(result)
+            return None, seq
+
+        if op is Opcode.NOT:
+            result = to_unsigned(~regs[instr.rs1])
+            regs[instr.rd] = result
+            self.psr.set_nz(result)
+            return None, seq
+        if op is Opcode.MOV:
+            regs[instr.rd] = regs[instr.rs1]
+            self.psr.set_nz(regs[instr.rd])
+            return None, seq
+        if op is Opcode.LDI:
+            regs[instr.rd] = to_unsigned(instr.imm)
+            return None, seq
+        if op is Opcode.LUI:
+            regs[instr.rd] = to_unsigned(instr.imm << 14)
+            return None, seq
+
+        if op in (Opcode.CMP, Opcode.CMPI):
+            a = regs[instr.rs1]
+            b = regs[instr.rs2] if op is Opcode.CMP else to_unsigned(instr.imm)
+            result, carry, overflow = _add_sub(a, b, subtract=True)
+            self.psr.set_nz(result)
+            self.psr.c = carry
+            self.psr.v = overflow
+            return None, seq
+
+        if op is Opcode.LD:
+            address = to_unsigned(regs[instr.rs1] + instr.imm)
+            if address >= self.config.memory_size:
+                raise IllegalAddress(address, "load")
+            if address >= self.config.uncached_base:
+                value = self.bus.read(address)
+                self.cycles += 2  # uncached MMIO access
+            else:
+                value, extra = self.dcache.read(address, self.bus)
+                self.cycles += extra
+            regs[instr.rd] = value
+            self.pipeline.latch_memory(address, value)
+            self.last_exec.mem_address = address
+            self.last_exec.mem_value = value
+            return None, seq
+        if op is Opcode.ST:
+            address = to_unsigned(regs[instr.rs1] + instr.imm)
+            if address >= self.config.memory_size:
+                raise IllegalAddress(address, "store")
+            value = regs[instr.rd]
+            if address >= self.config.uncached_base:
+                self.bus.write(address, value)
+                self.cycles += 2  # uncached MMIO access
+            else:
+                self.cycles += self.dcache.write(address, value, self.bus)
+            self.pipeline.latch_memory(address, value)
+            self.last_exec.mem_address = address
+            self.last_exec.mem_value = value
+            self.last_exec.mem_is_write = True
+            return None, seq
+
+        if op is Opcode.PUSH:
+            sp = to_unsigned(regs[isa.REG_SP] - 1)
+            if sp >= self.config.memory_size:
+                raise IllegalAddress(sp, "push")
+            regs[isa.REG_SP] = sp
+            self.cycles += self.dcache.write(sp, regs[instr.rd], self.bus)
+            self.pipeline.latch_memory(sp, regs[instr.rd])
+            return None, seq
+        if op is Opcode.POP:
+            sp = regs[isa.REG_SP]
+            if sp >= self.config.memory_size:
+                raise IllegalAddress(sp, "pop")
+            value, extra = self.dcache.read(sp, self.bus)
+            self.cycles += extra
+            regs[instr.rd] = value
+            regs[isa.REG_SP] = to_unsigned(sp + 1)
+            self.pipeline.latch_memory(sp, value)
+            return None, seq
+
+        if op is Opcode.JMP:
+            return None, _Next(pc=instr.imm, taken=True)
+        if op is Opcode.JR:
+            return None, _Next(pc=regs[instr.rs1], taken=True)
+        if op is Opcode.CALL:
+            regs[isa.REG_LR] = to_unsigned(self.pc + 1)
+            return None, _Next(pc=instr.imm, taken=True)
+        if op is Opcode.RET:
+            return None, _Next(pc=regs[isa.REG_LR], taken=True)
+
+        if op in isa.BRANCHES:
+            taken = self._branch_taken(op)
+            if taken:
+                return None, _Next(pc=self.pc + 1 + instr.imm, taken=True)
+            return None, seq
+
+        if op is Opcode.TRAP:
+            return self._raise_trap(Trap.SOFTWARE, code=instr.imm), seq
+
+        raise AssertionError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+    def _branch_taken(self, op: Opcode) -> bool:
+        psr = self.psr
+        if op is Opcode.BEQ:
+            return psr.z
+        if op is Opcode.BNE:
+            return not psr.z
+        if op is Opcode.BLT:
+            return psr.n != psr.v
+        if op is Opcode.BGE:
+            return psr.n == psr.v
+        if op is Opcode.BGT:
+            return (not psr.z) and psr.n == psr.v
+        if op is Opcode.BLE:
+            return psr.z or psr.n != psr.v
+        raise AssertionError(op)  # pragma: no cover
+
+
+def _add_sub(a: int, b: int, subtract: bool) -> Tuple[int, bool, bool]:
+    """32-bit add/subtract with carry and signed-overflow flags."""
+    if subtract:
+        wide = a + (to_unsigned(~b)) + 1
+        signed = to_signed(a) - to_signed(b)
+    else:
+        wide = a + b
+        signed = to_signed(a) + to_signed(b)
+    result = to_unsigned(wide)
+    carry = wide > isa.WORD_MASK
+    overflow = not (-(1 << 31) <= signed <= (1 << 31) - 1)
+    return result, carry, overflow

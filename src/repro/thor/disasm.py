@@ -1,0 +1,52 @@
+"""Disassembler for THOR-lite instruction words.
+
+Used by the propagation analyser and the UI to render execution traces and
+fault-injected instruction words in human-readable form.
+"""
+
+from __future__ import annotations
+
+from repro.thor import isa
+from repro.thor.isa import Instruction, Opcode, try_decode
+
+_MEM_OPS = {Opcode.LD, Opcode.ST}
+_NO_OPERAND = {Opcode.NOP, Opcode.HALT, Opcode.RET, Opcode.SYNC}
+
+
+def format_instruction(instr: Instruction) -> str:
+    op = instr.opcode
+    name = op.name.lower()
+    if op in _NO_OPERAND:
+        return name
+    if op in _MEM_OPS:
+        sign = "+" if instr.imm >= 0 else "-"
+        return f"{name} r{instr.rd}, [r{instr.rs1}{sign}{abs(instr.imm)}]"
+    if op in isa.BRANCHES:
+        return f"{name} {instr.imm:+d}"
+    if op in (Opcode.JMP, Opcode.CALL):
+        return f"{name} {instr.imm:#x}"
+    if op is Opcode.TRAP:
+        return f"{name} {instr.imm}"
+    if op is Opcode.JR:
+        return f"{name} r{instr.rs1}"
+    if op in (Opcode.PUSH, Opcode.POP):
+        return f"{name} r{instr.rd}"
+    if op is Opcode.CMP:
+        return f"{name} r{instr.rs1}, r{instr.rs2}"
+    if op is Opcode.CMPI:
+        return f"{name} r{instr.rs1}, {instr.imm}"
+    if op in (Opcode.NOT, Opcode.MOV):
+        return f"{name} r{instr.rd}, r{instr.rs1}"
+    if op in (Opcode.LDI, Opcode.LUI):
+        return f"{name} r{instr.rd}, {instr.imm}"
+    if op.value >= Opcode.ADDI.value and instr.is_i_type():
+        return f"{name} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    return f"{name} r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+
+
+def disassemble_word(word: int) -> str:
+    """Render one instruction word; illegal opcodes render as ``.illegal``."""
+    instr = try_decode(word)
+    if instr is None:
+        return f".illegal {word:#010x}"
+    return format_instruction(instr)

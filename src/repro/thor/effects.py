@@ -1,0 +1,106 @@
+"""Architectural read/write effects of each instruction.
+
+Used by the pre-injection analysis (paper Section 4): to decide whether a
+register holds *live* data at some point in time we need to know, for every
+instruction of the reference trace, which registers it reads and writes.
+Flag (PSR) producers and consumers are tracked as well, because the PSR is
+itself a scan-chain fault-injection location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.thor import isa
+from repro.thor.isa import Instruction, Opcode
+
+_R3_ALU = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SRA,
+    }
+)
+_I3_ALU = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.SUBI,
+        Opcode.MULI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SHLI,
+        Opcode.SHRI,
+    }
+)
+_FLAG_WRITERS = (
+    _R3_ALU
+    | _I3_ALU
+    | frozenset({Opcode.NOT, Opcode.MOV, Opcode.CMP, Opcode.CMPI})
+)
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Register/flag dataflow of one instruction."""
+
+    reg_reads: FrozenSet[int]
+    reg_writes: FrozenSet[int]
+    reads_flags: bool
+    writes_flags: bool
+
+
+def register_effects(instr: Instruction) -> Effects:
+    """Compute which registers and flags ``instr`` reads and writes."""
+    op = instr.opcode
+    reads: FrozenSet[int] = frozenset()
+    writes: FrozenSet[int] = frozenset()
+
+    if op in _R3_ALU:
+        reads = frozenset({instr.rs1, instr.rs2})
+        writes = frozenset({instr.rd})
+    elif op in _I3_ALU:
+        reads = frozenset({instr.rs1})
+        writes = frozenset({instr.rd})
+    elif op in (Opcode.NOT, Opcode.MOV):
+        reads = frozenset({instr.rs1})
+        writes = frozenset({instr.rd})
+    elif op in (Opcode.LDI, Opcode.LUI):
+        writes = frozenset({instr.rd})
+    elif op is Opcode.CMP:
+        reads = frozenset({instr.rs1, instr.rs2})
+    elif op is Opcode.CMPI:
+        reads = frozenset({instr.rs1})
+    elif op is Opcode.LD:
+        reads = frozenset({instr.rs1})
+        writes = frozenset({instr.rd})
+    elif op is Opcode.ST:
+        reads = frozenset({instr.rs1, instr.rd})
+    elif op is Opcode.PUSH:
+        reads = frozenset({instr.rd, isa.REG_SP})
+        writes = frozenset({isa.REG_SP})
+    elif op is Opcode.POP:
+        reads = frozenset({isa.REG_SP})
+        writes = frozenset({instr.rd, isa.REG_SP})
+    elif op is Opcode.JR:
+        reads = frozenset({instr.rs1})
+    elif op is Opcode.CALL:
+        writes = frozenset({isa.REG_LR})
+    elif op is Opcode.RET:
+        reads = frozenset({isa.REG_LR})
+
+    return Effects(
+        reg_reads=reads,
+        reg_writes=writes,
+        reads_flags=op in isa.BRANCHES,
+        writes_flags=op in _FLAG_WRITERS,
+    )

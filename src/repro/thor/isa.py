@@ -1,0 +1,229 @@
+"""THOR-lite instruction set architecture.
+
+A 32-bit load/store ISA, deliberately small but complete enough that
+injected bit flips behave realistically:
+
+* flipping opcode bits can produce *illegal opcodes* (detected by the
+  decoder EDM) or silently mutate one instruction into another,
+* flipping register-field bits redirects data flow,
+* flipping immediate bits corrupts addresses and constants.
+
+Encoding (one 32-bit word per instruction, word-addressed memory)::
+
+    31        26 25  22 21  18 17  14 13         0
+    +-----------+------+------+------+------------+
+    |  opcode   |  rd  | rs1  | rs2  |  (unused)  |   R-type
+    +-----------+------+------+------+------------+
+    |  opcode   |  rd  | rs1  |      imm18        |   I-type
+    +-----------+------+------+-------------------+
+
+``imm18`` is an 18-bit two's-complement immediate for arithmetic and
+PC-relative branches, and an 18-bit unsigned absolute address for
+JMP/CALL (covers the full 64 Ki-word address space).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.util.bits import sign_extend
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+NUM_REGISTERS = 16
+IMM_BITS = 18
+IMM_MASK = (1 << IMM_BITS) - 1
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+# Register conventions used by the assembler and the ABI of the workload
+# library (the hardware does not enforce them).
+REG_SP = 14  # stack pointer
+REG_LR = 15  # link register written by CALL
+
+
+class Opcode(enum.IntEnum):
+    """All legal THOR-lite opcodes. Any other 6-bit value is illegal."""
+
+    # R-type ------------------------------------------------------------
+    NOP = 0x00
+    HALT = 0x01
+    ADD = 0x02
+    SUB = 0x03
+    MUL = 0x04
+    DIV = 0x05
+    MOD = 0x06
+    AND = 0x07
+    OR = 0x08
+    XOR = 0x09
+    SHL = 0x0A
+    SHR = 0x0B
+    SRA = 0x0C
+    NOT = 0x0D
+    MOV = 0x0E
+    CMP = 0x0F
+    JR = 0x10
+    RET = 0x11
+    PUSH = 0x12
+    POP = 0x13
+    SYNC = 0x14
+    # I-type ------------------------------------------------------------
+    ADDI = 0x20
+    SUBI = 0x21
+    MULI = 0x22
+    ANDI = 0x23
+    ORI = 0x24
+    XORI = 0x25
+    SHLI = 0x26
+    SHRI = 0x27
+    LDI = 0x28
+    LUI = 0x29
+    LD = 0x2A
+    ST = 0x2B
+    CMPI = 0x2C
+    JMP = 0x2D
+    BEQ = 0x2E
+    BNE = 0x2F
+    BLT = 0x30
+    BGE = 0x31
+    BGT = 0x32
+    BLE = 0x33
+    CALL = 0x34
+    TRAP = 0x35
+
+
+R_TYPE = frozenset(
+    {
+        Opcode.NOP,
+        Opcode.HALT,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SRA,
+        Opcode.NOT,
+        Opcode.MOV,
+        Opcode.CMP,
+        Opcode.JR,
+        Opcode.RET,
+        Opcode.PUSH,
+        Opcode.POP,
+        Opcode.SYNC,
+    }
+)
+
+I_TYPE = frozenset(op for op in Opcode if op not in R_TYPE)
+
+# Opcodes whose immediate field is unsigned: absolute word addresses
+# (JMP/CALL), trap codes, and LUI's raw high-half bit pattern.
+ABSOLUTE_IMM = frozenset({Opcode.JMP, Opcode.CALL, Opcode.TRAP, Opcode.LUI})
+
+# Conditional branches: immediate is PC-relative (target = PC + 1 + imm).
+BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BGT, Opcode.BLE}
+)
+
+_VALID_OPCODES: Dict[int, Opcode] = {int(op): op for op in Opcode}
+
+# Per-instruction base cycle cost. Cache misses and taken branches add to
+# this in the CPU model.
+CYCLE_COST: Dict[Opcode, int] = {op: 1 for op in Opcode}
+CYCLE_COST[Opcode.MUL] = 4
+CYCLE_COST[Opcode.MULI] = 4
+CYCLE_COST[Opcode.DIV] = 8
+CYCLE_COST[Opcode.MOD] = 8
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``imm`` is already sign-extended for signed immediates and left
+    unsigned for absolute addresses (JMP/CALL/TRAP).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def is_i_type(self) -> bool:
+        return self.opcode in I_TYPE
+
+
+class IllegalOpcode(ValueError):
+    """Raised by :func:`decode` for an unknown opcode field.
+
+    The CPU catches this and raises the ILLEGAL_OPCODE trap — this is one
+    of the target's error-detection mechanisms, so a bit flip that lands in
+    the opcode field is frequently *detected* rather than activated.
+    """
+
+    def __init__(self, word: int):
+        self.word = word
+        super().__init__(f"illegal opcode in instruction word {word:#010x}")
+
+
+def assemble_word(instr: Instruction) -> int:
+    """Encode a decoded instruction back into its 32-bit word."""
+    op = instr.opcode
+    if not 0 <= instr.rd < NUM_REGISTERS:
+        raise ValueError(f"rd out of range: {instr.rd}")
+    if not 0 <= instr.rs1 < NUM_REGISTERS:
+        raise ValueError(f"rs1 out of range: {instr.rs1}")
+    word = (int(op) << 26) | (instr.rd << 22) | (instr.rs1 << 18)
+    if op in R_TYPE:
+        if not 0 <= instr.rs2 < NUM_REGISTERS:
+            raise ValueError(f"rs2 out of range: {instr.rs2}")
+        word |= instr.rs2 << 14
+    else:
+        imm = instr.imm
+        if op in ABSOLUTE_IMM:
+            if not 0 <= imm <= IMM_MASK:
+                raise ValueError(f"absolute immediate out of range: {imm}")
+        else:
+            if not IMM_MIN <= imm <= IMM_MAX:
+                raise ValueError(f"signed immediate out of range: {imm}")
+        word |= imm & IMM_MASK
+    return word & WORD_MASK
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`IllegalOpcode` when the opcode field does not name a
+    legal instruction.
+    """
+    word &= WORD_MASK
+    op_field = (word >> 26) & 0x3F
+    opcode = _VALID_OPCODES.get(op_field)
+    if opcode is None:
+        raise IllegalOpcode(word)
+    rd = (word >> 22) & 0xF
+    rs1 = (word >> 18) & 0xF
+    if opcode in R_TYPE:
+        rs2 = (word >> 14) & 0xF
+        return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2)
+    raw_imm = word & IMM_MASK
+    if opcode in ABSOLUTE_IMM:
+        imm = raw_imm
+    else:
+        imm = sign_extend(raw_imm, IMM_BITS)
+    return Instruction(opcode, rd=rd, rs1=rs1, imm=imm)
+
+
+def try_decode(word: int) -> Optional[Instruction]:
+    """Decode, returning None instead of raising for illegal opcodes."""
+    try:
+        return decode(word)
+    except IllegalOpcode:
+        return None

@@ -1,0 +1,153 @@
+"""Main memory of the THOR-lite target.
+
+Memory is word-addressed (32-bit words). The default address space is
+64 Ki words. Accesses outside the physical address space raise
+:class:`IllegalAddress`, which the CPU converts into the ILLEGAL_ADDRESS
+trap — one of the target's error-detection mechanisms. This matters for
+fault injection: a bit flip in an address register frequently produces an
+out-of-range access and is therefore *detected* rather than escaping.
+
+Memory map convention used by the workload library (not enforced by
+hardware except where noted)::
+
+    0x0000 .. 0x00FF   reserved page (vectors / scratch)
+    0x0100 .. ...      workload code + data (assembler default origin)
+    ...    .. 0xEFFF   heap / stack (stack grows down from 0xF000)
+    0xFF00 .. 0xFF3F   environment-simulator INPUT window (env -> target)
+    0xFF40 .. 0xFF7F   environment-simulator OUTPUT window (target -> env)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.thor.isa import WORD_MASK
+
+DEFAULT_SIZE = 65536
+STACK_TOP = 0xF000
+ENV_INPUT_BASE = 0xFF00
+ENV_OUTPUT_BASE = 0xFF40
+ENV_WINDOW_WORDS = 64
+
+
+class IllegalAddress(Exception):
+    """Access outside the physical address space."""
+
+    def __init__(self, address: int, kind: str):
+        self.address = address
+        self.kind = kind
+        super().__init__(f"illegal {kind} address {address:#x}")
+
+
+class Memory:
+    """Flat word-addressed RAM with bounds checking and write protection."""
+
+    def __init__(self, size: int = DEFAULT_SIZE):
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self.size = size
+        self._words: List[int] = [0] * size
+        # Optional write-protected range [lo, hi] (inclusive), used to
+        # protect the code image when the campaign asks for it.
+        self._protected: Tuple[int, int] = (1, 0)  # empty
+
+    def reset(self) -> None:
+        self._words = [0] * self.size
+        self._protected = (1, 0)
+
+    def protect(self, lo: int, hi: int) -> None:
+        """Write-protect the inclusive word range [lo, hi]."""
+        self._protected = (lo, hi)
+
+    def unprotect(self) -> None:
+        self._protected = (1, 0)
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise IllegalAddress(address, "read")
+        return self._words[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size:
+            raise IllegalAddress(address, "write")
+        lo, hi = self._protected
+        if lo <= address <= hi:
+            raise IllegalAddress(address, "write-protected")
+        self._words[address] = value & WORD_MASK
+
+    # -- raw access for the test card / fault injectors -------------------
+    # The test card's download port and the pre-runtime SWIFI injector
+    # bypass protection: they model physical access to the RAM chips.
+
+    def poke(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size:
+            raise IllegalAddress(address, "poke")
+        self._words[address] = value & WORD_MASK
+
+    def peek(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise IllegalAddress(address, "peek")
+        return self._words[address]
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        for address, value in image.items():
+            self.poke(address, value)
+
+    def dump(self, lo: int, hi: int) -> List[int]:
+        """Words in [lo, hi) — used to build logged state vectors."""
+        if not (0 <= lo <= hi <= self.size):
+            raise IllegalAddress(hi, "dump")
+        return self._words[lo:hi]
+
+    def nonzero_addresses(self) -> Iterable[int]:
+        return (a for a, w in enumerate(self._words) if w)
+
+
+class MemoryBus:
+    """The data-bus pads between the chip and main memory.
+
+    Every read the chip performs — cache line fills, uncached MMIO loads
+    and instruction fetches — crosses these pads, which makes them the
+    place where *pin-level* fault injection acts: boundary-scan EXTEST
+    can force individual bus lines for a bounded number of transactions
+    (RIFLE/MESSALINE-style forcing, armed through the boundary chain).
+
+    Forced bits corrupt the value *before* the cache computes parity on
+    the fill, so pin faults are parity-consistent and evade the cache
+    parity mechanism — a genuine difference between pin-level faults and
+    faults injected into the cache arrays themselves.
+    """
+
+    def __init__(self, memory: Memory):
+        self.memory = memory
+        self.force_mask = 0
+        self.force_value = 0
+        self.force_reads = 0
+
+    def reset_force(self) -> None:
+        self.force_mask = 0
+        self.force_value = 0
+        self.force_reads = 0
+
+    def arm_force(self, mask: int, value: int, reads: int) -> None:
+        """Force ``mask`` bus lines to ``value`` for the next ``reads``
+        read transactions."""
+        self.force_mask = mask & 0xFFFFFFFF
+        self.force_value = value & 0xFFFFFFFF
+        self.force_reads = reads
+
+    @property
+    def forcing(self) -> bool:
+        return self.force_reads > 0 and self.force_mask != 0
+
+    def read(self, address: int) -> int:
+        value = self.memory.read(address)
+        if self.forcing:
+            value = (value & ~self.force_mask) | (
+                self.force_value & self.force_mask
+            )
+            self.force_reads -= 1
+        return value & 0xFFFFFFFF
+
+    def write(self, address: int, value: int) -> None:
+        self.memory.write(address, value)

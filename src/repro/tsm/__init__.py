@@ -1,0 +1,26 @@
+"""TSM-1: a second, architecturally different target system.
+
+The paper's central claim is that GOOFI's object-oriented architecture
+makes porting to *new target systems* cheap: implement the Framework's
+abstract building blocks, touch nothing else. The Thor RD port
+(:mod:`repro.scifi`) exercises that claim once; this package exercises it
+twice, with a target that shares nothing with THOR-lite:
+
+* a **stack machine** (the real Thor CPU was a stack architecture running
+  Ada) — no register file, a data stack and a return stack instead,
+* no caches and therefore no parity mechanisms; its characteristic EDMs
+  are **stack overflow/underflow detection** plus illegal opcode/address,
+* a much shorter internal scan chain, and its own tiny assembler and
+  workload set.
+
+The port (:class:`repro.tsm.interface.TsmInterface`) implements the
+common, SCIFI and pre-runtime-SWIFI blocks only — deliberately *not*
+runtime SWIFI — so the framework's technique-support introspection and
+validation paths are exercised by a genuine partial port.
+"""
+
+from repro.tsm.machine import TsmConfig, TsmMachine
+from repro.tsm.board import TsmBoard
+from repro.tsm.interface import TsmInterface
+
+__all__ = ["TsmConfig", "TsmMachine", "TsmBoard", "TsmInterface"]

@@ -1,0 +1,148 @@
+"""Mini-assembler for TSM-1 stack programs.
+
+Syntax (one instruction per line, ';' comments, labels end with ':')::
+
+    start:
+        pushi 10        ; immediates are signed 10-bit
+        storei counter
+    loop:
+        loadi counter
+        jz   done
+        loadi counter
+        dec
+        storei counter
+        jmp  loop
+    done:
+        halt
+    counter: word 0     ; data word
+
+Addresses and immediates may be labels. ``word v`` emits a data word.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.tsm.machine import OPERAND_MASK, TsmOp, encode
+from repro.util.errors import AssemblerError
+
+_NO_OPERAND = {
+    "nop": TsmOp.NOP,
+    "halt": TsmOp.HALT,
+    "load": TsmOp.LOAD,
+    "store": TsmOp.STORE,
+    "add": TsmOp.ADD,
+    "sub": TsmOp.SUB,
+    "mul": TsmOp.MUL,
+    "div": TsmOp.DIV,
+    "dup": TsmOp.DUP,
+    "drop": TsmOp.DROP,
+    "swap": TsmOp.SWAP,
+    "over": TsmOp.OVER,
+    "ret": TsmOp.RET,
+    "sync": TsmOp.SYNC,
+    "inc": TsmOp.INC,
+    "dec": TsmOp.DEC,
+}
+_WITH_OPERAND = {
+    "pushi": TsmOp.PUSHI,
+    "jmp": TsmOp.JMP,
+    "jz": TsmOp.JZ,
+    "jnz": TsmOp.JNZ,
+    "call": TsmOp.CALL,
+    "loadi": TsmOp.LOADI,
+    "storei": TsmOp.STOREI,
+}
+
+
+@dataclass
+class TsmProgram:
+    words: Dict[int, int] = field(default_factory=dict)
+    kinds: Dict[int, str] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+
+def _parse(text: str) -> List[Tuple[int, str, str, str]]:
+    rows = []
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        label = ""
+        if ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not re.fullmatch(r"[A-Za-z_]\w*", label):
+                raise AssemblerError(f"bad label {label!r}", number)
+            line = line.strip()
+        mnemonic, _, operand = line.partition(" ")
+        rows.append((number, label, mnemonic.lower(), operand.strip()))
+    return rows
+
+
+def assemble_tsm(text: str, origin: int = 0x10) -> TsmProgram:
+    rows = _parse(text)
+    # Pass 1: label addresses.
+    symbols: Dict[str, int] = {}
+    pc = origin
+    for number, label, mnemonic, operand in rows:
+        if label:
+            if label in symbols:
+                raise AssemblerError(f"duplicate label {label!r}", number)
+            symbols[label] = pc
+        if mnemonic:
+            pc += 1
+
+    def value_of(token: str, number: int) -> int:
+        token = token.strip()
+        if not token:
+            raise AssemblerError("missing operand", number)
+        negative = token.startswith("-")
+        if negative:
+            token = token[1:]
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+", token):
+            value = int(token, 16)
+        elif token.isdigit():
+            value = int(token)
+        elif token in symbols:
+            value = symbols[token]
+        else:
+            raise AssemblerError(f"undefined symbol {token!r}", number)
+        return -value if negative else value
+
+    program = TsmProgram(symbols=dict(symbols), entry=origin)
+    if "start" in symbols:
+        program.entry = symbols["start"]
+
+    # Pass 2: encode.
+    pc = origin
+    for number, label, mnemonic, operand in rows:
+        if not mnemonic:
+            continue
+        if mnemonic == "word":
+            program.words[pc] = value_of(operand, number) & 0xFFFFFFFF
+            program.kinds[pc] = "data"
+        elif mnemonic in _NO_OPERAND:
+            if operand:
+                raise AssemblerError(f"{mnemonic} takes no operand", number)
+            program.words[pc] = encode(_NO_OPERAND[mnemonic])
+            program.kinds[pc] = "code"
+        elif mnemonic in _WITH_OPERAND:
+            value = value_of(operand, number)
+            if mnemonic == "pushi":
+                if not -(1 << 9) <= value < (1 << 9):
+                    raise AssemblerError(
+                        f"pushi immediate out of range: {value}", number
+                    )
+                value &= OPERAND_MASK
+            elif not 0 <= value <= OPERAND_MASK:
+                raise AssemblerError(f"operand out of range: {value}", number)
+            program.words[pc] = encode(_WITH_OPERAND[mnemonic], value)
+            program.kinds[pc] = "code"
+        else:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", number)
+        pc += 1
+    return program

@@ -1,0 +1,303 @@
+"""The TSM-1 stack machine core.
+
+A 0-operand stack architecture: 16-bit instruction words, a 16-entry data
+stack, an 8-entry return stack, word-addressed memory. All arithmetic
+happens on the top of the data stack.
+
+Instruction format::
+
+    15     10 9            0
+    +--------+--------------+
+    | opcode |   operand    |   operand: 10-bit unsigned (addresses,
+    +--------+--------------+   immediates; PUSHI sign-extends)
+
+Error-detection mechanisms: illegal opcode, illegal address, data-stack
+overflow/underflow, return-stack overflow/underflow, divide-by-zero and
+an (optional) watchdog — stack-bound checking replaces the cache parity
+of the Thor RD as the characteristic hardware EDM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.thor.traps import Trap, TrapEvent  # shared EDM vocabulary
+from repro.util.bits import to_signed, to_unsigned
+
+WORD_MASK = 0xFFFFFFFF
+OPERAND_BITS = 10
+OPERAND_MASK = (1 << OPERAND_BITS) - 1
+
+
+class TsmOp(enum.IntEnum):
+    NOP = 0x00
+    HALT = 0x01
+    PUSHI = 0x02   # push sign-extended operand
+    LOAD = 0x03    # addr on stack -> value
+    STORE = 0x04   # (value, addr) popped; mem[addr] = value
+    ADD = 0x05
+    SUB = 0x06
+    MUL = 0x07
+    DIV = 0x08
+    DUP = 0x09
+    DROP = 0x0A
+    SWAP = 0x0B
+    OVER = 0x0C
+    JMP = 0x0D     # absolute operand
+    JZ = 0x0E      # pop; jump if zero
+    JNZ = 0x0F
+    CALL = 0x10
+    RET = 0x11
+    SYNC = 0x12
+    LOADI = 0x13   # mem[operand] -> push  (direct-address load)
+    STOREI = 0x14  # pop -> mem[operand]   (direct-address store)
+    INC = 0x15
+    DEC = 0x16
+
+
+_VALID = {int(op) for op in TsmOp}
+
+# Additional stack-underflow trap names mapped onto the shared Trap enum:
+# overflow/underflow of the machine's stacks are reported as a dedicated
+# detail on the OVERFLOW trap kind (the mechanism label the analysis
+# phase groups by is trap_name + detail-free, so use distinct details).
+STACK_FAULT = Trap.OVERFLOW
+
+
+def encode(op: TsmOp, operand: int = 0) -> int:
+    if not 0 <= operand <= OPERAND_MASK:
+        raise ValueError(f"operand out of range: {operand}")
+    return (int(op) << OPERAND_BITS) | operand
+
+
+def decode(word: int) -> tuple:
+    op_field = (word >> OPERAND_BITS) & 0x3F
+    if op_field not in _VALID:
+        return None, 0
+    return TsmOp(op_field), word & OPERAND_MASK
+
+
+@dataclass(frozen=True)
+class TsmConfig:
+    memory_size: int = 4096
+    data_stack_depth: int = 16
+    return_stack_depth: int = 8
+    watchdog_cycles: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TsmEvent:
+    kind: str  # "halt" | "trap" | "sync"
+    trap: Optional[TrapEvent] = None
+    iteration: int = 0
+
+
+class TsmHalted(Exception):
+    pass
+
+
+class TsmMachine:
+    """One TSM-1 chip."""
+
+    def __init__(self, config: Optional[TsmConfig] = None):
+        self.config = config or TsmConfig()
+        self.memory: List[int] = [0] * self.config.memory_size
+        self.dstack: List[int] = [0] * self.config.data_stack_depth
+        self.rstack: List[int] = [0] * self.config.return_stack_depth
+        self.sp = 0   # number of live data-stack entries
+        self.rsp = 0  # number of live return-stack entries
+        self.pc = 0
+        self.cycles = 0
+        self.instret = 0
+        self.iterations = 0
+        self.halted = False
+        self.trap_event: Optional[TrapEvent] = None
+        self.last_pc = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self, entry: int = 0) -> None:
+        self.dstack = [0] * self.config.data_stack_depth
+        self.rstack = [0] * self.config.return_stack_depth
+        self.sp = 0
+        self.rsp = 0
+        self.pc = entry
+        self.cycles = 0
+        self.instret = 0
+        self.iterations = 0
+        self.halted = False
+        self.trap_event = None
+        self.last_pc = entry
+
+    def load_image(self, image: dict) -> None:
+        for address, value in image.items():
+            self.memory[address] = value & WORD_MASK
+
+    # -- trap path -----------------------------------------------------------
+
+    def _trap(self, trap: Trap, detail: str = "") -> TsmEvent:
+        event = TrapEvent(trap=trap, pc=self.pc, cycle=self.cycles,
+                          detail=detail)
+        self.trap_event = event
+        self.halted = True
+        return TsmEvent(kind="trap", trap=event)
+
+    # -- stack helpers (bound-checked: the machine's signature EDMs) ---------
+
+    def _push(self, value: int) -> Optional[TsmEvent]:
+        # sp is a physical register wider than the stack is deep (its scan
+        # cell spans the full binary range), so a corrupted pointer may
+        # exceed the array: the bound checker reports it as overflow.
+        if self.sp >= self.config.data_stack_depth:
+            return self._trap(STACK_FAULT, detail="data-stack overflow")
+        self.dstack[self.sp] = value & WORD_MASK
+        self.sp += 1
+        return None
+
+    def _pop(self) -> tuple:
+        if self.sp <= 0:
+            return None, self._trap(STACK_FAULT, detail="data-stack underflow")
+        if self.sp > self.config.data_stack_depth:
+            return None, self._trap(STACK_FAULT, detail="data-stack overflow")
+        self.sp -= 1
+        return self.dstack[self.sp], None
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> Optional[TsmEvent]:
+        if self.halted:
+            raise TsmHalted("machine is halted")
+        if not 0 <= self.pc < self.config.memory_size:
+            return self._trap(Trap.ILLEGAL_ADDRESS,
+                              detail=f"fetch from {self.pc:#x}")
+        self.last_pc = self.pc
+        word = self.memory[self.pc]
+        op, operand = decode(word)
+        if op is None:
+            return self._trap(Trap.ILLEGAL_OPCODE, detail=f"word {word:#x}")
+
+        self.cycles += 2 if op in (TsmOp.MUL, TsmOp.DIV) else 1
+        next_pc = self.pc + 1
+        event: Optional[TsmEvent] = None
+
+        if op is TsmOp.NOP:
+            pass
+        elif op is TsmOp.HALT:
+            self.halted = True
+            event = TsmEvent(kind="halt")
+        elif op is TsmOp.SYNC:
+            self.iterations += 1
+            event = TsmEvent(kind="sync", iteration=self.iterations)
+        elif op is TsmOp.PUSHI:
+            value = operand
+            if value & (1 << (OPERAND_BITS - 1)):
+                value -= 1 << OPERAND_BITS
+            event = self._push(to_unsigned(value))
+        elif op is TsmOp.LOADI:
+            event = self._push(self.memory[operand])
+        elif op is TsmOp.STOREI:
+            value, event = self._pop()
+            if event is None:
+                self.memory[operand] = value
+        elif op is TsmOp.LOAD:
+            address, event = self._pop()
+            if event is None:
+                if address >= self.config.memory_size:
+                    event = self._trap(Trap.ILLEGAL_ADDRESS,
+                                       detail=f"load {address:#x}")
+                else:
+                    event = self._push(self.memory[address])
+        elif op is TsmOp.STORE:
+            address, event = self._pop()
+            if event is None:
+                value, event = self._pop()
+            if event is None:
+                if address >= self.config.memory_size:
+                    event = self._trap(Trap.ILLEGAL_ADDRESS,
+                                       detail=f"store {address:#x}")
+                else:
+                    self.memory[address] = value
+        elif op in (TsmOp.ADD, TsmOp.SUB, TsmOp.MUL, TsmOp.DIV):
+            b, event = self._pop()
+            a = None
+            if event is None:
+                a, event = self._pop()
+            if event is None:
+                if op is TsmOp.ADD:
+                    result = a + b
+                elif op is TsmOp.SUB:
+                    result = a - b
+                elif op is TsmOp.MUL:
+                    result = to_signed(a) * to_signed(b)
+                else:
+                    if to_signed(b) == 0:
+                        event = self._trap(Trap.DIV_ZERO)
+                    else:
+                        result = int(to_signed(a) / to_signed(b))
+                if event is None:
+                    event = self._push(to_unsigned(result))
+        elif op is TsmOp.INC:
+            value, event = self._pop()
+            if event is None:
+                event = self._push(to_unsigned(value + 1))
+        elif op is TsmOp.DEC:
+            value, event = self._pop()
+            if event is None:
+                event = self._push(to_unsigned(value - 1))
+        elif op is TsmOp.DUP:
+            value, event = self._pop()
+            if event is None:
+                event = self._push(value) or self._push(value)
+        elif op is TsmOp.DROP:
+            _, event = self._pop()
+        elif op is TsmOp.SWAP:
+            b, event = self._pop()
+            if event is None:
+                a, event = self._pop()
+                if event is None:
+                    event = self._push(b) or self._push(a)
+        elif op is TsmOp.OVER:
+            if self.sp < 2:
+                event = self._trap(STACK_FAULT, detail="data-stack underflow")
+            elif self.sp > self.config.data_stack_depth:
+                event = self._trap(STACK_FAULT, detail="data-stack overflow")
+            else:
+                event = self._push(self.dstack[self.sp - 2])
+        elif op is TsmOp.JMP:
+            next_pc = operand
+        elif op in (TsmOp.JZ, TsmOp.JNZ):
+            value, event = self._pop()
+            if event is None:
+                taken = (value == 0) if op is TsmOp.JZ else (value != 0)
+                if taken:
+                    next_pc = operand
+        elif op is TsmOp.CALL:
+            if self.rsp >= self.config.return_stack_depth:
+                event = self._trap(STACK_FAULT, detail="return-stack overflow")
+            else:
+                self.rstack[self.rsp] = self.pc + 1
+                self.rsp += 1
+                next_pc = operand
+        elif op is TsmOp.RET:
+            if self.rsp <= 0:
+                event = self._trap(STACK_FAULT, detail="return-stack underflow")
+            elif self.rsp > self.config.return_stack_depth:
+                event = self._trap(STACK_FAULT, detail="return-stack overflow")
+            else:
+                self.rsp -= 1
+                next_pc = self.rstack[self.rsp]
+        else:  # pragma: no cover
+            raise AssertionError(op)
+
+        if event is not None and event.kind == "trap":
+            return event
+        self.pc = next_pc
+        self.instret += 1
+        if (
+            self.config.watchdog_cycles is not None
+            and self.cycles > self.config.watchdog_cycles
+        ):
+            return self._trap(Trap.WATCHDOG)
+        return event

@@ -1,0 +1,155 @@
+"""Workloads for the TSM-1 target (its own mini programs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.tsm.assembler import TsmProgram, assemble_tsm
+from repro.util.errors import ConfigurationError
+
+_SUMSQ = """
+; sum of squares 1..n -> result
+start:
+    pushi {N}
+    storei counter
+    pushi 0
+    storei acc
+loop:
+    loadi counter
+    jz done
+    loadi counter
+    dup
+    mul
+    loadi acc
+    add
+    storei acc
+    loadi counter
+    dec
+    storei counter
+    jmp loop
+done:
+    loadi acc
+    storei result
+    halt
+counter: word 0
+acc:     word 0
+result:  word 0
+"""
+
+_FACT = """
+; recursive factorial via CALL/RET (return-stack depth = n+1)
+start:
+    loadi n
+    call fact
+    storei result
+    halt
+fact:               ; ( n -- n! )
+    dup
+    jz base
+    dup
+    dec
+    call fact
+    mul
+    ret
+base:
+    drop
+    pushi 1
+    ret
+n:      word {N}
+result: word 0
+"""
+
+_COUNT_LOOP = """
+; infinite loop: increment a counter, SYNC each iteration
+start:
+    pushi 0
+    storei counter
+loop:
+    loadi counter
+    inc
+    storei counter
+    sync
+    jmp loop
+counter: word 0
+"""
+
+
+@dataclass
+class TsmWorkload:
+    name: str
+    description: str
+    program: TsmProgram
+    input_writes: Dict[int, int] = field(default_factory=dict)
+    outputs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    expected: Dict[str, List[int]] = field(default_factory=dict)
+    is_loop: bool = False
+    default_max_iterations: int = None
+
+
+_BUILDERS: Dict[str, Callable[..., TsmWorkload]] = {}
+
+
+def register(name: str):
+    def decorator(builder):
+        _BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def available_tsm_workloads() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def get_tsm_workload(name: str, params: dict = None) -> TsmWorkload:
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown TSM workload {name!r}; "
+            f"available: {available_tsm_workloads()}"
+        )
+    return builder(**(params or {}))
+
+
+@register("sumsq")
+def sumsq(n: int = 10) -> TsmWorkload:
+    """Sum of squares 1..n."""
+    program = assemble_tsm(_SUMSQ.replace("{N}", str(n)))
+    return TsmWorkload(
+        name="sumsq",
+        description=f"sum of squares 1..{n}",
+        program=program,
+        outputs={"result": (program.symbols["result"], 1)},
+        expected={"result": [sum(i * i for i in range(1, n + 1)) & 0xFFFFFFFF]},
+    )
+
+
+@register("factorial")
+def factorial(n: int = 5) -> TsmWorkload:
+    """Recursive factorial (stresses the return stack; n+1 frames)."""
+    import math
+
+    program = assemble_tsm(_FACT.replace("{N}", str(n)))
+    return TsmWorkload(
+        name="factorial",
+        description=f"recursive {n}!",
+        program=program,
+        outputs={"result": (program.symbols["result"], 1)},
+        expected={"result": [math.factorial(n) & 0xFFFFFFFF]},
+    )
+
+
+@register("countloop")
+def countloop() -> TsmWorkload:
+    """Infinite SYNC loop (iteration-bounded)."""
+    program = assemble_tsm(_COUNT_LOOP)
+    return TsmWorkload(
+        name="countloop",
+        description="infinite counting loop",
+        program=program,
+        outputs={"counter": (program.symbols["counter"], 1)},
+        expected={},
+        is_loop=True,
+        default_max_iterations=20,
+    )

@@ -1,0 +1,19 @@
+"""Presentation layer: the GOOFI windows, headless.
+
+The original tool is a Java Swing GUI; this environment has no display
+toolkit, so each window is reproduced as a scriptable text-mode object
+with the same behaviour: everything the user can configure or observe in
+Figures 5-7 has a method here, and ``render()`` returns the window as
+text. The ``goofi`` CLI (``repro.ui.app``) drives these windows from the
+shell.
+"""
+
+from repro.ui.config_window import TargetConfigurationWindow
+from repro.ui.campaign_window import CampaignSetupWindow
+from repro.ui.progress_window import ProgressWindow
+
+__all__ = [
+    "TargetConfigurationWindow",
+    "CampaignSetupWindow",
+    "ProgressWindow",
+]

@@ -1,0 +1,424 @@
+"""The ``goofi`` command-line application.
+
+Drives the four phases of a fault-injection study from the shell:
+
+    goofi targets                               # what can I inject into?
+    goofi workloads                             # what can I run?
+    goofi configure  --db g.db --target thor-rd # configuration phase (Fig. 5)
+    goofi tree       --target thor-rd           # location hierarchy (Fig. 6)
+    goofi campaign   --db g.db --name c1 ...    # set-up phase (Fig. 6)
+    goofi merge      --db g.db --into c3 c1 c2  # merge stored campaigns
+    goofi run        --db g.db --campaign c1    # fault-injection phase (Fig. 7)
+    goofi analyze    --db g.db --campaign c1    # analysis phase
+    goofi rerun      --db g.db --campaign c1 --index 4   # detail re-run
+    goofi propagate  --db g.db --experiment c1-exp00004-rerun
+    goofi preview    --db g.db --campaign c1    # fault list without running
+    goofi compare    --db g.db c1 c2            # significance testing
+    goofi plan --half-width 0.05                # sample-size planning
+    goofi faultspace --db g.db --campaign c1    # fault-space accounting
+    goofi gen-analysis --db g.db --campaign c1  # emit analysis script
+    goofi port-skeleton --name MyBoard --techniques scifi
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.campaign import EnvironmentSpec, FaultModelSpec
+from repro.core.controller import CampaignController
+from repro.core.framework import (
+    available_targets,
+    available_techniques,
+    create_target,
+    generate_port_skeleton,
+)
+from repro.core.triggers import TriggerSpec
+from repro.db import GoofiDatabase
+from repro.db.autoanalysis import generate_analysis_script, run_auto_analysis
+from repro.ui.campaign_window import CampaignSetupWindow
+from repro.ui.config_window import TargetConfigurationWindow
+from repro.ui.progress_window import ProgressWindow
+from repro.util.errors import ReproError
+from repro.workloads import available_workloads
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="goofi",
+        description="GOOFI: generic object-oriented fault injection tool",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list registered target systems")
+    p = sub.add_parser("workloads", help="list available workloads")
+    p.add_argument("--target", help="restrict to one target's workloads")
+    sub.add_parser("techniques", help="list fault-injection techniques")
+
+    p = sub.add_parser("configure", help="save target data (Figure 5)")
+    p.add_argument("--db", required=True)
+    p.add_argument("--target", default="thor-rd")
+    p.add_argument("--max-rows", type=int, default=24)
+
+    p = sub.add_parser("tree", help="show the fault-location hierarchy")
+    p.add_argument("--target", default="thor-rd")
+    p.add_argument("--workload", default="bubblesort")
+
+    p = sub.add_parser("campaign", help="define a campaign (Figure 6)")
+    p.add_argument("--db", required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("--target", default="thor-rd")
+    p.add_argument("--technique", default="scifi")
+    p.add_argument("--workload", default="bubblesort")
+    p.add_argument(
+        "--locations", nargs="+", default=["scan:internal/cpu.regfile.*"]
+    )
+    p.add_argument("--experiments", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fault-kind", default="transient",
+                   choices=["transient", "intermittent", "permanent"])
+    p.add_argument("--multiplicity", type=int, default=1)
+    p.add_argument("--trigger", default="time-uniform",
+                   choices=list(TriggerSpec.VALID_KINDS))
+    p.add_argument("--logging-mode", default="normal",
+                   choices=["normal", "detail"])
+    p.add_argument("--timeout-cycles", type=int)
+    p.add_argument("--max-iterations", type=int)
+    p.add_argument("--environment")
+    p.add_argument("--preinjection", action="store_true")
+    p.add_argument("--protect-code", action="store_true",
+                   help="write-protect the code image (software EDM)")
+
+    p = sub.add_parser("merge", help="merge stored campaigns")
+    p.add_argument("--db", required=True)
+    p.add_argument("--into", required=True)
+    p.add_argument("sources", nargs="+")
+
+    p = sub.add_parser("campaigns", help="list stored campaigns")
+    p.add_argument("--db", required=True)
+
+    p = sub.add_parser("run", help="run a campaign (Figure 7)")
+    p.add_argument("--db", required=True)
+    p.add_argument("--campaign", required=True)
+    p.add_argument("--quiet", action="store_true")
+    p.add_argument("--resume", action="store_true",
+                   help="skip experiments already logged in the database")
+
+    p = sub.add_parser("analyze", help="classify a stored campaign")
+    p.add_argument("--db", required=True)
+    p.add_argument("--campaign", required=True)
+
+    p = sub.add_parser("rerun", help="re-run one experiment in detail mode")
+    p.add_argument("--db", required=True)
+    p.add_argument("--campaign", required=True)
+    p.add_argument("--index", type=int, required=True)
+
+    p = sub.add_parser("gen-analysis", help="generate an analysis script")
+    p.add_argument("--db", required=True)
+    p.add_argument("--campaign", required=True)
+    p.add_argument("--output", default="-")
+
+    p = sub.add_parser("port-skeleton", help="emit a new-target skeleton")
+    p.add_argument("--name", required=True)
+    p.add_argument("--techniques", nargs="+", default=["scifi"])
+
+    p = sub.add_parser(
+        "compare", help="compare two stored campaigns statistically"
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("campaigns", nargs=2)
+
+    p = sub.add_parser(
+        "plan", help="sample-size planning for a target CI width"
+    )
+    p.add_argument("--proportion", type=float, default=0.5)
+    p.add_argument("--half-width", type=float, default=0.05)
+    p.add_argument("--confidence", type=float, default=0.95)
+
+    p = sub.add_parser(
+        "propagate", help="error-propagation report for a detail-mode experiment"
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--experiment", required=True)
+
+    p = sub.add_parser(
+        "faultspace", help="fault-space accounting for a stored campaign"
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--campaign", required=True)
+
+    p = sub.add_parser(
+        "preview", help="preview a campaign's planned faults without running"
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--campaign", required=True)
+    p.add_argument("--count", type=int, default=10)
+
+    return parser
+
+
+def _cmd_configure(args) -> int:
+    with GoofiDatabase(args.db) as db:
+        target = create_target(args.target)
+        window = TargetConfigurationWindow(target, db)
+        window.save()
+        print(window.render(max_rows=args.max_rows))
+        print(f"saved TargetSystemData for {args.target!r} to {args.db}")
+    return 0
+
+
+def _cmd_tree(args) -> int:
+    window = CampaignSetupWindow()
+    window.select_target(args.target)
+    window.set_workload(args.workload)
+    print(window.location_tree())
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    with GoofiDatabase(args.db) as db:
+        window = CampaignSetupWindow(db)
+        window.select_target(args.target)
+        window.set_name(args.name)
+        window.set_technique(args.technique)
+        window.set_workload(args.workload)
+        window.choose_locations(args.locations)
+        window.set_fault_model(
+            FaultModelSpec(kind=args.fault_kind, multiplicity=args.multiplicity)
+        )
+        window.set_trigger(TriggerSpec(kind=args.trigger))
+        window.set_experiments(args.experiments, args.seed)
+        window.set_logging_mode(args.logging_mode)
+        window.set_termination(args.timeout_cycles, args.max_iterations)
+        if args.environment:
+            window.set_environment(args.environment)
+        if args.preinjection:
+            window.set_preinjection(True)
+        if args.protect_code:
+            window.set_protect_code(True)
+        window.save()
+        print(window.render())
+        print(f"saved CampaignData {args.name!r} to {args.db}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    with GoofiDatabase(args.db) as db:
+        campaign = db.load_campaign(args.campaign)
+        target = create_target(campaign.target_name)
+        controller = CampaignController(target, sink=db)
+        window = ProgressWindow(
+            controller, stream=None if args.quiet else sys.stdout
+        )
+        controller.run(campaign, resume=args.resume)
+        print(window.render())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    with GoofiDatabase(args.db) as db:
+        print(run_auto_analysis(db, args.campaign))
+    return 0
+
+
+def _cmd_rerun(args) -> int:
+    with GoofiDatabase(args.db) as db:
+        campaign = db.load_campaign(args.campaign)
+        target = create_target(campaign.target_name)
+        result = target.rerun_experiment(campaign, args.index, sink=db)
+        print(f"re-ran {result.parent_experiment} as {result.name}")
+        print(f"logged {len(result.detail_states)} per-instruction states")
+    return 0
+
+
+def _cmd_gen_analysis(args) -> int:
+    script = generate_analysis_script(args.db, args.campaign)
+    if args.output == "-":
+        print(script)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(script)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis import classify_campaign
+    from repro.analysis.faultspace import compare_proportions
+    from repro.analysis.report import render_comparison
+
+    with GoofiDatabase(args.db) as db:
+        summaries = []
+        for name in args.campaigns:
+            reference = db.load_reference(name)
+            results = db.load_experiments(name)
+            summaries.append(classify_campaign(results, reference))
+        print(render_comparison(args.campaigns, summaries))
+        print()
+        a, b = summaries
+        effect = compare_proportions(
+            a.effective, a.total, b.effective, b.total
+        )
+        print(f"effectiveness:      {effect.describe()}")
+        if a.effective and b.effective:
+            coverage = compare_proportions(
+                a.detected, a.effective, b.detected, b.effective
+            )
+            print(f"detection coverage: {coverage.describe()}")
+    return 0
+
+
+def _cmd_propagate(args) -> int:
+    from repro.analysis import analyse_propagation
+
+    with GoofiDatabase(args.db) as db:
+        experiment = db.load_experiment(args.experiment)
+        if not experiment.detail_states:
+            print(
+                f"goofi: error: experiment {args.experiment!r} has no "
+                "detail-mode states; re-run it with 'goofi rerun'",
+                file=sys.stderr,
+            )
+            return 1
+        reference = db.load_reference(experiment.campaign_name)
+        if not reference.detail_states:
+            print(
+                "goofi: error: the campaign reference has no detail-mode "
+                "states",
+                file=sys.stderr,
+            )
+            return 1
+        report = analyse_propagation(
+            reference.detail_states, experiment.detail_states
+        )
+        print(f"experiment: {experiment.name}")
+        if experiment.injections:
+            injection = experiment.injections[0]
+            print(f"fault:      {injection.location.key()} at cycle "
+                  f"{injection.time}")
+        print(report.describe())
+        if report.infected_counts:
+            peak = max(report.infected_counts)
+            bar_unit = max(1, peak // 40)
+            print("infected cells per step:")
+            for i, count in enumerate(report.infected_counts):
+                if count or i == report.first_divergence_step:
+                    print(f"  step {i:5d} |{'#' * (count // bar_unit)} {count}")
+    return 0
+
+
+def _cmd_faultspace(args) -> int:
+    from repro.analysis.faultspace import campaign_fault_space
+
+    with GoofiDatabase(args.db) as db:
+        campaign = db.load_campaign(args.campaign)
+        target = create_target(campaign.target_name)
+        target.read_campaign_data(campaign)
+        try:
+            reference = db.load_reference(args.campaign)
+            duration = reference.duration_cycles
+            source = "stored reference run"
+        except ReproError:
+            reference = target.make_reference_run()
+            duration = reference.duration_cycles
+            source = "fresh reference run"
+        space = campaign_fault_space(
+            campaign, target.location_space(), duration
+        )
+        print(f"campaign:    {campaign.campaign_name}")
+        print(f"fault space: {space.describe(campaign.n_experiments)}")
+        print(f"duration:    {duration} cycles ({source})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "targets":
+            for name in available_targets():
+                print(name)
+            return 0
+        if args.command == "workloads":
+            names = None
+            if args.target:
+                names = create_target(args.target).available_workloads()
+            if names is None:
+                names = available_workloads()
+            for name in names:
+                print(name)
+            return 0
+        if args.command == "techniques":
+            for name in available_techniques():
+                print(name)
+            return 0
+        if args.command == "configure":
+            return _cmd_configure(args)
+        if args.command == "tree":
+            return _cmd_tree(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "merge":
+            with GoofiDatabase(args.db) as db:
+                window = CampaignSetupWindow(db)
+                merged = window.merge(args.sources, args.into)
+                print(f"merged {args.sources} into {merged.campaign_name!r} "
+                      f"({merged.n_experiments} experiments)")
+            return 0
+        if args.command == "campaigns":
+            with GoofiDatabase(args.db) as db:
+                for name in db.list_campaigns():
+                    print(name)
+            return 0
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "rerun":
+            return _cmd_rerun(args)
+        if args.command == "gen-analysis":
+            return _cmd_gen_analysis(args)
+        if args.command == "port-skeleton":
+            print(generate_port_skeleton(args.name, args.techniques))
+            return 0
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "plan":
+            from repro.analysis.faultspace import required_experiments
+
+            n = required_experiments(
+                args.proportion, args.half_width, args.confidence
+            )
+            print(
+                f"{n} experiments give a +-{args.half_width:.0%} interval "
+                f"at {args.confidence:.0%} confidence "
+                f"(expected proportion {args.proportion:.2f})"
+            )
+            return 0
+        if args.command == "propagate":
+            return _cmd_propagate(args)
+        if args.command == "faultspace":
+            return _cmd_faultspace(args)
+        if args.command == "preview":
+            with GoofiDatabase(args.db) as db:
+                campaign = db.load_campaign(args.campaign)
+                target = create_target(campaign.target_name)
+                previews = target.preview_fault_list(campaign, args.count)
+                print(f"{'exp':>5s} {'cycle':>8s} {'op':>7s}  location")
+                for preview in previews:
+                    for action in preview["actions"]:
+                        for location in action["locations"]:
+                            print(
+                                f"{preview['index']:>5d} "
+                                f"{action['time']:>8d} "
+                                f"{action['op']:>7s}  {location}"
+                            )
+            return 0
+        raise AssertionError(args.command)  # pragma: no cover
+    except ReproError as exc:
+        print(f"goofi: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

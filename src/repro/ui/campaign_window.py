@@ -1,0 +1,201 @@
+"""Campaign set-up window (paper Figure 6).
+
+The set-up phase in window form: pick a target, browse the hierarchical
+list of fault-injection locations, choose locations, fault model, points
+in time, workload, number of experiments and termination conditions; save
+the result to ``CampaignData``; or modify / merge stored campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.campaign import CampaignData, EnvironmentSpec, FaultModelSpec
+from repro.core.framework import Framework, create_target
+from repro.core.triggers import TriggerSpec
+from repro.db.database import GoofiDatabase
+from repro.util.errors import ConfigurationError, ReproError
+from repro.workloads import available_workloads
+
+
+class CampaignSetupWindow:
+    """Set-up-phase window: interactive campaign construction."""
+
+    def __init__(self, db: Optional[GoofiDatabase] = None):
+        self.db = db
+        self.target: Optional[Framework] = None
+        self._draft: dict = {
+            "campaign_name": "",
+            "target_name": "",
+            "technique": "scifi",
+            "workload_name": "bubblesort",
+            "workload_params": {},
+            "location_patterns": [],
+            "n_experiments": 100,
+            "seed": 1,
+        }
+
+    # -- selections (the window's input fields) -------------------------------
+
+    def select_target(self, name: str, **target_kwargs) -> None:
+        """Pick the target system; interprets its TargetSystemData."""
+        self.target = create_target(name, **target_kwargs)
+        self._draft["target_name"] = name
+
+    def set_name(self, name: str) -> None:
+        self._draft["campaign_name"] = name
+
+    def set_technique(self, technique: str) -> None:
+        self._draft["technique"] = technique
+
+    def set_workload(self, name: str, **params) -> None:
+        known = None
+        if self.target is not None:
+            known = self.target.available_workloads()
+        if known is None:
+            known = available_workloads()
+        if name not in known:
+            raise ConfigurationError(
+                f"unknown workload {name!r}; available: {known}"
+            )
+        self._draft["workload_name"] = name
+        self._draft["workload_params"] = params
+
+    def choose_locations(self, patterns: List[str]) -> None:
+        """Select fault-injection locations by pattern (the hierarchical
+        tree's check-boxes)."""
+        self._draft["location_patterns"] = list(patterns)
+
+    def set_fault_model(self, spec: FaultModelSpec) -> None:
+        self._draft["fault_model"] = spec.to_dict()
+
+    def set_trigger(self, spec: TriggerSpec) -> None:
+        self._draft["trigger"] = spec.to_dict()
+
+    def set_experiments(self, count: int, seed: Optional[int] = None) -> None:
+        self._draft["n_experiments"] = count
+        if seed is not None:
+            self._draft["seed"] = seed
+
+    def set_termination(
+        self,
+        timeout_cycles: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        if timeout_cycles is not None:
+            self._draft["timeout_cycles"] = timeout_cycles
+        if max_iterations is not None:
+            self._draft["max_iterations"] = max_iterations
+
+    def set_environment(self, name: str, **params) -> None:
+        self._draft["environment"] = EnvironmentSpec(
+            name=name, params=params
+        ).to_dict()
+
+    def set_logging_mode(self, mode: str) -> None:
+        self._draft["logging_mode"] = mode
+
+    def set_preinjection(self, enabled: bool) -> None:
+        self._draft["use_preinjection"] = enabled
+
+    def set_protect_code(self, enabled: bool) -> None:
+        self._draft["protect_code"] = enabled
+
+    # -- the hierarchical location list ---------------------------------------
+
+    def location_tree(self) -> str:
+        """Render the Figure 6 hierarchical list for the chosen target."""
+        target = self._require_target()
+        # Bind a minimal campaign so the target knows its workload image
+        # (memory locations depend on it).
+        if self._draft.get("workload_name"):
+            try:
+                probe = self.build(validate_only=True)
+                target.read_campaign_data(probe)
+            except ReproError:
+                pass
+        return target.location_space().tree().render()
+
+    def matching_locations(self, patterns: List[str]) -> int:
+        """How many injectable bits the current selection covers."""
+        target = self._require_target()
+        return len(target.location_space().expand(patterns))
+
+    # -- campaign construction / persistence ------------------------------------
+
+    def build(self, validate_only: bool = False) -> CampaignData:
+        draft = dict(self._draft)
+        if validate_only and not draft["location_patterns"]:
+            draft["location_patterns"] = ["scan:internal/cpu.pc"]
+        if validate_only and not draft["campaign_name"]:
+            draft["campaign_name"] = "-draft-"
+        if "fault_model" in draft:
+            draft["fault_model"] = FaultModelSpec.from_dict(draft["fault_model"])
+        if "trigger" in draft:
+            draft["trigger"] = TriggerSpec.from_dict(draft["trigger"])
+        env = draft.get("environment")
+        if env is not None:
+            draft["environment"] = EnvironmentSpec.from_dict(env)
+        return CampaignData(**{
+            key: value
+            for key, value in draft.items()
+        })
+
+    def save(self) -> CampaignData:
+        """Store the campaign in CampaignData (set-up phase output)."""
+        if self.db is None:
+            raise ConfigurationError("no database attached to this window")
+        campaign = self.build()
+        self.db.save_campaign(campaign)
+        return campaign
+
+    def load(self, name: str) -> CampaignData:
+        """Load stored campaign data for modification."""
+        if self.db is None:
+            raise ConfigurationError("no database attached to this window")
+        campaign = self.db.load_campaign(name)
+        self._draft = campaign.to_dict()
+        # Drop derived None fields so build() round-trips.
+        self._draft = {
+            key: value for key, value in self._draft.items() if value is not None
+        }
+        return campaign
+
+    def merge(self, names: List[str], new_name: str) -> CampaignData:
+        """Merge stored campaigns into a new one (Figure 6 feature)."""
+        if self.db is None:
+            raise ConfigurationError("no database attached to this window")
+        campaigns = [self.db.load_campaign(name) for name in names]
+        merged = CampaignData.merge(new_name, campaigns)
+        self.db.save_campaign(merged)
+        return merged
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        draft = self._draft
+        lines = [
+            "Fault injection campaign definition",
+            "=" * 50,
+            f"campaign:    {draft.get('campaign_name') or '(unnamed)'}",
+            f"target:      {draft.get('target_name') or '(none)'}",
+            f"technique:   {draft.get('technique')}",
+            f"workload:    {draft.get('workload_name')} {draft.get('workload_params')}",
+            f"locations:   {draft.get('location_patterns')}",
+            f"fault model: {draft.get('fault_model', FaultModelSpec().to_dict())}",
+            f"trigger:     {draft.get('trigger', TriggerSpec().to_dict())}",
+            f"experiments: {draft.get('n_experiments')} (seed {draft.get('seed')})",
+        ]
+        if draft.get("timeout_cycles") or draft.get("max_iterations"):
+            lines.append(
+                f"termination: timeout={draft.get('timeout_cycles')} "
+                f"max_iterations={draft.get('max_iterations')}"
+            )
+        if draft.get("environment"):
+            lines.append(f"environment: {draft['environment']}")
+        return "\n".join(lines)
+
+    def _require_target(self) -> Framework:
+        if self.target is None:
+            raise ConfigurationError("select a target system first")
+        return self.target

@@ -1,0 +1,103 @@
+"""Target-system configuration window (paper Figure 5).
+
+"The scan-chains are configured via a graphical user interface. Here, the
+user enters the name and the position of possible fault injection
+locations. This information is stored in the TargetSystemData database
+table. Some locations in the scan-chain are read-only..."
+
+For the simulated Thor RD the chain structure is discovered from the test
+card rather than typed in, but the window keeps the same contract: review
+the locations (with positions and read-only flags), optionally annotate
+them, and persist everything to ``TargetSystemData``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.framework import Framework
+from repro.db.database import GoofiDatabase
+from repro.util.errors import ConfigurationError
+
+
+class TargetConfigurationWindow:
+    """Configuration-phase window: scan-chain layout -> TargetSystemData."""
+
+    def __init__(self, target: Framework, db: Optional[GoofiDatabase] = None):
+        self.target = target
+        self.db = db
+        self.annotations: Dict[str, str] = {}
+        self._description = target.describe_target()
+
+    # -- user actions -------------------------------------------------------
+
+    def annotate(self, cell_path: str, note: str) -> None:
+        """Attach a user note to one location (e.g. its silicon name)."""
+        if not self._cell_exists(cell_path):
+            raise ConfigurationError(f"no such location {cell_path!r}")
+        self.annotations[cell_path] = note
+
+    def save(self) -> None:
+        """Persist the target description to TargetSystemData."""
+        if self.db is None:
+            raise ConfigurationError("no database attached to this window")
+        description = dict(self._description)
+        description["annotations"] = dict(self.annotations)
+        self.db.save_target(description["name"], description)
+
+    def load(self, name: str) -> dict:
+        """Reload a stored target description."""
+        if self.db is None:
+            raise ConfigurationError("no database attached to this window")
+        description = self.db.load_target(name)
+        self.annotations = dict(description.get("annotations", {}))
+        self._description = description
+        return description
+
+    # -- queries / rendering ---------------------------------------------------
+
+    def locations(self) -> List[dict]:
+        rows = []
+        for chain_name, cells in self._description["chains"].items():
+            for cell in cells:
+                rows.append(
+                    {
+                        "chain": chain_name,
+                        "path": cell["path"],
+                        "position": cell["offset"],
+                        "width": cell["width"],
+                        "read_only": cell["read_only"],
+                        "note": self.annotations.get(cell["path"], ""),
+                    }
+                )
+        return rows
+
+    def _cell_exists(self, cell_path: str) -> bool:
+        return any(row["path"] == cell_path for row in self.locations())
+
+    def render(self, max_rows: int = 0) -> str:
+        name = self._description.get("name", "?")
+        lines = [
+            f"Target system configuration — {name}",
+            "=" * 72,
+            f"{'chain':10s} {'location':34s} {'pos':>5s} {'bits':>5s} {'mode':>6s}",
+            "-" * 72,
+        ]
+        rows = self.locations()
+        shown = rows if max_rows <= 0 else rows[:max_rows]
+        for row in shown:
+            mode = "r/o" if row["read_only"] else "r/w"
+            lines.append(
+                f"{row['chain']:10s} {row['path']:34s} "
+                f"{row['position']:5d} {row['width']:5d} {mode:>6s}"
+            )
+        if max_rows > 0 and len(rows) > max_rows:
+            lines.append(f"... {len(rows) - max_rows} more locations")
+        lines.append("-" * 72)
+        total = sum(row["width"] for row in rows)
+        ro = sum(row["width"] for row in rows if row["read_only"])
+        lines.append(
+            f"{len(rows)} locations, {total} bits total "
+            f"({total - ro} injectable, {ro} observe-only)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Campaign progress window (paper Figure 7).
+
+"a progress window is shown enabling the user to monitor the experiments,
+e.g. getting information about the number of faults injected and also to
+pause, restart or end the campaign."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.controller import CampaignController, CampaignProgress
+
+
+class ProgressWindow:
+    """Live view over a :class:`CampaignController`."""
+
+    BAR_WIDTH = 40
+
+    def __init__(self, controller: CampaignController, stream=None):
+        self.controller = controller
+        self.stream = stream
+        self.snapshots: List[CampaignProgress] = []
+        controller.add_listener(self._on_progress)
+
+    # -- the three buttons -----------------------------------------------------
+
+    def pause(self) -> None:
+        self.controller.pause()
+
+    def restart(self) -> None:
+        self.controller.resume()
+
+    def end(self) -> None:
+        self.controller.stop()
+
+    # -- updates ------------------------------------------------------------------
+
+    def _on_progress(self, progress: CampaignProgress) -> None:
+        self.snapshots.append(_copy_progress(progress))
+        if self.stream is not None:
+            print(self.render(), file=self.stream)
+
+    @property
+    def latest(self) -> Optional[CampaignProgress]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def render(self) -> str:
+        progress = self.latest or self.controller.progress
+        done = progress.n_done
+        total = max(1, progress.n_total)
+        filled = int(self.BAR_WIDTH * min(1.0, done / total))
+        bar = "#" * filled + "." * (self.BAR_WIDTH - filled)
+        lines = [
+            f"Campaign: {progress.campaign_name}   [{progress.state}]",
+            f"[{bar}] {progress.percent_done:5.1f}%",
+            f"experiments: {done}/{progress.n_total}   "
+            f"faults injected: {progress.n_injected_faults}   "
+            f"rate: {progress.experiments_per_second:.1f}/s",
+        ]
+        if progress.terminations:
+            terms = "  ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(progress.terminations.items())
+            )
+            lines.append(f"terminations: {terms}")
+        if progress.detections:
+            dets = "  ".join(
+                f"{name}={count}"
+                for name, count in sorted(progress.detections.items())
+            )
+            lines.append(f"detections:   {dets}")
+        return "\n".join(lines)
+
+
+def _copy_progress(progress: CampaignProgress) -> CampaignProgress:
+    return CampaignProgress(
+        campaign_name=progress.campaign_name,
+        n_total=progress.n_total,
+        n_done=progress.n_done,
+        n_injected_faults=progress.n_injected_faults,
+        terminations=dict(progress.terminations),
+        detections=dict(progress.detections),
+        elapsed_seconds=progress.elapsed_seconds,
+        state=progress.state,
+    )

@@ -1,0 +1,35 @@
+"""Shared utilities: bit manipulation, deterministic RNG, error types."""
+
+from repro.util.bits import (
+    bit_get,
+    bit_set,
+    bit_flip,
+    bits_to_int,
+    int_to_bits,
+    parity,
+    popcount,
+)
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    TargetError,
+    DatabaseError,
+    CampaignError,
+)
+from repro.util.rng import CampaignRandom
+
+__all__ = [
+    "bit_get",
+    "bit_set",
+    "bit_flip",
+    "bits_to_int",
+    "int_to_bits",
+    "parity",
+    "popcount",
+    "ReproError",
+    "ConfigurationError",
+    "TargetError",
+    "DatabaseError",
+    "CampaignError",
+    "CampaignRandom",
+]

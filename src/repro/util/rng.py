@@ -1,0 +1,65 @@
+"""Deterministic random source for fault-injection campaigns.
+
+Reproducibility is a first-class requirement: a campaign stores its seed in
+``CampaignData`` so any experiment can be re-run bit-for-bit (the
+``parentExperiment`` mechanism of the paper's database schema relies on
+this). ``CampaignRandom`` is a thin wrapper over :class:`random.Random`
+that adds campaign-specific sampling helpers and per-experiment substreams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class CampaignRandom:
+    """Seeded random source with independent per-experiment substreams."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._root = random.Random(self.seed)
+
+    def substream(self, experiment_index: int) -> random.Random:
+        """Return an independent generator for one experiment.
+
+        Substreams are derived from (seed, index) so experiment *i* draws
+        the same faults regardless of whether experiments before it were
+        re-run, skipped or parallelised.
+        """
+        return random.Random(f"{self.seed}:{experiment_index}")
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._root.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._root.sample(seq, k)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._root.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._root.random()
+
+    @staticmethod
+    def pick_injection(
+        rng: random.Random,
+        n_locations: int,
+        max_time: int,
+        multiplicity: int = 1,
+    ) -> Tuple[int, List[int]]:
+        """Sample one injection: a time and ``multiplicity`` locations.
+
+        Returns ``(time, [location_index, ...])`` where ``time`` is uniform
+        over ``[1, max_time]`` and locations are drawn without replacement.
+        """
+        if n_locations <= 0:
+            raise ValueError("n_locations must be positive")
+        if max_time <= 0:
+            raise ValueError("max_time must be positive")
+        k = min(multiplicity, n_locations)
+        time = rng.randint(1, max_time)
+        locations = rng.sample(range(n_locations), k)
+        return time, locations

@@ -1,0 +1,31 @@
+"""Workload library: target programs for fault-injection campaigns.
+
+Every workload is real THOR-lite assembly, assembled at build time, with
+its input data written through the test card's download port (the
+``writeMemory`` building block) and its outputs read back after
+termination (``readMemory``). Golden outputs are computed in Python so
+the test suite can verify fault-free execution end to end.
+"""
+
+from repro.workloads.library import (
+    WorkloadDefinition,
+    available_workloads,
+    get_workload,
+    register_workload,
+)
+
+# Import the program modules for their registration side effects.
+from repro.workloads import (  # noqa: E402,F401
+    arith,
+    control,
+    multitask,
+    search,
+    sort,
+)
+
+__all__ = [
+    "WorkloadDefinition",
+    "available_workloads",
+    "get_workload",
+    "register_workload",
+]

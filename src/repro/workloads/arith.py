@@ -1,0 +1,264 @@
+"""Arithmetic workloads: matrix multiply, Fibonacci, CRC and vector sum.
+
+These cover distinct architectural profiles: matmul is multiply-heavy
+with 2-D addressing, Fibonacci is call/return-free tight looping, the CRC
+stresses the shifter and XOR datapath, and vecsum is the minimal
+load-accumulate loop used by quick smoke campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.library import (
+    WorkloadDefinition,
+    build,
+    make_input_values,
+    register_workload,
+)
+
+_MATMUL_SRC = """
+; c = a * b for DIM x DIM row-major matrices.
+start:
+    ldi  sp, 0xF000
+    ldi  r1, 0             ; i
+row:
+    cmpi r1, {DIM}
+    bge  finish
+    ldi  r2, 0             ; j
+col:
+    cmpi r2, {DIM}
+    bge  row_next
+    ldi  r3, 0             ; acc
+    ldi  r4, 0             ; k
+dot:
+    cmpi r4, {DIM}
+    bge  dot_done
+    ; a[i][k]
+    muli r5, r1, {DIM}
+    add  r5, r5, r4
+    ldi  r6, mat_a
+    add  r6, r6, r5
+    ld   r7, [r6+0]
+    ; b[k][j]
+    muli r5, r4, {DIM}
+    add  r5, r5, r2
+    ldi  r6, mat_b
+    add  r6, r6, r5
+    ld   r8, [r6+0]
+    mul  r7, r7, r8
+    add  r3, r3, r7
+    addi r4, r4, 1
+    jmp  dot
+dot_done:
+    muli r5, r1, {DIM}
+    add  r5, r5, r2
+    ldi  r6, mat_c
+    add  r6, r6, r5
+    st   r3, [r6+0]
+    addi r2, r2, 1
+    jmp  col
+row_next:
+    addi r1, r1, 1
+    jmp  row
+finish:
+    halt
+mat_a:
+    .space {CELLS}
+mat_b:
+    .space {CELLS}
+mat_c:
+    .space {CELLS}
+"""
+
+
+@register_workload("matmul")
+def matmul(dim: int = 4, seed: int = 3) -> WorkloadDefinition:
+    """Row-major ``dim`` x ``dim`` integer matrix multiplication."""
+    cells = dim * dim
+    src = _MATMUL_SRC.replace("{DIM}", str(dim)).replace("{CELLS}", str(cells))
+    program = build(src)
+    a = make_input_values(cells, seed, lo=0, hi=99)
+    b = make_input_values(cells, seed + 1, lo=0, hi=99)
+    inputs = {}
+    for i, value in enumerate(a):
+        inputs[program.symbols["mat_a"] + i] = value
+    for i, value in enumerate(b):
+        inputs[program.symbols["mat_b"] + i] = value
+    expected: List[int] = []
+    for i in range(dim):
+        for j in range(dim):
+            acc = sum(a[i * dim + k] * b[k * dim + j] for k in range(dim))
+            expected.append(acc & 0xFFFFFFFF)
+    return WorkloadDefinition(
+        name="matmul",
+        description=f"{dim}x{dim} integer matrix multiply (seed {seed})",
+        program=program,
+        input_writes=inputs,
+        outputs={"product": (program.symbols["mat_c"], cells)},
+        expected={"product": expected},
+    )
+
+
+_FIB_SRC = """
+; fib[i] for i in 0..n-1, modulo 2^32.
+start:
+    ldi  sp, 0xF000
+    ldi  r1, 0             ; a
+    ldi  r2, 1             ; b
+    ldi  r3, 0             ; i
+    ldi  r4, out
+floop:
+    cmpi r3, {N}
+    bge  finish
+    add  r5, r4, r3
+    st   r1, [r5+0]
+    add  r6, r1, r2
+    mov  r1, r2
+    mov  r2, r6
+    addi r3, r3, 1
+    jmp  floop
+finish:
+    halt
+out:
+    .space {N}
+"""
+
+
+@register_workload("fibonacci")
+def fibonacci(n: int = 24) -> WorkloadDefinition:
+    """First ``n`` Fibonacci numbers modulo 2^32."""
+    program = build(_FIB_SRC.replace("{N}", str(n)))
+    expected = []
+    a, b = 0, 1
+    for _ in range(n):
+        expected.append(a & 0xFFFFFFFF)
+        a, b = b, (a + b) & 0xFFFFFFFF
+    return WorkloadDefinition(
+        name="fibonacci",
+        description=f"first {n} Fibonacci numbers",
+        program=program,
+        input_writes={},
+        outputs={"fib": (program.symbols["out"], n)},
+        expected={"fib": expected},
+    )
+
+
+_CRC_SRC = """
+; bitwise CRC-32 (polynomial 0xEDB88320, reflected) over n data words.
+start:
+    ldi  sp, 0xF000
+    li   r1, 0xFFFFFFFF    ; crc
+    ldi  r2, 0             ; word index
+    ldi  r10, n
+    ld   r3, [r10+0]
+wloop:
+    cmp  r2, r3
+    bge  finish
+    ldi  r4, data
+    add  r4, r4, r2
+    ld   r5, [r4+0]        ; word
+    xor  r1, r1, r5
+    ldi  r6, 32            ; bit counter
+bloop:
+    cmpi r6, 0
+    ble  word_done
+    andi r7, r1, 1
+    shri r1, r1, 1
+    cmpi r7, 0
+    beq  no_poly
+    li   r8, 0xEDB88320
+    xor  r1, r1, r8
+no_poly:
+    subi r6, r6, 1
+    jmp  bloop
+word_done:
+    addi r2, r2, 1
+    jmp  wloop
+finish:
+    not  r1, r1
+    ldi  r9, crc_out
+    st   r1, [r9+0]
+    halt
+n:
+    .word {N}
+data:
+    .space {N}
+crc_out:
+    .word 0
+"""
+
+
+def _crc32_words(words: List[int]) -> int:
+    crc = 0xFFFFFFFF
+    for word in words:
+        crc ^= word
+        for _ in range(32):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+    return (~crc) & 0xFFFFFFFF
+
+
+@register_workload("crc32")
+def crc32(n: int = 8, seed: int = 5) -> WorkloadDefinition:
+    """Bitwise CRC-32 over ``n`` pseudo-random words."""
+    program = build(_CRC_SRC.replace("{N}", str(n)))
+    values = make_input_values(n, seed, lo=0, hi=0xFFFF)
+    base = program.symbols["data"]
+    inputs = {base + i: v for i, v in enumerate(values)}
+    return WorkloadDefinition(
+        name="crc32",
+        description=f"CRC-32 of {n} words (seed {seed})",
+        program=program,
+        input_writes=inputs,
+        outputs={"crc": (program.symbols["crc_out"], 1)},
+        expected={"crc": [_crc32_words(values)]},
+    )
+
+
+_VECSUM_SRC = """
+; sum of n words -> total.
+start:
+    ldi  sp, 0xF000
+    ldi  r1, vec
+    ldi  r10, n
+    ld   r2, [r10+0]
+    ldi  r3, 0
+vloop:
+    cmpi r2, 0
+    ble  finish
+    ld   r4, [r1+0]
+    add  r3, r3, r4
+    addi r1, r1, 1
+    subi r2, r2, 1
+    jmp  vloop
+finish:
+    ldi  r5, total
+    st   r3, [r5+0]
+    halt
+n:
+    .word {N}
+vec:
+    .space {N}
+total:
+    .word 0
+"""
+
+
+@register_workload("vecsum")
+def vecsum(n: int = 12, seed: int = 2) -> WorkloadDefinition:
+    """Vector sum — the minimal smoke-campaign workload."""
+    program = build(_VECSUM_SRC.replace("{N}", str(n)))
+    values = make_input_values(n, seed)
+    base = program.symbols["vec"]
+    inputs = {base + i: v for i, v in enumerate(values)}
+    return WorkloadDefinition(
+        name="vecsum",
+        description=f"sum of {n} words (seed {seed})",
+        program=program,
+        input_writes=inputs,
+        outputs={"total": (program.symbols["total"], 1)},
+        expected={"total": [sum(values) & 0xFFFFFFFF]},
+    )

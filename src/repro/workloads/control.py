@@ -1,0 +1,184 @@
+"""Closed-loop control workload (the paper's environment-simulator use case).
+
+The workload is a fixed-point (Q8) PID controller running as an infinite
+loop; at the end of every iteration it exchanges data with a user-provided
+environment simulator through memory windows (paper Section 3.2): the
+simulator writes the setpoint and the measured plant output into the INPUT
+window, the controller writes its actuation value into the OUTPUT window
+and executes SYNC.
+
+Two variants are generated from the same template, reproducing the
+companion study the paper cites ([12], "Reducing Critical Failures for
+Control Algorithms Using Executable Assertions and Best Effort Recovery"):
+
+* ``assertions=False`` — the plain controller,
+* ``assertions=True``  — the controller guarded by executable assertions
+  on the measured output and the computed actuation, with best-effort
+  recovery (reuse the last good actuation, reset the integrator state,
+  count the recovery).
+"""
+
+from __future__ import annotations
+
+from repro.thor.memory import ENV_INPUT_BASE, ENV_OUTPUT_BASE
+from repro.workloads.library import WorkloadDefinition, build, register_workload
+
+_HEADER = f"""
+.equ ENV_IN  {ENV_INPUT_BASE:#x}
+.equ ENV_OUT {ENV_OUTPUT_BASE:#x}
+start:
+    ldi  sp, 0xF000
+    ldi  r0, 0
+    ldi  r9, state
+    st   r0, [r9+0]        ; integ
+    st   r0, [r9+1]        ; prev_err
+    st   r0, [r9+2]        ; prev_u
+    st   r0, [r9+3]        ; rec_count
+loop:
+    ldi  r1, ENV_IN
+    ld   r2, [r1+0]        ; setpoint (Q8, signed)
+    ld   r3, [r1+1]        ; measured output y (Q8, signed)
+"""
+
+_ASSERT_Y = """
+    ; executable assertion: y must be physically plausible (|y| <= YMAX)
+    li   r5, {YMAX}
+    cmp  r3, r5
+    bgt  recover
+    li   r5, {NEG_YMAX}
+    cmp  r3, r5
+    blt  recover
+"""
+
+_PID_BODY = """
+    sub  r4, r2, r3        ; e = ref - y
+    ldi  r9, state
+    ld   r5, [r9+0]        ; integ
+    add  r5, r5, r4
+    li   r6, {IMAX}        ; anti-windup clamp
+    cmp  r5, r6
+    ble  aw_hi_ok
+    mov  r5, r6
+aw_hi_ok:
+    li   r6, {NEG_IMAX}
+    cmp  r5, r6
+    bge  aw_lo_ok
+    mov  r5, r6
+aw_lo_ok:
+    st   r5, [r9+0]
+    ld   r6, [r9+1]        ; prev_err
+    sub  r7, r4, r6        ; d = e - prev_err
+    st   r4, [r9+1]
+    ; u = (Kp*e + Ki*integ + Kd*d) >> 8   (Q8 arithmetic)
+    li   r8, {KP}
+    mul  r8, r8, r4
+    li   r10, {KI}
+    mul  r10, r10, r5
+    add  r8, r8, r10
+    li   r10, {KD}
+    mul  r10, r10, r7
+    add  r8, r8, r10
+    ldi  r10, 8
+    sra  r8, r8, r10
+"""
+
+_ASSERT_U = """
+    ; executable assertion: actuation within actuator range (|u| <= UMAX)
+    li   r10, {UMAX}
+    cmp  r8, r10
+    bgt  recover
+    li   r10, {NEG_UMAX}
+    cmp  r8, r10
+    blt  recover
+"""
+
+_EMIT = """
+    st   r8, [r9+2]        ; remember last good u
+emit:
+    ldi  r1, ENV_OUT
+    st   r8, [r1+0]
+    sync
+    jmp  loop
+"""
+
+_RECOVER = """
+recover:
+    ; best-effort recovery: hold the last good actuation and
+    ; re-initialise the controller state, then continue.
+    ldi  r9, state
+    ld   r8, [r9+2]        ; prev_u
+    ldi  r0, 0
+    st   r0, [r9+0]
+    st   r0, [r9+1]
+    ld   r10, [r9+3]
+    addi r10, r10, 1
+    st   r10, [r9+3]
+    jmp  emit
+"""
+
+_FOOTER = """
+state:
+    .space 4
+"""
+
+
+def _q8(value: float) -> int:
+    return int(round(value * 256.0))
+
+
+@register_workload("pid-control")
+def pid_control(
+    kp: float = 1.0,
+    ki: float = 0.1,
+    kd: float = 0.5,
+    umax: float = 64.0,
+    ymax: float = 96.0,
+    imax: float = 512.0,
+    assertions: bool = True,
+) -> WorkloadDefinition:
+    """PID control loop with optional executable assertions + recovery.
+
+    Gains and limits are floats in engineering units, converted to Q8.
+    """
+    substitutions = {
+        "{KP}": str(_q8(kp)),
+        "{KI}": str(_q8(ki)),
+        "{KD}": str(_q8(kd)),
+        "{UMAX}": str(_q8(umax)),
+        "{NEG_UMAX}": str(-_q8(umax)),
+        "{YMAX}": str(_q8(ymax)),
+        "{NEG_YMAX}": str(-_q8(ymax)),
+        "{IMAX}": str(_q8(imax)),
+        "{NEG_IMAX}": str(-_q8(imax)),
+    }
+    parts = [_HEADER]
+    if assertions:
+        parts.append(_ASSERT_Y)
+    parts.append(_PID_BODY)
+    if assertions:
+        parts.append(_ASSERT_U)
+    parts.append(_EMIT)
+    if assertions:
+        parts.append(_RECOVER)
+    parts.append(_FOOTER)
+    source = "".join(parts)
+    for token, value in substitutions.items():
+        source = source.replace(token, value)
+    program = build(source)
+    state = program.symbols["state"]
+    variant = "protected" if assertions else "unprotected"
+    return WorkloadDefinition(
+        name="pid-control",
+        description=f"Q8 PID control loop ({variant})",
+        program=program,
+        input_writes={},
+        outputs={
+            "integ": (state, 1),
+            "prev_u": (state + 2, 1),
+            "rec_count": (state + 3, 1),
+        },
+        expected={},  # closed-loop outputs depend on the plant model
+        is_loop=True,
+        default_max_iterations=200,
+        uses_environment=True,
+    )

@@ -1,0 +1,99 @@
+"""Cooperative multitasking workload (for the task-switch fault trigger).
+
+Section 4 of the paper lists "when task switches occur" among the planned
+fault triggers. This workload provides the substrate: a tiny cooperative
+executive that alternates two tasks, routing every context change through
+a ``task_switch`` routine. The ``task-switch`` trigger kind resolves to
+executions of that routine's entry address.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.library import WorkloadDefinition, build, register_workload
+
+_MULTITASK_SRC = """
+; round-robin executive: QUANTA quanta, alternating task_a / task_b,
+; every dispatch goes through task_switch (the trigger anchor).
+start:
+    ldi  sp, 0xF000
+    ldi  r9, 0             ; quantum counter
+sched:
+    cmpi r9, {QUANTA}
+    bge  done
+    call task_switch
+    andi r1, r9, 1
+    cmpi r1, 0
+    bne  dispatch_b
+    call task_a
+    jmp  next
+dispatch_b:
+    call task_b
+next:
+    addi r9, r9, 1
+    jmp  sched
+done:
+    halt
+
+task_switch:
+    ; context bookkeeping: count dispatches (a real executive would swap
+    ; register frames here — the trigger only cares about the address).
+    ldi  r2, switches
+    ld   r3, [r2+0]
+    addi r3, r3, 1
+    st   r3, [r2+0]
+    ret
+
+task_a:
+    ; counter_a += quantum index + 1
+    ldi  r2, counter_a
+    ld   r3, [r2+0]
+    add  r3, r3, r9
+    addi r3, r3, 1
+    st   r3, [r2+0]
+    ret
+
+task_b:
+    ; counter_b = counter_b * 3 + 1  (mod 2^32)
+    ldi  r2, counter_b
+    ld   r3, [r2+0]
+    muli r3, r3, 3
+    addi r3, r3, 1
+    st   r3, [r2+0]
+    ret
+
+switches:
+    .word 0
+counter_a:
+    .word 0
+counter_b:
+    .word 0
+"""
+
+
+@register_workload("multitask")
+def multitask(quanta: int = 12) -> WorkloadDefinition:
+    """Two cooperative tasks under a round-robin executive."""
+    program = build(_MULTITASK_SRC.replace("{QUANTA}", str(quanta)))
+    counter_a = 0
+    counter_b = 0
+    for quantum in range(quanta):
+        if quantum % 2 == 0:
+            counter_a = (counter_a + quantum + 1) & 0xFFFFFFFF
+        else:
+            counter_b = (counter_b * 3 + 1) & 0xFFFFFFFF
+    return WorkloadDefinition(
+        name="multitask",
+        description=f"two cooperative tasks, {quanta} quanta",
+        program=program,
+        input_writes={},
+        outputs={
+            "switches": (program.symbols["switches"], 1),
+            "counter_a": (program.symbols["counter_a"], 1),
+            "counter_b": (program.symbols["counter_b"], 1),
+        },
+        expected={
+            "switches": [quanta],
+            "counter_a": [counter_a],
+            "counter_b": [counter_b],
+        },
+    )

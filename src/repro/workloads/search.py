@@ -1,0 +1,163 @@
+"""Search and number-theory workloads.
+
+``binsearch`` is branch-heavy (dense CMP/branch traffic makes PSR faults
+effective), ``countprimes`` is divider-heavy (MOD in the inner loop gives
+the DIV_ZERO detection mechanism real exposure under injected faults).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.library import (
+    WorkloadDefinition,
+    build,
+    make_input_values,
+    register_workload,
+)
+
+_BINSEARCH_SRC = """
+; for each key in keys[0..m-1], binary-search arr[0..n-1] (sorted);
+; found[i] = index or -1.
+start:
+    ldi  sp, 0xF000
+    ldi  r9, 0             ; key index
+key_loop:
+    cmpi r9, {M}
+    bge  finish
+    ldi  r1, keys
+    add  r1, r1, r9
+    ld   r2, [r1+0]        ; key
+    ldi  r3, 0             ; lo
+    ldi  r4, {N}
+    subi r4, r4, 1         ; hi
+    ldi  r8, -1            ; result
+bs_loop:
+    cmp  r3, r4
+    bgt  bs_done
+    add  r5, r3, r4
+    ldi  r6, 2
+    div  r5, r5, r6        ; mid
+    ldi  r6, arr
+    add  r6, r6, r5
+    ld   r7, [r6+0]        ; arr[mid]
+    cmp  r7, r2
+    beq  bs_found
+    blt  bs_right
+    mov  r4, r5
+    subi r4, r4, 1
+    jmp  bs_loop
+bs_right:
+    mov  r3, r5
+    addi r3, r3, 1
+    jmp  bs_loop
+bs_found:
+    mov  r8, r5
+bs_done:
+    ldi  r1, found
+    add  r1, r1, r9
+    st   r8, [r1+0]
+    addi r9, r9, 1
+    jmp  key_loop
+finish:
+    halt
+arr:
+    .space {N}
+keys:
+    .space {M}
+found:
+    .space {M}
+"""
+
+
+@register_workload("binsearch")
+def binsearch(n: int = 16, m: int = 6, seed: int = 13) -> WorkloadDefinition:
+    """Binary search of ``m`` keys in a sorted ``n``-word array; half the
+    keys are present, half absent."""
+    source = _BINSEARCH_SRC.replace("{N}", str(n)).replace("{M}", str(m))
+    program = build(source)
+    values = sorted(set(make_input_values(n * 2, seed, lo=0, hi=9999)))[:n]
+    while len(values) < n:
+        values.append(values[-1] + 1)
+    rng_keys = []
+    for i in range(m):
+        if i % 2 == 0:
+            rng_keys.append(values[(i * 7) % n])  # present
+        else:
+            rng_keys.append(10_000 + i)  # absent
+    inputs = {}
+    for i, value in enumerate(values):
+        inputs[program.symbols["arr"] + i] = value
+    for i, key in enumerate(rng_keys):
+        inputs[program.symbols["keys"] + i] = key
+    expected = []
+    for key in rng_keys:
+        expected.append(values.index(key) if key in values else 0xFFFFFFFF)
+    return WorkloadDefinition(
+        name="binsearch",
+        description=f"binary search of {m} keys in {n} sorted words",
+        program=program,
+        input_writes=inputs,
+        outputs={"found": (program.symbols["found"], m)},
+        expected={"found": expected},
+    )
+
+
+_PRIMES_SRC = """
+; count primes in [2, n] by trial division -> count.
+start:
+    ldi  sp, 0xF000
+    ldi  r1, 2             ; candidate
+    ldi  r2, 0             ; count
+cand_loop:
+    cmpi r1, {N}
+    bgt  finish
+    ldi  r3, 2             ; divisor
+div_loop:
+    mul  r4, r3, r3
+    cmp  r4, r1
+    bgt  is_prime          ; divisor^2 > candidate: prime
+    mod  r5, r1, r3
+    cmpi r5, 0
+    beq  not_prime
+    addi r3, r3, 1
+    jmp  div_loop
+is_prime:
+    addi r2, r2, 1
+not_prime:
+    addi r1, r1, 1
+    jmp  cand_loop
+finish:
+    ldi  r6, count
+    st   r2, [r6+0]
+    halt
+count:
+    .word 0
+"""
+
+
+def _count_primes(n: int) -> int:
+    count = 0
+    for candidate in range(2, n + 1):
+        divisor = 2
+        prime = True
+        while divisor * divisor <= candidate:
+            if candidate % divisor == 0:
+                prime = False
+                break
+            divisor += 1
+        if prime:
+            count += 1
+    return count
+
+
+@register_workload("countprimes")
+def countprimes(n: int = 60) -> WorkloadDefinition:
+    """Count primes up to ``n`` by trial division (MOD-heavy)."""
+    program = build(_PRIMES_SRC.replace("{N}", str(n)))
+    return WorkloadDefinition(
+        name="countprimes",
+        description=f"count primes up to {n}",
+        program=program,
+        input_writes={},
+        outputs={"count": (program.symbols["count"], 1)},
+        expected={"count": [_count_primes(n)]},
+    )

@@ -1,0 +1,211 @@
+"""Sorting workloads: bubblesort and an iterative quicksort.
+
+Sorting is the classic fault-injection workload — dense data movement
+through registers, memory and both caches, with outputs (the sorted array
+plus a checksum) that make escaped errors observable.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.library import (
+    WorkloadDefinition,
+    build,
+    make_input_values,
+    register_workload,
+)
+
+_BUBBLE_SRC = """
+; bubblesort: sorts arr[0..n-1] ascending, then writes sum(arr) to checksum.
+start:
+    ldi  sp, 0xF000
+    ldi  r10, n
+    ld   r1, [r10+0]       ; r1 = remaining length
+outer:
+    cmpi r1, 1
+    ble  done_sort
+    ldi  r2, 0             ; i = 0
+inner:
+    ldi  r3, arr
+    add  r3, r3, r2        ; r3 = &arr[i]
+    ld   r4, [r3+0]
+    ld   r5, [r3+1]
+    cmp  r4, r5
+    ble  noswap
+    st   r5, [r3+0]
+    st   r4, [r3+1]
+noswap:
+    addi r2, r2, 1
+    mov  r6, r1
+    subi r6, r6, 1
+    cmp  r2, r6
+    blt  inner
+    subi r1, r1, 1
+    jmp  outer
+done_sort:
+    ldi  r2, 0             ; index
+    ldi  r3, 0             ; sum
+    ld   r1, [r10+0]
+csum:
+    cmp  r2, r1
+    bge  finish
+    ldi  r7, arr
+    add  r6, r7, r2
+    ld   r4, [r6+0]
+    add  r3, r3, r4
+    addi r2, r2, 1
+    jmp  csum
+finish:
+    ldi  r8, checksum
+    st   r3, [r8+0]
+    halt
+n:
+    .word {N}
+arr:
+    .space {N}
+checksum:
+    .word 0
+"""
+
+
+@register_workload("bubblesort")
+def bubblesort(n: int = 16, seed: int = 7) -> WorkloadDefinition:
+    """Bubblesort of ``n`` pseudo-random words."""
+    program = build(_BUBBLE_SRC.replace("{N}", str(n)))
+    values = make_input_values(n, seed)
+    arr = program.symbols["arr"]
+    inputs = {arr + i: v for i, v in enumerate(values)}
+    return WorkloadDefinition(
+        name="bubblesort",
+        description=f"bubblesort of {n} words (seed {seed})",
+        program=program,
+        input_writes=inputs,
+        outputs={
+            "sorted": (arr, n),
+            "checksum": (program.symbols["checksum"], 1),
+        },
+        expected={
+            "sorted": sorted(values),
+            "checksum": [sum(values) & 0xFFFFFFFF],
+        },
+    )
+
+
+_QUICK_SRC = """
+; iterative quicksort using an explicit stack of (lo, hi) ranges.
+; Lomuto partition; sorts arr[0..n-1] ascending; checksum = sum(arr).
+start:
+    ldi  sp, 0xF000
+    ldi  r10, n
+    ld   r1, [r10+0]
+    cmpi r1, 2
+    blt  done_sort
+    ldi  r2, 0             ; lo = 0
+    mov  r3, r1
+    subi r3, r3, 1         ; hi = n - 1
+    push r2
+    push r3
+qloop:
+    ldi  r4, 0xF000        ; stack empty when sp is back at the top
+    cmp  sp, r4
+    bge  done_sort
+    pop  r3                ; hi
+    pop  r2                ; lo
+    cmp  r2, r3
+    bge  qloop             ; empty / single-element range
+    ; partition: pivot = arr[hi]
+    ldi  r5, arr
+    add  r6, r5, r3
+    ld   r7, [r6+0]        ; pivot
+    mov  r8, r2            ; store index i = lo
+    mov  r9, r2            ; scan index j = lo
+part:
+    cmp  r9, r3
+    bge  part_done
+    add  r6, r5, r9
+    ld   r11, [r6+0]       ; arr[j]
+    cmp  r11, r7
+    bge  part_next
+    ; swap arr[i], arr[j]
+    add  r12, r5, r8
+    ld   r13, [r12+0]
+    st   r11, [r12+0]
+    st   r13, [r6+0]
+    addi r8, r8, 1
+part_next:
+    addi r9, r9, 1
+    jmp  part
+part_done:
+    ; swap arr[i], arr[hi]  (pivot into place)
+    add  r12, r5, r8
+    ld   r13, [r12+0]
+    add  r6, r5, r3
+    ld   r11, [r6+0]
+    st   r11, [r12+0]
+    st   r13, [r6+0]
+    ; push (lo, i-1) and (i+1, hi)
+    mov  r9, r8
+    subi r9, r9, 1
+    cmp  r2, r9
+    bge  skip_left
+    push r2
+    push r9
+skip_left:
+    mov  r9, r8
+    addi r9, r9, 1
+    cmp  r9, r3
+    bge  skip_right
+    push r9
+    push r3
+skip_right:
+    jmp  qloop
+done_sort:
+    call do_csum           ; checksum as a subroutine (exercises CALL/RET
+    halt                   ; and gives the "call" fault trigger an event)
+do_csum:
+    ldi  r2, 0
+    ldi  r3, 0
+    ld   r1, [r10+0]
+csum:
+    cmp  r2, r1
+    bge  csum_done
+    ldi  r7, arr
+    add  r6, r7, r2
+    ld   r4, [r6+0]
+    add  r3, r3, r4
+    addi r2, r2, 1
+    jmp  csum
+csum_done:
+    ldi  r8, checksum
+    st   r3, [r8+0]
+    ret
+n:
+    .word {N}
+arr:
+    .space {N}
+checksum:
+    .word 0
+"""
+
+
+@register_workload("quicksort")
+def quicksort(n: int = 16, seed: int = 11) -> WorkloadDefinition:
+    """Iterative quicksort of ``n`` pseudo-random words (exercises the
+    hardware stack via PUSH/POP)."""
+    program = build(_QUICK_SRC.replace("{N}", str(n)))
+    values = make_input_values(n, seed)
+    arr = program.symbols["arr"]
+    inputs = {arr + i: v for i, v in enumerate(values)}
+    return WorkloadDefinition(
+        name="quicksort",
+        description=f"iterative quicksort of {n} words (seed {seed})",
+        program=program,
+        input_writes=inputs,
+        outputs={
+            "sorted": (arr, n),
+            "checksum": (program.symbols["checksum"], 1),
+        },
+        expected={
+            "sorted": sorted(values),
+            "checksum": [sum(values) & 0xFFFFFFFF],
+        },
+    )

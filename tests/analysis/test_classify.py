@@ -1,0 +1,167 @@
+"""Unit tests for outcome classification (paper Section 3.4)."""
+
+import pytest
+
+from repro.analysis.classify import (
+    Outcome,
+    classify_campaign,
+    classify_experiment,
+    diff_outputs,
+    diff_state_vectors,
+)
+from repro.core.experiment import ExperimentResult, ReferenceRun, Termination
+from repro.util.errors import CampaignError
+
+
+def make_reference():
+    return ReferenceRun(
+        duration_cycles=100,
+        duration_instructions=50,
+        termination=Termination(kind="halt", pc=0x110, cycle=100),
+        state_vector={"scan:internal/cpu.regfile.r1": 5,
+                      "scan:internal/cpu.cycle_counter": 100},
+        outputs={"total": 55, "env.max_abs_error": 10},
+    )
+
+
+def make_result(
+    kind="halt",
+    trap_name="",
+    outputs=None,
+    state=None,
+    **kw,
+):
+    return ExperimentResult(
+        name="c-exp00000",
+        index=0,
+        campaign_name="c",
+        termination=Termination(kind=kind, trap_name=trap_name, pc=0, cycle=0),
+        outputs=outputs if outputs is not None else {"total": 55},
+        state_vector=state
+        if state is not None
+        else {"scan:internal/cpu.regfile.r1": 5,
+              "scan:internal/cpu.cycle_counter": 123},
+        **kw,
+    )
+
+
+class TestSingleClassification:
+    def test_trap_is_detected_with_mechanism(self):
+        classification = classify_experiment(
+            make_result(kind="trap", trap_name="dcache_parity"),
+            make_reference(),
+        )
+        assert classification.outcome is Outcome.DETECTED
+        assert classification.mechanism == "dcache_parity"
+
+    def test_timeout_is_timing_escape(self):
+        classification = classify_experiment(
+            make_result(kind="timeout"), make_reference()
+        )
+        assert classification.outcome is Outcome.ESCAPED_TIMING
+
+    def test_wrong_output_is_value_escape(self):
+        classification = classify_experiment(
+            make_result(outputs={"total": 99}), make_reference()
+        )
+        assert classification.outcome is Outcome.ESCAPED_VALUE
+        assert classification.wrong_outputs == ("total",)
+
+    def test_state_difference_is_latent(self):
+        classification = classify_experiment(
+            make_result(state={"scan:internal/cpu.regfile.r1": 6,
+                               "scan:internal/cpu.cycle_counter": 100}),
+            make_reference(),
+        )
+        assert classification.outcome is Outcome.LATENT
+        assert "scan:internal/cpu.regfile.r1" in classification.diff_cells
+
+    def test_identical_is_overwritten(self):
+        classification = classify_experiment(make_result(), make_reference())
+        assert classification.outcome is Outcome.OVERWRITTEN
+
+    def test_cycle_counter_difference_ignored(self):
+        # The volatile counters never make an experiment latent.
+        classification = classify_experiment(
+            make_result(state={"scan:internal/cpu.regfile.r1": 5,
+                               "scan:internal/cpu.cycle_counter": 999}),
+            make_reference(),
+        )
+        assert classification.outcome is Outcome.OVERWRITTEN
+
+    def test_env_metrics_not_value_failures(self):
+        classification = classify_experiment(
+            make_result(outputs={"total": 55, "env.max_abs_error": 999}),
+            make_reference(),
+        )
+        assert classification.outcome is not Outcome.ESCAPED_VALUE
+
+    def test_changed_termination_kind_is_timing_escape(self):
+        classification = classify_experiment(
+            make_result(kind="max_iterations"), make_reference()
+        )
+        assert classification.outcome is Outcome.ESCAPED_TIMING
+
+    def test_missing_termination_rejected(self):
+        result = make_result()
+        result.termination = None
+        with pytest.raises(CampaignError):
+            classify_experiment(result, make_reference())
+
+    def test_effectiveness_property(self):
+        assert Outcome.DETECTED.is_effective
+        assert Outcome.ESCAPED_VALUE.is_effective
+        assert not Outcome.LATENT.is_effective
+        assert not Outcome.OVERWRITTEN.is_effective
+        assert Outcome.ESCAPED_TIMING.is_escaped
+
+
+class TestDiffs:
+    def test_diff_state_vectors(self):
+        diffs = diff_state_vectors({"a": 1, "b": 2}, {"a": 1, "b": 3})
+        assert diffs == ["b"]
+
+    def test_diff_missing_cell_ignored(self):
+        assert diff_state_vectors({"a": 1}, {}) == []
+
+    def test_diff_outputs(self):
+        assert diff_outputs({"x": 1, "y": 2}, {"x": 1, "y": 9}) == ["y"]
+
+
+class TestCampaignAggregation:
+    def test_counts_and_fractions(self):
+        reference = make_reference()
+        results = [
+            make_result(kind="trap", trap_name="icache_parity"),
+            make_result(kind="trap", trap_name="icache_parity"),
+            make_result(kind="trap", trap_name="illegal_opcode"),
+            make_result(outputs={"total": 1}),
+            make_result(kind="timeout"),
+            make_result(),
+            make_result(),
+        ]
+        summary = classify_campaign(results, reference)
+        assert summary.total == 7
+        assert summary.detected == 3
+        assert summary.escaped == 2
+        assert summary.effective == 5
+        assert summary.non_effective == 2
+        assert summary.detections_by_mechanism == {
+            "icache_parity": 2,
+            "illegal_opcode": 1,
+        }
+        assert summary.fraction(Outcome.DETECTED) == pytest.approx(3 / 7)
+
+    def test_rows_cover_paper_taxonomy(self):
+        summary = classify_campaign([make_result()], make_reference())
+        labels = [row[0] for row in summary.as_rows()]
+        assert "effective" in labels
+        assert "non-effective" in labels
+        assert "  latent" in labels
+        assert "  overwritten" in labels
+
+    def test_empty_campaign(self):
+        summary = classify_campaign([], make_reference())
+        assert summary.total == 0
+        assert summary.effective == 0
+        assert summary.fraction(Outcome.DETECTED) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for coverage estimation."""
+
+import pytest
+
+from repro.analysis.classify import (
+    Outcome,
+    CampaignClassification,
+)
+from repro.analysis.coverage import (
+    CoverageEstimate,
+    detection_coverage,
+    effectiveness_ratio,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.30 < hi
+
+    def test_bounds_within_unit_interval(self):
+        for successes, trials in [(0, 10), (10, 10), (1, 1), (5, 7)]:
+            lo, hi = wilson_interval(successes, trials)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_zero_trials_gives_vacuous_interval(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_higher_confidence_is_wider(self):
+        lo90, hi90 = wilson_interval(50, 100, 0.90)
+        lo99, hi99 = wilson_interval(50, 100, 0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_perfect_coverage_interval_below_one(self):
+        # With 14/14 the lower bound must be meaningfully below 1.0 — the
+        # reason campaigns need intervals at all.
+        lo, hi = wilson_interval(14, 14)
+        assert hi == 1.0
+        assert 0.7 < lo < 1.0
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_nonstandard_confidence_approximation(self):
+        lo, hi = wilson_interval(50, 100, confidence=0.93)
+        lo95, hi95 = wilson_interval(50, 100, confidence=0.95)
+        lo90, hi90 = wilson_interval(50, 100, confidence=0.90)
+        assert (hi90 - lo90) < (hi - lo) < (hi95 - lo95)
+
+
+def make_summary(detected, escaped, latent, overwritten):
+    summary = CampaignClassification(
+        total=detected + escaped + latent + overwritten
+    )
+    summary.counts = {
+        Outcome.DETECTED: detected,
+        Outcome.ESCAPED_VALUE: escaped,
+        Outcome.LATENT: latent,
+        Outcome.OVERWRITTEN: overwritten,
+    }
+    return summary
+
+
+class TestCoverageEstimates:
+    def test_detection_coverage_uses_effective_only(self):
+        summary = make_summary(detected=8, escaped=2, latent=5, overwritten=5)
+        estimate = detection_coverage(summary)
+        assert estimate.successes == 8
+        assert estimate.trials == 10
+        assert estimate.estimate == pytest.approx(0.8)
+
+    def test_effectiveness_ratio_uses_total(self):
+        summary = make_summary(detected=8, escaped=2, latent=5, overwritten=5)
+        estimate = effectiveness_ratio(summary)
+        assert estimate.trials == 20
+        assert estimate.estimate == pytest.approx(0.5)
+
+    def test_estimate_str_format(self):
+        estimate = CoverageEstimate(successes=9, trials=10, confidence=0.95)
+        text = str(estimate)
+        assert "0.900" in text
+        assert "9/10" in text
+
+    def test_zero_trials(self):
+        estimate = CoverageEstimate(successes=0, trials=0, confidence=0.95)
+        assert estimate.estimate == 0.0
+        assert estimate.interval == (0.0, 1.0)

@@ -1,0 +1,91 @@
+"""Tests for fault-space accounting and planning statistics."""
+
+import pytest
+
+from repro.analysis.faultspace import (
+    FaultSpace,
+    campaign_fault_space,
+    compare_proportions,
+    required_experiments,
+)
+from tests.conftest import make_campaign
+
+
+class TestFaultSpace:
+    def test_size_and_fraction(self):
+        space = FaultSpace(n_locations=512, n_instants=1000)
+        assert space.size == 512_000
+        assert space.sampled_fraction(512) == pytest.approx(1e-3)
+
+    def test_describe(self):
+        text = FaultSpace(10, 100).describe(n_experiments=5)
+        assert "10 locations" in text
+        assert "5 experiments" in text
+
+    def test_from_campaign(self, thor_target):
+        campaign = make_campaign()
+        thor_target.read_campaign_data(campaign)
+        reference = thor_target.make_reference_run()
+        space = campaign_fault_space(
+            campaign, thor_target.location_space(), reference.duration_cycles
+        )
+        assert space.n_locations == 16 * 32  # the register file
+        assert space.n_instants == reference.duration_cycles
+
+
+class TestSampleSizePlanning:
+    def test_worst_case_95(self):
+        # The classic n = 384 for +-5% at 95% on p=0.5.
+        assert required_experiments(0.5, 0.05) == 385
+
+    def test_narrower_needs_more(self):
+        assert required_experiments(0.5, 0.01) > required_experiments(0.5, 0.05)
+
+    def test_known_small_proportion_needs_fewer(self):
+        assert required_experiments(0.1, 0.05) < required_experiments(0.5, 0.05)
+
+    def test_higher_confidence_needs_more(self):
+        assert required_experiments(0.5, 0.05, 0.99) > required_experiments(
+            0.5, 0.05, 0.95
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            required_experiments(1.5, 0.05)
+        with pytest.raises(ValueError):
+            required_experiments(0.5, 0.0)
+
+
+class TestProportionComparison:
+    def test_clear_difference_significant(self):
+        result = compare_proportions(60, 100, 20, 100)
+        assert result.significant_05
+        assert result.z > 0
+        assert result.p_value < 0.001
+
+    def test_identical_not_significant(self):
+        result = compare_proportions(30, 100, 30, 100)
+        assert not result.significant_05
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_small_samples_usually_not_significant(self):
+        result = compare_proportions(3, 10, 1, 10)
+        assert not result.significant_05
+
+    def test_direction_of_z(self):
+        assert compare_proportions(10, 100, 40, 100).z < 0
+
+    def test_degenerate_zero_se(self):
+        result = compare_proportions(0, 10, 0, 10)
+        assert result.p_value == 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compare_proportions(5, 0, 1, 10)
+        with pytest.raises(ValueError):
+            compare_proportions(11, 10, 1, 10)
+
+    def test_describe(self):
+        text = compare_proportions(60, 100, 20, 100).describe()
+        assert "significant" in text
+        assert "z=" in text

@@ -1,0 +1,120 @@
+"""Tests for detection-latency analysis."""
+
+import pytest
+
+from repro.analysis.latency import LatencyReport, LatencySample, detection_latency
+from repro.core.experiment import ExperimentResult, Injection, Termination
+from repro.core.locations import FaultLocation
+from tests.conftest import make_campaign
+
+
+def make_detected(name, injected_at, detected_at, mechanism="dcache_parity"):
+    return ExperimentResult(
+        name=name,
+        index=0,
+        campaign_name="c",
+        injections=[
+            Injection(
+                time=injected_at,
+                location=FaultLocation("scan:internal", "dcache.line0.word0", 3),
+                op="flip",
+                bit_before=0,
+                bit_after=1,
+            )
+        ],
+        termination=Termination(kind="trap", trap_name=mechanism, pc=0,
+                                cycle=detected_at),
+    )
+
+
+def make_undetected(name):
+    return ExperimentResult(
+        name=name,
+        index=0,
+        campaign_name="c",
+        termination=Termination(kind="halt", pc=0, cycle=100),
+    )
+
+
+class TestCollection:
+    def test_only_detected_errors_sampled(self):
+        report = detection_latency(
+            [make_detected("a", 10, 60), make_undetected("b")]
+        )
+        assert len(report) == 1
+        assert report.samples[0].latency == 50
+
+    def test_latency_never_negative(self):
+        # A trap at the injection boundary itself.
+        report = detection_latency([make_detected("a", 60, 60)])
+        assert report.samples[0].latency == 0
+
+    def test_per_mechanism_split(self):
+        report = detection_latency(
+            [
+                make_detected("a", 0, 10, "dcache_parity"),
+                make_detected("b", 0, 90, "illegal_opcode"),
+            ]
+        )
+        assert report.mechanisms() == ["dcache_parity", "illegal_opcode"]
+        assert report.latencies("dcache_parity") == [10]
+        assert report.latencies() == [10, 90]
+
+    def test_multi_injection_uses_earliest(self):
+        result = make_detected("a", 30, 100)
+        result.injections.append(
+            Injection(
+                time=10,
+                location=FaultLocation("scan:internal", "cpu.psr", 0),
+                op="flip",
+                bit_before=0,
+                bit_after=1,
+            )
+        )
+        report = detection_latency([result])
+        assert report.samples[0].latency == 90
+
+
+class TestStatistics:
+    def test_summary_values(self):
+        report = LatencyReport(
+            samples=[
+                LatencySample("a", "m", 0, 10),
+                LatencySample("b", "m", 0, 20),
+                LatencySample("c", "m", 0, 30),
+            ]
+        )
+        stats = report.summary()
+        assert stats["count"] == 3
+        assert stats["min"] == 10
+        assert stats["median"] == 20
+        assert stats["max"] == 30
+        assert stats["mean"] == pytest.approx(20.0)
+
+    def test_empty_summary(self):
+        assert LatencyReport().summary()["count"] == 0
+
+    def test_render(self):
+        report = LatencyReport(samples=[LatencySample("a", "m", 5, 25)])
+        text = report.render()
+        assert "Detection latency" in text
+        assert "m" in text
+
+
+class TestEndToEnd:
+    def test_cache_campaign_latencies(self, thor_target):
+        """Cache-parity detections fire on the next access to the
+        corrupted word — latencies are positive and bounded by the
+        experiment length."""
+        campaign = make_campaign(
+            workload_name="bubblesort",
+            location_patterns=["scan:internal/dcache.*"],
+            n_experiments=40,
+            seed=44,
+        )
+        sink = thor_target.run_campaign(campaign)
+        report = detection_latency(sink.results)
+        assert len(report) > 0
+        budget = sink.reference.duration_cycles * campaign.timeout_factor
+        for sample in report.samples:
+            assert 0 <= sample.latency <= budget

@@ -1,0 +1,82 @@
+"""Unit tests for error-propagation analysis (detail mode)."""
+
+from repro.analysis.propagation import analyse_propagation
+
+
+def states(values):
+    return [{"cell.a": a, "cell.b": b} for a, b in values]
+
+
+class TestDivergence:
+    def test_identical_runs_do_not_diverge(self):
+        reference = states([(1, 1), (2, 2), (3, 3)])
+        report = analyse_propagation(reference, states([(1, 1), (2, 2), (3, 3)]))
+        assert not report.diverged
+        assert report.first_divergence_step is None
+        assert report.max_infected == 0
+
+    def test_first_divergence_located(self):
+        reference = states([(1, 1), (2, 2), (3, 3)])
+        experiment = states([(1, 1), (2, 9), (3, 9)])
+        report = analyse_propagation(reference, experiment)
+        assert report.diverged
+        assert report.first_divergence_step == 1
+        assert report.first_infected_cells == ["cell.b"]
+
+    def test_infection_growth_tracked(self):
+        reference = states([(1, 1), (2, 2), (3, 3)])
+        experiment = states([(1, 1), (2, 9), (8, 9)])
+        report = analyse_propagation(reference, experiment)
+        assert report.infected_counts == [0, 1, 2]
+        assert report.max_infected == 2
+        assert report.final_infected == 2
+
+    def test_infection_can_die_out(self):
+        # An overwritten fault: state diverges then reconverges.
+        reference = states([(1, 1), (2, 2), (3, 3)])
+        experiment = states([(1, 9), (2, 2), (3, 3)])
+        report = analyse_propagation(reference, experiment)
+        assert report.first_divergence_step == 0
+        assert report.final_infected == 0
+
+    def test_length_difference_counts_as_divergence(self):
+        reference = states([(1, 1), (2, 2), (3, 3)])
+        experiment = states([(1, 1), (2, 2)])
+        report = analyse_propagation(reference, experiment)
+        assert report.diverged
+        assert report.first_divergence_step == 2
+
+    def test_describe_readable(self):
+        reference = states([(1, 1), (2, 2)])
+        report = analyse_propagation(reference, states([(1, 1), (2, 9)]))
+        assert "diverged at step 1" in report.describe()
+        clean = analyse_propagation(reference, reference)
+        assert "no divergence" in clean.describe()
+
+
+class TestEndToEndPropagation:
+    def test_detail_mode_propagation_of_real_fault(self, thor_target):
+        """E8 functional core: inject into a live register in detail mode
+        and watch the infection through per-instruction states."""
+        from tests.conftest import make_campaign
+
+        campaign = make_campaign(
+            n_experiments=6,
+            logging_mode="detail",
+            use_preinjection=True,  # live faults give non-trivial traces
+            observe_patterns=[
+                "scan:internal/cpu.regfile.*",
+                "scan:internal/cpu.pc",
+            ],
+            seed=31,
+        )
+        sink = thor_target.run_campaign(campaign)
+        assert sink.reference.detail_states
+        diverged = 0
+        for result in sink.results:
+            report = analyse_propagation(
+                sink.reference.detail_states, result.detail_states
+            )
+            if report.diverged:
+                diverged += 1
+        assert diverged > 0

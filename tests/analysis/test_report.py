@@ -1,0 +1,87 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis.classify import CampaignClassification, Outcome
+from repro.analysis.report import render_campaign_report, render_comparison
+
+
+def make_summary(detected=3, escaped=1, latent=2, overwritten=4,
+                 mechanism="icache_parity"):
+    summary = CampaignClassification(
+        total=detected + escaped + latent + overwritten
+    )
+    summary.counts = {
+        Outcome.DETECTED: detected,
+        Outcome.ESCAPED_VALUE: escaped,
+        Outcome.LATENT: latent,
+        Outcome.OVERWRITTEN: overwritten,
+    }
+    if detected:
+        summary.detections_by_mechanism = {mechanism: detected}
+    return summary
+
+
+class TestCampaignReport:
+    def test_contains_counts_and_fractions(self):
+        text = render_campaign_report("camp", make_summary())
+        assert "camp" in text
+        assert "30.0%" in text  # detected 3/10
+        assert "by icache_parity" in text
+
+    def test_contains_coverage_lines(self):
+        text = render_campaign_report("camp", make_summary())
+        assert "detection coverage" in text
+        assert "effectiveness ratio" in text
+
+    def test_custom_title(self):
+        text = render_campaign_report("camp", make_summary(), title="Custom!")
+        assert text.startswith("Custom!")
+
+
+class TestComparison:
+    def test_side_by_side(self):
+        text = render_comparison(
+            ["a", "b"], [make_summary(), make_summary(detected=0)]
+        )
+        assert "a" in text and "b" in text
+        assert "effective" in text
+
+    def test_mechanism_rows_unioned(self):
+        text = render_comparison(
+            ["a", "b"],
+            [
+                make_summary(mechanism="icache_parity"),
+                make_summary(mechanism="watchdog"),
+            ],
+        )
+        assert "by icache_parity" in text
+        assert "by watchdog" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison(["a"], [])
+
+
+class TestJsonExport:
+    def test_report_to_dict_round_trips_through_json(self):
+        import json
+
+        from repro.analysis.report import report_to_dict
+
+        payload = report_to_dict("camp", make_summary())
+        restored = json.loads(json.dumps(payload))
+        assert restored["total"] == 10
+        assert restored["outcomes"]["detected"]["count"] == 3
+        assert restored["detections_by_mechanism"] == {"icache_parity": 3}
+        lo, hi = restored["detection_coverage"]["interval"]
+        assert 0.0 <= lo <= restored["detection_coverage"]["estimate"] <= hi
+
+    def test_dict_numbers_match_text_report(self):
+        from repro.analysis.report import report_to_dict
+
+        summary = make_summary()
+        payload = report_to_dict("camp", summary)
+        text = render_campaign_report("camp", summary)
+        for label, data in payload["outcomes"].items():
+            assert f"{data['fraction']:.1%}"[:4] in text or data["count"] == 0

@@ -1,0 +1,63 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.core import CampaignData, create_target
+from repro.db import GoofiDatabase
+from repro.thor.testcard import TestCard
+
+
+@pytest.fixture
+def card():
+    """A freshly initialised THOR-lite test card."""
+    card = TestCard()
+    card.init()
+    return card
+
+
+@pytest.fixture
+def db():
+    """An in-memory GOOFI database."""
+    database = GoofiDatabase(":memory:")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def thor_target():
+    """A fresh Thor RD target interface."""
+    return create_target("thor-rd")
+
+
+def make_campaign(**overrides) -> CampaignData:
+    """A small, fast campaign definition for integration tests."""
+    defaults = dict(
+        campaign_name="test-campaign",
+        target_name="thor-rd",
+        technique="scifi",
+        workload_name="vecsum",
+        location_patterns=["scan:internal/cpu.regfile.*"],
+        n_experiments=10,
+        seed=1234,
+    )
+    defaults.update(overrides)
+    return CampaignData(**defaults)
+
+
+@pytest.fixture
+def quick_campaign():
+    return make_campaign
+
+
+def run_program(source: str, timeout_cycles: int = 1_000_000,
+                max_iterations=None):
+    """Assemble and run a program on a fresh card; returns (card, event)."""
+    from repro.thor.assembler import assemble
+
+    program = assemble(source)
+    card = TestCard()
+    card.init()
+    card.load_program(program)
+    event = card.run(timeout_cycles=timeout_cycles,
+                     max_iterations=max_iterations)
+    return card, program, event

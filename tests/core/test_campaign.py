@@ -1,0 +1,125 @@
+"""Unit tests for CampaignData (the set-up phase value object)."""
+
+import pytest
+
+from repro.core.campaign import CampaignData, EnvironmentSpec, FaultModelSpec
+from repro.core.triggers import TriggerSpec
+from repro.util.errors import ConfigurationError
+
+
+def make(**kw):
+    defaults = dict(campaign_name="c1")
+    defaults.update(kw)
+    return CampaignData(**defaults)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        campaign = make()
+        assert campaign.technique == "scifi"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(campaign_name="")
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(technique="quantum")
+
+    def test_bad_experiment_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(n_experiments=0)
+
+    def test_no_locations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(location_patterns=[])
+
+    def test_bad_logging_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(logging_mode="verbose")
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(timeout_cycles=0)
+
+    def test_bad_timeout_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(timeout_factor=0.5)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        campaign = make(
+            technique="swifi-pre",
+            location_patterns=["memory:code/*"],
+            fault_model=FaultModelSpec(kind="intermittent", burst_length=5),
+            trigger=TriggerSpec(kind="branch", occurrence=2),
+            environment=EnvironmentSpec(name="dc-motor", params={"k": 2.0}),
+            max_iterations=50,
+        )
+        restored = CampaignData.from_json(campaign.to_json())
+        assert restored.to_dict() == campaign.to_dict()
+
+    def test_round_trip_without_environment(self):
+        campaign = make()
+        restored = CampaignData.from_json(campaign.to_json())
+        assert restored.environment is None
+
+    def test_json_is_deterministic(self):
+        assert make().to_json() == make().to_json()
+
+
+class TestModify:
+    def test_modified_changes_field(self):
+        campaign = make(n_experiments=10)
+        changed = campaign.modified(n_experiments=99)
+        assert changed.n_experiments == 99
+        assert campaign.n_experiments == 10  # original untouched
+
+    def test_modified_accepts_spec_objects(self):
+        changed = make().modified(
+            fault_model=FaultModelSpec(kind="permanent")
+        )
+        assert changed.fault_model.kind == "permanent"
+
+    def test_modified_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make().modified(colour="red")
+
+    def test_modified_revalidates(self):
+        with pytest.raises(ConfigurationError):
+            make().modified(n_experiments=-1)
+
+
+class TestMerge:
+    def test_merge_unions_locations_and_sums_experiments(self):
+        a = make(campaign_name="a", location_patterns=["scan:internal/cpu.pc"],
+                 n_experiments=10)
+        b = make(campaign_name="b",
+                 location_patterns=["scan:internal/cpu.psr",
+                                    "scan:internal/cpu.pc"],
+                 n_experiments=20)
+        merged = CampaignData.merge("ab", [a, b])
+        assert merged.campaign_name == "ab"
+        assert merged.n_experiments == 30
+        assert merged.location_patterns == [
+            "scan:internal/cpu.pc",
+            "scan:internal/cpu.psr",
+        ]
+
+    def test_merge_requires_same_workload(self):
+        a = make(campaign_name="a", workload_name="vecsum")
+        b = make(campaign_name="b", workload_name="matmul")
+        with pytest.raises(ConfigurationError):
+            CampaignData.merge("ab", [a, b])
+
+    def test_merge_requires_same_technique(self):
+        a = make(campaign_name="a")
+        b = make(campaign_name="b", technique="swifi-pre",
+                 location_patterns=["memory:code/*"])
+        with pytest.raises(ConfigurationError):
+            CampaignData.merge("ab", [a, b])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignData.merge("x", [])

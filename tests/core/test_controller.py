@@ -1,0 +1,123 @@
+"""Tests for the campaign controller (Figure 7 behaviour)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.controller import CampaignController
+from repro.util.errors import CampaignError
+from tests.conftest import make_campaign
+
+
+def make_controller(thor_target, **campaign_kw):
+    campaign = make_campaign(**campaign_kw)
+    controller = CampaignController(thor_target)
+    return controller, campaign
+
+
+class TestProgressReporting:
+    def test_listener_called_per_experiment(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=5)
+        snapshots = []
+        controller.add_listener(lambda p: snapshots.append(p.n_done))
+        controller.run(campaign)
+        # initial + 5 experiments + final
+        assert snapshots[-1] == 5
+        assert controller.progress.state == "finished"
+
+    def test_progress_counts_terminations(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=8)
+        controller.run(campaign)
+        assert sum(controller.progress.terminations.values()) == 8
+
+    def test_faults_injected_counted(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=4)
+        controller.run(campaign)
+        assert controller.progress.n_injected_faults == 4
+
+    def test_rate_and_percent(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=3)
+        controller.run(campaign)
+        assert controller.progress.percent_done == 100.0
+        assert controller.progress.experiments_per_second > 0
+
+
+class TestEndButton:
+    def test_stop_from_listener_ends_early(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=50)
+
+        def listener(progress):
+            if progress.n_done == 3:
+                controller.stop()
+
+        controller.add_listener(listener)
+        sink = controller.run(campaign)
+        assert len(sink.results) == 3
+        assert controller.progress.state == "stopped"
+
+    def test_results_logged_before_stop_are_kept(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=50)
+        controller.add_listener(
+            lambda p: controller.stop() if p.n_done >= 2 else None
+        )
+        sink = controller.run(campaign)
+        assert all(r.termination is not None for r in sink.results)
+
+
+class TestPauseResume:
+    def test_pause_resume_from_other_thread(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=20)
+        paused_at = []
+
+        def listener(progress):
+            if progress.n_done == 2 and not paused_at:
+                paused_at.append(progress.n_done)
+                controller.pause()
+
+        controller.add_listener(listener)
+
+        def resumer():
+            # Wait until the pause takes effect, then resume.
+            while not controller.paused:
+                time.sleep(0.01)
+            time.sleep(0.1)
+            controller.resume()
+
+        thread = threading.Thread(target=resumer)
+        thread.start()
+        sink = controller.run(campaign)
+        thread.join()
+        assert len(sink.results) == 20
+        assert controller.progress.state == "finished"
+
+    def test_stop_while_paused(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=20)
+        controller.add_listener(
+            lambda p: controller.pause() if p.n_done == 1 else None
+        )
+
+        def stopper():
+            while not controller.paused:
+                time.sleep(0.01)
+            controller.stop()
+
+        thread = threading.Thread(target=stopper)
+        thread.start()
+        sink = controller.run(campaign)
+        thread.join()
+        assert len(sink.results) < 20
+        assert controller.progress.state == "stopped"
+
+    def test_run_in_thread(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=5)
+        thread = controller.run_in_thread(campaign)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert controller.progress.n_done == 5
+
+    def test_double_run_rejected(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=1)
+        controller.progress.state = "running"
+        with pytest.raises(CampaignError):
+            controller.run(campaign)

@@ -1,0 +1,59 @@
+"""Unit tests for experiment records."""
+
+from repro.core.experiment import ExperimentResult, Injection, Termination
+from repro.core.locations import FaultLocation
+
+
+class TestInjection:
+    def test_dict_round_trip(self):
+        injection = Injection(
+            time=42,
+            location=FaultLocation("scan:internal", "cpu.psr", 3),
+            op="flip",
+            bit_before=0,
+            bit_after=1,
+        )
+        assert Injection.from_dict(injection.to_dict()) == injection
+
+
+class TestTermination:
+    def test_dict_round_trip(self):
+        termination = Termination(
+            kind="trap", pc=0x123, cycle=99, trap_name="dcache_parity",
+            trap_detail="line 3", trap_code=0,
+        )
+        assert Termination.from_dict(termination.to_dict()) == termination
+
+    def test_halt_round_trip(self):
+        termination = Termination(kind="halt", pc=1, cycle=2, iterations=3)
+        assert Termination.from_dict(termination.to_dict()) == termination
+
+
+class TestExperimentResult:
+    def test_experiment_data_payload(self):
+        result = ExperimentResult(
+            name="c-exp00001",
+            index=1,
+            campaign_name="c",
+            injections=[
+                Injection(
+                    time=5,
+                    location=FaultLocation("memory:code", "word.0x0100", 0),
+                    op="flip",
+                    bit_before=1,
+                    bit_after=0,
+                )
+            ],
+            termination=Termination(kind="halt", pc=0, cycle=10),
+            outputs={"total": 55},
+            wall_seconds=0.01,
+        )
+        data = result.experiment_data()
+        assert data["index"] == 1
+        assert data["outputs"] == {"total": 55}
+        assert data["termination"]["kind"] == "halt"
+        assert len(data["injections"]) == 1
+
+    def test_payload_with_no_termination(self):
+        result = ExperimentResult(name="x", index=0, campaign_name="c")
+        assert result.experiment_data()["termination"] is None

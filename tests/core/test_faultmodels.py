@@ -1,0 +1,144 @@
+"""Unit tests for fault models and injection plans."""
+
+import random
+
+import pytest
+
+from repro.core.campaign import FaultModelSpec
+from repro.core.faultmodels import (
+    OP_FLIP,
+    OP_STUCK0,
+    OP_STUCK1,
+    InjectionAction,
+    IntermittentBitFlip,
+    StuckAt,
+    TransientBitFlip,
+    apply_op,
+    build_fault_model,
+)
+from repro.core.locations import FaultLocation
+from repro.util.errors import ConfigurationError
+
+LOCS = [FaultLocation("scan:internal", f"cpu.regfile.r{i}", 0) for i in range(8)]
+
+
+class TestTransient:
+    def test_single_flip_plan(self):
+        model = TransientBitFlip()
+        plan = model.plan(random.Random(0), LOCS, times=[50], max_time=100)
+        assert len(plan.actions) == 1
+        action = plan.actions[0]
+        assert action.time == 50
+        assert action.op == OP_FLIP
+        assert len(action.locations) == 1
+
+    def test_multiplicity(self):
+        model = TransientBitFlip(multiplicity=3)
+        assert model.locations_per_experiment() == 3
+        plan = model.plan(random.Random(0), LOCS, times=[10], max_time=100)
+        assert len(plan.actions[0].locations) == 3
+
+    def test_zero_multiplicity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientBitFlip(multiplicity=0)
+
+    def test_needs_time(self):
+        with pytest.raises(ConfigurationError):
+            TransientBitFlip().plan(random.Random(0), LOCS, [], 100)
+
+
+class TestIntermittent:
+    def test_burst_schedule(self):
+        model = IntermittentBitFlip(burst_length=3, burst_spacing=10)
+        plan = model.plan(random.Random(0), LOCS, times=[20], max_time=100)
+        assert plan.times == [20, 30, 40]
+        # All actions hit the same location.
+        locations = {action.locations[0] for action in plan.actions}
+        assert len(locations) == 1
+
+    def test_burst_clipped_at_max_time(self):
+        model = IntermittentBitFlip(burst_length=5, burst_spacing=50)
+        plan = model.plan(random.Random(0), LOCS, times=[80], max_time=100)
+        assert plan.times == [80]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntermittentBitFlip(burst_length=0)
+        with pytest.raises(ConfigurationError):
+            IntermittentBitFlip(burst_spacing=0)
+
+
+class TestStuckAt:
+    def test_reassertion_schedule(self):
+        model = StuckAt(stuck_value=1, reassert_interval=40)
+        plan = model.plan(random.Random(0), LOCS, times=[10], max_time=100)
+        assert plan.times == [10, 50, 90]
+        assert all(action.op == OP_STUCK1 for action in plan.actions)
+
+    def test_stuck_at_zero(self):
+        model = StuckAt(stuck_value=0)
+        plan = model.plan(random.Random(0), LOCS, times=[10], max_time=20)
+        assert plan.actions[0].op == OP_STUCK0
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StuckAt(stuck_value=2)
+
+    def test_always_at_least_one_action(self):
+        model = StuckAt(reassert_interval=1000)
+        plan = model.plan(random.Random(0), LOCS, times=[150], max_time=100)
+        assert len(plan.actions) >= 1
+
+
+class TestPlanAndOps:
+    def test_sorted_actions(self):
+        plan = IntermittentBitFlip(3, 10).plan(
+            random.Random(0), LOCS, [5], 1000
+        )
+        times = [action.time for action in plan.sorted_actions()]
+        assert times == sorted(times)
+
+    def test_all_locations(self):
+        plan = TransientBitFlip(2).plan(random.Random(0), LOCS, [5], 10)
+        assert len(plan.all_locations()) == 2
+
+    def test_apply_op_semantics(self):
+        assert apply_op(0, OP_FLIP) == 1
+        assert apply_op(1, OP_FLIP) == 0
+        assert apply_op(1, OP_STUCK0) == 0
+        assert apply_op(0, OP_STUCK1) == 1
+
+    def test_apply_op_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            apply_op(0, "sparkle")
+
+    def test_action_validation(self):
+        with pytest.raises(ConfigurationError):
+            InjectionAction(time=-1, locations=(LOCS[0],))
+        with pytest.raises(ConfigurationError):
+            InjectionAction(time=0, locations=(LOCS[0],), op="melt")
+
+
+class TestBuildFromSpec:
+    def test_transient(self):
+        model = build_fault_model(FaultModelSpec(kind="transient", multiplicity=2))
+        assert isinstance(model, TransientBitFlip)
+        assert model.multiplicity == 2
+
+    def test_intermittent(self):
+        model = build_fault_model(
+            FaultModelSpec(kind="intermittent", burst_length=4, burst_spacing=9)
+        )
+        assert isinstance(model, IntermittentBitFlip)
+        assert (model.burst_length, model.burst_spacing) == (4, 9)
+
+    def test_permanent(self):
+        model = build_fault_model(
+            FaultModelSpec(kind="permanent", stuck_value=1, reassert_interval=33)
+        )
+        assert isinstance(model, StuckAt)
+        assert model.stuck_value == 1
+
+    def test_unknown_kind_rejected_at_spec(self):
+        with pytest.raises(ConfigurationError):
+            FaultModelSpec(kind="cosmic")

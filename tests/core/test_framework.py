@@ -1,0 +1,156 @@
+"""Tests for the Framework template and registries (Figures 1 and 3).
+
+These are the F1/F3 experiments of DESIGN.md: the architecture's
+extensibility claims, demonstrated as tests.
+"""
+
+import pytest
+
+from repro.core.framework import (
+    COMMON_BLOCKS,
+    TECHNIQUE_BLOCKS,
+    Framework,
+    available_targets,
+    available_techniques,
+    create_target,
+    generate_port_skeleton,
+    implemented_blocks,
+    missing_blocks,
+    register_target,
+    required_blocks,
+    supported_techniques,
+    supports_technique,
+    unregister_target,
+)
+from repro.util.errors import ConfigurationError, NotImplementedByPort
+
+
+class TestTemplateStubs:
+    def test_framework_is_instantiable(self):
+        # Unlike a raw ABC, the template can be instantiated; unused
+        # blocks only fail when called.
+        Framework()
+
+    def test_stub_raises_write_your_code_here(self):
+        framework = Framework()
+        with pytest.raises(NotImplementedByPort) as excinfo:
+            framework.load_workload()
+        assert "load_workload" in str(excinfo.value)
+        assert "Framework" in str(excinfo.value)
+
+    def test_every_block_is_stubbed(self):
+        framework = Framework()
+        for name in required_blocks("scifi"):
+            with pytest.raises(NotImplementedByPort):
+                getattr(framework, name)()
+
+    def test_implemented_blocks_empty_for_template(self):
+        assert implemented_blocks(Framework) == []
+
+
+class TestPartialPort:
+    def test_partial_port_supports_only_filled_techniques(self):
+        class PartialPort(Framework):
+            pass
+
+        for name in COMMON_BLOCKS:
+            setattr(PartialPort, name, lambda self, *a, **k: None)
+        for name in TECHNIQUE_BLOCKS["swifi-pre"]:
+            setattr(PartialPort, name, lambda self, *a, **k: None)
+
+        assert supports_technique(PartialPort, "swifi-pre")
+        assert not supports_technique(PartialPort, "scifi")
+        assert supported_techniques(PartialPort) == ["swifi-pre"]
+
+    def test_missing_blocks_reported(self):
+        class EmptyPort(Framework):
+            pass
+
+        missing = missing_blocks(EmptyPort, "scifi")
+        assert "read_scan_chain" in missing
+        assert "init_test_card" in missing
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_blocks("pin-level")
+
+
+class TestRegistry:
+    def test_builtin_targets_registered(self):
+        targets = available_targets()
+        assert "thor-rd" in targets
+        assert "thor-rd-sim" in targets
+
+    def test_create_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_target("vax-11")
+
+    def test_register_and_create_custom_target(self):
+        @register_target("unit-test-target")
+        class UnitTestTarget(Framework):
+            pass
+
+        try:
+            target = create_target("unit-test-target")
+            assert isinstance(target, UnitTestTarget)
+            assert target.target_name == "unit-test-target"
+        finally:
+            unregister_target("unit-test-target")
+
+    def test_double_registration_rejected(self):
+        @register_target("unit-test-dup")
+        class First(Framework):
+            pass
+
+        try:
+            with pytest.raises(ConfigurationError):
+                @register_target("unit-test-dup")
+                class Second(Framework):
+                    pass
+        finally:
+            unregister_target("unit-test-dup")
+
+    def test_non_framework_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_target("unit-test-bad")(object)
+
+    def test_available_techniques(self):
+        assert set(available_techniques()) == {
+            "scifi",
+            "swifi-pre",
+            "swifi-runtime",
+            "simfi",
+            "pinlevel",
+        }
+
+
+class TestThorPortCompleteness:
+    """F1: the bundled Thor port fills in everything (layer separation
+    holds: adding it required no change to the algorithms layer)."""
+
+    def test_thor_supports_all_techniques(self):
+        from repro.scifi.interface import ThorRDInterface
+
+        assert supported_techniques(ThorRDInterface) == list(TECHNIQUE_BLOCKS)
+
+    def test_sim_port_inherits_support(self):
+        from repro.simfi.interface import ThorSimInterface
+
+        assert supports_technique(ThorSimInterface, "simfi")
+
+
+class TestSkeletonGeneration:
+    def test_skeleton_contains_required_blocks(self):
+        source = generate_port_skeleton("MyBoard", ["scifi"])
+        for block in required_blocks("scifi"):
+            assert f"def {block}" in source
+        assert "Write your code here!" in source
+
+    def test_skeleton_compiles(self):
+        source = generate_port_skeleton("MyBoard", ["scifi", "swifi-pre"])
+        compile(source, "<skeleton>", "exec")
+
+    def test_skeleton_scopes_blocks_to_techniques(self):
+        source = generate_port_skeleton("MyBoard", ["swifi-pre"])
+        assert "inject_fault_preruntime" in source
+        assert "read_scan_chain" not in source

@@ -1,0 +1,140 @@
+"""Unit tests for the pre-injection (liveness) analysis."""
+
+from repro.core.locations import FaultLocation, LocationCell, LocationSpace
+from repro.core.preinjection import PreInjectionAnalysis
+from repro.core.trace import Trace, TraceStep
+
+
+def step(i, **kw):
+    defaults = dict(
+        index=i, pc=0x100 + i, cycle_before=i * 10, cycle_after=i * 10 + 10
+    )
+    defaults.update(kw)
+    return TraceStep(**defaults)
+
+
+def reg_loc(n, bit=0):
+    return FaultLocation("scan:internal", f"cpu.regfile.r{n}", bit)
+
+
+def make_analysis():
+    """Reference trace:
+       step 0 (cycles 0-10):  write r1
+       step 1 (cycles 10-20): read r1, write r2; write flags
+       step 2 (cycles 20-30): read r2; read flags (branch)
+       step 3 (cycles 30-40): write r2; store to 0x300
+       step 4 (cycles 40-50): load from 0x300 into r3
+    """
+    trace = Trace(
+        [
+            step(0, reg_writes=(1,)),
+            step(1, reg_reads=(1,), reg_writes=(2,), writes_flags=True),
+            step(2, reg_reads=(2,), reads_flags=True, is_branch=True),
+            step(3, reg_writes=(2,), mem_address=0x300, mem_value=5,
+                 mem_is_write=True),
+            step(4, reg_reads=(3,), mem_address=0x300, mem_value=5,
+                 reg_writes=(3,)),
+        ]
+    )
+    space = LocationSpace([LocationCell("scan:internal", "cpu.pc", 16)])
+    return PreInjectionAnalysis.from_trace(trace, space)
+
+
+class TestRegisterLiveness:
+    def test_live_before_read(self):
+        analysis = make_analysis()
+        # r1 written at 0, read at 10: live in (0, 10].
+        assert analysis.is_live(reg_loc(1), 5)
+        assert analysis.is_live(reg_loc(1), 10)
+
+    def test_dead_after_last_read(self):
+        analysis = make_analysis()
+        assert not analysis.is_live(reg_loc(1), 11)
+
+    def test_dead_before_write(self):
+        analysis = make_analysis()
+        # r2 next access at t<=10 is the write at step 1.
+        assert not analysis.is_live(reg_loc(2), 5)
+
+    def test_live_between_write_and_read(self):
+        analysis = make_analysis()
+        assert analysis.is_live(reg_loc(2), 15)
+
+    def test_rewritten_register_dead_again(self):
+        analysis = make_analysis()
+        # r2 read at 20, rewritten at 30, never read after.
+        assert not analysis.is_live(reg_loc(2), 25)
+
+    def test_untouched_register_dead(self):
+        analysis = make_analysis()
+        assert not analysis.is_live(reg_loc(9), 5)
+
+
+class TestFlagAndSpecialLiveness:
+    def test_flags_live_before_branch(self):
+        analysis = make_analysis()
+        location = FaultLocation("scan:internal", "cpu.psr", 0)
+        assert analysis.is_live(location, 15)
+        assert not analysis.is_live(location, 25)
+
+    def test_pc_always_live_during_run(self):
+        analysis = make_analysis()
+        location = FaultLocation("scan:internal", "cpu.pc", 3)
+        assert analysis.is_live(location, 10)
+        assert not analysis.is_live(location, 999)
+
+    def test_ir_live(self):
+        analysis = make_analysis()
+        location = FaultLocation("scan:internal", "cpu.pipeline.ir", 0)
+        assert analysis.is_live(location, 20)
+
+    def test_unknown_cells_conservatively_live(self):
+        analysis = make_analysis()
+        location = FaultLocation("scan:internal", "dcache.line0.word1", 4)
+        assert analysis.is_live(location, 10)
+
+
+class TestMemoryLiveness:
+    def test_memory_live_between_write_and_read(self):
+        analysis = make_analysis()
+        location = FaultLocation("memory:data", "word.0x0300", 0)
+        assert analysis.is_live(location, 35)
+
+    def test_memory_dead_before_write(self):
+        analysis = make_analysis()
+        location = FaultLocation("memory:data", "word.0x0300", 0)
+        assert not analysis.is_live(location, 20)
+
+    def test_unaccessed_memory_dead(self):
+        analysis = make_analysis()
+        location = FaultLocation("memory:data", "word.0x0999", 0)
+        assert not analysis.is_live(location, 10)
+
+
+class TestLiveFraction:
+    def test_fraction_bounds(self):
+        analysis = make_analysis()
+        locations = [reg_loc(1), reg_loc(2), reg_loc(9)]
+        fraction = analysis.live_fraction(locations, [5, 15, 25])
+        assert 0.0 <= fraction <= 1.0
+
+    def test_empty_inputs(self):
+        analysis = make_analysis()
+        assert analysis.live_fraction([], [1]) == 0.0
+
+
+class TestEndToEndLiveness:
+    def test_analysis_from_real_reference_run(self, thor_target):
+        """Integration: the liveness oracle built from a real trace marks
+        the accumulator register of vecsum live mid-run."""
+        from tests.conftest import make_campaign
+
+        campaign = make_campaign(use_preinjection=True, n_experiments=1)
+        thor_target.read_campaign_data(campaign)
+        reference = thor_target.make_reference_run()
+        analysis = PreInjectionAnalysis.from_trace(
+            reference.trace, thor_target.location_space()
+        )
+        # r3 is vecsum's accumulator: live through most of the run.
+        mid = reference.duration_cycles // 2
+        assert analysis.is_live(reg_loc(3), mid)

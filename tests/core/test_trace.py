@@ -1,0 +1,61 @@
+"""Unit tests for the reference-trace structure."""
+
+from repro.core.trace import Trace, TraceStep
+
+
+def step(i, **kw):
+    defaults = dict(
+        index=i, pc=0x100 + i, cycle_before=i * 2, cycle_after=i * 2 + 2
+    )
+    defaults.update(kw)
+    return TraceStep(**defaults)
+
+
+class TestTraceQueries:
+    def test_duration(self):
+        trace = Trace([step(0), step(1), step(2)])
+        assert trace.duration_cycles == 6
+
+    def test_empty_duration(self):
+        assert Trace().duration_cycles == 0
+
+    def test_branch_and_call_steps(self):
+        trace = Trace([step(0, is_branch=True), step(1), step(2, is_call=True)])
+        assert len(trace.branch_steps()) == 1
+        assert len(trace.call_steps()) == 1
+
+    def test_accesses_to(self):
+        trace = Trace([step(0, mem_address=5), step(1, mem_address=6),
+                       step(2, mem_address=5)])
+        assert [s.index for s in trace.accesses_to(5)] == [0, 2]
+
+    def test_executions_of(self):
+        trace = Trace([step(0, pc=0x100), step(1, pc=0x101), step(2, pc=0x100)])
+        assert len(trace.executions_of(0x100)) == 2
+
+    def test_step_at_cycle_picks_first_completion(self):
+        trace = Trace([step(0), step(1), step(2)])
+        assert trace.step_at_cycle(3).index == 1
+        assert trace.step_at_cycle(0).index == 0
+
+    def test_step_at_cycle_past_end(self):
+        trace = Trace([step(0)])
+        assert trace.step_at_cycle(999) is None
+
+    def test_step_after_cycle_is_next_instruction(self):
+        # A stop at cycle 4 (the boundary after step 1) means step 2 is
+        # the next instruction to execute.
+        trace = Trace([step(0), step(1), step(2)])
+        assert trace.step_after_cycle(4).index == 2
+        assert trace.step_after_cycle(3).index == 2
+        assert trace.step_after_cycle(0).index == 0
+
+    def test_step_after_cycle_past_end(self):
+        trace = Trace([step(0)])
+        assert trace.step_after_cycle(999) is None
+
+    def test_append_and_len(self):
+        trace = Trace()
+        trace.append(step(0))
+        assert len(trace) == 1
+        assert list(trace)[0].index == 0

@@ -1,0 +1,131 @@
+"""Unit tests for fault triggers."""
+
+import random
+
+import pytest
+
+from repro.core.trace import Trace, TraceStep
+from repro.core.triggers import TriggerSpec
+from repro.util.errors import ConfigurationError
+
+
+def make_trace():
+    """A small synthetic trace: 10 steps, branches at 3 and 7, a call at
+    5, and accesses to address 0x200 at steps 2 and 8."""
+    steps = []
+    for i in range(10):
+        steps.append(
+            TraceStep(
+                index=i,
+                pc=0x100 + i,
+                cycle_before=i * 10,
+                cycle_after=i * 10 + 10,
+                is_branch=i in (3, 7),
+                branch_taken=i == 3,
+                is_call=i == 5,
+                mem_address=0x200 if i in (2, 8) else None,
+                mem_value=42 if i == 2 else (7 if i == 8 else None),
+                mem_is_write=i == 8,
+            )
+        )
+    return Trace(steps=steps)
+
+
+class TestTimeTriggers:
+    def test_uniform_in_range(self):
+        spec = TriggerSpec(kind="time-uniform")
+        rng = random.Random(1)
+        for _ in range(100):
+            (time,) = spec.resolve(rng, None, duration_cycles=500)
+            assert 1 <= time <= 500
+
+    def test_fixed(self):
+        spec = TriggerSpec(kind="time-fixed", time=123)
+        assert spec.resolve(random.Random(0), None, 500) == [123]
+
+    def test_clock_multiples(self):
+        spec = TriggerSpec(kind="clock", period=100)
+        rng = random.Random(2)
+        for _ in range(50):
+            (time,) = spec.resolve(rng, None, 1000)
+            assert time % 100 == 0
+            assert 100 <= time <= 1000
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TriggerSpec().resolve(random.Random(0), None, 0)
+
+
+class TestEventTriggers:
+    def test_branch_trigger_stops_before_branch(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="branch", occurrence=1)
+        assert spec.resolve(random.Random(0), trace, 100) == [30]
+
+    def test_branch_second_occurrence(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="branch", occurrence=2)
+        assert spec.resolve(random.Random(0), trace, 100) == [70]
+
+    def test_call_trigger(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="call", occurrence=1)
+        assert spec.resolve(random.Random(0), trace, 100) == [50]
+
+    def test_address_trigger(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="address", address=0x104, occurrence=1)
+        assert spec.resolve(random.Random(0), trace, 100) == [40]
+
+    def test_data_access_trigger(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="data-access", address=0x200, occurrence=2)
+        assert spec.resolve(random.Random(0), trace, 100) == [80]
+
+    def test_data_access_value_filter(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="data-access", address=0x200, value=7,
+                           occurrence=1)
+        assert spec.resolve(random.Random(0), trace, 100) == [80]
+
+    def test_random_occurrence_picks_from_candidates(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="branch")  # occurrence=0: random
+        rng = random.Random(3)
+        seen = {spec.resolve(rng, trace, 100)[0] for _ in range(50)}
+        assert seen <= {30, 70}
+        assert len(seen) == 2
+
+    def test_needs_trace(self):
+        spec = TriggerSpec(kind="branch")
+        assert spec.needs_trace
+        with pytest.raises(ConfigurationError):
+            spec.resolve(random.Random(0), None, 100)
+
+    def test_no_matching_events_rejected(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="address", address=0x999)
+        with pytest.raises(ConfigurationError):
+            spec.resolve(random.Random(0), trace, 100)
+
+    def test_occurrence_out_of_range_rejected(self):
+        trace = make_trace()
+        spec = TriggerSpec(kind="branch", occurrence=5)
+        with pytest.raises(ConfigurationError):
+            spec.resolve(random.Random(0), trace, 100)
+
+    def test_time_never_below_one(self):
+        # A trigger matching the very first step must still stop at >= 1.
+        trace = make_trace()
+        spec = TriggerSpec(kind="address", address=0x100, occurrence=1)
+        assert spec.resolve(random.Random(0), trace, 100) == [1]
+
+
+class TestSpec:
+    def test_round_trip(self):
+        spec = TriggerSpec(kind="data-access", address=5, value=9, occurrence=2)
+        assert TriggerSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TriggerSpec(kind="lunar-phase")

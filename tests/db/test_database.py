@@ -1,0 +1,203 @@
+"""Tests for the GOOFI database (Figure 4 schema, foreign keys, sink)."""
+
+import pytest
+
+from repro.core.campaign import CampaignData
+from repro.core.experiment import (
+    ExperimentResult,
+    Injection,
+    ReferenceRun,
+    Termination,
+)
+from repro.core.locations import FaultLocation
+from repro.db import GoofiDatabase
+from repro.util.errors import DatabaseError
+from tests.conftest import make_campaign
+
+
+def make_reference(**kw):
+    defaults = dict(
+        duration_cycles=100,
+        duration_instructions=50,
+        termination=Termination(kind="halt", pc=0x110, cycle=100),
+        state_vector={"scan:internal/cpu.pc": 0x110},
+        outputs={"total": 55},
+    )
+    defaults.update(kw)
+    return ReferenceRun(**defaults)
+
+
+def make_result(index=0, campaign="test-campaign", **kw):
+    defaults = dict(
+        name=f"{campaign}-exp{index:05d}",
+        index=index,
+        campaign_name=campaign,
+        injections=[
+            Injection(
+                time=7,
+                location=FaultLocation("scan:internal", "cpu.psr", 1),
+                op="flip",
+                bit_before=0,
+                bit_after=1,
+            )
+        ],
+        termination=Termination(kind="halt", pc=0x110, cycle=101),
+        state_vector={"scan:internal/cpu.pc": 0x110},
+        outputs={"total": 55},
+        wall_seconds=0.02,
+    )
+    defaults.update(kw)
+    return ExperimentResult(**defaults)
+
+
+class TestTargetTable:
+    def test_save_load(self, db):
+        db.save_target("thor-rd", {"memory_size": 65536})
+        assert db.load_target("thor-rd") == {"memory_size": 65536}
+
+    def test_upsert(self, db):
+        db.save_target("t", {"v": 1})
+        db.save_target("t", {"v": 2})
+        assert db.load_target("t")["v"] == 2
+        assert db.list_targets() == ["t"]
+
+    def test_missing_target_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.load_target("nothing")
+
+
+class TestCampaignTable:
+    def test_save_load_round_trip(self, db):
+        campaign = make_campaign()
+        db.save_campaign(campaign)
+        loaded = db.load_campaign("test-campaign")
+        assert loaded.to_dict() == campaign.to_dict()
+
+    def test_save_creates_target_row(self, db):
+        db.save_campaign(make_campaign())
+        assert "thor-rd" in db.list_targets()
+
+    def test_missing_campaign_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.load_campaign("ghost")
+
+    def test_delete_campaign_cascades_experiments(self, db):
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        db.log_experiment(campaign, make_result(0))
+        db.delete_campaign(campaign.campaign_name)
+        assert db.count_experiments(campaign.campaign_name) == 0
+        assert db.list_campaigns() == []
+
+
+class TestForeignKeys:
+    def test_orphan_experiment_rejected(self, db):
+        # Inserting a LoggedSystemState row for a non-existent campaign
+        # must violate the foreign key (Figure 4's consistency property).
+        import sqlite3
+
+        with pytest.raises(sqlite3.IntegrityError):
+            db._conn.execute(
+                "INSERT INTO LoggedSystemState"
+                "(experimentName, campaignName, experimentData, stateVector)"
+                " VALUES ('x', 'ghost', '{}', X'00')"
+            )
+
+    def test_target_with_campaigns_protected(self, db):
+        import sqlite3
+
+        db.save_campaign(make_campaign())
+        with pytest.raises(sqlite3.IntegrityError):
+            db._conn.execute(
+                "DELETE FROM TargetSystemData WHERE targetName='thor-rd'"
+            )
+
+
+class TestLoggedSystemState:
+    def test_reference_round_trip(self, db):
+        campaign = make_campaign()
+        reference = make_reference()
+        db.log_reference(campaign, reference)
+        loaded = db.load_reference(campaign.campaign_name)
+        assert loaded.duration_cycles == 100
+        assert loaded.outputs == {"total": 55}
+        assert loaded.state_vector == reference.state_vector
+        assert loaded.termination.kind == "halt"
+
+    def test_experiment_round_trip(self, db):
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        result = make_result(3)
+        db.log_experiment(campaign, result)
+        loaded = db.load_experiment(result.name)
+        assert loaded.index == 3
+        assert loaded.injections == result.injections
+        assert loaded.termination.kind == "halt"
+        assert loaded.outputs == {"total": 55}
+        assert loaded.wall_seconds == pytest.approx(0.02)
+
+    def test_load_experiments_sorted(self, db):
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        for index in (2, 0, 1):
+            db.log_experiment(campaign, make_result(index))
+        loaded = db.load_experiments(campaign.campaign_name)
+        assert [r.index for r in loaded] == [0, 1, 2]
+
+    def test_reference_excluded_from_experiments(self, db):
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        db.log_experiment(campaign, make_result(0))
+        assert db.count_experiments(campaign.campaign_name) == 1
+
+    def test_parent_experiment_tracking(self, db):
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        original = make_result(0)
+        db.log_experiment(campaign, original)
+        rerun = make_result(0, name=f"{original.name}-rerun",
+                            parent_experiment=original.name)
+        rerun.name = f"{original.name}-rerun"
+        db.log_experiment(campaign, rerun)
+        assert db.children_of(original.name) == [rerun.name]
+        assert db.load_experiment(rerun.name).parent_experiment == original.name
+
+    def test_detail_states_round_trip(self, db):
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        result = make_result(0, detail_states=[{"a": 1}, {"a": 2}])
+        db.log_experiment(campaign, result)
+        assert db.load_experiment(result.name).detail_states == [
+            {"a": 1},
+            {"a": 2},
+        ]
+
+    def test_missing_experiment_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.load_experiment("nothing")
+
+
+class TestAsSink:
+    def test_campaign_logs_into_database(self, db, thor_target):
+        campaign = make_campaign(n_experiments=5)
+        thor_target.run_campaign(campaign, sink=db)
+        assert db.count_experiments(campaign.campaign_name) == 5
+        reference = db.load_reference(campaign.campaign_name)
+        assert reference.duration_cycles > 0
+        results = db.load_experiments(campaign.campaign_name)
+        assert all(r.termination is not None for r in results)
+
+    def test_file_database_persists(self, tmp_path, thor_target):
+        path = str(tmp_path / "goofi.db")
+        with GoofiDatabase(path) as db:
+            thor_target.run_campaign(make_campaign(n_experiments=3), sink=db)
+        with GoofiDatabase(path) as db:
+            assert db.count_experiments("test-campaign") == 3
+            assert db.list_campaigns() == ["test-campaign"]
+
+    def test_query_raw_sql(self, db, thor_target):
+        thor_target.run_campaign(make_campaign(n_experiments=2), sink=db)
+        rows = db.query(
+            "SELECT COUNT(*) AS n FROM LoggedSystemState WHERE isReference=0"
+        )
+        assert rows[0]["n"] == 2

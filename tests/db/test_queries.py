@@ -1,0 +1,95 @@
+"""Tests for the canned database queries and auto-analysis generation."""
+
+import pytest
+
+from repro.db.autoanalysis import generate_analysis_script, run_auto_analysis
+from repro.db.queries import (
+    campaign_wall_time,
+    detection_breakdown,
+    injection_locations,
+    rerun_tree,
+    termination_breakdown,
+)
+from tests.conftest import make_campaign
+
+
+@pytest.fixture
+def populated(db, thor_target):
+    campaign = make_campaign(
+        n_experiments=25,
+        location_patterns=[
+            "scan:internal/cpu.regfile.*",
+            "scan:internal/icache.*",
+        ],
+        seed=9,
+    )
+    thor_target.run_campaign(campaign, sink=db)
+    return campaign
+
+
+class TestBreakdowns:
+    def test_termination_breakdown_sums_to_total(self, db, populated):
+        counts = termination_breakdown(db, populated.campaign_name)
+        assert sum(counts.values()) == 25
+
+    def test_detection_breakdown_subset_of_traps(self, db, populated):
+        terminations = termination_breakdown(db, populated.campaign_name)
+        detections = detection_breakdown(db, populated.campaign_name)
+        assert sum(detections.values()) == terminations.get("trap", 0)
+
+    def test_injection_locations_counts(self, db, populated):
+        rows = injection_locations(db, populated.campaign_name)
+        assert sum(count for _, count in rows) == 25
+        # Sorted by frequency, descending.
+        counts = [count for _, count in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_wall_time_positive(self, db, populated):
+        assert campaign_wall_time(db, populated.campaign_name) > 0
+
+
+class TestRerunTree:
+    def test_empty_without_reruns(self, db, populated):
+        assert rerun_tree(db, populated.campaign_name) == {}
+
+    def test_tracks_rerun(self, db, thor_target, populated):
+        thor_target.rerun_experiment(populated, 2, sink=db)
+        tree = rerun_tree(db, populated.campaign_name)
+        parent = f"{populated.campaign_name}-exp00002"
+        assert tree == {parent: [f"{parent}-rerun"]}
+
+
+class TestAutoAnalysis:
+    def test_report_contains_taxonomy(self, db, populated):
+        report = run_auto_analysis(db, populated.campaign_name)
+        for label in ("effective", "detected", "latent", "overwritten",
+                      "detection coverage"):
+            assert label in report
+
+    def test_generated_script_compiles(self, db, populated):
+        script = generate_analysis_script("some.db", populated.campaign_name)
+        compile(script, "<generated>", "exec")
+        assert populated.campaign_name in script
+
+    def test_generated_script_runs_against_file_db(self, tmp_path, thor_target):
+        import subprocess
+        import sys
+
+        from repro.db import GoofiDatabase
+
+        path = str(tmp_path / "auto.db")
+        campaign = make_campaign(n_experiments=5)
+        with GoofiDatabase(path) as db:
+            thor_target.run_campaign(campaign, sink=db)
+        script_path = tmp_path / "analyse.py"
+        script_path.write_text(
+            generate_analysis_script(path, campaign.campaign_name)
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "detection coverage" in proc.stdout

@@ -1,0 +1,83 @@
+"""Edge-case tests for the database layer."""
+
+import sqlite3
+
+import pytest
+
+from repro.db import GoofiDatabase
+from repro.db.schema import SCHEMA_VERSION
+from repro.util.errors import DatabaseError
+
+
+class TestSchemaVersioning:
+    def test_fresh_db_stamps_version(self, tmp_path):
+        path = str(tmp_path / "v.db")
+        with GoofiDatabase(path):
+            pass
+        conn = sqlite3.connect(path)
+        row = conn.execute("SELECT version FROM SchemaInfo").fetchone()
+        conn.close()
+        assert row[0] == SCHEMA_VERSION
+
+    def test_reopening_same_version_ok(self, tmp_path):
+        path = str(tmp_path / "v.db")
+        with GoofiDatabase(path):
+            pass
+        with GoofiDatabase(path):
+            pass
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "v.db")
+        with GoofiDatabase(path):
+            pass
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE SchemaInfo SET version = 999")
+        conn.commit()
+        conn.close()
+        with pytest.raises(DatabaseError):
+            GoofiDatabase(path)
+
+
+class TestBlobIntegrity:
+    def test_corrupted_state_vector_surfaces_as_database_error(self, db):
+        from tests.conftest import make_campaign
+        from tests.db.test_database import make_reference, make_result
+
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        db.log_experiment(campaign, make_result(0))
+        db._conn.execute(
+            "UPDATE LoggedSystemState SET stateVector = X'DEADBEEF' "
+            "WHERE isReference = 0"
+        )
+        db._conn.commit()
+        with pytest.raises(DatabaseError):
+            db.load_experiments(campaign.campaign_name)
+
+    def test_upsert_overwrites_experiment(self, db):
+        from tests.conftest import make_campaign
+        from tests.db.test_database import make_reference, make_result
+
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        db.log_experiment(campaign, make_result(0, outputs={"total": 1}))
+        db.log_experiment(campaign, make_result(0, outputs={"total": 2}))
+        assert db.count_experiments(campaign.campaign_name) == 1
+        assert db.load_experiments(campaign.campaign_name)[0].outputs == {
+            "total": 2
+        }
+
+
+class TestCompletedIndicesEdges:
+    def test_empty_campaign(self, db):
+        assert db.completed_indices("nothing") == []
+
+    def test_out_of_order_logging(self, db):
+        from tests.conftest import make_campaign
+        from tests.db.test_database import make_reference, make_result
+
+        campaign = make_campaign()
+        db.log_reference(campaign, make_reference())
+        for index in (4, 0, 2):
+            db.log_experiment(campaign, make_result(index))
+        assert db.completed_indices(campaign.campaign_name) == [0, 2, 4]

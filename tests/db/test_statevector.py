@@ -1,0 +1,53 @@
+"""Unit tests for the state-vector codec."""
+
+import pytest
+
+from repro.db.statevector import decode_state_payload, encode_state_payload
+from repro.util.errors import DatabaseError
+
+
+class TestRoundTrip:
+    def test_final_only(self):
+        final = {"scan:internal/cpu.pc": 0x123, "memory:data/word.0x0200": 7}
+        payload = decode_state_payload(encode_state_payload(final))
+        assert payload["final"] == final
+        assert payload["detail"] == []
+
+    def test_with_detail_states(self):
+        final = {"a": 1}
+        detail = [{"a": 0}, {"a": 1}]
+        payload = decode_state_payload(encode_state_payload(final, detail))
+        assert payload["detail"] == detail
+
+    def test_empty_vector(self):
+        payload = decode_state_payload(encode_state_payload({}))
+        assert payload["final"] == {}
+
+    def test_compression_effective_on_detail(self):
+        final = {"cell": 1}
+        detail = [{"cell": i % 3} for i in range(500)]
+        blob = encode_state_payload(final, detail)
+        import json
+
+        raw = len(json.dumps(detail).encode())
+        assert len(blob) < raw / 2
+
+    def test_deterministic(self):
+        final = {"b": 2, "a": 1}
+        assert encode_state_payload(final) == encode_state_payload(
+            {"a": 1, "b": 2}
+        )
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DatabaseError):
+            decode_state_payload(b"XXXXcorrupt")
+
+    def test_incomplete_payload_rejected(self):
+        import json
+        import zlib
+
+        blob = b"GSV1" + zlib.compress(json.dumps({"final": {}}).encode())
+        with pytest.raises(DatabaseError):
+            decode_state_payload(blob)

@@ -1,0 +1,125 @@
+"""Tests for the environment-simulator framework and plant models."""
+
+import pytest
+
+from repro.environment import DCMotorEnv, InvertedPendulumEnv, build_environment
+from repro.environment.simulator import q8_decode, q8_encode
+from repro.thor.memory import ENV_INPUT_BASE, ENV_OUTPUT_BASE
+from repro.thor.testcard import TestCard
+from repro.util.errors import ConfigurationError
+
+
+class TestQ8Codec:
+    def test_round_trip_positive(self):
+        assert q8_decode(q8_encode(12.5)) == pytest.approx(12.5)
+
+    def test_round_trip_negative(self):
+        assert q8_decode(q8_encode(-3.25)) == pytest.approx(-3.25)
+
+    def test_quantisation(self):
+        assert q8_decode(q8_encode(0.001)) == pytest.approx(0.0, abs=1 / 256)
+
+
+class TestRegistry:
+    def test_build_known(self):
+        env = build_environment("dc-motor", {"setpoint": 5.0})
+        assert isinstance(env, DCMotorEnv)
+        assert env.setpoint == 5.0
+
+    def test_build_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_environment("warp-core")
+
+
+class TestDCMotor:
+    def test_converges_under_pi_control(self):
+        env = DCMotorEnv(setpoint=10.0)
+        env.reset_plant()
+        integral = 0.0
+        for _ in range(300):
+            error = env.setpoint - env.y
+            integral += error
+            env.step(2.0 * error + 0.1 * integral)
+        assert abs(env.tracking_error()) < 0.5
+
+    def test_zero_actuation_decays(self):
+        env = DCMotorEnv(initial=10.0, setpoint=0.0)
+        env.reset_plant()
+        for _ in range(200):
+            env.step(0.0)
+        assert abs(env.y) < 0.1
+
+    def test_sensor_values(self):
+        env = DCMotorEnv(setpoint=7.0, initial=1.0)
+        env.reset_plant()
+        assert env.sensor_values() == (7.0, 1.0)
+
+
+class TestInvertedPendulum:
+    def test_open_loop_unstable(self):
+        env = InvertedPendulumEnv(initial=0.1)
+        env.reset_plant()
+        for _ in range(200):
+            env.step(0.0)
+        assert abs(env.theta) > 10.0  # diverged without control
+
+    def test_stabilisable_with_pd_control(self):
+        env = InvertedPendulumEnv(initial=0.2)
+        env.reset_plant()
+        for _ in range(400):
+            u = -(3.0 * env.theta + 1.0 * env.omega)
+            env.step(u)
+        assert abs(env.theta) < 0.05
+
+    def test_clamp_bounds_divergence(self):
+        env = InvertedPendulumEnv(initial=1.0, clamp=100.0)
+        env.reset_plant()
+        for _ in range(2000):
+            env.step(0.0)
+        assert abs(env.theta) <= 100.0
+
+
+class TestExchangeProtocol:
+    def test_initialize_writes_input_window(self):
+        card = TestCard()
+        card.init()
+        env = DCMotorEnv(setpoint=10.0, initial=2.0)
+        env.initialize(card)
+        assert q8_decode(card.read_memory(ENV_INPUT_BASE)) == pytest.approx(10.0)
+        assert q8_decode(card.read_memory(ENV_INPUT_BASE + 1)) == pytest.approx(2.0)
+
+    def test_exchange_reads_actuation_and_steps(self):
+        card = TestCard()
+        card.init()
+        env = DCMotorEnv(setpoint=10.0, initial=0.0)
+        env.initialize(card)
+        card.write_memory(ENV_OUTPUT_BASE, q8_encode(5.0))
+        env.exchange(card, iteration=1)
+        assert env.y > 0.0
+        assert env.iterations == 1
+        # New measurement published to the input window.
+        assert q8_decode(card.read_memory(ENV_INPUT_BASE + 1)) == pytest.approx(
+            env.y, abs=1 / 128
+        )
+
+    def test_summary_tracks_errors(self):
+        card = TestCard()
+        card.init()
+        env = DCMotorEnv(setpoint=10.0, initial=0.0)
+        env.initialize(card)
+        card.write_memory(ENV_OUTPUT_BASE, q8_encode(0.0))
+        env.exchange(card, 1)
+        summary = env.summary()
+        assert summary["iterations"] == 1.0
+        assert summary["max_abs_error"] == pytest.approx(10.0, abs=0.1)
+
+    def test_initialize_resets_metrics(self):
+        card = TestCard()
+        card.init()
+        env = DCMotorEnv(setpoint=10.0)
+        env.initialize(card)
+        card.write_memory(ENV_OUTPUT_BASE, q8_encode(0.0))
+        env.exchange(card, 1)
+        env.initialize(card)
+        assert env.summary()["iterations"] == 0.0
+        assert env.summary()["max_abs_error"] == 0.0

@@ -1,0 +1,109 @@
+"""Integration: fault-list preview determinism and code write-protection."""
+
+import pytest
+
+from repro.core import create_target
+from repro.thor.memory import IllegalAddress
+from tests.conftest import make_campaign
+
+
+class TestFaultListPreview:
+    def test_preview_matches_actual_run(self):
+        campaign = make_campaign(n_experiments=8, seed=15)
+        previews = create_target("thor-rd").preview_fault_list(campaign, 8)
+        sink = create_target("thor-rd").run_campaign(campaign)
+        for preview, result in zip(previews, sink.results):
+            planned = [
+                (action["time"], location)
+                for action in preview["actions"]
+                for location in action["locations"]
+            ]
+            actual = [
+                (injection.time, injection.location.key())
+                for injection in result.injections
+            ]
+            assert planned == actual
+
+    def test_preview_respects_count(self):
+        campaign = make_campaign(n_experiments=20)
+        previews = create_target("thor-rd").preview_fault_list(campaign, 5)
+        assert len(previews) == 5
+
+    def test_preview_count_clamped_to_campaign(self):
+        campaign = make_campaign(n_experiments=3)
+        previews = create_target("thor-rd").preview_fault_list(campaign, 99)
+        assert len(previews) == 3
+
+    def test_cli_preview(self, tmp_path, capsys):
+        from repro.ui.app import main
+
+        db = str(tmp_path / "pv.db")
+        main(["campaign", "--db", db, "--name", "pv", "--workload", "vecsum",
+              "--experiments", "4"])
+        capsys.readouterr()
+        assert main(["preview", "--db", db, "--campaign", "pv",
+                     "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("scan:internal") == 4
+
+
+class TestCodeProtection:
+    def test_protected_code_rejects_cpu_store(self, thor_target):
+        campaign = make_campaign(protect_code=True)
+        thor_target.read_campaign_data(campaign)
+        thor_target.init_test_card()
+        thor_target.load_workload()
+        code_start = min(thor_target._workload.program.code_addresses())
+        with pytest.raises(IllegalAddress):
+            thor_target.card.cpu.memory.write(code_start, 0)
+
+    def test_injector_still_reaches_protected_code(self, thor_target):
+        """Pre-runtime SWIFI models physical RAM access: it bypasses the
+        protection the CPU is subject to."""
+        campaign = make_campaign(
+            technique="swifi-pre",
+            location_patterns=["memory:code/*"],
+            protect_code=True,
+            n_experiments=3,
+            seed=16,
+        )
+        sink = thor_target.run_campaign(campaign)
+        assert all(result.injections for result in sink.results)
+
+    def test_protection_converts_wild_stores_to_detections(self):
+        """The software-EDM effect: faults that redirect a store into the
+        code image now trap instead of silently self-modifying code.
+        Verified directly: corrupt a store's base register so it targets
+        the code image."""
+        from repro.thor.assembler import assemble
+        from repro.thor.testcard import DebugEventKind, TestCard
+
+        source = (
+            "start:\n ldi r1, buf\n ldi r2, 42\n st r2, [r1+0]\n halt\n"
+            "buf: .word 0\n"
+        )
+        program = assemble(source)
+
+        def run(protect):
+            card = TestCard()
+            card.init()
+            card.load_program(program)
+            if protect:
+                code = program.code_addresses()
+                card.cpu.memory.protect(min(code), max(code))
+            # Corrupt the base register so the store lands on 'start'.
+            card.run(timeout_cycles=100, stop_cycle=3)
+            card.cpu.regs.write(1, program.entry)
+            return card.run(timeout_cycles=1000)
+
+        unprotected = run(protect=False)
+        protected = run(protect=True)
+        assert unprotected.kind is DebugEventKind.HALT  # silent corruption
+        assert protected.kind is DebugEventKind.TRAP
+        assert protected.trap.trap.value == "illegal_address"
+        assert "write-protected" in protected.trap.detail
+
+    def test_campaign_round_trips_protect_flag(self, db):
+        campaign = make_campaign(protect_code=True)
+        db.save_campaign(campaign)
+        assert db.load_campaign(campaign.campaign_name).protect_code

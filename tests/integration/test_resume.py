@@ -1,0 +1,93 @@
+"""Integration: resuming an interrupted campaign from the database.
+
+The progress window's "restart" affordance, extended across process
+boundaries: a campaign stopped mid-way is re-run with ``resume=True``;
+previously completed experiments are skipped, and — because each
+experiment draws its fault from an index-keyed RNG substream — the
+resumed experiments inject exactly the faults an uninterrupted run would
+have injected.
+"""
+
+import pytest
+
+from repro.core import CampaignController, create_target
+from repro.util.errors import CampaignError
+from tests.conftest import make_campaign
+
+
+def _injection_map(db, campaign_name):
+    return {
+        result.index: [injection.to_dict() for injection in result.injections]
+        for result in db.load_experiments(campaign_name)
+    }
+
+
+class TestResume:
+    def test_resume_completes_the_campaign(self, db):
+        campaign = make_campaign(n_experiments=20, seed=3)
+        controller = CampaignController(create_target("thor-rd"), sink=db)
+        controller.add_listener(
+            lambda progress: controller.stop() if progress.n_done == 7 else None
+        )
+        controller.run(campaign)
+        assert db.count_experiments(campaign.campaign_name) == 7
+
+        resumed = CampaignController(create_target("thor-rd"), sink=db)
+        resumed.run(campaign, resume=True)
+        assert db.count_experiments(campaign.campaign_name) == 20
+        assert db.completed_indices(campaign.campaign_name) == list(range(20))
+
+    def test_resumed_faults_match_uninterrupted_run(self, db):
+        campaign = make_campaign(n_experiments=12, seed=5)
+        # Uninterrupted run into a second database for comparison.
+        from repro.db import GoofiDatabase
+
+        with GoofiDatabase(":memory:") as full_db:
+            create_target("thor-rd").run_campaign(campaign, sink=full_db)
+            full = _injection_map(full_db, campaign.campaign_name)
+
+        controller = CampaignController(create_target("thor-rd"), sink=db)
+        controller.add_listener(
+            lambda progress: controller.stop() if progress.n_done == 5 else None
+        )
+        controller.run(campaign)
+        CampaignController(create_target("thor-rd"), sink=db).run(
+            campaign, resume=True
+        )
+        assert _injection_map(db, campaign.campaign_name) == full
+
+    def test_resume_of_finished_campaign_runs_nothing_new(self, db):
+        campaign = make_campaign(n_experiments=5, seed=7)
+        CampaignController(create_target("thor-rd"), sink=db).run(campaign)
+        before = _injection_map(db, campaign.campaign_name)
+        controller = CampaignController(create_target("thor-rd"), sink=db)
+        controller.run(campaign, resume=True)
+        assert _injection_map(db, campaign.campaign_name) == before
+        assert controller.progress.n_done == 5  # all pre-counted
+
+    def test_resume_without_capable_sink_rejected(self):
+        campaign = make_campaign(n_experiments=3)
+        controller = CampaignController(create_target("thor-rd"))
+        with pytest.raises(CampaignError):
+            controller.run(campaign, resume=True)
+
+    def test_reruns_do_not_confuse_resume(self, db, thor_target):
+        """Detail-mode re-runs carry parentExperiment and must not count
+        as completed campaign indices."""
+        campaign = make_campaign(n_experiments=6, seed=9)
+        thor_target.run_campaign(campaign, sink=db)
+        thor_target.rerun_experiment(campaign, 2, sink=db)
+        assert db.completed_indices(campaign.campaign_name) == list(range(6))
+
+    def test_cli_resume(self, tmp_path, capsys):
+        from repro.ui.app import main
+
+        db_path = str(tmp_path / "resume.db")
+        main(["campaign", "--db", db_path, "--name", "rc",
+              "--workload", "vecsum", "--experiments", "6"])
+        main(["run", "--db", db_path, "--campaign", "rc", "--quiet"])
+        capsys.readouterr()
+        assert main(["run", "--db", db_path, "--campaign", "rc",
+                     "--quiet", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6" in out

@@ -1,0 +1,66 @@
+"""Integration tests for the multitask workload and task-switch trigger."""
+
+import pytest
+
+from repro.core import create_target
+from repro.core.triggers import TriggerSpec
+from repro.util.errors import ConfigurationError
+from repro.workloads import get_workload
+from tests.conftest import make_campaign
+
+
+class TestMultitaskWorkload:
+    def test_golden_outputs(self):
+        from tests.workloads.test_workloads import run_workload
+
+        definition = get_workload("multitask", {"quanta": 10})
+        _, event, outputs = run_workload(definition)
+        assert outputs["switches"] == [10]
+        assert outputs["counter_a"] == definition.expected["counter_a"]
+        assert outputs["counter_b"] == definition.expected["counter_b"]
+
+    def test_has_task_switch_label(self):
+        definition = get_workload("multitask")
+        assert definition.label("task_switch") > 0
+
+
+class TestTaskSwitchTrigger:
+    def test_injections_land_at_switch_instants(self, thor_target):
+        campaign = make_campaign(
+            workload_name="multitask",
+            trigger=TriggerSpec(kind="task-switch"),
+            n_experiments=10,
+            seed=71,
+        )
+        sink = thor_target.run_campaign(campaign)
+        switch_pc = thor_target._workload.label("task_switch")
+        valid_cycles = {
+            max(1, step.cycle_before)
+            for step in sink.reference.trace.executions_of(switch_pc)
+        }
+        for result in sink.results:
+            assert result.injections[0].time in valid_cycles
+
+    def test_occurrence_selection(self, thor_target):
+        campaign = make_campaign(
+            workload_name="multitask",
+            trigger=TriggerSpec(kind="task-switch", occurrence=3),
+            n_experiments=4,
+            seed=72,
+        )
+        sink = thor_target.run_campaign(campaign)
+        times = {
+            injection.time
+            for result in sink.results
+            for injection in result.injections
+        }
+        assert len(times) == 1  # always the 3rd dispatch
+
+    def test_trigger_on_workload_without_tasks_rejected(self, thor_target):
+        campaign = make_campaign(
+            workload_name="vecsum",
+            trigger=TriggerSpec(kind="task-switch"),
+            n_experiments=2,
+        )
+        with pytest.raises(ConfigurationError):
+            thor_target.run_campaign(campaign)

@@ -1,0 +1,112 @@
+"""Property tests for campaign set-up operations and location selection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.campaign import CampaignData
+from repro.core.locations import LocationCell, LocationSpace
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@st.composite
+def location_spaces(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    cells = []
+    seen = set()
+    for i in range(n):
+        path = f"block{draw(st.integers(0, 3))}.cell{i}"
+        if path in seen:
+            continue
+        seen.add(path)
+        cells.append(
+            LocationCell(
+                space="scan:internal",
+                path=path,
+                width=draw(st.integers(min_value=1, max_value=32)),
+                read_only=draw(st.booleans()),
+            )
+        )
+    if not any(not cell.read_only for cell in cells):
+        cells.append(LocationCell("scan:internal", "anchor", 8))
+    return LocationSpace(cells)
+
+
+class TestLocationSpaceProperties:
+    @given(location_spaces())
+    @settings(max_examples=60)
+    def test_expand_counts_match_widths(self, space):
+        locations = space.expand(["scan:internal/*"])
+        writable = [cell for cell in space.cells() if not cell.read_only]
+        assert len(locations) == sum(cell.width for cell in writable)
+
+    @given(location_spaces())
+    @settings(max_examples=60)
+    def test_expanded_locations_unique(self, space):
+        locations = space.expand(["scan:internal/*"])
+        assert len({loc.key() for loc in locations}) == len(locations)
+
+    @given(location_spaces())
+    @settings(max_examples=60)
+    def test_tree_leafs_equal_cells(self, space):
+        assert len(space.tree().leaf_cells()) == len(space.cells())
+
+    @given(location_spaces())
+    @settings(max_examples=40)
+    def test_subset_patterns_select_subsets(self, space):
+        all_cells = space.select_cells(["scan:internal/*"])
+        block0 = space.select_cells(["scan:internal/block0.*"])
+        assert set(c.full_path for c in block0) <= set(
+            c.full_path for c in all_cells
+        )
+
+
+@st.composite
+def mergeable_campaigns(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    campaigns = []
+    pattern_pool = [
+        "scan:internal/cpu.regfile.*",
+        "scan:internal/cpu.psr",
+        "scan:internal/dcache.*",
+        "scan:internal/icache.*",
+    ]
+    for i in range(count):
+        patterns = draw(
+            st.lists(st.sampled_from(pattern_pool), min_size=1, max_size=3)
+        )
+        campaigns.append(
+            CampaignData(
+                campaign_name=f"m{i}-{draw(names)}",
+                location_patterns=list(dict.fromkeys(patterns)),
+                n_experiments=draw(st.integers(min_value=1, max_value=500)),
+                seed=draw(st.integers(min_value=0, max_value=999)),
+            )
+        )
+    return campaigns
+
+
+class TestMergeProperties:
+    @given(mergeable_campaigns())
+    @settings(max_examples=60)
+    def test_merge_sums_experiments(self, campaigns):
+        merged = CampaignData.merge("merged", campaigns)
+        assert merged.n_experiments == sum(c.n_experiments for c in campaigns)
+
+    @given(mergeable_campaigns())
+    @settings(max_examples=60)
+    def test_merge_unions_patterns_without_duplicates(self, campaigns):
+        merged = CampaignData.merge("merged", campaigns)
+        expected = []
+        for campaign in campaigns:
+            for pattern in campaign.location_patterns:
+                if pattern not in expected:
+                    expected.append(pattern)
+        assert merged.location_patterns == expected
+
+    @given(mergeable_campaigns())
+    @settings(max_examples=40)
+    def test_merge_result_is_serializable(self, campaigns):
+        merged = CampaignData.merge("merged", campaigns)
+        assert CampaignData.from_json(merged.to_json()).to_dict() == (
+            merged.to_dict()
+        )

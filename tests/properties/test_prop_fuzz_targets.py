@@ -1,0 +1,127 @@
+"""Robustness fuzzing: arbitrary memory images must never crash the
+simulators.
+
+A fault-injection substrate executes *corrupted* programs as its normal
+mode of operation, so the machines must be total: any bit pattern either
+executes, halts, or raises a hardware trap — never a Python exception.
+Hypothesis throws random images and random run lengths at both targets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.thor.cpu import Cpu, CpuHalted
+from repro.tsm.machine import TsmHalted, TsmMachine
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+tsm_words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestThorTotality:
+    @given(
+        st.lists(words, min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_random_images_never_crash(self, image, steps):
+        cpu = Cpu()
+        for offset, word in enumerate(image):
+            cpu.memory.poke(0x100 + offset, word)
+        cpu.reset(entry=0x100)
+        for _ in range(steps):
+            if cpu.halted:
+                break
+            event = cpu.step()
+            if event is not None and event.kind in ("halt", "trap"):
+                break
+        # Invariants that must survive arbitrary garbage:
+        assert cpu.cycles >= 0
+        assert 0 <= cpu.pc <= 0xFFFFFFFF
+        for index in range(16):
+            assert 0 <= cpu.regs[index] <= 0xFFFFFFFF
+
+    @given(st.lists(words, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_halted_cpu_stays_halted(self, image):
+        cpu = Cpu()
+        for offset, word in enumerate(image):
+            cpu.memory.poke(0x100 + offset, word)
+        cpu.reset(entry=0x100)
+        for _ in range(300):
+            if cpu.halted:
+                break
+            cpu.step()
+        if cpu.halted:
+            import pytest
+
+            with pytest.raises(CpuHalted):
+                cpu.step()
+
+
+class TestTsmTotality:
+    @given(
+        st.lists(tsm_words, min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_random_images_never_crash(self, image, steps):
+        machine = TsmMachine()
+        for offset, word in enumerate(image):
+            machine.memory[0x10 + offset] = word
+        machine.reset(entry=0x10)
+        for _ in range(steps):
+            if machine.halted:
+                break
+            event = machine.step()
+            if event is not None and event.kind in ("halt", "trap"):
+                break
+        # Stack pointers must stay inside their physical arrays — the
+        # machine's own EDMs are the only way out of bounds is reported.
+        assert 0 <= machine.sp <= machine.config.data_stack_depth
+        assert 0 <= machine.rsp <= machine.config.return_stack_depth
+
+    @given(
+        st.lists(tsm_words, min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scan_injection_mid_run_never_crashes(self, image, steps, bit):
+        """Inject a random stack-cell flip mid-run, keep executing."""
+        machine = TsmMachine()
+        for offset, word in enumerate(image):
+            machine.memory[0x10 + offset] = word
+        machine.reset(entry=0x10)
+        for _ in range(steps):
+            if machine.halted:
+                break
+            machine.step()
+        if not machine.halted:
+            machine.dstack[0] ^= 1 << bit
+            for _ in range(50):
+                if machine.halted:
+                    break
+                machine.step()
+        assert machine.sp >= 0  # bound violations end in traps, not crashes
+
+    @given(
+        st.lists(tsm_words, min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_corrupted_stack_pointers_trap_not_crash(self, image, sp, rsp):
+        """A scan-injected stack pointer outside the physical array must
+        surface as a stack-fault trap on the next access, never as a
+        Python-level error (the sp scan cell is wider than the stack)."""
+        machine = TsmMachine()
+        for offset, word in enumerate(image):
+            machine.memory[0x10 + offset] = word
+        machine.reset(entry=0x10)
+        machine.step()
+        if not machine.halted:
+            machine.sp = sp
+            machine.rsp = rsp
+            for _ in range(80):
+                if machine.halted:
+                    break
+                machine.step()

@@ -1,0 +1,93 @@
+"""Property-based tests: statistics, codecs and campaign serialization."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.coverage import wilson_interval
+from repro.core.campaign import CampaignData, FaultModelSpec
+from repro.core.triggers import TriggerSpec
+from repro.db.statevector import decode_state_payload, encode_state_payload
+
+cell_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz.:/0123456789", min_size=1, max_size=24
+)
+state_vectors = st.dictionaries(
+    cell_names, st.integers(min_value=0, max_value=0xFFFFFFFF), max_size=12
+)
+
+
+class TestWilsonProperties:
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    def test_interval_valid(self, successes, extra):
+        trials = successes + extra
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+        if trials:
+            assert lo <= successes / trials <= hi
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_symmetry(self, trials):
+        """coverage(k of n) and coverage(n-k of n) mirror around 0.5."""
+        k = trials // 3
+        lo1, hi1 = wilson_interval(k, trials)
+        lo2, hi2 = wilson_interval(trials - k, trials)
+        assert abs(lo1 - (1 - hi2)) < 1e-9
+        assert abs(hi1 - (1 - lo2)) < 1e-9
+
+
+class TestStateVectorCodecProperties:
+    @given(state_vectors, st.lists(state_vectors, max_size=5))
+    @settings(max_examples=50)
+    def test_round_trip(self, final, detail):
+        payload = decode_state_payload(encode_state_payload(final, detail))
+        assert payload["final"] == final
+        assert payload["detail"] == detail
+
+
+@st.composite
+def campaigns(draw):
+    technique = draw(st.sampled_from(CampaignData.VALID_TECHNIQUES))
+    patterns = {
+        "scifi": ["scan:internal/cpu.*"],
+        "swifi-pre": ["memory:code/*"],
+        "swifi-runtime": ["swreg/cpu.regfile.*"],
+        "simfi": ["scan:internal/*"],
+        "pinlevel": ["scan:boundary/pins.data_bus"],
+    }[technique]
+    return CampaignData(
+        campaign_name=draw(st.text(min_size=1, max_size=16,
+                                   alphabet="abcdefgh-123")),
+        technique=technique,
+        location_patterns=patterns,
+        n_experiments=draw(st.integers(min_value=1, max_value=10**6)),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        fault_model=FaultModelSpec(
+            kind=draw(st.sampled_from(FaultModelSpec.VALID_KINDS)),
+            multiplicity=draw(st.integers(min_value=1, max_value=8)),
+        ),
+        trigger=TriggerSpec(
+            kind=draw(st.sampled_from(["time-uniform", "time-fixed", "clock"])),
+            time=draw(st.integers(min_value=0, max_value=10**6)),
+            period=draw(st.integers(min_value=1, max_value=10**6)),
+        ),
+        logging_mode=draw(st.sampled_from(["normal", "detail"])),
+        use_preinjection=draw(st.booleans()),
+    )
+
+
+class TestCampaignSerializationProperties:
+    @given(campaigns())
+    @settings(max_examples=60)
+    def test_json_round_trip(self, campaign):
+        restored = CampaignData.from_json(campaign.to_json())
+        assert restored.to_dict() == campaign.to_dict()
+
+    @given(campaigns())
+    @settings(max_examples=30)
+    def test_json_is_canonical(self, campaign):
+        text = campaign.to_json()
+        assert json.loads(text) == json.loads(
+            CampaignData.from_json(text).to_json()
+        )

@@ -1,0 +1,82 @@
+"""Property-based tests for scan-chain invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.thor.assembler import assemble
+from repro.thor.cpu import Cpu
+from repro.thor.scanchain import build_scan_chains
+
+
+def make_cpu(steps: int) -> Cpu:
+    cpu = Cpu()
+    program = assemble(
+        "start:\n"
+        "  ldi r1, 10\n"
+        "  ldi r2, buf\n"
+        "loop:\n"
+        "  st  r1, [r2+0]\n"
+        "  ld  r3, [r2+0]\n"
+        "  addi r2, r2, 1\n"
+        "  subi r1, r1, 1\n"
+        "  cmpi r1, 0\n"
+        "  bne loop\n"
+        "  halt\n"
+        "buf: .space 16\n"
+    )
+    cpu.memory.load_image(program.words)
+    cpu.reset(entry=program.entry)
+    for _ in range(steps):
+        if cpu.halted:
+            break
+        cpu.step()
+    return cpu
+
+
+class TestScanInvariants:
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_read_is_stable(self, steps):
+        """Reading the chain twice without stepping yields identical bits
+        (observation does not disturb state)."""
+        cpu = make_cpu(steps)
+        chain = build_scan_chains(cpu)["internal"]
+        assert chain.read() == chain.read()
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_read_write_read_is_identity(self, steps):
+        """A full read-modify-nothing-write cycle is state-preserving at
+        any stop point — required for Figure 2's read/inject/write flow
+        to only change the injected bits."""
+        cpu = make_cpu(steps)
+        chain = build_scan_chains(cpu)["internal"]
+        bits = chain.read()
+        chain.write(bits)
+        assert chain.read() == bits
+
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_flip_touches_exactly_one_writable_cell(self, steps, seed):
+        import random
+
+        cpu = make_cpu(steps)
+        chain = build_scan_chains(cpu)["internal"]
+        bits = chain.read()
+        rng = random.Random(seed)
+        writable_offsets = [
+            chain.bit_offset(cell.path, bit)
+            for cell in chain.cells()
+            if not cell.read_only
+            for bit in range(cell.width)
+        ]
+        offset = rng.choice(writable_offsets)
+        bits[offset] ^= 1
+        chain.write(bits)
+        after = chain.read()
+        diff = [i for i in range(chain.total_bits) if after[i] != bits[i]]
+        # Everything we wrote must now read back exactly (no hidden
+        # coupling between cells).
+        assert diff == []

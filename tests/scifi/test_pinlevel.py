@@ -1,0 +1,208 @@
+"""Tests for pin-level fault injection (boundary-scan EXTEST forcing)."""
+
+import pytest
+
+from repro.core import CampaignData, create_target
+from repro.core.faultmodels import InjectionAction
+from repro.core.locations import FaultLocation
+from repro.scifi.interface import ThorRDInterface
+from repro.thor.memory import Memory, MemoryBus
+from repro.util.errors import CampaignError
+from tests.conftest import make_campaign
+
+
+class TestMemoryBusForcing:
+    def test_unforced_bus_is_transparent(self):
+        memory = Memory(64)
+        memory.poke(3, 0xABCD)
+        bus = MemoryBus(memory)
+        assert bus.read(3) == 0xABCD
+
+    def test_forced_bits_override_reads(self):
+        memory = Memory(64)
+        memory.poke(3, 0b1010)
+        bus = MemoryBus(memory)
+        bus.arm_force(mask=0b0110, value=0b0100, reads=2)
+        assert bus.read(3) == 0b1100  # bits 1,2 forced to 0,1
+        assert bus.read(3) == 0b1100
+        assert bus.read(3) == 0b1010  # force exhausted
+
+    def test_force_counts_transactions_not_time(self):
+        memory = Memory(64)
+        memory.poke(1, 0)
+        memory.poke(2, 0)
+        bus = MemoryBus(memory)
+        bus.arm_force(mask=1, value=1, reads=1)
+        assert bus.read(1) == 1
+        assert bus.read(2) == 0
+
+    def test_writes_unaffected(self):
+        memory = Memory(64)
+        bus = MemoryBus(memory)
+        bus.arm_force(mask=0xFF, value=0xFF, reads=10)
+        bus.write(5, 0)
+        assert memory.peek(5) == 0
+
+    def test_reset_force(self):
+        memory = Memory(64)
+        bus = MemoryBus(memory)
+        bus.arm_force(1, 1, 5)
+        bus.reset_force()
+        assert not bus.forcing
+
+
+class TestForcePinsBlock:
+    @pytest.fixture
+    def bound(self):
+        target = ThorRDInterface()
+        target.read_campaign_data(
+            make_campaign(
+                technique="pinlevel",
+                location_patterns=["scan:boundary/pins.data_bus"],
+            )
+        )
+        target.init_test_card()
+        target.load_workload()
+        return target
+
+    def test_force_arms_the_bus(self, bound):
+        location = FaultLocation("scan:boundary", "pins.data_bus", 4)
+        injections = bound.force_pins(
+            InjectionAction(time=9, locations=(location,), op="stuck1")
+        )
+        bus = bound.card.cpu.bus
+        assert bus.force_mask == 1 << 4
+        assert bus.force_value & (1 << 4)
+        assert bus.force_reads == 1  # transient fault model
+        assert injections[0].bit_after == 1
+
+    def test_force_duration_follows_fault_model(self):
+        from repro.core.campaign import FaultModelSpec
+
+        target = ThorRDInterface()
+        target.read_campaign_data(
+            make_campaign(
+                technique="pinlevel",
+                location_patterns=["scan:boundary/pins.data_bus"],
+                fault_model=FaultModelSpec(kind="permanent", stuck_value=1),
+            )
+        )
+        target.init_test_card()
+        target.load_workload()
+        location = FaultLocation("scan:boundary", "pins.data_bus", 0)
+        target.force_pins(
+            InjectionAction(time=1, locations=(location,), op="stuck1")
+        )
+        assert target.card.cpu.bus.force_reads == 255
+
+    def test_rejects_non_bus_locations(self, bound):
+        location = FaultLocation("scan:internal", "cpu.regfile.r1", 0)
+        with pytest.raises(CampaignError):
+            bound.force_pins(
+                InjectionAction(time=1, locations=(location,))
+            )
+
+    def test_forcing_pays_scan_cost(self, bound):
+        before = bound.card.total_scan_cycles
+        location = FaultLocation("scan:boundary", "pins.data_bus", 2)
+        bound.force_pins(InjectionAction(time=1, locations=(location,)))
+        assert bound.card.total_scan_cycles > before
+
+
+class TestPinFaultSemantics:
+    def test_forced_fill_is_parity_consistent(self):
+        """The key physical property: a pin fault corrupts the word
+        *before* the cache computes fill parity, so the parity mechanism
+        cannot see it — unlike a fault in the cache array itself."""
+        from repro.thor.cpu import Cpu
+
+        cpu = Cpu()
+        cpu.memory.poke(0x200, 0b0)
+        cpu.bus.arm_force(mask=1, value=1, reads=10)
+        value, _ = cpu.dcache.read(0x200, cpu.bus)
+        assert value == 1  # corrupted on the bus
+        # Re-read from the cache after the force expires: still corrupted,
+        # still no parity error.
+        cpu.bus.reset_force()
+        value, extra = cpu.dcache.read(0x200, cpu.bus)
+        assert value == 1 and extra == 0
+
+    def test_campaign_end_to_end(self):
+        campaign = make_campaign(
+            campaign_name="pin-e2e",
+            technique="pinlevel",
+            workload_name="bubblesort",
+            location_patterns=["scan:boundary/pins.data_bus"],
+            n_experiments=20,
+            seed=91,
+        )
+        target = create_target("thor-rd")
+        sink = target.run_campaign(campaign)
+        assert len(sink.results) == 20
+        assert all(len(r.injections) == 1 for r in sink.results)
+
+    def test_pin_faults_evade_cache_parity(self):
+        """Campaign-level shape: pin-level escapes are mostly undetected
+        wrong results, never cache-parity detections."""
+        from repro.analysis import classify_campaign
+
+        campaign = make_campaign(
+            campaign_name="pin-evade",
+            technique="pinlevel",
+            workload_name="bubblesort",
+            location_patterns=["scan:boundary/pins.data_bus"],
+            n_experiments=60,
+            seed=12,
+        )
+        target = create_target("thor-rd")
+        sink = target.run_campaign(campaign)
+        summary = classify_campaign(sink.results, sink.reference)
+        assert summary.escaped > 0
+        assert "dcache_parity" not in summary.detections_by_mechanism
+        assert "icache_parity" not in summary.detections_by_mechanism
+
+
+class TestPinForceDurations:
+    def test_intermittent_model_forces_burst_length_reads(self):
+        from repro.core.campaign import FaultModelSpec
+        from tests.conftest import make_campaign
+
+        target = ThorRDInterface()
+        target.read_campaign_data(
+            make_campaign(
+                technique="pinlevel",
+                location_patterns=["scan:boundary/pins.data_bus"],
+                fault_model=FaultModelSpec(
+                    kind="intermittent", burst_length=4, burst_spacing=10
+                ),
+            )
+        )
+        target.init_test_card()
+        target.load_workload()
+        location = FaultLocation("scan:boundary", "pins.data_bus", 3)
+        target.force_pins(
+            InjectionAction(time=2, locations=(location,), op="stuck0")
+        )
+        assert target.card.cpu.bus.force_reads == 4
+
+    def test_campaign_with_permanent_pin_fault(self):
+        from repro.analysis import classify_campaign
+        from repro.core.campaign import FaultModelSpec
+        from tests.conftest import make_campaign
+
+        campaign = make_campaign(
+            campaign_name="pin-perm",
+            technique="pinlevel",
+            workload_name="vecsum",
+            location_patterns=["scan:boundary/pins.data_bus"],
+            fault_model=FaultModelSpec(kind="permanent", stuck_value=1,
+                                       reassert_interval=60),
+            n_experiments=15,
+            seed=14,
+        )
+        target = create_target("thor-rd")
+        sink = target.run_campaign(campaign)
+        summary = classify_campaign(sink.results, sink.reference)
+        # A permanently stuck bus line is far more damaging than a
+        # single-transaction glitch.
+        assert summary.effective > summary.total / 2

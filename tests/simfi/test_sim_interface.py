@@ -1,0 +1,64 @@
+"""Tests for the simulation-based FI baseline (D3: no scan cost)."""
+
+from repro.core import create_target
+from tests.conftest import make_campaign
+
+
+class TestDirectAccess:
+    def test_simfi_campaign_uses_no_scan_shifts_for_injection(self):
+        target = create_target("thor-rd-sim")
+        campaign = make_campaign(
+            campaign_name="sim", technique="simfi", n_experiments=10,
+            target_name="thor-rd-sim",
+        )
+        target.run_campaign(campaign)
+        chains = target.card.chains
+        total_ops = sum(c.reads + c.writes for c in chains.values())
+        assert total_ops == 0
+        assert target.card.total_scan_cycles == 0
+
+    def test_scifi_same_campaign_pays_scan_cost(self):
+        target = create_target("thor-rd")
+        campaign = make_campaign(campaign_name="scifi", n_experiments=10)
+        target.run_campaign(campaign)
+        assert target.card.total_scan_cycles > 0
+
+    def test_simfi_reaches_every_space(self):
+        target = create_target("thor-rd-sim")
+        campaign = make_campaign(
+            campaign_name="sim-all",
+            technique="simfi",
+            target_name="thor-rd-sim",
+            location_patterns=[
+                "scan:internal/*",
+                "memory:code/*",
+                "memory:data/*",
+                "swreg/*",
+            ],
+            n_experiments=12,
+            seed=55,
+        )
+        sink = target.run_campaign(campaign)
+        assert len(sink.results) == 12
+
+    def test_observation_without_scan_matches_scan_observation(self):
+        """The same final state must be reported through either access
+        path — the baseline differs in cost, not in truth."""
+        scifi_target = create_target("thor-rd")
+        sim_target = create_target("thor-rd-sim")
+        scifi_sink = scifi_target.run_campaign(
+            make_campaign(campaign_name="a", n_experiments=3, seed=6)
+        )
+        sim_sink = sim_target.run_campaign(
+            make_campaign(
+                campaign_name="b",
+                technique="simfi",
+                target_name="thor-rd-sim",
+                n_experiments=3,
+                seed=6,
+            )
+        )
+        assert (
+            scifi_sink.reference.state_vector
+            == sim_sink.reference.state_vector
+        )

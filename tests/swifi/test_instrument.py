@@ -1,0 +1,169 @@
+"""Tests for runtime-SWIFI trap instrumentation."""
+
+import pytest
+
+from repro.core.faultmodels import InjectionAction, InjectionPlan
+from repro.core.locations import FaultLocation
+from repro.core.trace import Trace, TraceStep
+from repro.swifi.instrument import SWIFI_TRAP_CODE, TrapInstrumenter, _trap_word
+from repro.thor.assembler import assemble
+from repro.thor.testcard import DebugEventKind, TestCard
+
+COUNT_PROGRAM = """
+start:
+    ldi r1, 0
+    ldi r2, 0
+loop:
+    addi r1, r1, 1
+    addi r2, r2, 2
+    cmpi r1, 5
+    blt loop
+    ldi r3, out
+    st  r1, [r3+0]
+    st  r2, [r3+1]
+    halt
+out:
+    .space 2
+"""
+
+
+def traced_run(source):
+    """Run once collecting a minimal trace (pc + cycles)."""
+    card = TestCard()
+    card.init()
+    program = assemble(source)
+    card.load_program(program)
+    trace = Trace()
+    prev = [0]
+
+    def hook(c):
+        trace.append(
+            TraceStep(
+                index=len(trace),
+                pc=c.cpu.last_exec.pc,
+                cycle_before=prev[0],
+                cycle_after=c.cpu.cycles,
+            )
+        )
+        prev[0] = c.cpu.cycles
+
+    card.on_step = hook
+    card.run(timeout_cycles=10**6)
+    return program, trace
+
+
+def fresh_card(program):
+    card = TestCard()
+    card.init()
+    card.load_program(program)
+    return card
+
+
+def reg_location(n, bit):
+    return FaultLocation("swreg", f"cpu.regfile.r{n}", bit)
+
+
+class TestInstrumentation:
+    def test_trap_planted_and_restored(self):
+        program, trace = traced_run(COUNT_PROGRAM)
+        card = fresh_card(program)
+        instrumenter = TrapInstrumenter(card)
+        target_step = trace.steps[4]
+        plan = InjectionPlan(
+            [InjectionAction(time=target_step.cycle_before,
+                             locations=(reg_location(1, 5),))]
+        )
+        instrumenter.instrument(plan, trace)
+        assert card.read_memory(target_step.pc) == _trap_word()
+        card.trap_hook = instrumenter.handle_trap
+        card.on_step = instrumenter.on_step
+        event = card.run(timeout_cycles=10**6)
+        assert event.kind is DebugEventKind.HALT
+        # Original instruction restored after servicing.
+        assert card.read_memory(target_step.pc) == program.words[target_step.pc]
+
+    def test_injection_recorded_and_applied(self):
+        program, trace = traced_run(COUNT_PROGRAM)
+        card = fresh_card(program)
+        instrumenter = TrapInstrumenter(card)
+        # Flip bit 5 of r1 mid-loop; the loop exit condition changes, so
+        # outputs must differ from the fault-free run.
+        mid = trace.duration_cycles // 2
+        plan = InjectionPlan(
+            [InjectionAction(time=mid, locations=(reg_location(1, 5),))]
+        )
+        instrumenter.instrument(plan, trace)
+        card.trap_hook = instrumenter.handle_trap
+        card.on_step = instrumenter.on_step
+        card.run(timeout_cycles=10**6)
+        assert len(instrumenter.injections) == 1
+        injection = instrumenter.injections[0]
+        assert injection.location.path == "cpu.regfile.r1"
+        assert injection.bit_before != injection.bit_after
+
+    def test_occurrence_targeting_skips_early_hits(self):
+        program, trace = traced_run(COUNT_PROGRAM)
+        # The loop body address executes 5 times; target the 3rd.
+        loop_pc = program.symbols["loop"]
+        occurrences = trace.executions_of(loop_pc)
+        assert len(occurrences) == 5
+        third = occurrences[2]
+        card = fresh_card(program)
+        instrumenter = TrapInstrumenter(card)
+        plan = InjectionPlan(
+            [InjectionAction(time=third.cycle_before,
+                             locations=(reg_location(2, 0),))]
+        )
+        instrumenter.instrument(plan, trace)
+        card.trap_hook = instrumenter.handle_trap
+        card.on_step = instrumenter.on_step
+        card.run(timeout_cycles=10**6)
+        assert len(instrumenter.injections) == 1
+        # Injection happened at the third occurrence: r2 had been
+        # incremented twice (value 4), so bit 0 stays 0 -> flip sets 1.
+        planted = instrumenter._planted[loop_pc]
+        assert planted.hits == 3
+
+    def test_memory_location_injection(self):
+        program, trace = traced_run(COUNT_PROGRAM)
+        card = fresh_card(program)
+        instrumenter = TrapInstrumenter(card)
+        out = program.symbols["out"]
+        location = FaultLocation("memory:data", f"word.0x{out:04x}", 0)
+        plan = InjectionPlan(
+            [InjectionAction(time=trace.duration_cycles - 1,
+                             locations=(location,))]
+        )
+        instrumenter.instrument(plan, trace)
+        card.trap_hook = instrumenter.handle_trap
+        card.on_step = instrumenter.on_step
+        card.run(timeout_cycles=10**6)
+        assert len(instrumenter.injections) == 1
+
+    def test_foreign_trap_not_consumed(self):
+        program = assemble("trap 7\nhalt\n")
+        card = fresh_card(program)
+        instrumenter = TrapInstrumenter(card)
+        card.trap_hook = instrumenter.handle_trap
+        event = card.run(timeout_cycles=1000)
+        assert event.kind is DebugEventKind.TRAP
+        assert event.trap.code == 7
+
+
+class TestCampaignLevel:
+    def test_runtime_campaign_results_reproducible(self, thor_target):
+        from tests.conftest import make_campaign
+
+        campaign = make_campaign(
+            technique="swifi-runtime",
+            location_patterns=["swreg/cpu.regfile.*"],
+            n_experiments=8,
+            seed=13,
+        )
+        sink1 = thor_target.run_campaign(campaign)
+        from repro.core import create_target
+
+        sink2 = create_target("thor-rd").run_campaign(campaign)
+        assert [
+            [i.to_dict() for i in r.injections] for r in sink1.results
+        ] == [[i.to_dict() for i in r.injections] for r in sink2.results]

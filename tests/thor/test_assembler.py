@@ -1,0 +1,163 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.thor import isa
+from repro.thor.assembler import assemble
+from repro.thor.isa import Opcode, decode
+from repro.util.errors import AssemblerError
+
+
+class TestBasics:
+    def test_simple_program(self):
+        program = assemble("start:\n  ldi r1, 5\n  halt\n")
+        assert program.entry == 0x100
+        assert decode(program.words[0x100]).opcode is Opcode.LDI
+        assert decode(program.words[0x101]).opcode is Opcode.HALT
+
+    def test_comments_stripped(self):
+        program = assemble("; leading comment\nstart: halt ; trailing\n# hash\n")
+        assert len(program.words) == 1
+
+    def test_origin_respected(self):
+        program = assemble("halt", origin=0x400)
+        assert 0x400 in program.words
+
+    def test_register_aliases(self):
+        program = assemble("push sp\npush lr\n")
+        instrs = [decode(program.words[a]) for a in sorted(program.words)]
+        assert instrs[0].rd == isa.REG_SP
+        assert instrs[1].rd == isa.REG_LR
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("HALT")
+        assert decode(program.words[0x100]).opcode is Opcode.HALT
+
+
+class TestLabelsAndSymbols:
+    def test_forward_reference(self):
+        program = assemble("jmp end\nnop\nend: halt\n")
+        assert decode(program.words[0x100]).imm == program.symbols["end"]
+
+    def test_branch_is_pc_relative(self):
+        program = assemble("start:\n  nop\nloop:\n  beq loop\n  halt\n")
+        branch = decode(program.words[0x101])
+        assert branch.imm == -1  # target = pc+1+imm = pc
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere\n")
+
+    def test_entry_defaults_to_origin_without_start(self):
+        program = assemble("nop\nhalt\n")
+        assert program.entry == 0x100
+
+    def test_main_label_sets_entry(self):
+        program = assemble(".org 0x200\nmain: halt\n", origin=0x200)
+        assert program.entry == 0x200
+
+
+class TestDirectives:
+    def test_word_directive(self):
+        program = assemble("data: .word 1, 2, 0xff\n")
+        base = program.symbols["data"]
+        assert [program.words[base + i] for i in range(3)] == [1, 2, 255]
+        assert all(program.kinds[base + i] == "data" for i in range(3))
+
+    def test_space_directive_zero_fills(self):
+        program = assemble("buf: .space 4\n")
+        base = program.symbols["buf"]
+        assert [program.words[base + i] for i in range(4)] == [0, 0, 0, 0]
+
+    def test_equ_constant(self):
+        program = assemble(".equ LIMIT 42\nstart: ldi r1, LIMIT\nhalt\n")
+        assert decode(program.words[0x100]).imm == 42
+
+    def test_negative_word(self):
+        program = assemble("v: .word -1\n")
+        assert program.words[program.symbols["v"]] == 0xFFFFFFFF
+
+    def test_org_moves_location(self):
+        program = assemble("nop\n.org 0x300\nhalt\n")
+        assert 0x100 in program.words and 0x300 in program.words
+
+    def test_double_assembly_of_address_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop\n.org 0x100\nnop\n")
+
+
+class TestOperandForms:
+    def test_memory_operand_positive_offset(self):
+        program = assemble("ld r1, [r2+3]\n")
+        instr = decode(program.words[0x100])
+        assert (instr.rd, instr.rs1, instr.imm) == (1, 2, 3)
+
+    def test_memory_operand_negative_offset(self):
+        program = assemble("st r1, [r2-3]\n")
+        assert decode(program.words[0x100]).imm == -3
+
+    def test_memory_operand_no_offset(self):
+        program = assemble("ld r1, [r2]\n")
+        assert decode(program.words[0x100]).imm == 0
+
+    def test_bad_memory_operand_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("ld r1, r2+3\n")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov r1, r99\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1\n")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2\n")
+
+
+class TestLiPseudo:
+    def test_small_constant_single_ldi(self):
+        program = assemble("li r1, 100\n")
+        assert decode(program.words[0x100]).opcode is Opcode.LDI
+        assert decode(program.words[0x101]).opcode is Opcode.NOP
+
+    def test_large_constant_lui_ori(self):
+        program = assemble("li r1, 0xDEADBEEF\n")
+        first = decode(program.words[0x100])
+        second = decode(program.words[0x101])
+        assert first.opcode is Opcode.LUI
+        assert second.opcode is Opcode.ORI
+        value = (first.imm << 14) | (second.imm & 0x3FFF)
+        assert value & 0xFFFFFFFF == 0xDEADBEEF
+
+    def test_negative_constant(self):
+        program = assemble("li r1, -24576\n")
+        # Must assemble without range errors and occupy two words.
+        assert len(program.words) == 2
+
+    def test_li_always_two_words(self):
+        # Label arithmetic depends on 'li' having a fixed size.
+        program = assemble("li r1, 1\nend: halt\n")
+        assert program.symbols["end"] == 0x102
+
+
+class TestProgramQueries:
+    def test_code_and_data_addresses(self):
+        program = assemble("start: halt\nd: .word 9\n")
+        assert program.code_addresses() == [0x100]
+        assert program.data_addresses() == [0x101]
+
+    def test_extent(self):
+        program = assemble("nop\nnop\nhalt\n")
+        assert program.extent() == (0x100, 0x102)
+
+    def test_source_map(self):
+        program = assemble("start: halt\n")
+        line, text = program.source[0x100]
+        assert "halt" in text

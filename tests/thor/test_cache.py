@@ -1,0 +1,154 @@
+"""Unit tests for the parity-protected caches."""
+
+import pytest
+
+from repro.thor.cache import Cache, CacheParityError
+from repro.thor.memory import Memory
+from repro.util.bits import parity
+
+
+@pytest.fixture
+def memory():
+    memory = Memory(1024)
+    for address in range(256):
+        memory.poke(address, address * 3 + 1)
+    return memory
+
+
+@pytest.fixture
+def cache():
+    return Cache("dcache", n_lines=4, words_per_line=4, miss_penalty=8,
+                 address_bits=10)
+
+
+class TestReadPath:
+    def test_miss_then_hit(self, cache, memory):
+        value, extra = cache.read(5, memory)
+        assert value == 16
+        assert extra == 8
+        value, extra = cache.read(5, memory)
+        assert extra == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_line_fill_brings_neighbours(self, cache, memory):
+        cache.read(4, memory)
+        for address in (5, 6, 7):
+            _, extra = cache.read(address, memory)
+            assert extra == 0
+
+    def test_conflict_eviction(self, cache, memory):
+        cache.read(0, memory)
+        # Same index, different tag: 4 lines * 4 words = 64-word stride.
+        cache.read(64, memory)
+        _, extra = cache.read(0, memory)
+        assert extra == 8  # was evicted
+
+    def test_parity_stored_correctly(self, cache, memory):
+        cache.read(8, memory)
+        tag, index, offset = cache.split(8)
+        line = cache.lines[index]
+        assert line.tag_parity == parity(line.tag)
+        for word, par in zip(line.data, line.data_parity):
+            assert par == parity(word)
+
+
+class TestWritePath:
+    def test_write_through(self, cache, memory):
+        cache.read(4, memory)
+        cache.write(4, 999, memory)
+        assert memory.peek(4) == 999
+        value, extra = cache.read(4, memory)
+        assert value == 999 and extra == 0
+
+    def test_write_miss_goes_to_memory_only(self, cache, memory):
+        cache.write(100, 123, memory)
+        assert memory.peek(100) == 123
+        # No allocation on write miss.
+        _, extra = cache.read(100, memory)
+        assert extra == 8
+
+    def test_write_updates_parity(self, cache, memory):
+        cache.read(4, memory)
+        cache.write(4, 0b111, memory)
+        _, index, offset = cache.split(4)
+        assert cache.lines[index].data_parity[offset] == parity(0b111)
+
+
+class TestParityDetection:
+    def test_injected_data_flip_detected_on_read(self, cache, memory):
+        cache.read(4, memory)
+        _, index, offset = cache.split(4)
+        cache.lines[index].data[offset] ^= 1 << 9  # scan-chain injection
+        with pytest.raises(CacheParityError) as excinfo:
+            cache.read(4, memory)
+        assert excinfo.value.array == "data"
+        assert cache.stats.parity_errors == 1
+
+    def test_injected_parity_bit_flip_detected(self, cache, memory):
+        cache.read(4, memory)
+        _, index, offset = cache.split(4)
+        cache.lines[index].data_parity[offset] ^= 1
+        with pytest.raises(CacheParityError):
+            cache.read(4, memory)
+
+    def test_injected_tag_flip_detected(self, cache, memory):
+        cache.read(4, memory)
+        _, index, _ = cache.split(4)
+        cache.lines[index].tag ^= 1
+        with pytest.raises(CacheParityError) as excinfo:
+            cache.read(4, memory)
+        assert excinfo.value.array == "tag"
+
+    def test_double_flip_escapes_parity(self, cache, memory):
+        # Even parity cannot see a double flip in the same word — the
+        # mechanism behind higher escape rates at multiplicity 2 (E7).
+        cache.read(4, memory)
+        _, index, offset = cache.split(4)
+        cache.lines[index].data[offset] ^= 0b11
+        value, _ = cache.read(4, memory)
+        assert value == memory.peek(4) ^ 0b11  # wrong data, undetected
+
+    def test_flip_in_untouched_line_harmless(self, cache, memory):
+        cache.read(4, memory)
+        cache.lines[3].data[0] ^= 1  # invalid line: never checked
+        cache.read(4, memory)
+
+    def test_checking_disabled(self, memory):
+        cache = Cache("d", n_lines=4, words_per_line=4, check_parity=False,
+                      address_bits=10)
+        cache.read(4, memory)
+        _, index, offset = cache.split(4)
+        cache.lines[index].data[offset] ^= 1
+        cache.read(4, memory)  # silently returns corrupted data
+
+    def test_refill_overwrites_fault(self, cache, memory):
+        cache.read(4, memory)
+        _, index, offset = cache.split(4)
+        cache.lines[index].data[offset] ^= 1 << 5
+        cache.lines[index].valid = False  # pretend evicted
+        value, _ = cache.read(4, memory)
+        assert value == memory.peek(4)  # fault overwritten by refill
+
+
+class TestConfigValidation:
+    def test_non_power_of_two_lines_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("x", n_lines=3)
+
+    def test_non_power_of_two_words_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("x", words_per_line=5)
+
+    def test_reset_clears_lines_and_stats(self, cache, memory):
+        cache.read(4, memory)
+        cache.reset()
+        assert cache.stats.hits == 0
+        assert all(not line.valid for line in cache.lines)
+
+    def test_split_is_consistent(self, cache):
+        # 4 lines -> 2 index bits; 4 words/line -> 2 offset bits.
+        for address in (0, 5, 63, 512):
+            tag, index, offset = cache.split(address)
+            reconstructed = ((tag << 2 | index) << 2) | offset
+            assert reconstructed == address

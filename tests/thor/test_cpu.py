@@ -1,0 +1,268 @@
+"""Unit tests for the THOR-lite CPU core."""
+
+import pytest
+
+from repro.thor.assembler import assemble
+from repro.thor.cpu import Cpu, CpuConfig, CpuHalted
+from repro.thor.traps import Trap
+from repro.util.bits import to_unsigned
+
+
+def run_asm(source: str, config: CpuConfig = None, max_steps: int = 100000):
+    """Assemble, load and run to the first halting event."""
+    cpu = Cpu(config)
+    program = assemble(source)
+    cpu.memory.load_image(program.words)
+    cpu.reset(entry=program.entry)
+    event = None
+    for _ in range(max_steps):
+        event = cpu.step()
+        if event is not None and event.kind in ("halt", "trap"):
+            break
+    return cpu, program, event
+
+
+class TestArithmetic:
+    def test_add(self):
+        cpu, _, _ = run_asm("ldi r1, 7\nldi r2, 5\nadd r3, r1, r2\nhalt\n")
+        assert cpu.regs[3] == 12
+
+    def test_sub_negative_result(self):
+        cpu, _, _ = run_asm("ldi r1, 3\nldi r2, 5\nsub r3, r1, r2\nhalt\n")
+        assert cpu.regs[3] == to_unsigned(-2)
+        assert cpu.psr.n
+
+    def test_mul_signed(self):
+        cpu, _, _ = run_asm("ldi r1, -4\nldi r2, 3\nmul r3, r1, r2\nhalt\n")
+        assert cpu.regs[3] == to_unsigned(-12)
+
+    def test_div_truncates_toward_zero(self):
+        cpu, _, _ = run_asm("ldi r1, -7\nldi r2, 2\ndiv r3, r1, r2\nhalt\n")
+        assert cpu.regs[3] == to_unsigned(-3)
+
+    def test_mod_sign_follows_dividend(self):
+        cpu, _, _ = run_asm("ldi r1, -7\nldi r2, 2\nmod r3, r1, r2\nhalt\n")
+        assert cpu.regs[3] == to_unsigned(-1)
+
+    def test_div_by_zero_traps(self):
+        cpu, _, event = run_asm("ldi r1, 1\nldi r2, 0\ndiv r3, r1, r2\nhalt\n")
+        assert event.kind == "trap"
+        assert event.trap.trap is Trap.DIV_ZERO
+
+    def test_add_wraps_32_bits(self):
+        cpu, _, _ = run_asm(
+            "li r1, 0xFFFFFFFF\nldi r2, 1\nadd r3, r1, r2\nhalt\n"
+        )
+        assert cpu.regs[3] == 0
+        assert cpu.psr.z and cpu.psr.c
+
+    def test_signed_overflow_sets_v(self):
+        cpu, _, _ = run_asm(
+            "li r1, 0x7FFFFFFF\nldi r2, 1\nadd r3, r1, r2\nhalt\n"
+        )
+        assert cpu.psr.v
+
+    def test_overflow_trap_when_enabled(self):
+        cpu, _, event = run_asm(
+            "li r1, 0x7FFFFFFF\nldi r2, 1\nadd r3, r1, r2\nhalt\n",
+            config=CpuConfig(overflow_trap=True),
+        )
+        assert event.kind == "trap"
+        assert event.trap.trap is Trap.OVERFLOW
+
+
+class TestLogicAndShifts:
+    def test_and_or_xor(self):
+        cpu, _, _ = run_asm(
+            "ldi r1, 0b1100\nldi r2, 0b1010\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt\n"
+        )
+        assert cpu.regs[3] == 0b1000
+        assert cpu.regs[4] == 0b1110
+        assert cpu.regs[5] == 0b0110
+
+    def test_not(self):
+        cpu, _, _ = run_asm("ldi r1, 0\nnot r2, r1\nhalt\n")
+        assert cpu.regs[2] == 0xFFFFFFFF
+
+    def test_shifts(self):
+        cpu, _, _ = run_asm(
+            "ldi r1, 1\nshli r2, r1, 31\nshri r3, r2, 31\nhalt\n"
+        )
+        assert cpu.regs[2] == 0x80000000
+        assert cpu.regs[3] == 1
+
+    def test_sra_sign_fills(self):
+        cpu, _, _ = run_asm(
+            "li r1, 0x80000000\nldi r2, 4\nsra r3, r1, r2\nhalt\n"
+        )
+        assert cpu.regs[3] == 0xF8000000
+
+    def test_shift_amount_masked_to_31(self):
+        cpu, _, _ = run_asm("ldi r1, 2\nldi r2, 33\nshl r3, r1, r2\nhalt\n")
+        assert cpu.regs[3] == 4  # 33 & 31 == 1
+
+
+class TestControlFlow:
+    def test_taken_branch(self):
+        cpu, program, _ = run_asm(
+            "ldi r1, 5\ncmpi r1, 5\nbeq skip\nldi r2, 1\nskip: halt\n"
+        )
+        assert cpu.regs[2] == 0
+
+    def test_not_taken_branch(self):
+        cpu, _, _ = run_asm(
+            "ldi r1, 4\ncmpi r1, 5\nbeq skip\nldi r2, 1\nskip: halt\n"
+        )
+        assert cpu.regs[2] == 1
+
+    @pytest.mark.parametrize(
+        "branch,a,b,taken",
+        [
+            ("blt", 1, 2, True),
+            ("blt", 2, 1, False),
+            ("blt", -1, 1, True),
+            ("bge", 2, 2, True),
+            ("bge", -5, -4, False),
+            ("bgt", 3, 2, True),
+            ("bgt", 2, 2, False),
+            ("ble", 2, 2, True),
+            ("ble", 3, 2, False),
+            ("bne", 1, 2, True),
+            ("bne", 2, 2, False),
+        ],
+    )
+    def test_signed_branch_semantics(self, branch, a, b, taken):
+        cpu, _, _ = run_asm(
+            f"ldi r1, {a}\nldi r2, {b}\ncmp r1, r2\n{branch} yes\n"
+            "ldi r3, 0\nhalt\nyes: ldi r3, 1\nhalt\n"
+        )
+        assert cpu.regs[3] == (1 if taken else 0)
+
+    def test_call_ret(self):
+        cpu, _, _ = run_asm(
+            "start: call sub\nldi r2, 7\nhalt\nsub: ldi r1, 3\nret\n"
+        )
+        assert (cpu.regs[1], cpu.regs[2]) == (3, 7)
+
+    def test_jr_jumps_to_register(self):
+        cpu, _, _ = run_asm(
+            "ldi r1, target\njr r1\nldi r2, 1\ntarget: halt\n"
+        )
+        assert cpu.regs[2] == 0
+
+    def test_fetch_beyond_memory_traps(self):
+        cpu, _, event = run_asm("li r1, 0x20000\njr r1\n")
+        assert event.trap.trap is Trap.ILLEGAL_ADDRESS
+
+
+class TestMemoryOps:
+    def test_load_store(self):
+        cpu, program, _ = run_asm(
+            "ldi r1, buf\nldi r2, 42\nst r2, [r1+1]\nld r3, [r1+1]\nhalt\n"
+            "buf: .space 4\n"
+        )
+        assert cpu.regs[3] == 42
+
+    def test_push_pop(self):
+        cpu, _, _ = run_asm(
+            "ldi sp, 0x200\nldi r1, 11\nldi r2, 22\npush r1\npush r2\n"
+            "pop r3\npop r4\nhalt\n"
+        )
+        assert (cpu.regs[3], cpu.regs[4]) == (22, 11)
+        assert cpu.regs[14] == 0x200
+
+    def test_store_out_of_range_traps(self):
+        cpu, _, event = run_asm("li r1, 0x10000\nst r1, [r1+0]\nhalt\n")
+        assert event.trap.trap is Trap.ILLEGAL_ADDRESS
+
+    def test_load_negative_address_traps(self):
+        cpu, _, event = run_asm("ldi r1, 0\nld r2, [r1-5]\nhalt\n")
+        assert event.trap.trap is Trap.ILLEGAL_ADDRESS
+
+    def test_push_underflow_traps(self):
+        cpu, _, event = run_asm("ldi sp, 0\nldi r1, 1\npush r1\nhalt\n")
+        assert event.trap.trap is Trap.ILLEGAL_ADDRESS
+
+    def test_mmio_bypasses_dcache(self):
+        config = CpuConfig()
+        cpu = Cpu(config)
+        program = assemble(
+            "li r1, 0xFF00\nld r2, [r1+0]\nld r3, [r1+0]\nhalt\n"
+        )
+        cpu.memory.load_image(program.words)
+        cpu.memory.poke(0xFF00, 1)
+        cpu.reset(entry=program.entry)
+        cpu.step()  # li (2 words)
+        cpu.step()
+        cpu.step()  # first ld
+        cpu.memory.poke(0xFF00, 2)  # external write (env simulator)
+        cpu.step()  # second ld must see the new value
+        assert cpu.regs[2] == 1
+        assert cpu.regs[3] == 2
+
+
+class TestTrapsAndEvents:
+    def test_illegal_opcode_traps(self):
+        cpu = Cpu()
+        cpu.memory.poke(0x100, 0x3F << 26)
+        cpu.reset(entry=0x100)
+        event = cpu.step()
+        assert event.trap.trap is Trap.ILLEGAL_OPCODE
+
+    def test_halt_event_and_state(self):
+        cpu, _, event = run_asm("halt\n")
+        assert event.kind == "halt"
+        assert cpu.halted
+
+    def test_step_after_halt_raises(self):
+        cpu, _, _ = run_asm("halt\n")
+        with pytest.raises(CpuHalted):
+            cpu.step()
+
+    def test_software_trap_carries_code(self):
+        cpu, _, event = run_asm("trap 42\nhalt\n")
+        assert event.trap.trap is Trap.SOFTWARE
+        assert event.trap.code == 42
+
+    def test_clear_trap_resumes(self):
+        cpu, program, event = run_asm("trap 1\nldi r1, 9\nhalt\n")
+        assert event.kind == "trap"
+        cpu.clear_trap()
+        cpu.pc += 1  # skip the TRAP instruction
+        while not cpu.halted:
+            cpu.step()
+        assert cpu.regs[1] == 9
+
+    def test_sync_event_counts_iterations(self):
+        cpu, _, _ = run_asm("sync\nsync\nhalt\n")
+        assert cpu.iterations == 2
+
+    def test_watchdog_traps(self):
+        cpu, _, event = run_asm(
+            "loop: jmp loop\n", config=CpuConfig(watchdog_cycles=100)
+        )
+        assert event.trap.trap is Trap.WATCHDOG
+
+
+class TestCycleAccounting:
+    def test_cycles_grow_monotonically(self):
+        cpu, _, _ = run_asm("ldi r1, 1\nldi r2, 2\nadd r3, r1, r2\nhalt\n")
+        assert cpu.cycles >= cpu.instret
+
+    def test_mul_costs_more_than_add(self):
+        cpu_add, _, _ = run_asm("ldi r1, 2\nldi r2, 3\nadd r3, r1, r2\nhalt\n")
+        cpu_mul, _, _ = run_asm("ldi r1, 2\nldi r2, 3\nmul r3, r1, r2\nhalt\n")
+        assert cpu_mul.cycles > cpu_add.cycles
+
+    def test_cache_miss_penalty_visible(self):
+        # Two loads to the same line: first one pays the miss.
+        source = "ldi r1, buf\nld r2, [r1+0]\nld r3, [r1+1]\nhalt\nbuf: .word 1, 2\n"
+        cpu, _, _ = run_asm(source)
+        assert cpu.dcache.stats.misses == 1
+        assert cpu.dcache.stats.hits == 1
+
+    def test_reset_preserves_overflow_config(self):
+        cpu = Cpu(CpuConfig(overflow_trap=True))
+        cpu.reset()
+        assert cpu.psr.overflow_enable

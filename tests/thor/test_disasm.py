@@ -1,0 +1,54 @@
+"""Unit tests for the disassembler."""
+
+import pytest
+
+from repro.thor.disasm import disassemble_word, format_instruction
+from repro.thor.isa import I_TYPE, R_TYPE, Instruction, Opcode, assemble_word, decode
+
+
+class TestFormatting:
+    def test_no_operand(self):
+        assert format_instruction(Instruction(Opcode.HALT)) == "halt"
+
+    def test_alu(self):
+        text = format_instruction(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        assert text == "add r1, r2, r3"
+
+    def test_memory_positive(self):
+        text = format_instruction(Instruction(Opcode.LD, rd=1, rs1=2, imm=3))
+        assert text == "ld r1, [r2+3]"
+
+    def test_memory_negative(self):
+        text = format_instruction(Instruction(Opcode.ST, rd=1, rs1=2, imm=-3))
+        assert text == "st r1, [r2-3]"
+
+    def test_branch_relative(self):
+        assert format_instruction(Instruction(Opcode.BEQ, imm=-4)) == "beq -4"
+
+    def test_jump_absolute(self):
+        assert format_instruction(Instruction(Opcode.JMP, imm=0x100)) == "jmp 0x100"
+
+    def test_illegal_word(self):
+        assert disassemble_word(0x3F << 26).startswith(".illegal")
+
+
+class TestEveryOpcodeRenders:
+    @pytest.mark.parametrize("opcode", list(Opcode), ids=lambda op: op.name)
+    def test_renders_nonempty(self, opcode):
+        imm = 1 if opcode in (Opcode.JMP, Opcode.CALL, Opcode.TRAP, Opcode.LUI) else 1
+        if opcode in R_TYPE:
+            instr = Instruction(opcode, rd=1, rs1=2, rs2=3)
+        else:
+            instr = Instruction(opcode, rd=1, rs1=2, imm=imm)
+        text = format_instruction(instr)
+        assert text
+        assert text.split()[0] == opcode.name.lower()
+
+    @pytest.mark.parametrize("opcode", list(Opcode), ids=lambda op: op.name)
+    def test_round_trip_through_encoding(self, opcode):
+        if opcode in R_TYPE:
+            instr = Instruction(opcode, rd=4, rs1=5, rs2=6)
+        else:
+            instr = Instruction(opcode, rd=4, rs1=5, imm=2)
+        word = assemble_word(instr)
+        assert format_instruction(decode(word)) == format_instruction(instr)

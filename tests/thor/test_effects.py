@@ -1,0 +1,80 @@
+"""Unit tests for instruction register-effect metadata."""
+
+from repro.thor import isa
+from repro.thor.effects import register_effects
+from repro.thor.isa import Instruction, Opcode
+
+
+class TestAluEffects:
+    def test_r3_alu(self):
+        effects = register_effects(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        assert effects.reg_reads == {2, 3}
+        assert effects.reg_writes == {1}
+        assert effects.writes_flags
+
+    def test_i3_alu(self):
+        effects = register_effects(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5))
+        assert effects.reg_reads == {2}
+        assert effects.reg_writes == {1}
+
+    def test_ldi_writes_only(self):
+        effects = register_effects(Instruction(Opcode.LDI, rd=4, imm=1))
+        assert effects.reg_reads == frozenset()
+        assert effects.reg_writes == {4}
+
+    def test_same_register_read_and_write(self):
+        effects = register_effects(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1))
+        assert effects.reg_reads == {1}
+        assert effects.reg_writes == {1}
+
+
+class TestFlagsAndControl:
+    def test_cmp_reads_regs_writes_flags(self):
+        effects = register_effects(Instruction(Opcode.CMP, rs1=1, rs2=2))
+        assert effects.reg_reads == {1, 2}
+        assert effects.reg_writes == frozenset()
+        assert effects.writes_flags
+
+    def test_branch_reads_flags(self):
+        effects = register_effects(Instruction(Opcode.BEQ, imm=2))
+        assert effects.reads_flags
+        assert not effects.writes_flags
+
+    def test_call_writes_lr(self):
+        effects = register_effects(Instruction(Opcode.CALL, imm=0x200))
+        assert effects.reg_writes == {isa.REG_LR}
+
+    def test_ret_reads_lr(self):
+        effects = register_effects(Instruction(Opcode.RET))
+        assert effects.reg_reads == {isa.REG_LR}
+
+    def test_jr_reads_register(self):
+        effects = register_effects(Instruction(Opcode.JR, rs1=6))
+        assert effects.reg_reads == {6}
+
+
+class TestMemoryEffects:
+    def test_load(self):
+        effects = register_effects(Instruction(Opcode.LD, rd=1, rs1=2, imm=0))
+        assert effects.reg_reads == {2}
+        assert effects.reg_writes == {1}
+
+    def test_store_reads_both(self):
+        effects = register_effects(Instruction(Opcode.ST, rd=1, rs1=2, imm=0))
+        assert effects.reg_reads == {1, 2}
+        assert effects.reg_writes == frozenset()
+
+    def test_push_touches_sp(self):
+        effects = register_effects(Instruction(Opcode.PUSH, rd=3))
+        assert isa.REG_SP in effects.reg_reads
+        assert effects.reg_writes == {isa.REG_SP}
+
+    def test_pop_writes_rd_and_sp(self):
+        effects = register_effects(Instruction(Opcode.POP, rd=3))
+        assert effects.reg_writes == {3, isa.REG_SP}
+
+    def test_nop_touches_nothing(self):
+        effects = register_effects(Instruction(Opcode.NOP))
+        assert effects.reg_reads == frozenset()
+        assert effects.reg_writes == frozenset()
+        assert not effects.reads_flags and not effects.writes_flags

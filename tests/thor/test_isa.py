@@ -1,0 +1,109 @@
+"""Unit tests for the THOR-lite ISA encoding/decoding."""
+
+import pytest
+
+from repro.thor import isa
+from repro.thor.isa import (
+    ABSOLUTE_IMM,
+    BRANCHES,
+    I_TYPE,
+    R_TYPE,
+    IllegalOpcode,
+    Instruction,
+    Opcode,
+    assemble_word,
+    decode,
+    try_decode,
+)
+
+
+class TestEncodingRoundTrip:
+    @pytest.mark.parametrize("opcode", sorted(R_TYPE, key=int))
+    def test_r_type_round_trip(self, opcode):
+        instr = Instruction(opcode, rd=3, rs1=7, rs2=12)
+        assert decode(assemble_word(instr)) == instr
+
+    @pytest.mark.parametrize("opcode", sorted(I_TYPE, key=int))
+    def test_i_type_round_trip(self, opcode):
+        imm = 100 if opcode in ABSOLUTE_IMM else -100
+        instr = Instruction(opcode, rd=1, rs1=2, imm=imm)
+        assert decode(assemble_word(instr)) == instr
+
+    def test_imm_extremes_signed(self):
+        for imm in (isa.IMM_MIN, isa.IMM_MAX, 0):
+            instr = Instruction(Opcode.ADDI, rd=0, rs1=0, imm=imm)
+            assert decode(assemble_word(instr)).imm == imm
+
+    def test_imm_extremes_absolute(self):
+        for imm in (0, isa.IMM_MASK):
+            instr = Instruction(Opcode.JMP, imm=imm)
+            assert decode(assemble_word(instr)).imm == imm
+
+    def test_imm_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_word(Instruction(Opcode.ADDI, imm=isa.IMM_MAX + 1))
+        with pytest.raises(ValueError):
+            assemble_word(Instruction(Opcode.ADDI, imm=isa.IMM_MIN - 1))
+        with pytest.raises(ValueError):
+            assemble_word(Instruction(Opcode.JMP, imm=-1))
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_word(Instruction(Opcode.ADD, rd=16))
+        with pytest.raises(ValueError):
+            assemble_word(Instruction(Opcode.ADD, rs1=16))
+        with pytest.raises(ValueError):
+            assemble_word(Instruction(Opcode.ADD, rs2=16))
+
+
+class TestDecode:
+    def test_illegal_opcode_raises(self):
+        # Opcode field 0x3F is unassigned.
+        with pytest.raises(IllegalOpcode):
+            decode(0x3F << 26)
+
+    def test_try_decode_returns_none(self):
+        assert try_decode(0x3F << 26) is None
+
+    def test_try_decode_legal(self):
+        word = assemble_word(Instruction(Opcode.NOP))
+        assert try_decode(word) == Instruction(Opcode.NOP)
+
+    def test_every_6bit_value_decodes_or_raises(self):
+        legal = 0
+        for op_field in range(64):
+            word = op_field << 26
+            if try_decode(word) is not None:
+                legal += 1
+        assert legal == len(Opcode)
+
+    def test_decode_masks_to_32_bits(self):
+        word = assemble_word(Instruction(Opcode.NOP))
+        assert decode(word | (1 << 40)) == Instruction(Opcode.NOP)
+
+
+class TestStructure:
+    def test_r_and_i_partition_opcodes(self):
+        assert R_TYPE | I_TYPE == frozenset(Opcode)
+        assert not (R_TYPE & I_TYPE)
+
+    def test_branches_are_i_type(self):
+        assert BRANCHES <= I_TYPE
+
+    def test_cycle_costs_cover_all_opcodes(self):
+        for opcode in Opcode:
+            assert isa.CYCLE_COST[opcode] >= 1
+
+    def test_mul_div_cost_more(self):
+        assert isa.CYCLE_COST[Opcode.MUL] > isa.CYCLE_COST[Opcode.ADD]
+        assert isa.CYCLE_COST[Opcode.DIV] > isa.CYCLE_COST[Opcode.MUL]
+
+    def test_bit_flip_in_opcode_field_can_be_illegal(self):
+        # Flipping the top opcode bit of NOP (0x00 -> 0x20=ADDI legal),
+        # but flipping bits of SYNC (0x14) to 0x34=CALL stays legal while
+        # 0x15 does not exist -> IllegalOpcode. This mirrors what fault
+        # injection relies on.
+        word = assemble_word(Instruction(Opcode.SYNC))
+        flipped = word ^ (1 << 26)  # opcode 0x15
+        with pytest.raises(IllegalOpcode):
+            decode(flipped)

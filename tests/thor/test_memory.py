@@ -1,0 +1,92 @@
+"""Unit tests for main memory."""
+
+import pytest
+
+from repro.thor.memory import IllegalAddress, Memory
+
+
+class TestBounds:
+    def test_read_write_in_bounds(self):
+        memory = Memory(64)
+        memory.write(10, 0x1234)
+        assert memory.read(10) == 0x1234
+
+    def test_read_out_of_bounds_raises(self):
+        memory = Memory(64)
+        with pytest.raises(IllegalAddress):
+            memory.read(64)
+
+    def test_write_out_of_bounds_raises(self):
+        memory = Memory(64)
+        with pytest.raises(IllegalAddress):
+            memory.write(-1, 0)
+
+    def test_values_masked_to_32_bits(self):
+        memory = Memory(4)
+        memory.write(0, 0x1_FFFF_FFFF)
+        assert memory.read(0) == 0xFFFFFFFF
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+
+
+class TestProtection:
+    def test_protected_range_rejects_cpu_writes(self):
+        memory = Memory(64)
+        memory.protect(8, 15)
+        with pytest.raises(IllegalAddress):
+            memory.write(10, 1)
+
+    def test_protection_boundaries(self):
+        memory = Memory(64)
+        memory.protect(8, 15)
+        memory.write(7, 1)
+        memory.write(16, 1)
+        with pytest.raises(IllegalAddress):
+            memory.write(8, 1)
+        with pytest.raises(IllegalAddress):
+            memory.write(15, 1)
+
+    def test_poke_bypasses_protection(self):
+        memory = Memory(64)
+        memory.protect(0, 63)
+        memory.poke(5, 77)  # injector / download-port path
+        assert memory.peek(5) == 77
+
+    def test_unprotect(self):
+        memory = Memory(64)
+        memory.protect(0, 63)
+        memory.unprotect()
+        memory.write(5, 1)
+
+    def test_reset_clears_protection_and_contents(self):
+        memory = Memory(64)
+        memory.write(3, 9)
+        memory.protect(0, 63)
+        memory.reset()
+        assert memory.read(3) == 0
+        memory.write(3, 1)
+
+
+class TestBulkAccess:
+    def test_load_image(self):
+        memory = Memory(64)
+        memory.load_image({1: 10, 2: 20})
+        assert memory.read(1) == 10
+        assert memory.read(2) == 20
+
+    def test_dump(self):
+        memory = Memory(64)
+        memory.load_image({4: 1, 5: 2, 6: 3})
+        assert memory.dump(4, 7) == [1, 2, 3]
+
+    def test_dump_bad_range_raises(self):
+        memory = Memory(8)
+        with pytest.raises(IllegalAddress):
+            memory.dump(0, 9)
+
+    def test_nonzero_addresses(self):
+        memory = Memory(16)
+        memory.load_image({3: 5, 9: 1})
+        assert list(memory.nonzero_addresses()) == [3, 9]

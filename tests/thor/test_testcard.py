@@ -1,0 +1,191 @@
+"""Unit tests for the test card (run control, breakpoints, debug events)."""
+
+import pytest
+
+from repro.thor.assembler import assemble
+from repro.thor.testcard import DebugEventKind, TestCard
+from repro.util.errors import TargetError
+
+SUM_PROGRAM = """
+start:
+    ldi r1, 0
+    ldi r2, 10
+loop:
+    add r1, r1, r2
+    subi r2, r2, 1
+    cmpi r2, 0
+    bne loop
+    halt
+"""
+
+LOOP_PROGRAM = """
+start:
+    ldi r1, 0
+loop:
+    addi r1, r1, 1
+    sync
+    jmp loop
+"""
+
+
+@pytest.fixture
+def sum_card():
+    card = TestCard()
+    card.init()
+    card.load_program(assemble(SUM_PROGRAM))
+    return card
+
+
+class TestRunControl:
+    def test_runs_to_halt(self, sum_card):
+        event = sum_card.run(timeout_cycles=100000)
+        assert event.kind is DebugEventKind.HALT
+        assert sum_card.cpu.regs[1] == 55
+
+    def test_timeout(self):
+        card = TestCard()
+        card.init()
+        card.load_program(assemble("loop: jmp loop\n"))
+        event = card.run(timeout_cycles=500)
+        assert event.kind is DebugEventKind.TIMEOUT
+        assert card.cpu.cycles >= 500
+
+    def test_max_iterations(self):
+        card = TestCard()
+        card.init()
+        card.load_program(assemble(LOOP_PROGRAM))
+        event = card.run(timeout_cycles=10**7, max_iterations=5)
+        assert event.kind is DebugEventKind.MAX_ITERATIONS
+        assert event.iteration == 5
+        assert card.cpu.regs[1] == 5
+
+    def test_run_after_halt_raises(self, sum_card):
+        sum_card.run(timeout_cycles=100000)
+        with pytest.raises(TargetError):
+            sum_card.run(timeout_cycles=100000)
+
+    def test_trap_event(self):
+        card = TestCard()
+        card.init()
+        card.load_program(assemble("trap 9\nhalt\n"))
+        event = card.run(timeout_cycles=1000)
+        assert event.kind is DebugEventKind.TRAP
+        assert event.trap.code == 9
+
+
+class TestBreakpoints:
+    def test_stop_at_cycle(self, sum_card):
+        event = sum_card.run(timeout_cycles=100000, stop_cycle=20)
+        assert event.kind is DebugEventKind.BREAKPOINT
+        assert event.cycle >= 20
+        # Resume to completion.
+        event = sum_card.run(timeout_cycles=100000)
+        assert event.kind is DebugEventKind.HALT
+        assert sum_card.cpu.regs[1] == 55
+
+    def test_stop_cycle_zero_stops_immediately(self, sum_card):
+        event = sum_card.run(timeout_cycles=100000, stop_cycle=0)
+        assert event.kind is DebugEventKind.BREAKPOINT
+        assert sum_card.cpu.instret == 0
+
+    def test_address_breakpoint(self, sum_card):
+        target = sum_card.program.symbols["loop"]
+        sum_card.set_breakpoints([target])
+        event = sum_card.run(timeout_cycles=100000)
+        assert event.kind is DebugEventKind.BREAKPOINT
+        assert event.pc == target
+        assert event.reason == "address"
+
+    def test_address_breakpoint_resume_does_not_retrigger_immediately(
+        self, sum_card
+    ):
+        target = sum_card.program.symbols["loop"]
+        sum_card.set_breakpoints([target])
+        sum_card.run(timeout_cycles=100000)
+        event = sum_card.run(timeout_cycles=100000)
+        # Second stop is the *next* loop iteration, not the same pc.
+        assert event.kind is DebugEventKind.BREAKPOINT
+        assert sum_card.cpu.instret > 0
+
+    def test_breakpoint_hit_count(self, sum_card):
+        target = sum_card.program.symbols["loop"]
+        sum_card.set_breakpoints([target])
+        hits = 0
+        while True:
+            event = sum_card.run(timeout_cycles=100000)
+            if event.kind is DebugEventKind.HALT:
+                break
+            hits += 1
+        assert hits == 10  # loop body runs 10 times
+
+    def test_clear_breakpoints(self, sum_card):
+        sum_card.set_breakpoints([sum_card.program.symbols["loop"]])
+        sum_card.clear_breakpoints()
+        event = sum_card.run(timeout_cycles=100000)
+        assert event.kind is DebugEventKind.HALT
+
+
+class TestDownloadPort:
+    def test_memory_block_round_trip(self, sum_card):
+        sum_card.write_memory_block(0x500, [1, 2, 3])
+        assert sum_card.read_memory_block(0x500, 3) == [1, 2, 3]
+
+    def test_load_program_sets_entry(self, sum_card):
+        assert sum_card.cpu.pc == sum_card.program.entry
+
+    def test_init_clears_everything(self, sum_card):
+        sum_card.run(timeout_cycles=100000)
+        sum_card.init()
+        assert sum_card.cpu.cycles == 0
+        assert not sum_card.cpu.halted
+        assert sum_card.read_memory(0x100) == 0
+
+
+class TestHooks:
+    def test_sync_hook_called_per_iteration(self):
+        card = TestCard()
+        card.init()
+        card.load_program(assemble(LOOP_PROGRAM))
+        seen = []
+        card.on_sync = lambda c, iteration: seen.append(iteration)
+        card.run(timeout_cycles=10**7, max_iterations=3)
+        assert seen == [1, 2, 3]
+
+    def test_step_hook_sees_each_instruction(self, sum_card):
+        count = [0]
+        sum_card.on_step = lambda c: count.__setitem__(0, count[0] + 1)
+        sum_card.run(timeout_cycles=100000)
+        # Hooks see every completed instruction except the halting one
+        # (instret counts HALT itself as a retired instruction).
+        assert count[0] == sum_card.cpu.instret - 1
+
+    def test_trap_hook_consumes_software_trap(self):
+        card = TestCard()
+        card.init()
+        card.load_program(assemble("trap 5\nldi r1, 3\nhalt\n"))
+
+        def hook(c, trap_event):
+            c.cpu.pc += 1  # skip the TRAP instruction
+            return True
+
+        card.trap_hook = hook
+        event = card.run(timeout_cycles=1000)
+        assert event.kind is DebugEventKind.HALT
+        assert card.cpu.regs[1] == 3
+
+    def test_trap_hook_rejecting_trap_terminates(self):
+        card = TestCard()
+        card.init()
+        card.load_program(assemble("trap 5\nhalt\n"))
+        card.trap_hook = lambda c, t: False
+        event = card.run(timeout_cycles=1000)
+        assert event.kind is DebugEventKind.TRAP
+
+    def test_scan_cycles_accounted(self, sum_card):
+        before = sum_card.total_scan_cycles
+        sum_card.read_chain("internal")
+        assert sum_card.total_scan_cycles > before
+
+    def test_unknown_chain_raises(self, sum_card):
+        with pytest.raises(TargetError):
+            sum_card.read_chain("bogus")

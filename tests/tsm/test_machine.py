@@ -1,0 +1,182 @@
+"""Unit tests for the TSM-1 stack machine."""
+
+import pytest
+
+from repro.thor.traps import Trap
+from repro.tsm.assembler import assemble_tsm
+from repro.tsm.machine import TsmConfig, TsmHalted, TsmMachine, TsmOp, decode, encode
+
+
+def run(source, config=None, max_steps=100000):
+    machine = TsmMachine(config)
+    program = assemble_tsm(source)
+    machine.load_image(program.words)
+    machine.reset(entry=program.entry)
+    event = None
+    for _ in range(max_steps):
+        event = machine.step()
+        if event is not None and event.kind in ("halt", "trap"):
+            break
+    return machine, program, event
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        word = encode(TsmOp.PUSHI, 0x155)
+        op, operand = decode(word)
+        assert op is TsmOp.PUSHI
+        assert operand == 0x155
+
+    def test_illegal_opcode_decodes_none(self):
+        op, _ = decode(0x3F << 10)
+        assert op is None
+
+    def test_operand_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(TsmOp.JMP, 1 << 10)
+
+
+class TestStackOps:
+    def test_pushi_and_arith(self):
+        machine, program, event = run(
+            "start:\n pushi 6\n pushi 7\n mul\n storei out\n halt\nout: word 0\n"
+        )
+        assert event.kind == "halt"
+        assert machine.memory[program.symbols["out"]] == 42
+
+    def test_negative_immediate(self):
+        machine, program, _ = run(
+            "start:\n pushi -3\n pushi 5\n add\n storei out\n halt\nout: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == 2
+
+    def test_dup_swap_over_drop(self):
+        machine, program, _ = run(
+            "start:\n pushi 1\n pushi 2\n over\n"  # 1 2 1
+            " add\n"                                # 1 3
+            " swap\n"                               # 3 1
+            " dup\n drop\n"                         # 3 1
+            " sub\n storei out\n halt\nout: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == 2  # 3-1
+
+    def test_load_store_indirect(self):
+        machine, program, _ = run(
+            "start:\n pushi 9\n pushi v\n store\n"
+            " pushi v\n load\n storei out\n halt\n"
+            "v: word 0\nout: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == 9
+
+    def test_div_truncates(self):
+        machine, program, _ = run(
+            "start:\n pushi -7\n pushi 2\n div\n storei out\n halt\nout: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == (-3) & 0xFFFFFFFF
+
+
+class TestControlFlow:
+    def test_jz_taken(self):
+        machine, program, _ = run(
+            "start:\n pushi 0\n jz skip\n pushi 1\n storei out\nskip: halt\n"
+            "out: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == 0
+
+    def test_jnz_taken(self):
+        machine, program, _ = run(
+            "start:\n pushi 5\n jnz skip\n pushi 1\n storei out\nskip: halt\n"
+            "out: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == 0
+
+    def test_call_ret(self):
+        machine, program, _ = run(
+            "start:\n call sub\n storei out\n halt\n"
+            "sub:\n pushi 11\n ret\nout: word 0\n"
+        )
+        assert machine.memory[program.symbols["out"]] == 11
+
+    def test_sync_counts(self):
+        machine, _, _ = run("start:\n sync\n sync\n halt\n")
+        assert machine.iterations == 2
+
+
+class TestErrorDetection:
+    def test_data_stack_underflow(self):
+        _, _, event = run("start:\n drop\n halt\n")
+        assert event.kind == "trap"
+        assert event.trap.detail == "data-stack underflow"
+
+    def test_data_stack_overflow(self):
+        source = "start:\n" + " pushi 1\n" * 17 + " halt\n"
+        _, _, event = run(source)
+        assert event.trap.detail == "data-stack overflow"
+
+    def test_return_stack_overflow_on_runaway_recursion(self):
+        _, _, event = run("start:\nloop: call loop\n")
+        assert event.trap.detail == "return-stack overflow"
+
+    def test_return_stack_underflow(self):
+        _, _, event = run("start:\n ret\n")
+        assert event.trap.detail == "return-stack underflow"
+
+    def test_illegal_opcode(self):
+        machine = TsmMachine()
+        machine.memory[0x10] = 0x3F << 10
+        machine.reset(entry=0x10)
+        event = machine.step()
+        assert event.trap.trap is Trap.ILLEGAL_OPCODE
+
+    def test_illegal_load_address(self):
+        _, _, event = run("start:\n pushi 511\n dup\n mul\n load\n halt\n")
+        # 511*511 = 261121 > 4096
+        assert event.trap.trap is Trap.ILLEGAL_ADDRESS
+
+    def test_div_by_zero(self):
+        _, _, event = run("start:\n pushi 4\n pushi 0\n div\n halt\n")
+        assert event.trap.trap is Trap.DIV_ZERO
+
+    def test_watchdog(self):
+        _, _, event = run(
+            "start:\nloop: jmp loop\n",
+            config=TsmConfig(watchdog_cycles=50),
+        )
+        assert event.trap.trap is Trap.WATCHDOG
+
+    def test_step_after_halt_raises(self):
+        machine, _, _ = run("start:\n halt\n")
+        with pytest.raises(TsmHalted):
+            machine.step()
+
+
+class TestInjectedFaults:
+    def test_sp_flip_can_cause_underflow(self):
+        """The machine's signature EDM: corrupting SP upward past live
+        entries makes a later pop read garbage, corrupting it to 0 while
+        entries are live makes the next pop underflow."""
+        machine = TsmMachine()
+        program = assemble_tsm(
+            "start:\n pushi 1\n pushi 2\n add\n storei out\n halt\nout: word 0\n"
+        )
+        machine.load_image(program.words)
+        machine.reset(entry=program.entry)
+        machine.step()  # pushi 1
+        machine.step()  # pushi 2
+        machine.sp = 0  # injected flip clears the live entries
+        event = machine.step()  # add underflows
+        assert event.trap.detail == "data-stack underflow"
+
+    def test_rstack_flip_redirects_return(self):
+        machine = TsmMachine()
+        program = assemble_tsm(
+            "start:\n call sub\n halt\n"
+            "sub:\n pushi 1\n ret\n"
+        )
+        machine.load_image(program.words)
+        machine.reset(entry=program.entry)
+        machine.step()  # call
+        machine.rstack[0] ^= 1 << 1  # flip a return-address bit
+        machine.step()  # pushi
+        machine.step()  # ret -> corrupted address
+        assert machine.pc == (program.symbols["start"] + 1) ^ 2

@@ -1,0 +1,86 @@
+"""Detail tests for the TSM interface: observe fallback, workload
+registry exposure, detail logging and fault-list preview on the second
+target."""
+
+import pytest
+
+from repro.core import create_target
+from repro.core.campaign import CampaignData
+
+
+def tsm_campaign(**overrides):
+    defaults = dict(
+        campaign_name="tsm-detail",
+        target_name="tsm-1",
+        technique="scifi",
+        workload_name="sumsq",
+        location_patterns=["scan:internal/tsm.dstack.*"],
+        n_experiments=5,
+        seed=81,
+    )
+    defaults.update(overrides)
+    return CampaignData(**defaults)
+
+
+class TestObserveFallback:
+    def test_default_observe_patterns_fall_back_to_internal_chain(self):
+        # CampaignData's default observe patterns name Thor cells; the
+        # TSM port must fall back to observing its own chain.
+        target = create_target("tsm-1")
+        sink = target.run_campaign(tsm_campaign())
+        vector = sink.reference.state_vector
+        assert any("tsm.dstack" in key for key in vector)
+        assert any("tsm.pc" in key for key in vector)
+
+    def test_explicit_observe_patterns_respected(self):
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(
+            observe_patterns=["scan:internal/tsm.sp", "scan:internal/tsm.pc"]
+        )
+        sink = target.run_campaign(campaign)
+        assert set(sink.reference.state_vector) == {
+            "scan:internal/tsm.sp",
+            "scan:internal/tsm.pc",
+        }
+
+
+class TestWorkloadRegistryExposure:
+    def test_available_workloads(self):
+        target = create_target("tsm-1")
+        assert target.available_workloads() == ["countloop", "factorial",
+                                                "sumsq"]
+
+    def test_thor_exposes_full_registry(self):
+        from repro.workloads import available_workloads
+
+        target = create_target("thor-rd")
+        assert target.available_workloads() == available_workloads()
+
+
+class TestSecondTargetFeatures:
+    def test_detail_logging_on_tsm(self):
+        target = create_target("tsm-1")
+        sink = target.run_campaign(tsm_campaign(logging_mode="detail"))
+        assert len(sink.reference.detail_states) > 10
+        for result in sink.results:
+            assert result.detail_states
+
+    def test_preview_on_tsm_matches_run(self):
+        campaign = tsm_campaign(n_experiments=4)
+        previews = create_target("tsm-1").preview_fault_list(campaign, 4)
+        sink = create_target("tsm-1").run_campaign(campaign)
+        for preview, result in zip(previews, sink.results):
+            assert [a["time"] for a in preview["actions"]] == [
+                injection.time for injection in result.injections
+            ]
+
+    def test_intermittent_model_on_tsm(self):
+        from repro.core.campaign import FaultModelSpec
+
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(
+            fault_model=FaultModelSpec(kind="intermittent", burst_length=2,
+                                       burst_spacing=5),
+        )
+        sink = target.run_campaign(campaign)
+        assert any(len(result.injections) == 2 for result in sink.results)

@@ -1,0 +1,169 @@
+"""Tests for the TSM-1 port: the paper's adaptation contract, verified on
+a second, architecturally different target."""
+
+import pytest
+
+from repro.analysis import classify_campaign
+from repro.core import CampaignData, create_target
+from repro.core.framework import missing_blocks, supported_techniques
+from repro.db import GoofiDatabase
+from repro.db.autoanalysis import run_auto_analysis
+from repro.tsm.interface import TsmInterface
+from repro.tsm.workloads import available_tsm_workloads, get_tsm_workload
+from repro.util.errors import CampaignError
+
+
+def tsm_campaign(**overrides):
+    defaults = dict(
+        campaign_name="tsm-test",
+        target_name="tsm-1",
+        technique="scifi",
+        workload_name="sumsq",
+        location_patterns=["scan:internal/tsm.dstack.*",
+                           "scan:internal/tsm.sp"],
+        n_experiments=10,
+        seed=64,
+    )
+    defaults.update(overrides)
+    return CampaignData(**defaults)
+
+
+class TestPartialPortContract:
+    def test_supports_exactly_scifi_and_swifi_pre(self):
+        assert supported_techniques(TsmInterface) == ["scifi", "swifi-pre"]
+
+    def test_missing_blocks_for_runtime_swifi(self):
+        missing = missing_blocks(TsmInterface, "swifi-runtime")
+        assert "instrument_workload" in missing
+
+    def test_unsupported_technique_fails_at_use(self):
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(
+            technique="swifi-runtime",
+            location_patterns=["memory:code/*"],
+        )
+        from repro.util.errors import NotImplementedByPort
+
+        with pytest.raises(NotImplementedByPort):
+            target.run_campaign(campaign)
+
+
+class TestTsmCampaigns:
+    def test_scifi_campaign_runs(self):
+        target = create_target("tsm-1")
+        sink = target.run_campaign(tsm_campaign(n_experiments=15))
+        assert len(sink.results) == 15
+        assert sink.reference.outputs["result"] == 385
+
+    def test_swifi_pre_campaign_detects_stack_faults(self):
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(
+            technique="swifi-pre",
+            location_patterns=["memory:code/*", "memory:data/*"],
+            n_experiments=40,
+            seed=66,
+        )
+        sink = target.run_campaign(campaign)
+        summary = classify_campaign(sink.results, sink.reference)
+        # Code-image corruption on a stack machine trips the stack-bound
+        # or illegal-opcode EDMs for some experiments.
+        assert summary.detected > 0
+
+    def test_sp_injection_space_is_live(self):
+        """Flipping the stack pointer while entries are live is a high-
+        effectiveness fault class — the TSM equivalent of PC faults."""
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(
+            location_patterns=["scan:internal/tsm.sp",
+                               "scan:internal/tsm.rsp",
+                               "scan:internal/tsm.pc"],
+            n_experiments=40,
+            seed=67,
+        )
+        sink = target.run_campaign(campaign)
+        summary = classify_campaign(sink.results, sink.reference)
+        assert summary.effective > 0
+
+    def test_database_and_analysis_work_unmodified(self, db):
+        """Layer separation (Figure 1): the database and analysis layers
+        serve the new target with zero changes."""
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(n_experiments=8)
+        db.save_target("tsm-1", target.describe_target())
+        target.run_campaign(campaign, sink=db)
+        assert db.count_experiments("tsm-test") == 8
+        report = run_auto_analysis(db, "tsm-test")
+        assert "detection coverage" in report
+        assert db.load_target("tsm-1")["data_stack_depth"] == 16
+
+    def test_reproducible(self):
+        def run():
+            sink = create_target("tsm-1").run_campaign(
+                tsm_campaign(n_experiments=6, seed=99)
+            )
+            return [
+                (r.termination.kind, [i.to_dict() for i in r.injections])
+                for r in sink.results
+            ]
+
+        assert run() == run()
+
+    def test_loop_workload_iteration_bound(self):
+        target = create_target("tsm-1")
+        campaign = tsm_campaign(workload_name="countloop", n_experiments=4)
+        sink = target.run_campaign(campaign)
+        assert sink.reference.termination.kind == "max_iterations"
+        assert sink.reference.outputs["counter"] == 20
+
+
+class TestTsmWorkloads:
+    @pytest.mark.parametrize("name", ["sumsq", "factorial"])
+    def test_golden_outputs(self, name):
+        from repro.tsm.board import TsmBoard
+
+        workload = get_tsm_workload(name)
+        board = TsmBoard()
+        board.init()
+        board.load_program(workload.program)
+        event = board.run(timeout_cycles=10**6)
+        for key, (base, _) in workload.outputs.items():
+            if key in workload.expected:
+                assert board.read_memory(base) == workload.expected[key][0]
+
+    def test_registry(self):
+        assert set(available_tsm_workloads()) == {
+            "sumsq", "factorial", "countloop"
+        }
+        with pytest.raises(Exception):
+            get_tsm_workload("quake")
+
+
+class TestUiOnSecondTarget:
+    def test_config_window_renders_tsm(self, db):
+        from repro.ui import TargetConfigurationWindow
+
+        target = create_target("tsm-1")
+        window = TargetConfigurationWindow(target, db)
+        text = window.render()
+        assert "tsm.dstack.s0" in text
+        assert "tsm.cycle_counter" in text
+        window.save()
+        assert "tsm-1" in db.list_targets()
+
+    def test_campaign_window_tree_for_tsm(self):
+        from repro.ui import CampaignSetupWindow
+
+        window = CampaignSetupWindow()
+        window.select_target("tsm-1")
+        window.set_workload("sumsq")
+        tree = window.location_tree()
+        assert "dstack" in tree
+
+    def test_workload_validation_is_target_aware(self):
+        from repro.ui import CampaignSetupWindow
+        from repro.util.errors import ConfigurationError
+
+        window = CampaignSetupWindow()
+        window.select_target("tsm-1")
+        with pytest.raises(ConfigurationError):
+            window.set_workload("bubblesort")  # a Thor workload

@@ -1,0 +1,151 @@
+"""Tests for the goofi CLI."""
+
+import pytest
+
+from repro.ui.app import main
+
+
+class TestListingCommands:
+    def test_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "thor-rd" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "bubblesort" in capsys.readouterr().out
+
+    def test_techniques(self, capsys):
+        assert main(["techniques"]) == 0
+        out = capsys.readouterr().out
+        assert "scifi" in out and "swifi-pre" in out
+
+    def test_tree(self, capsys):
+        assert main(["tree", "--target", "thor-rd"]) == 0
+        assert "regfile" in capsys.readouterr().out
+
+    def test_port_skeleton(self, capsys):
+        assert main(["port-skeleton", "--name", "MyBoard"]) == 0
+        out = capsys.readouterr().out
+        assert "class MyBoard(Framework)" in out
+
+
+class TestFullWorkflow:
+    def test_configure_campaign_run_analyze(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        assert main(["configure", "--db", db, "--target", "thor-rd"]) == 0
+        assert main([
+            "campaign", "--db", db, "--name", "cli-camp",
+            "--workload", "vecsum", "--experiments", "8", "--seed", "3",
+        ]) == 0
+        assert main(["campaigns", "--db", db]) == 0
+        assert "cli-camp" in capsys.readouterr().out
+        assert main(["run", "--db", db, "--campaign", "cli-camp",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "8/8" in out
+        assert main(["analyze", "--db", db, "--campaign", "cli-camp"]) == 0
+        out = capsys.readouterr().out
+        assert "detection coverage" in out
+
+    def test_merge_command(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        main(["campaign", "--db", db, "--name", "a", "--experiments", "5"])
+        main(["campaign", "--db", db, "--name", "b", "--experiments", "6",
+              "--locations", "scan:internal/cpu.psr"])
+        assert main(["merge", "--db", db, "--into", "ab", "a", "b"]) == 0
+        assert "11 experiments" in capsys.readouterr().out
+
+    def test_rerun_command(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        main(["campaign", "--db", db, "--name", "rr", "--workload", "vecsum",
+              "--experiments", "3"])
+        main(["run", "--db", db, "--campaign", "rr", "--quiet"])
+        assert main(["rerun", "--db", db, "--campaign", "rr",
+                     "--index", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rr-exp00001-rerun" in out
+        assert "per-instruction states" in out
+
+    def test_gen_analysis_to_file(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        output = str(tmp_path / "script.py")
+        main(["campaign", "--db", db, "--name", "g", "--experiments", "2"])
+        assert main(["gen-analysis", "--db", db, "--campaign", "g",
+                     "--output", output]) == 0
+        text = open(output).read()
+        compile(text, output, "exec")
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        assert main(["run", "--db", db, "--campaign", "ghost"]) == 1
+        assert "goofi: error" in capsys.readouterr().err
+
+
+class TestStatisticsCommands:
+    def test_plan(self, capsys):
+        assert main(["plan", "--half-width", "0.05"]) == 0
+        assert "385 experiments" in capsys.readouterr().out
+
+    def test_compare(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        for name, locations in [
+            ("x", "scan:internal/cpu.regfile.*"),
+            ("y", "scan:internal/dcache.*"),
+        ]:
+            main(["campaign", "--db", db, "--name", name, "--workload",
+                  "vecsum", "--experiments", "12", "--locations", locations])
+            main(["run", "--db", db, "--campaign", name, "--quiet"])
+        capsys.readouterr()
+        assert main(["compare", "--db", db, "x", "y"]) == 0
+        out = capsys.readouterr().out
+        assert "effectiveness:" in out
+        assert "z=" in out
+
+    def test_propagate_after_rerun(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        main(["campaign", "--db", db, "--name", "p", "--workload", "vecsum",
+              "--experiments", "4", "--preinjection"])
+        main(["run", "--db", db, "--campaign", "p", "--quiet"])
+        main(["rerun", "--db", db, "--campaign", "p", "--index", "0"])
+        capsys.readouterr()
+        assert main(["propagate", "--db", db, "--experiment",
+                     "p-exp00000-rerun"]) == 0
+        out = capsys.readouterr().out
+        assert "p-exp00000-rerun" in out
+        assert "diverge" in out  # either diverged-at or no-divergence text
+
+    def test_faultspace(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        main(["campaign", "--db", db, "--name", "fs", "--workload", "vecsum",
+              "--experiments", "10"])
+        main(["run", "--db", db, "--campaign", "fs", "--quiet"])
+        capsys.readouterr()
+        assert main(["faultspace", "--db", db, "--campaign", "fs"]) == 0
+        out = capsys.readouterr().out
+        assert "locations x" in out
+        assert "stored reference run" in out
+
+    def test_faultspace_without_run_uses_fresh_reference(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        main(["campaign", "--db", db, "--name", "fs2", "--workload", "vecsum",
+              "--experiments", "10"])
+        capsys.readouterr()
+        assert main(["faultspace", "--db", db, "--campaign", "fs2"]) == 0
+        assert "fresh reference run" in capsys.readouterr().out
+
+    def test_workloads_per_target(self, capsys):
+        assert main(["workloads", "--target", "tsm-1"]) == 0
+        out = capsys.readouterr().out
+        assert "sumsq" in out
+        assert "bubblesort" not in out
+
+    def test_propagate_without_detail_states_fails(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        main(["campaign", "--db", db, "--name", "q", "--workload", "vecsum",
+              "--experiments", "2"])
+        main(["run", "--db", db, "--campaign", "q", "--quiet"])
+        capsys.readouterr()
+        assert main(["propagate", "--db", db, "--experiment",
+                     "q-exp00000"]) == 1
+        assert "no detail-mode states" in capsys.readouterr().err

@@ -1,0 +1,111 @@
+"""Tests for the campaign set-up window (Figure 6 / F6)."""
+
+import pytest
+
+from repro.core.campaign import FaultModelSpec
+from repro.core.triggers import TriggerSpec
+from repro.ui.campaign_window import CampaignSetupWindow
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def window(db):
+    window = CampaignSetupWindow(db)
+    window.select_target("thor-rd")
+    window.set_name("ui-camp")
+    window.set_workload("vecsum")
+    window.choose_locations(["scan:internal/cpu.regfile.*"])
+    window.set_experiments(12, seed=5)
+    return window
+
+
+class TestBuilding:
+    def test_build_produces_valid_campaign(self, window):
+        campaign = window.build()
+        assert campaign.campaign_name == "ui-camp"
+        assert campaign.n_experiments == 12
+        assert campaign.seed == 5
+
+    def test_fault_model_and_trigger_settings(self, window):
+        window.set_fault_model(FaultModelSpec(kind="intermittent"))
+        window.set_trigger(TriggerSpec(kind="branch"))
+        campaign = window.build()
+        assert campaign.fault_model.kind == "intermittent"
+        assert campaign.trigger.kind == "branch"
+
+    def test_termination_settings(self, window):
+        window.set_termination(timeout_cycles=5000, max_iterations=7)
+        campaign = window.build()
+        assert campaign.timeout_cycles == 5000
+        assert campaign.max_iterations == 7
+
+    def test_environment_setting(self, window):
+        window.set_workload("pid-control", assertions=True)
+        window.set_environment("dc-motor", k=2.0)
+        campaign = window.build()
+        assert campaign.environment.name == "dc-motor"
+        assert campaign.environment.params == {"k": 2.0}
+
+    def test_unknown_workload_rejected(self, window):
+        with pytest.raises(ConfigurationError):
+            window.set_workload("tetris")
+
+    def test_render_shows_selections(self, window):
+        text = window.render()
+        assert "ui-camp" in text
+        assert "vecsum" in text
+        assert "scan:internal/cpu.regfile.*" in text
+
+
+class TestLocationTree:
+    def test_tree_is_hierarchical(self, window):
+        text = window.location_tree()
+        assert "regfile" in text
+        assert "dcache" in text
+        assert "[read-only]" in text
+
+    def test_matching_locations_counts_bits(self, window):
+        count = window.matching_locations(["scan:internal/cpu.regfile.*"])
+        assert count == 16 * 32
+
+    def test_tree_requires_target(self, db):
+        window = CampaignSetupWindow(db)
+        with pytest.raises(ConfigurationError):
+            window.location_tree()
+
+
+class TestPersistence:
+    def test_save_load_modify(self, window, db):
+        window.save()
+        other = CampaignSetupWindow(db)
+        loaded = other.load("ui-camp")
+        assert loaded.n_experiments == 12
+        other.set_experiments(99)
+        other.set_name("ui-camp-2")
+        other.save()
+        assert set(db.list_campaigns()) == {"ui-camp", "ui-camp-2"}
+        assert db.load_campaign("ui-camp-2").n_experiments == 99
+        # Original untouched.
+        assert db.load_campaign("ui-camp").n_experiments == 12
+
+    def test_merge_stored_campaigns(self, window, db):
+        window.save()
+        window.set_name("ui-camp-b")
+        window.choose_locations(["scan:internal/cpu.psr"])
+        window.set_experiments(8)
+        window.save()
+        merged = CampaignSetupWindow(db).merge(
+            ["ui-camp", "ui-camp-b"], "ui-merged"
+        )
+        assert merged.n_experiments == 20
+        assert set(merged.location_patterns) == {
+            "scan:internal/cpu.regfile.*",
+            "scan:internal/cpu.psr",
+        }
+        assert "ui-merged" in db.list_campaigns()
+
+    def test_saved_campaign_runs(self, window, db, thor_target):
+        window.save()
+        campaign = db.load_campaign("ui-camp")
+        sink = thor_target.run_campaign(campaign, sink=db)
+        assert db.count_experiments("ui-camp") == 12

@@ -1,0 +1,57 @@
+"""Tests for the target-configuration window (Figure 5 / F5)."""
+
+import pytest
+
+from repro.ui.config_window import TargetConfigurationWindow
+from repro.util.errors import ConfigurationError
+
+
+class TestRendering:
+    def test_render_lists_positions_and_modes(self, thor_target):
+        window = TargetConfigurationWindow(thor_target)
+        text = window.render(max_rows=12)
+        assert "cpu.pc" in text
+        assert "r/w" in text
+        assert "observe-only" in text
+
+    def test_locations_include_read_only_flag(self, thor_target):
+        window = TargetConfigurationWindow(thor_target)
+        rows = window.locations()
+        by_path = {row["path"]: row for row in rows}
+        assert by_path["cpu.cycle_counter"]["read_only"]
+        assert not by_path["cpu.psr"]["read_only"]
+
+    def test_positions_are_chain_offsets(self, thor_target):
+        window = TargetConfigurationWindow(thor_target)
+        rows = [r for r in window.locations() if r["chain"] == "internal"]
+        # Offsets are strictly increasing along the chain.
+        positions = [row["position"] for row in rows]
+        assert positions == sorted(positions)
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, thor_target, db):
+        window = TargetConfigurationWindow(thor_target, db)
+        window.annotate("cpu.psr", "status word, bits ZNCV")
+        window.save()
+        reloaded = TargetConfigurationWindow(thor_target, db)
+        description = reloaded.load("thor-rd")
+        assert description["annotations"]["cpu.psr"] == "status word, bits ZNCV"
+        assert reloaded.annotations["cpu.psr"]
+
+    def test_annotate_unknown_location_rejected(self, thor_target):
+        window = TargetConfigurationWindow(thor_target)
+        with pytest.raises(ConfigurationError):
+            window.annotate("cpu.flux_capacitor", "!")
+
+    def test_save_without_db_rejected(self, thor_target):
+        window = TargetConfigurationWindow(thor_target)
+        with pytest.raises(ConfigurationError):
+            window.save()
+
+    def test_saved_description_matches_target(self, thor_target, db):
+        window = TargetConfigurationWindow(thor_target, db)
+        window.save()
+        stored = db.load_target("thor-rd")
+        assert stored["memory_size"] == 65536
+        assert len(stored["chains"]["internal"]) > 100

@@ -1,0 +1,77 @@
+"""Tests for the progress window (Figure 7 / F7)."""
+
+from repro.core.controller import CampaignController
+from repro.ui.progress_window import ProgressWindow
+from tests.conftest import make_campaign
+
+
+class TestLiveUpdates:
+    def test_snapshots_accumulate(self, thor_target):
+        controller = CampaignController(thor_target)
+        window = ProgressWindow(controller)
+        controller.run(make_campaign(n_experiments=5))
+        assert len(window.snapshots) >= 5
+        assert window.latest.n_done == 5
+        assert window.latest.state == "finished"
+
+    def test_render_shows_counts_and_bar(self, thor_target):
+        controller = CampaignController(thor_target)
+        window = ProgressWindow(controller)
+        controller.run(make_campaign(n_experiments=4))
+        text = window.render()
+        assert "4/4" in text
+        assert "100.0%" in text
+        assert "#" * 40 in text
+        assert "faults injected: 4" in text
+
+    def test_render_shows_terminations_and_detections(self, thor_target):
+        controller = CampaignController(thor_target)
+        window = ProgressWindow(controller)
+        campaign = make_campaign(
+            n_experiments=20,
+            location_patterns=["scan:internal/icache.*"],
+            workload_name="bubblesort",
+            seed=9,
+        )
+        controller.run(campaign)
+        text = window.render()
+        assert "terminations:" in text
+        # I-cache faults are frequently parity-detected at this seed.
+        assert "detections:" in text
+
+    def test_render_before_run_is_safe(self, thor_target):
+        controller = CampaignController(thor_target)
+        window = ProgressWindow(controller)
+        assert "[idle]" in window.render()
+
+
+class TestButtons:
+    def test_end_button_stops_campaign(self, thor_target):
+        controller = CampaignController(thor_target)
+        window = ProgressWindow(controller)
+
+        def auto_end(progress):
+            if progress.n_done == 2:
+                window.end()
+
+        controller.add_listener(auto_end)
+        sink = controller.run(make_campaign(n_experiments=30))
+        assert len(sink.results) == 2
+        assert window.latest.state == "stopped"
+
+    def test_pause_and_restart_buttons_delegate(self, thor_target):
+        controller = CampaignController(thor_target)
+        window = ProgressWindow(controller)
+        window.pause()
+        assert controller.paused
+        window.restart()
+        assert not controller.paused
+
+    def test_stream_output(self, thor_target, capsys):
+        import sys
+
+        controller = CampaignController(thor_target)
+        ProgressWindow(controller, stream=sys.stdout)
+        controller.run(make_campaign(n_experiments=2))
+        captured = capsys.readouterr()
+        assert "Campaign: test-campaign" in captured.out

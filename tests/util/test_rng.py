@@ -1,0 +1,67 @@
+"""Unit tests for the campaign random source."""
+
+import pytest
+
+from repro.util.rng import CampaignRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = CampaignRandom(99)
+        b = CampaignRandom(99)
+        assert [a.randint(0, 1000) for _ in range(20)] == [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = CampaignRandom(1)
+        b = CampaignRandom(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+
+class TestSubstreams:
+    def test_substream_reproducible(self):
+        rng = CampaignRandom(7)
+        first = rng.substream(3).random()
+        again = CampaignRandom(7).substream(3).random()
+        assert first == again
+
+    def test_substream_independent_of_draw_order(self):
+        rng = CampaignRandom(7)
+        # Drawing from substream 0 must not perturb substream 1.
+        s1_direct = CampaignRandom(7).substream(1).random()
+        rng.substream(0).random()
+        assert rng.substream(1).random() == s1_direct
+
+    def test_substreams_differ_by_index(self):
+        rng = CampaignRandom(7)
+        assert rng.substream(0).random() != rng.substream(1).random()
+
+
+class TestPickInjection:
+    def test_time_in_range(self):
+        rng = CampaignRandom(5).substream(0)
+        for _ in range(50):
+            time, locations = CampaignRandom.pick_injection(rng, 10, 100)
+            assert 1 <= time <= 100
+            assert len(locations) == 1
+            assert 0 <= locations[0] < 10
+
+    def test_multiplicity_without_replacement(self):
+        rng = CampaignRandom(5).substream(1)
+        _, locations = CampaignRandom.pick_injection(rng, 8, 10, multiplicity=8)
+        assert sorted(locations) == list(range(8))
+
+    def test_multiplicity_clamped_to_locations(self):
+        rng = CampaignRandom(5).substream(2)
+        _, locations = CampaignRandom.pick_injection(rng, 3, 10, multiplicity=9)
+        assert len(locations) == 3
+
+    def test_invalid_args_rejected(self):
+        rng = CampaignRandom(5).substream(0)
+        with pytest.raises(ValueError):
+            CampaignRandom.pick_injection(rng, 0, 10)
+        with pytest.raises(ValueError):
+            CampaignRandom.pick_injection(rng, 5, 0)

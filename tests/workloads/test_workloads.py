@@ -1,0 +1,133 @@
+"""Tests for the workload library: every workload runs fault-free to its
+golden outputs on the real simulator."""
+
+import pytest
+
+from repro.thor.testcard import DebugEventKind, TestCard
+from repro.util.errors import ConfigurationError
+from repro.workloads import available_workloads, get_workload
+
+
+def run_workload(definition, max_iterations=None, timeout=5_000_000):
+    card = TestCard()
+    card.init()
+    card.load_program(definition.program)
+    for address, value in definition.input_writes.items():
+        card.write_memory(address, value)
+    event = card.run(timeout_cycles=timeout, max_iterations=max_iterations)
+    outputs = {}
+    for name, (base, count) in definition.outputs.items():
+        values = card.read_memory_block(base, count)
+        outputs[name] = values
+    return card, event, outputs
+
+
+BATCH_WORKLOADS = ["bubblesort", "quicksort", "matmul", "fibonacci",
+                   "crc32", "vecsum", "binsearch", "countprimes"]
+
+
+class TestGoldenOutputs:
+    @pytest.mark.parametrize("name", BATCH_WORKLOADS)
+    def test_fault_free_run_matches_golden(self, name):
+        definition = get_workload(name)
+        card, event, outputs = run_workload(definition)
+        assert event.kind is DebugEventKind.HALT
+        for key, expected in definition.expected.items():
+            assert outputs[key] == expected, f"{name}:{key}"
+
+    @pytest.mark.parametrize("name,params", [
+        ("bubblesort", {"n": 5, "seed": 1}),
+        ("bubblesort", {"n": 32, "seed": 2}),
+        ("quicksort", {"n": 25, "seed": 3}),
+        ("matmul", {"dim": 3, "seed": 4}),
+        ("fibonacci", {"n": 40}),
+        ("crc32", {"n": 3, "seed": 5}),
+        ("vecsum", {"n": 30, "seed": 6}),
+        ("binsearch", {"n": 8, "m": 4, "seed": 9}),
+        ("countprimes", {"n": 30}),
+    ])
+    def test_parameterised_variants(self, name, params):
+        definition = get_workload(name, params)
+        card, event, outputs = run_workload(definition)
+        assert event.kind is DebugEventKind.HALT
+        for key, expected in definition.expected.items():
+            assert outputs[key] == expected
+
+    def test_sorted_output_is_sorted(self):
+        definition = get_workload("bubblesort", {"n": 20, "seed": 99})
+        _, _, outputs = run_workload(definition)
+        assert outputs["sorted"] == sorted(outputs["sorted"])
+
+    def test_quicksort_agrees_with_bubblesort(self):
+        bubble = get_workload("bubblesort", {"n": 20, "seed": 42})
+        quick = get_workload("quicksort", {"n": 20, "seed": 42})
+        _, _, bubble_out = run_workload(bubble)
+        _, _, quick_out = run_workload(quick)
+        assert bubble_out["sorted"] == quick_out["sorted"]
+
+
+class TestRegistry:
+    def test_all_workloads_listed(self):
+        listed = available_workloads()
+        for name in BATCH_WORKLOADS + ["pid-control"]:
+            assert name in listed
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("doom")
+
+    def test_label_lookup(self):
+        definition = get_workload("vecsum")
+        assert definition.label("total") > 0
+        with pytest.raises(ConfigurationError):
+            definition.label("nothing")
+
+    def test_output_addresses(self):
+        definition = get_workload("vecsum", {"n": 4})
+        assert len(definition.output_addresses()) == 1
+
+
+class TestControlWorkload:
+    def test_is_loop_with_environment(self):
+        definition = get_workload("pid-control")
+        assert definition.is_loop
+        assert definition.uses_environment
+        assert definition.default_max_iterations
+
+    def test_protected_and_unprotected_differ_in_code(self):
+        protected = get_workload("pid-control", {"assertions": True})
+        unprotected = get_workload("pid-control", {"assertions": False})
+        assert len(protected.program.words) > len(unprotected.program.words)
+        assert "recover" in protected.program.symbols
+        assert "recover" not in unprotected.program.symbols
+
+    def test_loop_terminates_only_by_iteration_bound(self):
+        definition = get_workload("pid-control")
+        card = TestCard()
+        card.init()
+        card.load_program(definition.program)
+        # Static input window (no environment attached): still must loop.
+        card.write_memory(0xFF00, 0)
+        card.write_memory(0xFF01, 0)
+        event = card.run(timeout_cycles=10_000_000, max_iterations=20)
+        assert event.kind is DebugEventKind.MAX_ITERATIONS
+        assert event.iteration == 20
+
+    def test_q8_gain_encoding(self):
+        definition = get_workload("pid-control", {"kp": 1.5})
+        # Sanity: the program assembled (gains encode without range
+        # errors) and declares the documented outputs.
+        assert set(definition.outputs) == {"integ", "prev_u", "rec_count"}
+
+
+class TestDeterminism:
+    def test_same_params_same_image(self):
+        a = get_workload("bubblesort", {"n": 8, "seed": 3})
+        b = get_workload("bubblesort", {"n": 8, "seed": 3})
+        assert a.program.words == b.program.words
+        assert a.input_writes == b.input_writes
+
+    def test_different_seed_different_inputs(self):
+        a = get_workload("bubblesort", {"n": 8, "seed": 3})
+        b = get_workload("bubblesort", {"n": 8, "seed": 4})
+        assert a.input_writes != b.input_writes
