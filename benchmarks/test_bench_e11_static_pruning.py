@@ -1,0 +1,121 @@
+"""E11 — static pre-injection pruning (trace-free liveness analysis).
+
+Regenerates: the headroom of the static CFG/liveness oracle against the
+paper's trace-based pre-injection analysis (Section 4). The static
+analysis needs *no golden reference run* — only the assembled workload
+image — so its cost is pure analysis wall-time, while the dynamic oracle
+pays for a full reference execution first.
+
+Shapes asserted:
+
+* both oracles prune a non-trivial part of the register-file fault
+  space (pruning ratio > 0);
+* soundness shows up as precision ordering — the static oracle, being a
+  sound over-approximation, keeps at least the live fraction the
+  dynamic oracle keeps (prunes no more);
+* the hybrid (intersection) oracle equals the dynamic result;
+* building the static oracle is cheap relative to reference-run +
+  dynamic-oracle construction.
+"""
+
+import time
+
+from repro.analysis.faultspace import effective_fault_space
+from repro.core import CampaignData, create_target
+from repro.core.preinjection import PreInjectionAnalysis
+from repro.staticanalysis import StaticPreInjectionAnalysis
+
+WORKLOAD = "bubblesort"
+PATTERNS = ["scan:internal/cpu.regfile.*", "scan:internal/cpu.psr"]
+MAX_SAMPLES = 4096
+
+
+def _setup():
+    campaign = CampaignData(
+        campaign_name="e11-static-pruning",
+        technique="scifi",
+        workload_name=WORKLOAD,
+        workload_params={"n": 12, "seed": 11},
+        location_patterns=PATTERNS,
+        n_experiments=1,
+        seed=1111,
+    )
+    target = create_target("thor-rd")
+    target.read_campaign_data(campaign)
+    return campaign, target
+
+
+def test_bench_e11_static_pruning(benchmark):
+    def body():
+        campaign, target = _setup()
+
+        # Dynamic oracle: reference run + trace analysis.
+        t0 = time.perf_counter()
+        reference = target.make_reference_run()
+        dynamic = PreInjectionAnalysis.from_trace(
+            reference.trace, target.location_space()
+        )
+        dynamic_seconds = time.perf_counter() - t0
+
+        # Static oracle: program image only, no run.
+        program = target.workload_program()
+        t0 = time.perf_counter()
+        static = StaticPreInjectionAnalysis(
+            program, duration=reference.duration_cycles
+        )
+        static_seconds = time.perf_counter() - t0
+
+        hybrid = target.campaign.modified(
+            use_preinjection=True, preinjection_mode="hybrid"
+        )
+        target.read_campaign_data(hybrid)
+        hybrid_oracle = target.build_preinjection_analysis(reference.trace)
+
+        space = target.location_space()
+        duration = reference.duration_cycles
+        spaces = {
+            name: effective_fault_space(
+                campaign, space, duration, oracle, max_samples=MAX_SAMPLES
+            )
+            for name, oracle in (
+                ("dynamic", dynamic),
+                ("static", static),
+                ("hybrid", hybrid_oracle),
+            )
+        }
+        return static, spaces, static_seconds, dynamic_seconds
+
+    static, spaces, static_seconds, dynamic_seconds = benchmark.pedantic(
+        body, rounds=1, iterations=1
+    )
+
+    print()
+    print("E11: static (trace-free) vs dynamic (trace-based) pruning")
+    for name, pruned in spaces.items():
+        print(f"  {name:8s} {pruned.describe()}")
+    print(
+        f"  dead registers (static): "
+        f"{sorted(static.dead_registers) or 'none'}"
+    )
+    print(
+        f"  oracle build time: static {static_seconds * 1e3:.2f} ms vs "
+        f"reference run + dynamic {dynamic_seconds * 1e3:.2f} ms "
+        f"({dynamic_seconds / max(static_seconds, 1e-9):.1f}x)"
+    )
+
+    # Both oracles must find real pruning headroom.
+    assert spaces["static"].pruning_ratio > 0
+    assert spaces["dynamic"].pruning_ratio > 0
+    # Soundness ordering: the static over-approximation never prunes
+    # more than the dynamic ground truth (same deterministic sample).
+    assert (
+        spaces["static"].live_fraction
+        >= spaces["dynamic"].live_fraction
+    )
+    # The intersection equals the dynamic result on the same sample.
+    assert (
+        abs(spaces["hybrid"].live_fraction - spaces["dynamic"].live_fraction)
+        < 1e-12
+    )
+    # Trace-free analysis costs a fraction of a reference run.
+    assert static_seconds < dynamic_seconds

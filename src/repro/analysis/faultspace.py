@@ -64,6 +64,62 @@ def campaign_fault_space(
     )
 
 
+@dataclass(frozen=True)
+class PrunedFaultSpace:
+    """Fault space after pre-injection liveness pruning (Section 4).
+
+    ``live_fraction`` is the (possibly sampled) fraction of
+    (location, time) pairs the campaign's liveness oracle reports live;
+    the effective space is the raw space scaled by it. The complement —
+    :meth:`pruning_ratio` — is the share of experiments pre-injection
+    analysis saves from injecting provably no-effect faults.
+    """
+
+    raw: FaultSpace
+    live_fraction: float
+
+    @property
+    def effective_size(self) -> int:
+        return round(self.raw.size * self.live_fraction)
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of the raw space pruned as not live (0.0 .. 1.0)."""
+        return 1.0 - self.live_fraction
+
+    def describe(self) -> str:
+        return (
+            f"{self.raw.describe()}; live fraction "
+            f"{self.live_fraction:.3f} -> effective space "
+            f"{self.effective_size:,} pairs "
+            f"({self.pruning_ratio:.1%} pruned)"
+        )
+
+
+def effective_fault_space(
+    campaign: CampaignData,
+    space: LocationSpace,
+    reference_duration_cycles: int,
+    oracle,
+    max_samples: Optional[int] = 4096,
+) -> PrunedFaultSpace:
+    """Fault space of ``campaign`` after pruning with ``oracle``.
+
+    ``oracle`` is any liveness oracle exposing
+    ``live_fraction(locations, times, max_samples)`` — the dynamic,
+    static, or hybrid pre-injection analysis. The fraction is estimated
+    over a deterministic uniform sample capped at ``max_samples`` pairs
+    (pass None to enumerate the full space).
+    """
+    raw = campaign_fault_space(campaign, space, reference_duration_cycles)
+    locations = space.expand(campaign.location_patterns)
+    times = range(1, max(1, reference_duration_cycles) + 1)
+    fraction = oracle.live_fraction(
+        locations, times, max_samples=max_samples
+    )
+    return PrunedFaultSpace(raw=raw, live_fraction=fraction)
+
+
 def required_experiments(
     expected_proportion: float,
     half_width: float,

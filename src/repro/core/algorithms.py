@@ -29,7 +29,7 @@ from repro.core.experiment import (
 )
 from repro.core.faultmodels import FaultModel, InjectionPlan, build_fault_model
 from repro.core.locations import FaultLocation, LocationSpace
-from repro.core.preinjection import PreInjectionAnalysis
+from repro.core.preinjection import build_liveness_oracle
 from repro.core.trace import Trace
 from repro.util.errors import CampaignError
 from repro.util.rng import CampaignRandom
@@ -100,7 +100,10 @@ class FaultInjectionAlgorithms(abc.ABC):
         self._locations: List[FaultLocation] = []
         self._fault_model: Optional[FaultModel] = None
         self._rng: Optional[CampaignRandom] = None
-        self._liveness: Optional[PreInjectionAnalysis] = None
+        #: Liveness oracle (dynamic, static, or hybrid) when the campaign
+        #: enables pre-injection analysis; any object with an
+        #: ``is_live(location, time)`` method.
+        self._liveness = None
         self._reference: Optional[ReferenceRun] = None
 
     # ------------------------------------------------------------------
@@ -221,6 +224,17 @@ class FaultInjectionAlgorithms(abc.ABC):
         set-up window to validate workload selections per target)."""
         return None
 
+    def workload_program(self):
+        """The assembled program image of the bound campaign's workload,
+        or None when the port cannot provide one (optional override).
+
+        Ports that return a :class:`repro.thor.assembler.Program` here
+        unlock the *static* pre-injection oracle and the static lint
+        checks (dead registers, unreachable code, dead stores); ports
+        that keep the default None degrade gracefully to the trace-based
+        analysis only."""
+        return None
+
     # ------------------------------------------------------------------
     # Campaign preparation (readCampaignData + set-up interpretation)
     # ------------------------------------------------------------------
@@ -279,10 +293,45 @@ class FaultInjectionAlgorithms(abc.ABC):
             detail_states=self.drain_detail_states() if detail else [],
         )
         if campaign.use_preinjection:
-            self._liveness = PreInjectionAnalysis.from_trace(
-                trace, self.location_space()
-            )
+            self._liveness = self.build_preinjection_analysis(trace)
         return reference
+
+    def build_preinjection_analysis(self, trace: Optional[Trace]):
+        """Construct the campaign's liveness oracle (paper Section 4).
+
+        Dispatches on ``campaign.preinjection_mode``: ``dynamic`` builds
+        the trace-based :class:`~repro.core.preinjection
+        .PreInjectionAnalysis`; ``static`` the trace-free
+        :class:`~repro.staticanalysis.oracle.StaticPreInjectionAnalysis`
+        over the port's ``workload_program``; ``hybrid`` intersects the
+        two."""
+        campaign = self._require_campaign()
+        return build_liveness_oracle(
+            campaign.preinjection_mode,
+            trace,
+            self.location_space(),
+            program=self.workload_program(),
+        )
+
+    # ------------------------------------------------------------------
+    # Campaign lint (set-up phase validation)
+    # ------------------------------------------------------------------
+
+    def lint_campaign(self, reference_duration: Optional[int] = None):
+        """Static validation of the bound campaign before it runs.
+
+        Returns the list of :class:`repro.staticanalysis.lint
+        .LintFinding`; the framework's ``setup_campaign`` helper turns
+        error-severity findings into a :class:`CampaignError`."""
+        from repro.staticanalysis.lint import lint_campaign as _lint
+
+        campaign = self._require_campaign()
+        return _lint(
+            campaign,
+            self.location_space(),
+            program=self.workload_program(),
+            reference_duration=reference_duration,
+        )
 
     # ------------------------------------------------------------------
     # Per-experiment planning

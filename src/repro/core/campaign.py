@@ -92,6 +92,11 @@ class CampaignData:
     )
     environment: Optional[EnvironmentSpec] = None
     use_preinjection: bool = False
+    # How the pre-injection liveness oracle is built when
+    # use_preinjection is set: from the reference trace ("dynamic"), from
+    # static CFG/liveness analysis of the program image ("static" — no
+    # trace needed), or the intersection of both ("hybrid").
+    preinjection_mode: str = "dynamic"
     # Optional software EDM: write-protect the workload's code image so
     # fault-induced wild stores into code are detected instead of
     # silently corrupting instructions.
@@ -124,6 +129,10 @@ class CampaignData:
             raise ConfigurationError("timeout_cycles must be positive")
         if self.timeout_factor <= 1.0:
             raise ConfigurationError("timeout_factor must exceed 1.0")
+        if self.preinjection_mode not in ("dynamic", "static", "hybrid"):
+            raise ConfigurationError(
+                f"unknown pre-injection mode {self.preinjection_mode!r}"
+            )
 
     # -- serialization ----------------------------------------------------------
 
@@ -146,6 +155,7 @@ class CampaignData:
             "observe_patterns": self.observe_patterns,
             "environment": self.environment.to_dict() if self.environment else None,
             "use_preinjection": self.use_preinjection,
+            "preinjection_mode": self.preinjection_mode,
             "protect_code": self.protect_code,
         }
 

@@ -15,10 +15,15 @@ generate a fresh port skeleton (the Figure 3 source template).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from repro.core.algorithms import FaultInjectionAlgorithms
-from repro.util.errors import ConfigurationError, NotImplementedByPort
+from repro.core.campaign import CampaignData
+from repro.util.errors import (
+    CampaignError,
+    ConfigurationError,
+    NotImplementedByPort,
+)
 
 # Building blocks shared by every fault-injection algorithm.
 COMMON_BLOCKS = (
@@ -117,6 +122,40 @@ def supported_techniques(port_class: Type[Framework]) -> List[str]:
 def missing_blocks(port_class: Type[Framework], technique: str) -> List[str]:
     have = set(implemented_blocks(port_class))
     return [b for b in required_blocks(technique) if b not in have]
+
+
+# ---------------------------------------------------------------------------
+# Set-up phase helper (Figure 5: create campaign data, then validate it)
+# ---------------------------------------------------------------------------
+
+def setup_campaign(
+    port: FaultInjectionAlgorithms,
+    campaign: CampaignData,
+    strict: bool = True,
+    reference_duration: Optional[int] = None,
+):
+    """Bind ``campaign`` to ``port`` and lint it before anything runs.
+
+    Performs the set-up phase's validation step: ``read_campaign_data``
+    followed by the static lint pass of
+    :mod:`repro.staticanalysis.lint`. Returns the list of findings; with
+    ``strict`` (the default), error-severity findings raise
+    :class:`CampaignError` so a broken campaign never reaches the
+    fault-injection phase and burns its experiment budget.
+    """
+    from repro.staticanalysis.lint import lint_errors
+
+    port.read_campaign_data(campaign)
+    findings = port.lint_campaign(reference_duration=reference_duration)
+    errors = lint_errors(findings)
+    if strict and errors:
+        summary = "; ".join(str(f) for f in errors[:3])
+        suffix = "; ..." if len(errors) > 3 else ""
+        raise CampaignError(
+            f"campaign {campaign.campaign_name!r} failed set-up lint with "
+            f"{len(errors)} error(s): {summary}{suffix}"
+        )
+    return findings
 
 
 # ---------------------------------------------------------------------------

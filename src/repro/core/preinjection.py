@@ -21,6 +21,18 @@ Covered location classes:
 For state the trace cannot see (cache arrays, MAR/MDR), the analysis is
 conservative and reports *live*, so enabling pre-injection never silently
 prunes locations it does not understand.
+
+Three pruning modes are available to campaigns
+(``CampaignData.preinjection_mode``):
+
+* ``dynamic`` — this module's trace-based oracle (the default);
+* ``static``  — the trace-free CFG/liveness oracle of
+  :mod:`repro.staticanalysis` (a sound over-approximation: it never
+  prunes a pair the dynamic oracle reports live);
+* ``hybrid``  — the intersection of both
+  (:class:`HybridPreInjectionAnalysis`): a pair must be live statically
+  *and* dynamically, which equals the dynamic result by the soundness
+  contract but cross-checks the two analyses against each other.
 """
 
 from __future__ import annotations
@@ -28,10 +40,11 @@ from __future__ import annotations
 import bisect
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.locations import FaultLocation, LocationSpace
 from repro.core.trace import Trace
+from repro.util.sampling import iter_pairs, pair_count
 
 _REG_RE = re.compile(r"cpu\.regfile\.r(\d+)$")
 _MEM_RE = re.compile(r"word\.0x([0-9a-fA-F]+)$")
@@ -137,18 +150,121 @@ class PreInjectionAnalysis:
         return True
 
     def live_fraction(
-        self, locations: List[FaultLocation], times: List[int]
+        self,
+        locations: Sequence[FaultLocation],
+        times: Sequence[int],
+        max_samples: Optional[int] = None,
     ) -> float:
         """Diagnostic: fraction of (location, time) samples that are live.
 
         The E5 benchmark reports this as the efficiency headroom of
-        pre-injection analysis."""
-        if not locations or not times:
+        pre-injection analysis. The exhaustive loop is
+        O(|locations| * |times|); pass ``max_samples`` to cap the work at
+        a deterministic uniform sample for large fault spaces."""
+        total = pair_count(locations, times, max_samples)
+        if total == 0:
             return 0.0
         live = sum(
             1
-            for loc in locations
-            for t in times
+            for loc, t in iter_pairs(locations, times, max_samples)
             if self.is_live(loc, t)
         )
-        return live / (len(locations) * len(times))
+        return live / total
+
+
+class HybridPreInjectionAnalysis:
+    """Intersection of the static and dynamic liveness oracles.
+
+    A (location, time) pair is live only when **both** analyses agree.
+    Because the static analysis over-approximates the dynamic one, the
+    intersection normally equals the dynamic result — but evaluating the
+    cheap static oracle first short-circuits most dead samples, and any
+    pair the static analysis prunes while the dynamic one keeps would be
+    a soundness violation, which :meth:`disagreements` surfaces for the
+    property tests.
+    """
+
+    def __init__(self, static, dynamic: PreInjectionAnalysis):
+        self.static = static
+        self.dynamic = dynamic
+
+    def is_live(self, location: FaultLocation, time: int) -> bool:
+        return self.static.is_live(location, time) and self.dynamic.is_live(
+            location, time
+        )
+
+    def live_fraction(
+        self,
+        locations: Sequence[FaultLocation],
+        times: Sequence[int],
+        max_samples: Optional[int] = None,
+    ) -> float:
+        total = pair_count(locations, times, max_samples)
+        if total == 0:
+            return 0.0
+        live = sum(
+            1
+            for loc, t in iter_pairs(locations, times, max_samples)
+            if self.is_live(loc, t)
+        )
+        return live / total
+
+    def disagreements(
+        self,
+        locations: Sequence[FaultLocation],
+        times: Sequence[int],
+        max_samples: Optional[int] = None,
+    ) -> List[Tuple[FaultLocation, int]]:
+        """(location, time) pairs live dynamically but pruned statically.
+
+        Always empty when the static analysis honours its soundness
+        contract."""
+        return [
+            (loc, t)
+            for loc, t in iter_pairs(locations, times, max_samples)
+            if self.dynamic.is_live(loc, t)
+            and not self.static.is_live(loc, t)
+        ]
+
+
+#: Pruning modes a campaign may select (CampaignData.preinjection_mode).
+PREINJECTION_MODES = ("dynamic", "static", "hybrid")
+
+
+def build_liveness_oracle(
+    mode: str,
+    trace: Optional[Trace],
+    space: LocationSpace,
+    program=None,
+):
+    """Construct the liveness oracle for one campaign.
+
+    ``program`` is the target's assembled workload image (the
+    ``workload_program`` building block); it is required for the
+    ``static`` and ``hybrid`` modes. ``trace`` is the reference trace,
+    required for ``dynamic`` and ``hybrid``.
+    """
+    from repro.staticanalysis.oracle import StaticPreInjectionAnalysis
+    from repro.util.errors import CampaignError
+
+    if mode not in PREINJECTION_MODES:
+        raise CampaignError(f"unknown pre-injection mode {mode!r}")
+    if mode == "dynamic":
+        if trace is None:
+            raise CampaignError("dynamic pre-injection needs a reference trace")
+        return PreInjectionAnalysis.from_trace(trace, space)
+    if program is None:
+        raise CampaignError(
+            f"pre-injection mode {mode!r} needs the workload program image; "
+            "the target does not implement the workload_program building "
+            "block"
+        )
+    duration = trace.duration_cycles if trace is not None else None
+    static = StaticPreInjectionAnalysis(program, duration=duration)
+    if mode == "static":
+        return static
+    if trace is None:
+        raise CampaignError("hybrid pre-injection needs a reference trace")
+    return HybridPreInjectionAnalysis(
+        static, PreInjectionAnalysis.from_trace(trace, space)
+    )

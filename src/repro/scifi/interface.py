@@ -119,6 +119,12 @@ class ThorRDInterface(Framework):
 
         return available_workloads()
 
+    def workload_program(self):
+        """The bound campaign's assembled THOR-lite program image —
+        unlocks the static pre-injection oracle and the static lint
+        checks (also inherited by the thor-rd-sim port)."""
+        return self._workload.program if self._workload is not None else None
+
     # ------------------------------------------------------------------
     # Common building blocks
     # ------------------------------------------------------------------

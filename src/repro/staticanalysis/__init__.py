@@ -1,0 +1,49 @@
+"""Static program analysis over assembled THOR-lite workloads.
+
+Classical dataflow analysis — def/use extraction, control-flow-graph
+construction, backward liveness and reaching definitions — computed from
+the program image alone, **without running the workload**. Two consumers:
+
+* :class:`~repro.staticanalysis.oracle.StaticPreInjectionAnalysis` — a
+  trace-free liveness oracle with the same ``is_live(location, time)``
+  interface as the dynamic (trace-based) pre-injection analysis of
+  :mod:`repro.core.preinjection`. Campaigns select static, dynamic or
+  hybrid pruning via ``CampaignData.preinjection_mode``.
+* :func:`~repro.staticanalysis.lint.lint_campaign` — a set-up-phase lint
+  pass that rejects broken campaign configurations (zero-match location
+  patterns, injection windows beyond the reference duration, faults into
+  provably-dead registers, unreachable workload code) before a single
+  experiment runs.
+
+Soundness contract: the static result is an *over-approximation* of the
+dynamic one — every (location, time) pair the trace-based analysis
+reports live is also reported live statically, so static pruning never
+discards a fault the dynamic oracle would have kept. The property test
+``tests/properties/test_prop_static_soundness.py`` asserts this for every
+workload in the library.
+"""
+
+from repro.staticanalysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.staticanalysis.defuse import (
+    InstructionDefUse,
+    ReachingDefinitions,
+    program_defuse,
+)
+from repro.staticanalysis.lint import LintFinding, lint_campaign
+from repro.staticanalysis.liveness import FLAGS, LivenessResult, compute_liveness
+from repro.staticanalysis.oracle import StaticPreInjectionAnalysis
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "InstructionDefUse",
+    "ReachingDefinitions",
+    "program_defuse",
+    "LintFinding",
+    "lint_campaign",
+    "FLAGS",
+    "LivenessResult",
+    "compute_liveness",
+    "StaticPreInjectionAnalysis",
+]

@@ -1,0 +1,229 @@
+"""Control-flow graph construction for assembled THOR-lite programs.
+
+Works on the word-addressed code image of a :class:`repro.thor.assembler.
+Program`. Control-flow classes come from the operand-semantics table in
+:mod:`repro.thor.isa`, so the CFG builder needs no per-opcode special
+cases of its own.
+
+Soundness notes (the static analyses built on this CFG must
+over-approximate any fault-free execution):
+
+* conditional branches get both the taken and the fall-through edge;
+* ``CALL`` gets an edge to the callee *and* to its fall-through (the
+  return site) — a sound over-approximation of call/return matching;
+* ``RET`` gets edges to every call fall-through site, **unless** some
+  instruction other than ``CALL`` can write the link register, in which
+  case (like ``JR``, whose target register is unconstrained) it is
+  treated as an *unresolved indirect* jump with every code address as a
+  potential successor;
+* ``HALT`` and ``TRAP`` terminate the run and have no successors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.thor import isa
+from repro.thor.assembler import Program
+from repro.thor.disasm import format_instruction
+from repro.staticanalysis.defuse import InstructionDefUse, program_defuse
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of code addresses."""
+
+    start: int
+    addresses: List[int] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)  # block start addrs
+    reachable: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.addresses[-1] if self.addresses else self.start
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Instruction- and block-level control flow of one program."""
+
+    entry: int
+    defuse: Dict[int, InstructionDefUse]
+    # Instruction-level successor map (code addresses only).
+    successors: Dict[int, Tuple[int, ...]]
+    # True when the program contains an indirect jump whose target set
+    # could not be resolved (JR, or RET with a non-CALL writer of LR);
+    # such instructions conservatively target every code address.
+    has_unresolved_indirect: bool
+    blocks: Dict[int, BasicBlock] = field(default_factory=dict)
+    reachable: FrozenSet[int] = frozenset()
+
+    # -- queries ---------------------------------------------------------------
+
+    def block_of(self, address: int) -> Optional[BasicBlock]:
+        best: Optional[BasicBlock] = None
+        for block in self.blocks.values():
+            if address in block.addresses:
+                best = block
+                break
+        return best
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        return [
+            block
+            for start, block in sorted(self.blocks.items())
+            if not block.reachable
+        ]
+
+    def unreachable_addresses(self) -> List[int]:
+        return sorted(set(self.defuse) - set(self.reachable))
+
+    def render(self) -> str:
+        """ASCII dump of the CFG (used by the example and for debugging)."""
+        lines: List[str] = [f"entry: {self.entry:#06x}"]
+        for start in sorted(self.blocks):
+            block = self.blocks[start]
+            mark = "" if block.reachable else "  [unreachable]"
+            succ = ", ".join(f"{s:#06x}" for s in sorted(block.successors))
+            lines.append(f"block {start:#06x} -> [{succ}]{mark}")
+            for address in block.addresses:
+                fact = self.defuse[address]
+                lines.append(
+                    f"  {address:#06x}: {format_instruction(fact.instr)}"
+                )
+        return "\n".join(lines)
+
+
+def _instruction_successors(
+    fact: InstructionDefUse,
+    code: Set[int],
+    call_return_sites: Tuple[int, ...],
+    all_code: Tuple[int, ...],
+    resolved_returns: bool,
+) -> Tuple[Tuple[int, ...], bool]:
+    """(successor addresses, used_unresolved_indirect) for one instruction."""
+    address = fact.address
+    instr = fact.instr
+    flow = fact.flow
+    fall = address + 1 if address + 1 in code else None
+
+    def only_code(targets: List[Optional[int]]) -> Tuple[int, ...]:
+        return tuple(sorted({t for t in targets if t is not None and t in code}))
+
+    if flow == isa.FLOW_NEXT:
+        return only_code([fall]), False
+    if flow in (isa.FLOW_HALT, isa.FLOW_TRAP):
+        return (), False
+    if flow == isa.FLOW_BRANCH:
+        return only_code([fall, address + 1 + instr.imm]), False
+    if flow == isa.FLOW_JUMP:
+        return only_code([instr.imm]), False
+    if flow == isa.FLOW_CALL:
+        return only_code([instr.imm, fall]), False
+    if flow == isa.FLOW_RETURN and resolved_returns:
+        return call_return_sites, False
+    # JR, or RET with an unconstrained link register: any code address.
+    return all_code, True
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the instruction- and block-level CFG of ``program``."""
+    defuse = program_defuse(program)
+    code: Set[int] = set(defuse)
+    all_code = tuple(sorted(code))
+
+    # Can anything besides CALL write the link register? If so, RET
+    # targets are unconstrained and must be treated like JR.
+    resolved_returns = not any(
+        isa.REG_LR in fact.defs and fact.flow != isa.FLOW_CALL
+        for fact in defuse.values()
+    )
+    call_return_sites = tuple(
+        sorted(
+            fact.address + 1
+            for fact in defuse.values()
+            if fact.flow == isa.FLOW_CALL and fact.address + 1 in code
+        )
+    )
+
+    successors: Dict[int, Tuple[int, ...]] = {}
+    has_unresolved = False
+    for address, fact in defuse.items():
+        succ, unresolved = _instruction_successors(
+            fact, code, call_return_sites, all_code, resolved_returns
+        )
+        successors[address] = succ
+        has_unresolved = has_unresolved or unresolved
+
+    # Reachability from the program entry point.
+    reachable: Set[int] = set()
+    entry = program.entry
+    worklist: List[int] = [entry] if entry in code else []
+    while worklist:
+        address = worklist.pop()
+        if address in reachable:
+            continue
+        reachable.add(address)
+        worklist.extend(
+            s for s in successors[address] if s not in reachable
+        )
+
+    cfg = ControlFlowGraph(
+        entry=entry,
+        defuse=defuse,
+        successors=successors,
+        has_unresolved_indirect=has_unresolved,
+        reachable=frozenset(reachable),
+    )
+    cfg.blocks = _build_blocks(cfg, all_code)
+    return cfg
+
+
+def _build_blocks(
+    cfg: ControlFlowGraph, all_code: Tuple[int, ...]
+) -> Dict[int, BasicBlock]:
+    """Partition the code addresses into maximal basic blocks."""
+    code = set(all_code)
+    leaders: Set[int] = set()
+    if cfg.entry in code:
+        leaders.add(cfg.entry)
+    for address in all_code:
+        fact = cfg.defuse[address]
+        sem_flow = fact.flow
+        if sem_flow != isa.FLOW_NEXT:
+            # Every target of a control transfer starts a block, and so
+            # does the instruction after it.
+            if sem_flow not in (isa.FLOW_INDIRECT, isa.FLOW_RETURN):
+                leaders.update(cfg.successors[address])
+            elif len(cfg.successors[address]) < len(all_code):
+                leaders.update(cfg.successors[address])
+            if address + 1 in code:
+                leaders.add(address + 1)
+    # Address-space gaps (e.g. data words between code runs) split blocks.
+    previous: Optional[int] = None
+    for address in all_code:
+        if previous is None or address != previous + 1:
+            leaders.add(address)
+        previous = address
+
+    blocks: Dict[int, BasicBlock] = {}
+    current: Optional[BasicBlock] = None
+    for address in all_code:
+        if address in leaders or current is None:
+            current = BasicBlock(start=address)
+            blocks[address] = current
+        current.addresses.append(address)
+        if cfg.defuse[address].flow != isa.FLOW_NEXT:
+            current = None
+
+    for block in blocks.values():
+        last = block.end
+        block.successors = sorted(
+            {s for s in cfg.successors[last] if s in blocks}
+        )
+        block.reachable = any(a in cfg.reachable for a in block.addresses)
+    return blocks

@@ -1,0 +1,179 @@
+"""Per-instruction def/use extraction and reaching definitions.
+
+The def/use sets are derived from the operand-semantics table in
+:data:`repro.thor.isa.SEMANTICS` via
+:func:`repro.thor.effects.register_effects` — the same table the dynamic
+trace collector uses, which is what makes the static analysis a sound
+over-approximation of the trace-based one by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.thor import isa
+from repro.thor.assembler import Program
+from repro.thor.effects import register_effects
+from repro.thor.isa import Instruction, try_decode
+
+
+@dataclass(frozen=True)
+class InstructionDefUse:
+    """Dataflow facts of one instruction at one code address."""
+
+    address: int
+    instr: Instruction
+    uses: FrozenSet[int]
+    defs: FrozenSet[int]
+    reads_flags: bool
+    writes_flags: bool
+    flow: str
+    mem: str
+
+    @property
+    def opcode_name(self) -> str:
+        return self.instr.opcode.name
+
+    @property
+    def is_memory_read(self) -> bool:
+        return self.mem == isa.MEM_LOAD
+
+    @property
+    def is_memory_write(self) -> bool:
+        return self.mem == isa.MEM_STORE
+
+
+def instruction_defuse(address: int, instr: Instruction) -> InstructionDefUse:
+    """Def/use facts for one decoded instruction."""
+    sem = isa.semantics(instr.opcode)
+    effects = register_effects(instr)
+    return InstructionDefUse(
+        address=address,
+        instr=instr,
+        uses=effects.reg_reads,
+        defs=effects.reg_writes,
+        reads_flags=sem.reads_flags,
+        writes_flags=sem.writes_flags,
+        flow=sem.flow,
+        mem=sem.mem,
+    )
+
+
+def program_defuse(program: Program) -> Dict[int, InstructionDefUse]:
+    """Def/use facts for every decodable code word of ``program``.
+
+    Words the assembler marked as data, and code words whose opcode field
+    is illegal (none are produced by the assembler, but fault-mutated
+    images may contain them), are skipped.
+    """
+    facts: Dict[int, InstructionDefUse] = {}
+    for address in program.code_addresses():
+        instr = try_decode(program.words[address])
+        if instr is None:
+            continue
+        facts[address] = instruction_defuse(address, instr)
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions (forward dataflow, worklist iteration)
+# ---------------------------------------------------------------------------
+
+# A definition is identified by (defining address, register index).
+Definition = Tuple[int, int]
+
+
+class ReachingDefinitions:
+    """Which register definitions may reach each program point.
+
+    Forward may-analysis over the instruction-level CFG:
+
+        IN[a]  = union of OUT[p] for p in preds(a)
+        OUT[a] = GEN[a] | (IN[a] - KILL[a])
+
+    Used by the campaign lint pass to flag dead stores (definitions that
+    never reach a use) and available to future constant-propagation
+    passes for bounding indirect load/store addresses.
+    """
+
+    def __init__(
+        self,
+        defuse: Dict[int, InstructionDefUse],
+        successors: Dict[int, Tuple[int, ...]],
+        entry: int,
+    ):
+        self.defuse = defuse
+        self.successors = successors
+        self.entry = entry
+        self.reach_in: Dict[int, FrozenSet[Definition]] = {}
+        self.reach_out: Dict[int, FrozenSet[Definition]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        addresses = sorted(self.defuse)
+        predecessors: Dict[int, List[int]] = {a: [] for a in addresses}
+        for address in addresses:
+            for succ in self.successors.get(address, ()):
+                if succ in predecessors:
+                    predecessors[succ].append(address)
+        empty: FrozenSet[Definition] = frozenset()
+        reach_in = {a: empty for a in addresses}
+        reach_out = {a: empty for a in addresses}
+        worklist: List[int] = list(addresses)
+        while worklist:
+            address = worklist.pop()
+            fact = self.defuse[address]
+            incoming: Set[Definition] = set()
+            for pred in predecessors[address]:
+                incoming |= reach_out[pred]
+            new_in = frozenset(incoming)
+            gen = frozenset((address, reg) for reg in fact.defs)
+            killed = fact.defs
+            new_out = gen | frozenset(
+                d for d in new_in if d[1] not in killed
+            )
+            if new_in == reach_in[address] and new_out == reach_out[address]:
+                continue
+            reach_in[address] = new_in
+            reach_out[address] = new_out
+            for succ in self.successors.get(address, ()):
+                if succ in self.defuse:
+                    worklist.append(succ)
+        self.reach_in = reach_in
+        self.reach_out = reach_out
+
+    # -- queries ---------------------------------------------------------------
+
+    def definitions_reaching(self, address: int, register: int) -> List[int]:
+        """Addresses whose definition of ``register`` may reach ``address``."""
+        return sorted(
+            def_addr
+            for def_addr, reg in self.reach_in.get(address, frozenset())
+            if reg == register
+        )
+
+    def dead_definitions(
+        self, reachable: Optional[FrozenSet[int]] = None
+    ) -> List[Definition]:
+        """Definitions that never reach any use of their register.
+
+        A classic dead-store diagnostic: the value written at the
+        definition site is overwritten (or the run ends) before anything
+        reads it. ``reachable`` restricts the scan to reachable code.
+        """
+        used: Set[Definition] = set()
+        for address, fact in self.defuse.items():
+            if reachable is not None and address not in reachable:
+                continue
+            for reg in fact.uses:
+                for def_addr in self.definitions_reaching(address, reg):
+                    used.add((def_addr, reg))
+        dead: List[Definition] = []
+        for address, fact in self.defuse.items():
+            if reachable is not None and address not in reachable:
+                continue
+            for reg in fact.defs:
+                if (address, reg) not in used:
+                    dead.append((address, reg))
+        return sorted(dead)

@@ -1,0 +1,275 @@
+"""Campaign lint: reject broken campaign configurations at set-up time.
+
+ProFIPy-style validation of the fault specification *before* the campaign
+runs (paper Figure 5's set-up phase): a misconfigured campaign otherwise
+burns its whole experiment budget producing no-effect results. Each check
+yields a :class:`LintFinding`; severities:
+
+* ``error``   — the campaign cannot produce meaningful results
+                (zero-match patterns, only-dead-register selections,
+                injection windows beyond the reference run).
+* ``warning`` — the campaign will run but wastes experiments
+                (individual provably-dead registers, unreachable
+                workload code in the selection, tight timeouts).
+* ``info``    — diagnostics (dead stores found by reaching
+                definitions).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.campaign import CampaignData
+from repro.core.locations import LocationSpace
+from repro.thor.assembler import Program
+from repro.staticanalysis.oracle import StaticPreInjectionAnalysis
+
+_REG_RE = re.compile(r"cpu\.regfile\.r(\d+)$")
+_MEM_RE = re.compile(r"word\.0x([0-9a-fA-F]+)$")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One problem the campaign lint pass found."""
+
+    rule: str
+    severity: str  # "error" | "warning" | "info"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule}: {self.message}"
+
+
+def _check_patterns(
+    campaign: CampaignData, space: LocationSpace
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for pattern in campaign.location_patterns:
+        matched = space.select_cells([pattern], writable_only=False)
+        if not matched:
+            findings.append(
+                LintFinding(
+                    rule="zero-match-pattern",
+                    severity="error",
+                    message=(
+                        f"location pattern {pattern!r} matches no cells of "
+                        "this target"
+                    ),
+                )
+            )
+            continue
+        writable = space.select_cells([pattern], writable_only=True)
+        if not writable:
+            findings.append(
+                LintFinding(
+                    rule="read-only-pattern",
+                    severity="error",
+                    message=(
+                        f"location pattern {pattern!r} matches only "
+                        "read-only (observe-only) cells"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_trigger(
+    campaign: CampaignData, reference_duration: Optional[int]
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    trigger = campaign.trigger
+    if trigger.kind == "time-fixed" and trigger.time <= 0:
+        findings.append(
+            LintFinding(
+                rule="injection-window",
+                severity="error",
+                message=(
+                    f"time-fixed trigger at cycle {trigger.time} — "
+                    "injection instants must be positive"
+                ),
+            )
+        )
+    if reference_duration is None:
+        return findings
+    if trigger.kind == "time-fixed" and trigger.time > reference_duration:
+        findings.append(
+            LintFinding(
+                rule="injection-window",
+                severity="error",
+                message=(
+                    f"time-fixed trigger at cycle {trigger.time} lies beyond "
+                    f"the reference duration of {reference_duration} cycles — "
+                    "the workload terminates before the fault is injected"
+                ),
+            )
+        )
+    if trigger.kind == "clock" and trigger.period > reference_duration:
+        findings.append(
+            LintFinding(
+                rule="injection-window",
+                severity="error",
+                message=(
+                    f"clock trigger period {trigger.period} exceeds the "
+                    f"reference duration of {reference_duration} cycles — "
+                    "no clock tick falls inside the run"
+                ),
+            )
+        )
+    if (
+        campaign.timeout_cycles is not None
+        and campaign.timeout_cycles < reference_duration
+    ):
+        findings.append(
+            LintFinding(
+                rule="timeout-too-tight",
+                severity="warning",
+                message=(
+                    f"timeout_cycles={campaign.timeout_cycles} is shorter "
+                    f"than the reference duration of {reference_duration} "
+                    "cycles — every experiment will time out"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_static_liveness(
+    campaign: CampaignData,
+    space: LocationSpace,
+    oracle: StaticPreInjectionAnalysis,
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    cells = space.select_cells(campaign.location_patterns)
+    dead = oracle.dead_registers
+    unreachable = set(oracle.unreachable_code_addresses())
+
+    dead_selected: List[str] = []
+    unreachable_selected: List[str] = []
+    any_live_cell = False
+    for cell in cells:
+        reg_match = _REG_RE.search(cell.path)
+        if reg_match is not None:
+            if int(reg_match.group(1)) in dead:
+                dead_selected.append(cell.full_path)
+                continue
+            any_live_cell = True
+            continue
+        mem_match = _MEM_RE.search(cell.path)
+        if (
+            mem_match is not None
+            and cell.space.endswith("code")
+            and int(mem_match.group(1), 16) in unreachable
+        ):
+            unreachable_selected.append(cell.full_path)
+            continue
+        any_live_cell = True
+
+    for path in dead_selected:
+        findings.append(
+            LintFinding(
+                rule="dead-register",
+                severity="warning",
+                message=(
+                    f"{path} is provably dead: no reachable instruction of "
+                    f"workload {campaign.workload_name!r} reads it, so every "
+                    "fault injected there is overwritten or latent"
+                ),
+            )
+        )
+    for path in unreachable_selected:
+        findings.append(
+            LintFinding(
+                rule="unreachable-code",
+                severity="warning",
+                message=(
+                    f"{path} is unreachable workload code: no CFG path from "
+                    "the entry point fetches it"
+                ),
+            )
+        )
+    if cells and not any_live_cell:
+        findings.append(
+            LintFinding(
+                rule="no-live-location",
+                severity="error",
+                message=(
+                    "every selected location is provably dead — the campaign "
+                    "cannot activate a single fault"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_unreachable_workload(
+    oracle: StaticPreInjectionAnalysis,
+) -> List[LintFinding]:
+    blocks = oracle.cfg.unreachable_blocks()
+    if not blocks:
+        return []
+    addresses = ", ".join(f"{b.start:#06x}" for b in blocks[:8])
+    suffix = ", ..." if len(blocks) > 8 else ""
+    return [
+        LintFinding(
+            rule="unreachable-workload-code",
+            severity="warning",
+            message=(
+                f"workload contains {len(blocks)} unreachable basic "
+                f"block(s) at {addresses}{suffix}"
+            ),
+        )
+    ]
+
+
+def _check_dead_stores(
+    oracle: StaticPreInjectionAnalysis,
+) -> List[LintFinding]:
+    dead = oracle.reaching_definitions().dead_definitions(
+        reachable=oracle.cfg.reachable
+    )
+    if not dead:
+        return []
+    sample = ", ".join(f"r{reg}@{addr:#06x}" for addr, reg in dead[:6])
+    suffix = ", ..." if len(dead) > 6 else ""
+    return [
+        LintFinding(
+            rule="dead-store",
+            severity="info",
+            message=(
+                f"{len(dead)} register definition(s) never reach a use "
+                f"({sample}{suffix})"
+            ),
+        )
+    ]
+
+
+def lint_campaign(
+    campaign: CampaignData,
+    space: LocationSpace,
+    program: Optional[Program] = None,
+    reference_duration: Optional[int] = None,
+) -> List[LintFinding]:
+    """Run every lint check applicable to ``campaign``.
+
+    ``program`` enables the static-analysis checks (dead registers,
+    unreachable code, dead stores); ``reference_duration`` enables the
+    injection-window checks. Both are optional so the lint pass degrades
+    gracefully for targets without a THOR-lite program image.
+    """
+    findings: List[LintFinding] = []
+    findings.extend(_check_patterns(campaign, space))
+    findings.extend(_check_trigger(campaign, reference_duration))
+    if program is not None:
+        oracle = StaticPreInjectionAnalysis(
+            program, duration=reference_duration
+        )
+        findings.extend(_check_static_liveness(campaign, space, oracle))
+        findings.extend(_check_unreachable_workload(oracle))
+        findings.extend(_check_dead_stores(oracle))
+    return findings
+
+
+def lint_errors(findings: List[LintFinding]) -> List[LintFinding]:
+    return [f for f in findings if f.severity == "error"]

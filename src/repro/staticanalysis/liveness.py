@@ -1,0 +1,117 @@
+"""Backward register + flag liveness over the instruction-level CFG.
+
+Classic backward may-analysis, solved by worklist iteration:
+
+    OUT[a] = union of IN[s] for s in succ(a)
+    IN[a]  = USE[a] | (OUT[a] - DEF[a])
+
+Dataflow items are the 16 general-purpose registers (their index) plus
+the PSR flags, represented by the pseudo-item :data:`FLAGS`.
+
+The analysis is *path-insensitive and trace-free*: a register is live at
+a program point if **some** CFG path from that point reads it before
+writing it. This over-approximates the trace-based liveness of
+:mod:`repro.core.preinjection` — any register the reference run actually
+reads is read by a reachable instruction, hence statically live at that
+instruction (and along every path into it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.thor import isa
+from repro.staticanalysis.cfg import ControlFlowGraph
+
+#: Pseudo dataflow item for the PSR flags (register items are 0..15).
+FLAGS = isa.NUM_REGISTERS
+
+
+@dataclass
+class LivenessResult:
+    """Per-instruction live-in/live-out sets plus whole-program summaries."""
+
+    cfg: ControlFlowGraph
+    live_in: Dict[int, FrozenSet[int]]
+    live_out: Dict[int, FrozenSet[int]]
+
+    # -- summaries -------------------------------------------------------------
+
+    @property
+    def ever_live_registers(self) -> FrozenSet[int]:
+        """Registers live at some reachable program point.
+
+        The complement (:meth:`dead_registers`) is provably dead: no
+        fault-free execution can read it, so injecting there is wasted
+        work — the trace-free analogue of the paper's Section 4 claim.
+        """
+        live: Set[int] = set()
+        for address in self.cfg.reachable:
+            live |= self.live_in[address]
+        live.discard(FLAGS)
+        return frozenset(live)
+
+    @property
+    def flags_ever_live(self) -> bool:
+        return any(
+            FLAGS in self.live_in[address] for address in self.cfg.reachable
+        )
+
+    def dead_registers(self) -> FrozenSet[int]:
+        return frozenset(range(isa.NUM_REGISTERS)) - self.ever_live_registers
+
+    def live_at(self, address: int) -> FrozenSet[int]:
+        """Live-in set at ``address`` (empty for non-code addresses)."""
+        return self.live_in.get(address, frozenset())
+
+
+def compute_liveness(cfg: ControlFlowGraph) -> LivenessResult:
+    """Solve backward liveness over ``cfg`` to a fixpoint."""
+    addresses = sorted(cfg.defuse)
+    empty: FrozenSet[int] = frozenset()
+    live_in: Dict[int, FrozenSet[int]] = {a: empty for a in addresses}
+    live_out: Dict[int, FrozenSet[int]] = {a: empty for a in addresses}
+
+    predecessors: Dict[int, List[int]] = {a: [] for a in addresses}
+    for address in addresses:
+        for succ in cfg.successors.get(address, ()):
+            if succ in predecessors:
+                predecessors[succ].append(address)
+
+    use: Dict[int, FrozenSet[int]] = {}
+    define: Dict[int, FrozenSet[int]] = {}
+    for address in addresses:
+        fact = cfg.defuse[address]
+        uses: Set[int] = set(fact.uses)
+        defs: Set[int] = set(fact.defs)
+        if fact.reads_flags:
+            uses.add(FLAGS)
+        if fact.writes_flags:
+            defs.add(FLAGS)
+        use[address] = frozenset(uses)
+        define[address] = frozenset(defs)
+
+    # Backward worklist: seed with every instruction, iterate until the
+    # transfer functions stabilise. Processing in reverse address order
+    # first converges quickly for mostly-forward control flow.
+    worklist: List[int] = list(addresses)
+    in_worklist: Set[int] = set(addresses)
+    while worklist:
+        address = worklist.pop()
+        in_worklist.discard(address)
+        out: Set[int] = set()
+        for succ in cfg.successors.get(address, ()):
+            out |= live_in.get(succ, empty)
+        new_out = frozenset(out)
+        new_in = use[address] | (new_out - define[address])
+        if new_out == live_out[address] and new_in == live_in[address]:
+            continue
+        live_out[address] = new_out
+        live_in[address] = new_in
+        for pred in predecessors[address]:
+            if pred not in in_worklist:
+                in_worklist.add(pred)
+                worklist.append(pred)
+
+    return LivenessResult(cfg=cfg, live_in=live_in, live_out=live_out)

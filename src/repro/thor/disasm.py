@@ -1,47 +1,42 @@
 """Disassembler for THOR-lite instruction words.
 
 Used by the propagation analyser and the UI to render execution traces and
-fault-injected instruction words in human-readable form.
+fault-injected instruction words in human-readable form. The operand
+format of every opcode comes from the shared operand-semantics table
+(:data:`repro.thor.isa.SEMANTICS`), so a new opcode only needs a table
+entry to disassemble correctly.
 """
 
 from __future__ import annotations
 
-from repro.thor import isa
-from repro.thor.isa import Instruction, Opcode, try_decode
+from typing import Callable, Dict
 
-_MEM_OPS = {Opcode.LD, Opcode.ST}
-_NO_OPERAND = {Opcode.NOP, Opcode.HALT, Opcode.RET, Opcode.SYNC}
+from repro.thor import isa
+from repro.thor.isa import Instruction, try_decode
+
+_FORMATTERS: Dict[str, Callable[[str, Instruction], str]] = {
+    "none": lambda name, i: name,
+    "r3": lambda name, i: f"{name} r{i.rd}, r{i.rs1}, r{i.rs2}",
+    "r2": lambda name, i: f"{name} r{i.rd}, r{i.rs1}",
+    "i3": lambda name, i: f"{name} r{i.rd}, r{i.rs1}, {i.imm}",
+    "mem": lambda name, i: (
+        f"{name} r{i.rd}, [r{i.rs1}{'+' if i.imm >= 0 else '-'}{abs(i.imm)}]"
+    ),
+    "branch": lambda name, i: f"{name} {i.imm:+d}",
+    "jumpabs": lambda name, i: f"{name} {i.imm:#x}",
+    "trap": lambda name, i: f"{name} {i.imm}",
+    "jr": lambda name, i: f"{name} r{i.rs1}",
+    "stack": lambda name, i: f"{name} r{i.rd}",
+    "cmp": lambda name, i: f"{name} r{i.rs1}, r{i.rs2}",
+    "cmpi": lambda name, i: f"{name} r{i.rs1}, {i.imm}",
+    "imm": lambda name, i: f"{name} r{i.rd}, {i.imm}",
+}
 
 
 def format_instruction(instr: Instruction) -> str:
-    op = instr.opcode
-    name = op.name.lower()
-    if op in _NO_OPERAND:
-        return name
-    if op in _MEM_OPS:
-        sign = "+" if instr.imm >= 0 else "-"
-        return f"{name} r{instr.rd}, [r{instr.rs1}{sign}{abs(instr.imm)}]"
-    if op in isa.BRANCHES:
-        return f"{name} {instr.imm:+d}"
-    if op in (Opcode.JMP, Opcode.CALL):
-        return f"{name} {instr.imm:#x}"
-    if op is Opcode.TRAP:
-        return f"{name} {instr.imm}"
-    if op is Opcode.JR:
-        return f"{name} r{instr.rs1}"
-    if op in (Opcode.PUSH, Opcode.POP):
-        return f"{name} r{instr.rd}"
-    if op is Opcode.CMP:
-        return f"{name} r{instr.rs1}, r{instr.rs2}"
-    if op is Opcode.CMPI:
-        return f"{name} r{instr.rs1}, {instr.imm}"
-    if op in (Opcode.NOT, Opcode.MOV):
-        return f"{name} r{instr.rd}, r{instr.rs1}"
-    if op in (Opcode.LDI, Opcode.LUI):
-        return f"{name} r{instr.rd}, {instr.imm}"
-    if op.value >= Opcode.ADDI.value and instr.is_i_type():
-        return f"{name} r{instr.rd}, r{instr.rs1}, {instr.imm}"
-    return f"{name} r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+    sem = isa.semantics(instr.opcode)
+    name = instr.opcode.name.lower()
+    return _FORMATTERS[sem.fmt](name, instr)
 
 
 def disassemble_word(word: int) -> str:

@@ -5,48 +5,33 @@ register holds *live* data at some point in time we need to know, for every
 instruction of the reference trace, which registers it reads and writes.
 Flag (PSR) producers and consumers are tracked as well, because the PSR is
 itself a scan-chain fault-injection location.
+
+The per-opcode behaviour is derived from the shared operand-semantics
+table (:data:`repro.thor.isa.SEMANTICS`); this module only resolves the
+symbolic register *roles* of that table ("rd", "rs1", "sp", ...) to the
+concrete register indices of one decoded instruction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import Callable, Dict, FrozenSet
 
 from repro.thor import isa
-from repro.thor.isa import Instruction, Opcode
+from repro.thor.isa import Instruction
 
-_R3_ALU = frozenset(
-    {
-        Opcode.ADD,
-        Opcode.SUB,
-        Opcode.MUL,
-        Opcode.DIV,
-        Opcode.MOD,
-        Opcode.AND,
-        Opcode.OR,
-        Opcode.XOR,
-        Opcode.SHL,
-        Opcode.SHR,
-        Opcode.SRA,
-    }
-)
-_I3_ALU = frozenset(
-    {
-        Opcode.ADDI,
-        Opcode.SUBI,
-        Opcode.MULI,
-        Opcode.ANDI,
-        Opcode.ORI,
-        Opcode.XORI,
-        Opcode.SHLI,
-        Opcode.SHRI,
-    }
-)
-_FLAG_WRITERS = (
-    _R3_ALU
-    | _I3_ALU
-    | frozenset({Opcode.NOT, Opcode.MOV, Opcode.CMP, Opcode.CMPI})
-)
+_ROLE_RESOLVERS: Dict[str, Callable[[Instruction], int]] = {
+    isa.ROLE_RD: lambda instr: instr.rd,
+    isa.ROLE_RS1: lambda instr: instr.rs1,
+    isa.ROLE_RS2: lambda instr: instr.rs2,
+    isa.ROLE_SP: lambda instr: isa.REG_SP,
+    isa.ROLE_LR: lambda instr: isa.REG_LR,
+}
+
+
+def resolve_roles(instr: Instruction, roles: tuple) -> FrozenSet[int]:
+    """Map symbolic register roles to this instruction's register indices."""
+    return frozenset(_ROLE_RESOLVERS[role](instr) for role in roles)
 
 
 @dataclass(frozen=True)
@@ -61,46 +46,10 @@ class Effects:
 
 def register_effects(instr: Instruction) -> Effects:
     """Compute which registers and flags ``instr`` reads and writes."""
-    op = instr.opcode
-    reads: FrozenSet[int] = frozenset()
-    writes: FrozenSet[int] = frozenset()
-
-    if op in _R3_ALU:
-        reads = frozenset({instr.rs1, instr.rs2})
-        writes = frozenset({instr.rd})
-    elif op in _I3_ALU:
-        reads = frozenset({instr.rs1})
-        writes = frozenset({instr.rd})
-    elif op in (Opcode.NOT, Opcode.MOV):
-        reads = frozenset({instr.rs1})
-        writes = frozenset({instr.rd})
-    elif op in (Opcode.LDI, Opcode.LUI):
-        writes = frozenset({instr.rd})
-    elif op is Opcode.CMP:
-        reads = frozenset({instr.rs1, instr.rs2})
-    elif op is Opcode.CMPI:
-        reads = frozenset({instr.rs1})
-    elif op is Opcode.LD:
-        reads = frozenset({instr.rs1})
-        writes = frozenset({instr.rd})
-    elif op is Opcode.ST:
-        reads = frozenset({instr.rs1, instr.rd})
-    elif op is Opcode.PUSH:
-        reads = frozenset({instr.rd, isa.REG_SP})
-        writes = frozenset({isa.REG_SP})
-    elif op is Opcode.POP:
-        reads = frozenset({isa.REG_SP})
-        writes = frozenset({instr.rd, isa.REG_SP})
-    elif op is Opcode.JR:
-        reads = frozenset({instr.rs1})
-    elif op is Opcode.CALL:
-        writes = frozenset({isa.REG_LR})
-    elif op is Opcode.RET:
-        reads = frozenset({isa.REG_LR})
-
+    sem = isa.semantics(instr.opcode)
     return Effects(
-        reg_reads=reads,
-        reg_writes=writes,
-        reads_flags=op in isa.BRANCHES,
-        writes_flags=op in _FLAG_WRITERS,
+        reg_reads=resolve_roles(instr, sem.reads),
+        reg_writes=resolve_roles(instr, sem.writes),
+        reads_flags=sem.reads_flags,
+        writes_flags=sem.writes_flags,
     )

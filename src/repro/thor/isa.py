@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.util.bits import sign_extend
 
@@ -140,6 +140,163 @@ CYCLE_COST[Opcode.MUL] = 4
 CYCLE_COST[Opcode.MULI] = 4
 CYCLE_COST[Opcode.DIV] = 8
 CYCLE_COST[Opcode.MOD] = 8
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode operand semantics
+# ---------------------------------------------------------------------------
+
+# Register *roles* an instruction reads or writes. A role names an encoding
+# field ("rd", "rs1", "rs2") or an implicit architectural register ("sp",
+# "lr"); :func:`repro.thor.effects.register_effects` resolves roles to
+# concrete register indices for a decoded instruction.
+ROLE_RD = "rd"
+ROLE_RS1 = "rs1"
+ROLE_RS2 = "rs2"
+ROLE_SP = "sp"
+ROLE_LR = "lr"
+
+# Control-flow classes (consumed by the static CFG builder):
+FLOW_NEXT = "next"  # falls through to PC + 1
+FLOW_HALT = "halt"  # terminates the workload normally
+FLOW_BRANCH = "branch"  # conditional, PC-relative target (imm)
+FLOW_JUMP = "jump"  # unconditional, absolute target (imm)
+FLOW_CALL = "call"  # absolute target (imm), LR := PC + 1
+FLOW_RETURN = "return"  # indirect through LR
+FLOW_INDIRECT = "indirect"  # indirect through a general register (JR)
+FLOW_TRAP = "trap"  # raises a software trap (halts the experiment)
+
+# Memory-access classes:
+MEM_NONE = ""
+MEM_LOAD = "load"
+MEM_STORE = "store"
+
+
+@dataclass(frozen=True)
+class OperandSemantics:
+    """Operand/dataflow semantics of one opcode.
+
+    The single shared description of what each instruction *means* at the
+    architectural level: which register roles it reads and writes, whether
+    it produces or consumes the PSR flags, how it transfers control, and
+    whether it touches memory. The disassembler
+    (:mod:`repro.thor.disasm`), the dynamic-effect extractor
+    (:mod:`repro.thor.effects`) and the static program analysis
+    (:mod:`repro.staticanalysis`) all derive their per-opcode behaviour
+    from this table instead of keeping ad-hoc opcode sets in sync.
+    """
+
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    reads_flags: bool = False
+    writes_flags: bool = False
+    flow: str = FLOW_NEXT
+    mem: str = MEM_NONE
+    # Disassembly operand format (see repro.thor.disasm):
+    #   "none" | "r3" | "r2" | "i3" | "mem" | "branch" | "jumpabs"
+    #   | "trap" | "jr" | "stack" | "cmp" | "cmpi" | "imm"
+    fmt: str = "none"
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.flow not in (FLOW_NEXT,)
+
+    @property
+    def is_exit(self) -> bool:
+        return self.flow in (FLOW_HALT, FLOW_TRAP)
+
+
+def _alu_r3() -> OperandSemantics:
+    return OperandSemantics(
+        reads=(ROLE_RS1, ROLE_RS2), writes=(ROLE_RD,), writes_flags=True,
+        fmt="r3",
+    )
+
+
+def _alu_i3() -> OperandSemantics:
+    return OperandSemantics(
+        reads=(ROLE_RS1,), writes=(ROLE_RD,), writes_flags=True, fmt="i3"
+    )
+
+
+def _branch() -> OperandSemantics:
+    return OperandSemantics(reads_flags=True, flow=FLOW_BRANCH, fmt="branch")
+
+
+SEMANTICS: Dict[Opcode, OperandSemantics] = {
+    Opcode.NOP: OperandSemantics(),
+    Opcode.HALT: OperandSemantics(flow=FLOW_HALT),
+    Opcode.ADD: _alu_r3(),
+    Opcode.SUB: _alu_r3(),
+    Opcode.MUL: _alu_r3(),
+    Opcode.DIV: _alu_r3(),
+    Opcode.MOD: _alu_r3(),
+    Opcode.AND: _alu_r3(),
+    Opcode.OR: _alu_r3(),
+    Opcode.XOR: _alu_r3(),
+    Opcode.SHL: _alu_r3(),
+    Opcode.SHR: _alu_r3(),
+    Opcode.SRA: _alu_r3(),
+    Opcode.NOT: OperandSemantics(
+        reads=(ROLE_RS1,), writes=(ROLE_RD,), writes_flags=True, fmt="r2"
+    ),
+    Opcode.MOV: OperandSemantics(
+        reads=(ROLE_RS1,), writes=(ROLE_RD,), writes_flags=True, fmt="r2"
+    ),
+    Opcode.CMP: OperandSemantics(
+        reads=(ROLE_RS1, ROLE_RS2), writes_flags=True, fmt="cmp"
+    ),
+    Opcode.JR: OperandSemantics(
+        reads=(ROLE_RS1,), flow=FLOW_INDIRECT, fmt="jr"
+    ),
+    Opcode.RET: OperandSemantics(reads=(ROLE_LR,), flow=FLOW_RETURN),
+    Opcode.PUSH: OperandSemantics(
+        reads=(ROLE_RD, ROLE_SP), writes=(ROLE_SP,), mem=MEM_STORE,
+        fmt="stack",
+    ),
+    Opcode.POP: OperandSemantics(
+        reads=(ROLE_SP,), writes=(ROLE_RD, ROLE_SP), mem=MEM_LOAD,
+        fmt="stack",
+    ),
+    Opcode.SYNC: OperandSemantics(),
+    Opcode.ADDI: _alu_i3(),
+    Opcode.SUBI: _alu_i3(),
+    Opcode.MULI: _alu_i3(),
+    Opcode.ANDI: _alu_i3(),
+    Opcode.ORI: _alu_i3(),
+    Opcode.XORI: _alu_i3(),
+    Opcode.SHLI: _alu_i3(),
+    Opcode.SHRI: _alu_i3(),
+    Opcode.LDI: OperandSemantics(writes=(ROLE_RD,), fmt="imm"),
+    Opcode.LUI: OperandSemantics(writes=(ROLE_RD,), fmt="imm"),
+    Opcode.LD: OperandSemantics(
+        reads=(ROLE_RS1,), writes=(ROLE_RD,), mem=MEM_LOAD, fmt="mem"
+    ),
+    Opcode.ST: OperandSemantics(
+        reads=(ROLE_RS1, ROLE_RD), mem=MEM_STORE, fmt="mem"
+    ),
+    Opcode.CMPI: OperandSemantics(
+        reads=(ROLE_RS1,), writes_flags=True, fmt="cmpi"
+    ),
+    Opcode.JMP: OperandSemantics(flow=FLOW_JUMP, fmt="jumpabs"),
+    Opcode.BEQ: _branch(),
+    Opcode.BNE: _branch(),
+    Opcode.BLT: _branch(),
+    Opcode.BGE: _branch(),
+    Opcode.BGT: _branch(),
+    Opcode.BLE: _branch(),
+    Opcode.CALL: OperandSemantics(
+        writes=(ROLE_LR,), flow=FLOW_CALL, fmt="jumpabs"
+    ),
+    Opcode.TRAP: OperandSemantics(flow=FLOW_TRAP, fmt="trap"),
+}
+
+assert set(SEMANTICS) == set(Opcode), "SEMANTICS must cover every opcode"
+
+
+def semantics(opcode: Opcode) -> OperandSemantics:
+    """The operand semantics of ``opcode``."""
+    return SEMANTICS[opcode]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,56 @@
+"""Deterministic sampling over large cartesian products.
+
+The pre-injection liveness oracles report diagnostics over the full
+(location, time) fault space, which is O(|locations| * |times|) — far too
+large to enumerate for big campaigns. These helpers cap the enumeration
+at a deterministic pseudo-random sample so diagnostics stay fast while
+remaining reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence, Tuple, TypeVar
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+_SAMPLE_SEED = 0x600F1
+
+
+def pair_count(
+    left: Sequence[A], right: Sequence[B], max_samples: Optional[int] = None
+) -> int:
+    """Number of pairs :func:`iter_pairs` will yield."""
+    total = len(left) * len(right)
+    if max_samples is None:
+        return total
+    return min(total, max_samples)
+
+
+def iter_pairs(
+    left: Sequence[A],
+    right: Sequence[B],
+    max_samples: Optional[int] = None,
+) -> Iterator[Tuple[A, B]]:
+    """Iterate the cartesian product ``left x right``.
+
+    When ``max_samples`` is given and the product is larger, yields a
+    deterministic uniform sample of exactly ``max_samples`` distinct
+    pairs instead (seeded by the product size, so the same inputs always
+    produce the same sample).
+    """
+    total = len(left) * len(right)
+    if total == 0:
+        return
+    if max_samples is not None and max_samples <= 0:
+        raise ValueError(f"max_samples must be positive, got {max_samples}")
+    if max_samples is None or total <= max_samples:
+        for a in left:
+            for b in right:
+                yield a, b
+        return
+    rng = random.Random(_SAMPLE_SEED ^ total)
+    width = len(right)
+    for index in sorted(rng.sample(range(total), max_samples)):
+        yield left[index // width], right[index % width]

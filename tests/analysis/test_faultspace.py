@@ -4,8 +4,10 @@ import pytest
 
 from repro.analysis.faultspace import (
     FaultSpace,
+    PrunedFaultSpace,
     campaign_fault_space,
     compare_proportions,
+    effective_fault_space,
     required_experiments,
 )
 from tests.conftest import make_campaign
@@ -31,6 +33,54 @@ class TestFaultSpace:
         )
         assert space.n_locations == 16 * 32  # the register file
         assert space.n_instants == reference.duration_cycles
+
+
+class TestPrunedFaultSpace:
+    def test_effective_size_and_ratio(self):
+        pruned = PrunedFaultSpace(
+            raw=FaultSpace(100, 10), live_fraction=0.25
+        )
+        assert pruned.effective_size == 250
+        assert pruned.pruning_ratio == pytest.approx(0.75)
+        assert "75.0% pruned" in pruned.describe()
+
+    @pytest.mark.parametrize("mode", ["dynamic", "static", "hybrid"])
+    def test_from_campaign_oracles(self, thor_target, mode):
+        campaign = make_campaign(
+            use_preinjection=True, preinjection_mode=mode
+        )
+        thor_target.read_campaign_data(campaign)
+        reference = thor_target.make_reference_run()
+        oracle = thor_target.build_preinjection_analysis(reference.trace)
+        pruned = effective_fault_space(
+            campaign,
+            thor_target.location_space(),
+            reference.duration_cycles,
+            oracle,
+            max_samples=2048,
+        )
+        assert 0.0 < pruned.live_fraction < 1.0
+        assert pruned.pruning_ratio > 0.0
+        assert 0 < pruned.effective_size < pruned.raw.size
+
+    def test_static_never_prunes_more_than_dynamic(self, thor_target):
+        campaign = make_campaign(use_preinjection=True)
+        thor_target.read_campaign_data(campaign)
+        reference = thor_target.make_reference_run()
+        fractions = {}
+        for mode in ("dynamic", "static"):
+            thor_target.read_campaign_data(
+                campaign.modified(preinjection_mode=mode)
+            )
+            oracle = thor_target.build_preinjection_analysis(reference.trace)
+            fractions[mode] = effective_fault_space(
+                campaign,
+                thor_target.location_space(),
+                reference.duration_cycles,
+                oracle,
+                max_samples=2048,
+            ).live_fraction
+        assert fractions["static"] >= fractions["dynamic"]
 
 
 class TestSampleSizePlanning:

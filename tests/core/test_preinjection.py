@@ -93,6 +93,24 @@ class TestFlagAndSpecialLiveness:
         location = FaultLocation("scan:internal", "dcache.line0.word1", 4)
         assert analysis.is_live(location, 10)
 
+    def test_mar_mdr_conservatively_live(self):
+        """State the trace cannot see (MAR/MDR latches) is never pruned,
+        not even beyond the reference duration."""
+        analysis = make_analysis()
+        for path in ("cpu.pipeline.mar", "cpu.pipeline.mdr"):
+            location = FaultLocation("scan:internal", path, 0)
+            assert analysis.is_live(location, 10)
+            assert analysis.is_live(location, 9999)
+
+    def test_pc_and_ir_at_duration_boundary(self):
+        """PC/IR are live up to and including the reference duration
+        (50 cycles in the fixture trace), dead one cycle later."""
+        analysis = make_analysis()
+        for path in ("cpu.pc", "cpu.pipeline.ir"):
+            location = FaultLocation("scan:internal", path, 0)
+            assert analysis.is_live(location, 50)
+            assert not analysis.is_live(location, 51)
+
 
 class TestMemoryLiveness:
     def test_memory_live_between_write_and_read(self):
@@ -121,6 +139,116 @@ class TestLiveFraction:
     def test_empty_inputs(self):
         analysis = make_analysis()
         assert analysis.live_fraction([], [1]) == 0.0
+
+    def test_max_samples_caps_and_is_deterministic(self):
+        analysis = make_analysis()
+        locations = [reg_loc(n) for n in range(10)]
+        times = list(range(0, 50))
+        capped = analysis.live_fraction(locations, times, max_samples=37)
+        again = analysis.live_fraction(locations, times, max_samples=37)
+        assert 0.0 <= capped <= 1.0
+        assert capped == again
+
+    def test_max_samples_larger_than_space_enumerates(self):
+        analysis = make_analysis()
+        locations = [reg_loc(1), reg_loc(2)]
+        times = [5, 15]
+        full = analysis.live_fraction(locations, times)
+        assert analysis.live_fraction(
+            locations, times, max_samples=10_000
+        ) == full
+
+
+class TestEmptyTrace:
+    def test_empty_trace_everything_dead(self):
+        """An empty reference trace touches nothing: every traced
+        location class is dead, only unknown cells stay live."""
+        space = LocationSpace([LocationCell("scan:internal", "cpu.pc", 16)])
+        analysis = PreInjectionAnalysis.from_trace(Trace([]), space)
+        assert not analysis.is_live(reg_loc(1), 0)
+        assert not analysis.is_live(
+            FaultLocation("scan:internal", "cpu.psr", 0), 0
+        )
+        assert not analysis.is_live(
+            FaultLocation("memory:data", "word.0x0300", 0), 0
+        )
+        # PC/IR at t=0 of a zero-length run, then dead.
+        pc = FaultLocation("scan:internal", "cpu.pc", 0)
+        assert analysis.is_live(pc, 0)
+        assert not analysis.is_live(pc, 1)
+        # Unknown cells remain conservatively live.
+        assert analysis.is_live(
+            FaultLocation("scan:internal", "dcache.line0.word0", 0), 0
+        )
+
+    def test_empty_trace_live_fraction(self):
+        space = LocationSpace([LocationCell("scan:internal", "cpu.pc", 16)])
+        analysis = PreInjectionAnalysis.from_trace(Trace([]), space)
+        assert analysis.live_fraction([reg_loc(1)], [1, 2, 3]) == 0.0
+
+
+class TestBuildLivenessOracle:
+    def _space(self):
+        return LocationSpace([LocationCell("scan:internal", "cpu.pc", 16)])
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        from repro.core.preinjection import build_liveness_oracle
+        from repro.util.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            build_liveness_oracle("psychic", Trace([]), self._space())
+
+    def test_dynamic_needs_trace(self):
+        import pytest
+
+        from repro.core.preinjection import build_liveness_oracle
+        from repro.util.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            build_liveness_oracle("dynamic", None, self._space())
+
+    def test_static_needs_program(self):
+        import pytest
+
+        from repro.core.preinjection import build_liveness_oracle
+        from repro.util.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            build_liveness_oracle("static", Trace([]), self._space())
+
+    def test_modes_build_expected_oracles(self):
+        from repro.core.preinjection import (
+            HybridPreInjectionAnalysis,
+            build_liveness_oracle,
+        )
+        from repro.staticanalysis import StaticPreInjectionAnalysis
+        from repro.thor.assembler import assemble
+
+        program = assemble("start: halt")
+        trace = Trace([step(0, reg_writes=(1,))])
+        space = self._space()
+        dynamic = build_liveness_oracle("dynamic", trace, space)
+        static = build_liveness_oracle("static", None, space, program=program)
+        hybrid = build_liveness_oracle("hybrid", trace, space, program=program)
+        assert isinstance(dynamic, PreInjectionAnalysis)
+        assert isinstance(static, StaticPreInjectionAnalysis)
+        assert static.duration is None
+        assert isinstance(hybrid, HybridPreInjectionAnalysis)
+
+    def test_hybrid_needs_trace(self):
+        import pytest
+
+        from repro.core.preinjection import build_liveness_oracle
+        from repro.util.errors import CampaignError
+        from repro.thor.assembler import assemble
+
+        with pytest.raises(CampaignError):
+            build_liveness_oracle(
+                "hybrid", None, self._space(),
+                program=assemble("start: halt"),
+            )
 
 
 class TestEndToEndLiveness:

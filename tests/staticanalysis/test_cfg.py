@@ -1,0 +1,186 @@
+"""Unit tests for CFG construction over assembled THOR-lite programs."""
+
+from repro.staticanalysis.cfg import build_cfg
+from repro.thor.assembler import assemble
+
+
+def cfg_of(text):
+    return build_cfg(assemble(text))
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = cfg_of(
+            """
+            start: ldi r1, 1
+                   addi r1, r1, 1
+                   halt
+            """
+        )
+        assert len(cfg.blocks) == 1
+        (block,) = cfg.blocks.values()
+        assert block.start == cfg.entry
+        assert len(block) == 3
+        assert block.successors == []
+
+    def test_halt_has_no_successors(self):
+        cfg = cfg_of("start: halt")
+        assert cfg.successors[cfg.entry] == ()
+
+    def test_trap_has_no_successors(self):
+        cfg = cfg_of(
+            """
+            start: trap 3
+                   nop
+            """
+        )
+        assert cfg.successors[cfg.entry] == ()
+        # The word after a trap is only reachable via an explicit edge.
+        assert cfg.entry + 1 not in cfg.reachable
+
+
+class TestBranchesAndJumps:
+    def test_conditional_branch_has_two_successors(self):
+        cfg = cfg_of(
+            """
+            start: cmpi r1, 0
+                   beq done
+                   addi r1, r1, 1
+            done:  halt
+            """
+        )
+        branch = cfg.entry + 1
+        assert set(cfg.successors[branch]) == {cfg.entry + 2, cfg.entry + 3}
+
+    def test_unconditional_jump_single_successor(self):
+        cfg = cfg_of(
+            """
+            start: jmp done
+                   ldi r1, 1
+            done:  halt
+            """
+        )
+        assert cfg.successors[cfg.entry] == (cfg.entry + 2,)
+        assert cfg.entry + 1 not in cfg.reachable
+
+    def test_loop_block_structure(self):
+        cfg = cfg_of(
+            """
+            start: ldi r1, 0
+            loop:  addi r1, r1, 1
+                   cmpi r1, 5
+                   blt loop
+                   halt
+            """
+        )
+        loop = cfg.entry + 1
+        assert loop in cfg.blocks
+        back = cfg.blocks[loop]
+        assert loop in cfg.blocks[back.successors[0]].addresses or (
+            loop in back.successors
+        )
+
+
+class TestCallsAndReturns:
+    TEXT = """
+    start: call func
+           ldi r2, 2
+           halt
+    func:  ldi r1, 1
+           ret
+    """
+
+    def test_call_edges(self):
+        cfg = cfg_of(self.TEXT)
+        call = cfg.entry
+        func = cfg.entry + 3
+        assert set(cfg.successors[call]) == {call + 1, func}
+
+    def test_ret_targets_call_return_sites(self):
+        cfg = cfg_of(self.TEXT)
+        ret = cfg.entry + 4
+        assert cfg.successors[ret] == (cfg.entry + 1,)
+        assert not cfg.has_unresolved_indirect
+
+    def test_ret_with_tampered_lr_is_unresolved(self):
+        cfg = cfg_of(
+            """
+            start: call func
+                   halt
+            func:  ldi r15, 0x105
+                   ret
+            nowhere: halt
+            """
+        )
+        ret = cfg.entry + 3
+        # A non-CALL write of the link register makes RET unconstrained:
+        # every code address is a potential successor.
+        assert cfg.has_unresolved_indirect
+        assert set(cfg.successors[ret]) == set(cfg.defuse)
+
+    def test_jr_is_unresolved_indirect(self):
+        cfg = cfg_of(
+            """
+            start: ldi r1, 0x102
+                   jr r1
+                   halt
+            """
+        )
+        assert cfg.has_unresolved_indirect
+        assert set(cfg.successors[cfg.entry + 1]) == set(cfg.defuse)
+        # Conservatively everything is reachable through the indirect.
+        assert cfg.reachable == frozenset(cfg.defuse)
+
+
+class TestReachability:
+    def test_unreachable_code_detected(self):
+        cfg = cfg_of(
+            """
+            start: ldi r1, 1
+                   halt
+            stray: addi r1, r1, 1
+                   halt
+            """
+        )
+        assert cfg.unreachable_addresses() == [cfg.entry + 2, cfg.entry + 3]
+        blocks = cfg.unreachable_blocks()
+        assert len(blocks) == 1
+        assert blocks[0].start == cfg.entry + 2
+
+    def test_fully_reachable_program(self):
+        cfg = cfg_of(
+            """
+            start: cmpi r1, 0
+                   beq done
+                   addi r1, r1, 1
+            done:  halt
+            """
+        )
+        assert cfg.unreachable_blocks() == []
+        assert cfg.reachable == frozenset(cfg.defuse)
+
+    def test_block_of(self):
+        cfg = cfg_of(
+            """
+            start: ldi r1, 1
+                   halt
+            """
+        )
+        block = cfg.block_of(cfg.entry + 1)
+        assert block is not None and cfg.entry + 1 in block.addresses
+        assert cfg.block_of(0xDEAD) is None
+
+
+class TestRender:
+    def test_render_mentions_blocks_and_entry(self):
+        cfg = cfg_of(
+            """
+            start: ldi r1, 1
+                   halt
+            stray: halt
+            """
+        )
+        text = cfg.render()
+        assert f"entry: {cfg.entry:#06x}" in text
+        assert "[unreachable]" in text
+        assert "ldi r1, 1" in text

@@ -1,0 +1,144 @@
+"""Unit tests for def/use extraction and reaching definitions."""
+
+from repro.staticanalysis.defuse import (
+    ReachingDefinitions,
+    instruction_defuse,
+    program_defuse,
+)
+from repro.staticanalysis.cfg import build_cfg
+from repro.thor import isa
+from repro.thor.assembler import assemble
+from repro.thor.isa import Instruction, Opcode
+
+
+class TestInstructionDefUse:
+    def test_alu_r3(self):
+        fact = instruction_defuse(
+            0x100, Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        )
+        assert fact.uses == frozenset({2, 3})
+        assert fact.defs == frozenset({1})
+        assert fact.writes_flags and not fact.reads_flags
+        assert fact.flow == isa.FLOW_NEXT
+
+    def test_load_and_store_memory_classes(self):
+        load = instruction_defuse(0, Instruction(Opcode.LD, rd=1, rs1=2))
+        store = instruction_defuse(0, Instruction(Opcode.ST, rd=1, rs1=2))
+        assert load.is_memory_read and not load.is_memory_write
+        assert store.is_memory_write and not store.is_memory_read
+        # A store *reads* both the address base and the stored register.
+        assert store.uses == frozenset({1, 2})
+        assert store.defs == frozenset()
+
+    def test_stack_ops_use_stack_pointer(self):
+        push = instruction_defuse(0, Instruction(Opcode.PUSH, rd=3))
+        pop = instruction_defuse(0, Instruction(Opcode.POP, rd=3))
+        assert isa.REG_SP in push.uses and isa.REG_SP in push.defs
+        assert 3 in push.uses
+        assert isa.REG_SP in pop.uses and {3, isa.REG_SP} <= pop.defs
+
+    def test_call_defines_link_register(self):
+        call = instruction_defuse(0, Instruction(Opcode.CALL, imm=0x200))
+        ret = instruction_defuse(0, Instruction(Opcode.RET))
+        assert call.defs == frozenset({isa.REG_LR})
+        assert call.flow == isa.FLOW_CALL
+        assert ret.uses == frozenset({isa.REG_LR})
+        assert ret.flow == isa.FLOW_RETURN
+
+    def test_branch_reads_flags(self):
+        cmp = instruction_defuse(0, Instruction(Opcode.CMP, rs1=1, rs2=2))
+        beq = instruction_defuse(0, Instruction(Opcode.BEQ, imm=3))
+        assert cmp.writes_flags and not cmp.reads_flags
+        assert beq.reads_flags and not beq.writes_flags
+        assert beq.flow == isa.FLOW_BRANCH
+
+
+class TestProgramDefUse:
+    def test_skips_data_words(self):
+        program = assemble(
+            """
+            start: ldi r1, 5
+                   halt
+            value: .word 0x1234
+            """
+        )
+        facts = program_defuse(program)
+        assert set(facts) == set(program.code_addresses())
+        assert program.symbols["value"] not in facts
+
+    def test_every_code_word_covered(self):
+        program = assemble(
+            """
+            loop: addi r1, r1, 1
+                  cmpi r1, 10
+                  blt loop
+                  halt
+            """
+        )
+        facts = program_defuse(program)
+        assert len(facts) == 4
+
+
+class TestReachingDefinitions:
+    def _solve(self, text):
+        program = assemble(text)
+        cfg = build_cfg(program)
+        return program, cfg, ReachingDefinitions(
+            cfg.defuse, cfg.successors, cfg.entry
+        )
+
+    def test_definition_reaches_use(self):
+        program, cfg, rd = self._solve(
+            """
+            start: ldi r1, 5
+                   addi r2, r1, 1
+                   halt
+            """
+        )
+        entry = program.entry
+        assert rd.definitions_reaching(entry + 1, 1) == [entry]
+
+    def test_killed_definition_does_not_reach(self):
+        program, cfg, rd = self._solve(
+            """
+            start: ldi r1, 5
+                   ldi r1, 6
+                   addi r2, r1, 1
+                   halt
+            """
+        )
+        entry = program.entry
+        # Only the second definition of r1 reaches the use.
+        assert rd.definitions_reaching(entry + 2, 1) == [entry + 1]
+
+    def test_dead_definitions_found(self):
+        program, cfg, rd = self._solve(
+            """
+            start: ldi r1, 5
+                   ldi r1, 6
+                   addi r2, r1, 1
+                   halt
+            """
+        )
+        entry = program.entry
+        dead = rd.dead_definitions(reachable=cfg.reachable)
+        # The first ldi r1 is overwritten unread; r2 is never read.
+        assert (entry, 1) in dead
+        assert (entry + 2, 2) in dead
+        assert (entry + 1, 1) not in dead
+
+    def test_loop_carried_definition_reaches(self):
+        program, cfg, rd = self._solve(
+            """
+            start: ldi r1, 0
+            loop:  addi r1, r1, 1
+                   cmpi r1, 3
+                   blt loop
+                   halt
+            """
+        )
+        loop = program.symbols["loop"]
+        # Both the init and the loop-carried increment reach the add.
+        assert rd.definitions_reaching(loop, 1) == sorted(
+            [program.entry, loop]
+        )

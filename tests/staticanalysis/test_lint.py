@@ -1,0 +1,160 @@
+"""Unit tests for the campaign lint pass."""
+
+import pytest
+
+from repro.core.campaign import CampaignData
+from repro.core.framework import create_target, setup_campaign
+from repro.core.locations import LocationCell, LocationSpace
+from repro.core.triggers import TriggerSpec
+from repro.staticanalysis.lint import lint_campaign, lint_errors
+from repro.util.errors import CampaignError
+
+from tests.conftest import make_campaign
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+def lint_on_thor(campaign, reference_duration=None):
+    target = create_target("thor-rd")
+    target.read_campaign_data(campaign)
+    return lint_campaign(
+        campaign,
+        target.location_space(),
+        program=target.workload_program(),
+        reference_duration=reference_duration,
+    )
+
+
+class TestPatternChecks:
+    def test_zero_match_pattern_is_error(self):
+        campaign = make_campaign(
+            location_patterns=[
+                "scan:internal/cpu.regfile.*",
+                "scan:internal/cpu.bogus_unit.*",
+            ]
+        )
+        findings = lint_on_thor(campaign)
+        assert "zero-match-pattern" in rules(findings)
+        assert any(
+            f.severity == "error" and "bogus_unit" in f.message
+            for f in findings
+        )
+
+    def test_read_only_pattern_is_error(self):
+        space = LocationSpace(
+            [
+                LocationCell("scan:internal", "cpu.status", 8, read_only=True),
+                LocationCell("scan:internal", "cpu.regfile.r1", 32),
+            ]
+        )
+        campaign = make_campaign(
+            location_patterns=["scan:internal/cpu.status"]
+        )
+        findings = lint_campaign(campaign, space)
+        assert "read-only-pattern" in rules(findings)
+
+    def test_clean_campaign_has_no_errors(self):
+        findings = lint_on_thor(make_campaign())
+        assert lint_errors(findings) == []
+
+
+class TestTriggerChecks:
+    def test_trigger_beyond_reference_duration(self):
+        campaign = make_campaign(
+            trigger=TriggerSpec(kind="time-fixed", time=5000)
+        )
+        findings = lint_on_thor(campaign, reference_duration=100)
+        assert "injection-window" in rules(lint_errors(findings))
+
+    def test_nonpositive_fixed_trigger(self):
+        campaign = make_campaign(
+            trigger=TriggerSpec(kind="time-fixed", time=0)
+        )
+        findings = lint_on_thor(campaign)
+        assert "injection-window" in rules(lint_errors(findings))
+
+    def test_clock_period_beyond_duration(self):
+        campaign = make_campaign(
+            trigger=TriggerSpec(kind="clock", period=10_000)
+        )
+        findings = lint_on_thor(campaign, reference_duration=100)
+        assert "injection-window" in rules(lint_errors(findings))
+
+    def test_timeout_too_tight_warns(self):
+        campaign = make_campaign(timeout_cycles=50)
+        findings = lint_on_thor(campaign, reference_duration=100)
+        tight = [f for f in findings if f.rule == "timeout-too-tight"]
+        assert tight and tight[0].severity == "warning"
+
+
+class TestStaticLivenessChecks:
+    def test_dead_register_warning(self):
+        campaign = make_campaign(workload_name="vecsum")
+        findings = lint_on_thor(campaign)
+        dead = [f for f in findings if f.rule == "dead-register"]
+        assert dead and all(f.severity == "warning" for f in dead)
+        # vecsum never reads r9.
+        assert any("r9" in f.message for f in dead)
+
+    def test_only_dead_registers_is_error(self):
+        campaign = make_campaign(
+            workload_name="vecsum",
+            location_patterns=["scan:internal/cpu.regfile.r9"],
+        )
+        findings = lint_on_thor(campaign)
+        assert "no-live-location" in rules(lint_errors(findings))
+
+    def test_dead_store_info(self):
+        findings = lint_on_thor(make_campaign(workload_name="vecsum"))
+        stores = [f for f in findings if f.rule == "dead-store"]
+        assert stores and stores[0].severity == "info"
+
+    def test_no_static_checks_without_program(self):
+        target = create_target("thor-rd")
+        campaign = make_campaign()
+        target.read_campaign_data(campaign)
+        findings = lint_campaign(campaign, target.location_space())
+        assert "dead-register" not in rules(findings)
+
+
+class TestSetupCampaign:
+    def test_strict_setup_rejects_broken_campaign(self):
+        # One good pattern so binding succeeds; the zero-match pattern
+        # must still be rejected by the lint gate.
+        campaign = make_campaign(
+            location_patterns=[
+                "scan:internal/cpu.regfile.*",
+                "scan:internal/cpu.nothing.*",
+            ]
+        )
+        with pytest.raises(CampaignError):
+            setup_campaign(create_target("thor-rd"), campaign)
+
+    def test_non_strict_setup_returns_findings(self):
+        campaign = make_campaign(
+            workload_name="vecsum",
+            location_patterns=["scan:internal/cpu.regfile.r9"],
+        )
+        findings = setup_campaign(
+            create_target("thor-rd"), campaign, strict=False
+        )
+        assert lint_errors(findings)
+
+    def test_clean_campaign_passes_strict_setup(self):
+        findings = setup_campaign(create_target("thor-rd"), make_campaign())
+        assert lint_errors(findings) == []
+
+    def test_finding_str_format(self):
+        campaign = make_campaign(
+            location_patterns=[
+                "scan:internal/cpu.regfile.*",
+                "scan:internal/cpu.nothing.*",
+            ]
+        )
+        findings = setup_campaign(
+            create_target("thor-rd"), campaign, strict=False
+        )
+        text = str(lint_errors(findings)[0])
+        assert text.startswith("[error] zero-match-pattern:")

@@ -1,0 +1,124 @@
+"""Unit tests for the backward liveness dataflow analysis."""
+
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.liveness import FLAGS, compute_liveness
+from repro.thor.assembler import assemble
+
+
+def liveness_of(text):
+    cfg = build_cfg(assemble(text))
+    return cfg, compute_liveness(cfg)
+
+
+class TestStraightLine:
+    def test_read_register_is_live(self):
+        cfg, result = liveness_of(
+            """
+            start: ldi r1, 5
+                   addi r2, r1, 1
+                   st r2, [r3+0]
+                   halt
+            """
+        )
+        assert {1, 2, 3} <= set(result.ever_live_registers)
+
+    def test_unread_register_is_dead(self):
+        cfg, result = liveness_of(
+            """
+            start: ldi r1, 5
+                   ldi r2, 6
+                   halt
+            """
+        )
+        assert result.ever_live_registers == frozenset()
+        assert result.dead_registers() == frozenset(range(16))
+
+    def test_live_at_program_points(self):
+        cfg, result = liveness_of(
+            """
+            start: ldi r1, 5
+                   addi r2, r1, 1
+                   halt
+            """
+        )
+        # r1 is live *into* the add (about to be read) ...
+        assert 1 in result.live_at(cfg.entry + 1)
+        # ... but not into the ldi that defines it.
+        assert 1 not in result.live_at(cfg.entry)
+        # Non-code addresses have an empty live set.
+        assert result.live_at(0xDEAD) == frozenset()
+
+
+class TestFlags:
+    def test_flags_live_when_branch_reads_them(self):
+        cfg, result = liveness_of(
+            """
+            start: cmpi r1, 0
+                   beq done
+                   nop
+            done:  halt
+            """
+        )
+        assert result.flags_ever_live
+        assert FLAGS in result.live_at(cfg.entry + 1)
+
+    def test_flags_dead_without_reader(self):
+        cfg, result = liveness_of(
+            """
+            start: cmpi r1, 0
+                   halt
+            """
+        )
+        assert not result.flags_ever_live
+
+    def test_flags_not_reported_as_register(self):
+        cfg, result = liveness_of(
+            """
+            start: cmpi r1, 0
+                   beq done
+            done:  halt
+            """
+        )
+        assert FLAGS not in result.ever_live_registers
+
+
+class TestLoops:
+    def test_loop_carried_register_live_around_backedge(self):
+        cfg, result = liveness_of(
+            """
+            start: ldi r1, 0
+            loop:  addi r1, r1, 1
+                   cmpi r1, 5
+                   blt loop
+                   halt
+            """
+        )
+        loop = cfg.entry + 1
+        assert 1 in result.live_at(loop)
+        # Live-out of the branch includes r1 (the backedge reads it).
+        assert 1 in result.live_out[cfg.entry + 3]
+
+    def test_fixpoint_terminates_on_infinite_loop(self):
+        cfg, result = liveness_of(
+            """
+            loop: addi r1, r1, 1
+                  jmp loop
+            """
+        )
+        assert 1 in result.ever_live_registers
+
+
+class TestUnreachableCode:
+    def test_unreachable_reads_do_not_pollute_summary(self):
+        cfg, result = liveness_of(
+            """
+            start: ldi r1, 5
+                   halt
+            stray: addi r2, r9, 1
+                   halt
+            """
+        )
+        # r9 is only read by unreachable code; ever_live unions over
+        # *reachable* points only.
+        assert 9 not in result.ever_live_registers
+        assert 9 in result.dead_registers()

@@ -1,0 +1,47 @@
+"""Lint/type gate for the static-analysis subsystem.
+
+Runs ``ruff check`` and ``mypy`` over the strictly-checked scope
+configured in pyproject.toml (``src/repro/staticanalysis/`` plus
+``src/repro/core/preinjection.py``). Both tools are optional
+dependencies: when they are not installed the corresponding test is
+skipped, so the tier-1 suite stays runnable in minimal environments.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_PATHS = [
+    "src/repro/staticanalysis",
+    "src/repro/core/preinjection.py",
+    "src/repro/util/sampling.py",
+]
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def _run(args):
+    return subprocess.run(
+        [sys.executable, "-m", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff is not installed")
+def test_ruff_clean():
+    proc = _run(["ruff", "check", *CHECKED_PATHS])
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy is not installed")
+def test_mypy_clean():
+    proc = _run(["mypy", *CHECKED_PATHS])
+    assert proc.returncode == 0, f"mypy findings:\n{proc.stdout}{proc.stderr}"

@@ -1,0 +1,51 @@
+"""Unit tests for deterministic cartesian-product sampling."""
+
+import pytest
+
+from repro.util.sampling import iter_pairs, pair_count
+
+
+class TestPairCount:
+    def test_uncapped(self):
+        assert pair_count([1, 2, 3], "ab") == 6
+
+    def test_capped(self):
+        assert pair_count([1, 2, 3], "ab", max_samples=4) == 4
+
+    def test_cap_larger_than_product(self):
+        assert pair_count([1, 2], "ab", max_samples=100) == 4
+
+    def test_empty(self):
+        assert pair_count([], "ab") == 0
+        assert pair_count([], "ab", max_samples=5) == 0
+
+
+class TestIterPairs:
+    def test_full_enumeration(self):
+        pairs = list(iter_pairs([1, 2], "ab"))
+        assert pairs == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_sample_size_matches_pair_count(self):
+        left, right = list(range(40)), list(range(40))
+        pairs = list(iter_pairs(left, right, max_samples=17))
+        assert len(pairs) == pair_count(left, right, 17) == 17
+
+    def test_sample_is_deterministic(self):
+        left, right = list(range(40)), list(range(40))
+        a = list(iter_pairs(left, right, max_samples=17))
+        b = list(iter_pairs(left, right, max_samples=17))
+        assert a == b
+
+    def test_sampled_pairs_are_distinct_and_valid(self):
+        left, right = list(range(25)), list(range(25))
+        pairs = list(iter_pairs(left, right, max_samples=100))
+        assert len(set(pairs)) == 100
+        assert all(a in left and b in right for a, b in pairs)
+
+    def test_empty_product(self):
+        assert list(iter_pairs([], [1, 2])) == []
+        assert list(iter_pairs([1], [], max_samples=5)) == []
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_pairs([1], [2], max_samples=0))
