@@ -6,11 +6,29 @@ result of the paper (see DESIGN.md's experiment index) and asserts the
 absolute numbers.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.analysis import classify_campaign
 from repro.analysis.report import render_campaign_report, render_comparison
 from repro.core import CampaignData, create_target
+
+#: Machine-readable benchmark results land next to the repo root as
+#: ``BENCH_<name>.json`` so campaign drivers can diff runs over time.
+BENCH_OUTPUT_DIR = pathlib.Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name, payload):
+    """Write one benchmark's result dictionary to ``BENCH_<name>.json``.
+
+    Returns the path written. Payloads must be JSON-serialisable; keep
+    them small (headline numbers, not raw samples).
+    """
+    path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_campaign(**kwargs):

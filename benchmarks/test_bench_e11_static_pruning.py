@@ -20,6 +20,7 @@ Shapes asserted:
 
 import time
 
+from benchmarks.conftest import write_bench_json
 from repro.analysis.faultspace import effective_fault_space
 from repro.core import CampaignData, create_target
 from repro.core.preinjection import PreInjectionAnalysis
@@ -119,3 +120,19 @@ def test_bench_e11_static_pruning(benchmark):
     )
     # Trace-free analysis costs a fraction of a reference run.
     assert static_seconds < dynamic_seconds
+
+    write_bench_json(
+        "e11_static_pruning",
+        {
+            "workload": WORKLOAD,
+            "pruning_ratio": {
+                name: pruned.pruning_ratio for name, pruned in spaces.items()
+            },
+            "live_fraction": {
+                name: pruned.live_fraction for name, pruned in spaces.items()
+            },
+            "static_build_seconds": static_seconds,
+            "dynamic_build_seconds": dynamic_seconds,
+            "dead_registers": sorted(static.dead_registers),
+        },
+    )

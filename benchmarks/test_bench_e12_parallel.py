@@ -1,0 +1,142 @@
+"""E12 — parallel campaign execution (serial vs N-worker wall time).
+
+Regenerates: the companion scaling study for the sharded multiprocessing
+campaign runner (``repro.core.parallel``). One SWIFI pre-runtime
+campaign is executed twice — serially through the classic
+``run_campaign`` path and in parallel through ``run_parallel_campaign``
+with ``E12_WORKERS`` workers (default 4) — against file-backed GOOFI
+databases, and the logged ``LoggedSystemState`` experiment rows are
+compared byte-for-byte (modulo the wall-clock field).
+
+Shapes asserted:
+
+* the parallel run logs *exactly* the rows the serial run logs — the
+  per-experiment RNG substream contract makes sharding invisible;
+* every experiment terminates (none dropped by the pool plumbing);
+* on hosts with >= 2 usable cores, 4 workers deliver >= 2x wall-clock
+  speedup (the paper-style acceptance number; skipped on single-core
+  CI boxes where the pool can only interleave).
+
+Environment knobs:
+
+* ``E12_FULL=1``      run the full 1000-experiment acceptance campaign
+                      (default 200 to keep the suite quick);
+* ``E12_WORKERS=N``   worker count for the parallel leg (default 4).
+
+Emits ``BENCH_e12_parallel.json`` next to the repo root.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import write_bench_json
+from repro.core import CampaignData, create_target, worker_factory
+from repro.core.parallel import (
+    ParallelConfig,
+    canonical_experiment_rows,
+    run_parallel_campaign,
+)
+from repro.db import GoofiDatabase
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the parallel benchmark needs the fork start method",
+)
+
+N_EXPERIMENTS = 1000 if os.environ.get("E12_FULL") == "1" else 200
+N_WORKERS = int(os.environ.get("E12_WORKERS", "4"))
+
+
+def _usable_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _make_campaign():
+    return CampaignData(
+        campaign_name="e12-parallel-swifi",
+        target_name="thor-rd",
+        technique="swifi-pre",
+        workload_name="vecsum",
+        location_patterns=["memory:data/*"],
+        n_experiments=N_EXPERIMENTS,
+        seed=1212,
+    )
+
+
+def test_bench_e12_parallel(benchmark, tmp_path):
+    campaign = _make_campaign()
+
+    def body():
+        serial_db = GoofiDatabase(str(tmp_path / "serial.db"))
+        t0 = time.perf_counter()
+        create_target(campaign.target_name).run_campaign(
+            campaign, sink=serial_db
+        )
+        serial_seconds = time.perf_counter() - t0
+
+        parallel_db = GoofiDatabase(str(tmp_path / "parallel.db"))
+        t0 = time.perf_counter()
+        run_parallel_campaign(
+            campaign,
+            worker_factory(campaign.target_name),
+            sink=parallel_db,
+            config=ParallelConfig(
+                n_workers=N_WORKERS, start_method="fork"
+            ),
+        )
+        parallel_seconds = time.perf_counter() - t0
+
+        serial_rows = canonical_experiment_rows(
+            serial_db, campaign.campaign_name
+        )
+        parallel_rows = canonical_experiment_rows(
+            parallel_db, campaign.campaign_name
+        )
+        serial_db.close()
+        parallel_db.close()
+        return serial_rows, parallel_rows, serial_seconds, parallel_seconds
+
+    serial_rows, parallel_rows, serial_seconds, parallel_seconds = (
+        benchmark.pedantic(body, rounds=1, iterations=1)
+    )
+
+    cores = _usable_cores()
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print()
+    print(
+        f"E12: serial vs {N_WORKERS}-worker parallel SWIFI campaign "
+        f"({N_EXPERIMENTS} experiments, {cores} usable core(s))"
+    )
+    print(f"  serial:   {serial_seconds:8.3f} s")
+    print(f"  parallel: {parallel_seconds:8.3f} s   speedup {speedup:.2f}x")
+
+    write_bench_json(
+        "e12_parallel",
+        {
+            "n_experiments": N_EXPERIMENTS,
+            "n_workers": N_WORKERS,
+            "usable_cores": cores,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "rows_identical": serial_rows == parallel_rows,
+        },
+    )
+
+    # Byte-identical logged rows: the acceptance criterion proper.
+    assert len(serial_rows) == N_EXPERIMENTS
+    assert serial_rows == parallel_rows
+
+    # Wall-clock acceptance number, only meaningful with real cores to
+    # spread over; single-core CI boxes can merely interleave.
+    if cores >= 2 and N_WORKERS >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {N_WORKERS} workers on {cores} "
+            f"cores, measured {speedup:.2f}x"
+        )

@@ -19,8 +19,14 @@ from repro.core.framework import (
     available_techniques,
     create_target,
     register_target,
+    worker_factory,
 )
 from repro.core.locations import FaultLocation, LocationCell, LocationSpace
+from repro.core.parallel import (
+    ParallelCampaignController,
+    ParallelConfig,
+    run_parallel_campaign,
+)
 
 __all__ = [
     "FaultInjectionAlgorithms",
@@ -36,6 +42,10 @@ __all__ = [
     "available_techniques",
     "create_target",
     "register_target",
+    "worker_factory",
+    "ParallelCampaignController",
+    "ParallelConfig",
+    "run_parallel_campaign",
     "FaultLocation",
     "LocationCell",
     "LocationSpace",

@@ -373,36 +373,145 @@ class FaultInjectionAlgorithms(abc.ABC):
 
     # ------------------------------------------------------------------
     # Concrete fault-injection algorithms (the Figure 2 compositions)
+    #
+    # Each technique's per-experiment procedure is a *reentrant* method
+    # (``_experiment_<technique>``): it touches only the target state that
+    # ``init_test_card`` resets, so any number of experiments can be run
+    # in any order — serially by ``_campaign_loop``, one-off by
+    # ``run_single_experiment``, or sharded over worker processes by
+    # :mod:`repro.core.parallel`.
     # ------------------------------------------------------------------
+
+    #: technique name -> bound per-experiment procedure name (the
+    #: counterpart of TECHNIQUE_METHODS for a single experiment).
+    TECHNIQUE_EXPERIMENTS = {
+        "scifi": "_experiment_scifi",
+        "swifi-pre": "_experiment_swifi_pre",
+        "swifi-runtime": "_experiment_swifi_runtime",
+        "simfi": "_experiment_simfi",
+        "pinlevel": "_experiment_pinlevel",
+    }
+
+    def _experiment_scifi(self, index: int, plan: InjectionPlan) -> ExperimentResult:
+        """One SCIFI experiment — the inner procedure of Figure 2."""
+        campaign = self._require_campaign()
+        result = self._new_result(index)
+        self.init_test_card()
+        self.load_workload()
+        self.write_memory()
+        self._apply_detail_mode()
+        self.run_workload()
+        termination: Optional[Termination] = None
+        for action in plan.sorted_actions():
+            termination = self.wait_for_breakpoint(action.time)
+            if termination is not None:
+                break
+            chains = self.read_scan_chain()
+            result.injections.extend(self.inject_fault(chains, action))
+            self.write_scan_chain(chains)
+        if termination is None:
+            termination = self.wait_for_termination(
+                self._experiment_budget(), campaign.max_iterations
+            )
+        self._finish(result, termination)
+        return result
+
+    def _experiment_swifi_pre(
+        self, index: int, plan: InjectionPlan
+    ) -> ExperimentResult:
+        """One pre-runtime SWIFI experiment: faults are injected into the
+        program and data areas of the target before it starts to execute."""
+        campaign = self._require_campaign()
+        result = self._new_result(index)
+        self.init_test_card()
+        self.load_workload()
+        self.write_memory()
+        # Inject after the full image (program + input data) is down
+        # loaded — "before it starts to execute", not before download.
+        for action in plan.sorted_actions():
+            result.injections.extend(self.inject_fault_preruntime(action))
+        self._apply_detail_mode()
+        self.run_workload()
+        termination = self.wait_for_termination(
+            self._experiment_budget(), campaign.max_iterations
+        )
+        self._finish(result, termination)
+        return result
+
+    def _experiment_swifi_runtime(
+        self, index: int, plan: InjectionPlan
+    ) -> ExperimentResult:
+        """One runtime SWIFI experiment (Section 4 extension): the workload
+        is instrumented with additional software for injecting faults."""
+        campaign = self._require_campaign()
+        result = self._new_result(index)
+        self.init_test_card()
+        self.load_workload()
+        self.write_memory()
+        self.instrument_workload(plan)
+        self._apply_detail_mode()
+        self.run_workload()
+        termination = self.wait_for_termination(
+            self._experiment_budget(), campaign.max_iterations
+        )
+        result.injections.extend(self.collect_runtime_injections())
+        self._finish(result, termination)
+        return result
+
+    def _experiment_simfi(self, index: int, plan: InjectionPlan) -> ExperimentResult:
+        """One simulation-based FI experiment (MEFISTO-style baseline):
+        direct state access, no scan-chain serialization."""
+        campaign = self._require_campaign()
+        result = self._new_result(index)
+        self.init_test_card()
+        self.load_workload()
+        self.write_memory()
+        self._apply_detail_mode()
+        self.run_workload()
+        termination: Optional[Termination] = None
+        for action in plan.sorted_actions():
+            termination = self.wait_for_breakpoint(action.time)
+            if termination is not None:
+                break
+            result.injections.extend(self.inject_fault_direct(action))
+        if termination is None:
+            termination = self.wait_for_termination(
+                self._experiment_budget(), campaign.max_iterations
+            )
+        self._finish(result, termination)
+        return result
+
+    def _experiment_pinlevel(
+        self, index: int, plan: InjectionPlan
+    ) -> ExperimentResult:
+        """One pin-level experiment through boundary scan: stop at the
+        injection instant, arm EXTEST forcing of the selected bus lines,
+        resume — the forced lines corrupt the next read transactions."""
+        campaign = self._require_campaign()
+        result = self._new_result(index)
+        self.init_test_card()
+        self.load_workload()
+        self.write_memory()
+        self._apply_detail_mode()
+        self.run_workload()
+        termination: Optional[Termination] = None
+        for action in plan.sorted_actions():
+            termination = self.wait_for_breakpoint(action.time)
+            if termination is not None:
+                break
+            result.injections.extend(self.force_pins(action))
+        if termination is None:
+            termination = self.wait_for_termination(
+                self._experiment_budget(), campaign.max_iterations
+            )
+        self._finish(result, termination)
+        return result
 
     def fault_injector_scifi(self, campaign, sink=None, control=None,
                              _fixed_plans=None, skip_indices=None):
         """Scan-Chain Implemented Fault Injection — the algorithm of
         Figure 2, step for step."""
-
-        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
-            result = self._new_result(index)
-            self.init_test_card()
-            self.load_workload()
-            self.write_memory()
-            self._apply_detail_mode()
-            self.run_workload()
-            termination: Optional[Termination] = None
-            for action in plan.sorted_actions():
-                termination = self.wait_for_breakpoint(action.time)
-                if termination is not None:
-                    break
-                chains = self.read_scan_chain()
-                result.injections.extend(self.inject_fault(chains, action))
-                self.write_scan_chain(chains)
-            if termination is None:
-                termination = self.wait_for_termination(
-                    self._experiment_budget(), campaign.max_iterations
-                )
-            self._finish(result, termination)
-            return result
-
-        return self._campaign_loop(campaign, experiment, sink, control,
+        return self._campaign_loop(campaign, sink, control,
                                    _fixed_plans=_fixed_plans,
                                    skip_indices=skip_indices)
 
@@ -410,25 +519,7 @@ class FaultInjectionAlgorithms(abc.ABC):
                                  _fixed_plans=None, skip_indices=None):
         """Pre-runtime SWIFI: faults are injected into the program and
         data areas of the target before it starts to execute."""
-
-        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
-            result = self._new_result(index)
-            self.init_test_card()
-            self.load_workload()
-            self.write_memory()
-            # Inject after the full image (program + input data) is down
-            # loaded — "before it starts to execute", not before download.
-            for action in plan.sorted_actions():
-                result.injections.extend(self.inject_fault_preruntime(action))
-            self._apply_detail_mode()
-            self.run_workload()
-            termination = self.wait_for_termination(
-                self._experiment_budget(), campaign.max_iterations
-            )
-            self._finish(result, termination)
-            return result
-
-        return self._campaign_loop(campaign, experiment, sink, control,
+        return self._campaign_loop(campaign, sink, control,
                                    _fixed_plans=_fixed_plans,
                                    skip_indices=skip_indices)
 
@@ -436,23 +527,7 @@ class FaultInjectionAlgorithms(abc.ABC):
                                      _fixed_plans=None, skip_indices=None):
         """Runtime SWIFI (Section 4 extension): the workload is
         instrumented with additional software for injecting faults."""
-
-        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
-            result = self._new_result(index)
-            self.init_test_card()
-            self.load_workload()
-            self.write_memory()
-            self.instrument_workload(plan)
-            self._apply_detail_mode()
-            self.run_workload()
-            termination = self.wait_for_termination(
-                self._experiment_budget(), campaign.max_iterations
-            )
-            result.injections.extend(self.collect_runtime_injections())
-            self._finish(result, termination)
-            return result
-
-        return self._campaign_loop(campaign, experiment, sink, control,
+        return self._campaign_loop(campaign, sink, control,
                                    _fixed_plans=_fixed_plans,
                                    skip_indices=skip_indices)
 
@@ -460,28 +535,7 @@ class FaultInjectionAlgorithms(abc.ABC):
                              _fixed_plans=None, skip_indices=None):
         """Simulation-based FI baseline (MEFISTO-style): direct state
         access, no scan-chain serialization."""
-
-        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
-            result = self._new_result(index)
-            self.init_test_card()
-            self.load_workload()
-            self.write_memory()
-            self._apply_detail_mode()
-            self.run_workload()
-            termination: Optional[Termination] = None
-            for action in plan.sorted_actions():
-                termination = self.wait_for_breakpoint(action.time)
-                if termination is not None:
-                    break
-                result.injections.extend(self.inject_fault_direct(action))
-            if termination is None:
-                termination = self.wait_for_termination(
-                    self._experiment_budget(), campaign.max_iterations
-                )
-            self._finish(result, termination)
-            return result
-
-        return self._campaign_loop(campaign, experiment, sink, control,
+        return self._campaign_loop(campaign, sink, control,
                                    _fixed_plans=_fixed_plans,
                                    skip_indices=skip_indices)
 
@@ -490,30 +544,57 @@ class FaultInjectionAlgorithms(abc.ABC):
         """Pin-level fault injection through boundary scan: stop at the
         injection instant, arm EXTEST forcing of the selected bus lines,
         resume — the forced lines corrupt the next read transactions."""
-
-        def experiment(index: int, plan: InjectionPlan) -> ExperimentResult:
-            result = self._new_result(index)
-            self.init_test_card()
-            self.load_workload()
-            self.write_memory()
-            self._apply_detail_mode()
-            self.run_workload()
-            termination: Optional[Termination] = None
-            for action in plan.sorted_actions():
-                termination = self.wait_for_breakpoint(action.time)
-                if termination is not None:
-                    break
-                result.injections.extend(self.force_pins(action))
-            if termination is None:
-                termination = self.wait_for_termination(
-                    self._experiment_budget(), campaign.max_iterations
-                )
-            self._finish(result, termination)
-            return result
-
-        return self._campaign_loop(campaign, experiment, sink, control,
+        return self._campaign_loop(campaign, sink, control,
                                    _fixed_plans=_fixed_plans,
                                    skip_indices=skip_indices)
+
+    # ------------------------------------------------------------------
+    # Reentrant single-experiment building block
+    # ------------------------------------------------------------------
+
+    def prepare_run(self, campaign) -> ReferenceRun:
+        """Bind ``campaign`` and perform the reference run — everything a
+        runner (serial loop, parallel worker, re-run helper) needs before
+        it can call :meth:`run_single_experiment`. Returns the reference
+        run (also retained on the instance for budget derivation)."""
+        self.read_campaign_data(campaign)
+        reference = self.make_reference_run()
+        self._reference = reference
+        return reference
+
+    def run_single_experiment(
+        self,
+        index: int,
+        plan: Optional[InjectionPlan] = None,
+        reference: Optional[ReferenceRun] = None,
+    ) -> ExperimentResult:
+        """Plan and execute exactly one experiment of the bound campaign.
+
+        This is the reentrant unit the campaign loop iterates and the
+        parallel runner ships to worker processes: given the same campaign
+        binding and reference run, experiment ``index`` produces the same
+        result no matter which process runs it or in which order, because
+        the injection plan is drawn from the index-keyed RNG substream and
+        the target is reinitialised by the experiment procedure itself.
+
+        ``plan`` overrides the sampled plan (the re-run mechanism);
+        ``reference`` defaults to the instance's retained reference run
+        from :meth:`prepare_run`."""
+        campaign = self._require_campaign()
+        if reference is None:
+            reference = getattr(self, "_reference", None)
+        if reference is None:
+            raise CampaignError(
+                "run_single_experiment needs a reference run; call "
+                "prepare_run() first or pass reference="
+            )
+        if plan is None:
+            plan = self.plan_experiment(index, reference)
+        procedure = getattr(self, self.TECHNIQUE_EXPERIMENTS[campaign.technique])
+        started = _time.perf_counter()
+        result = procedure(index, plan)
+        result.wall_seconds = _time.perf_counter() - started
+        return result
 
     def run_campaign(self, campaign, sink=None, control=None,
                      skip_indices=None):
@@ -655,15 +736,13 @@ class FaultInjectionAlgorithms(abc.ABC):
             result.detail_states = self.drain_detail_states()
             self.set_detail_logging(False)
 
-    def _campaign_loop(self, campaign, experiment_proc, sink, control,
+    def _campaign_loop(self, campaign, sink, control,
                        _fixed_plans: Optional[dict] = None,
                        skip_indices=None):
         sink = sink if sink is not None else _ListSink()
         control = control if control is not None else _NullControl()
         skip = frozenset(skip_indices or ())
-        self.read_campaign_data(campaign)
-        reference = self.make_reference_run()
-        self._reference = reference
+        reference = self.prepare_run(campaign)
         sink.log_reference(campaign, reference)
         for index in range(campaign.n_experiments):
             if index in skip:
@@ -672,13 +751,10 @@ class FaultInjectionAlgorithms(abc.ABC):
                 control.checkpoint(index)
             except StopCampaign:
                 break
-            if _fixed_plans is not None and index in _fixed_plans:
-                plan = _fixed_plans[index]
-            else:
-                plan = self.plan_experiment(index, reference)
-            started = _time.perf_counter()
-            result = experiment_proc(index, plan)
-            result.wall_seconds = _time.perf_counter() - started
+            plan = _fixed_plans.get(index) if _fixed_plans is not None else None
+            result = self.run_single_experiment(
+                index, plan=plan, reference=reference
+            )
             sink.log_experiment(campaign, result)
             control.report(index, result)
         return sink

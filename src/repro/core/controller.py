@@ -9,6 +9,18 @@ affordances: progress listeners receive a :class:`CampaignProgress`
 snapshot after every experiment, and :meth:`pause` / :meth:`resume` /
 :meth:`stop` work both from another thread and from inside a progress
 listener (cooperative, checked between experiments).
+
+Timing contract: ``elapsed_seconds`` counts *active* campaign time only —
+time spent paused is accumulated separately and subtracted, so
+``experiments_per_second`` reflects real throughput rather than how long
+the operator left the campaign paused.
+
+Execution is pluggable: :meth:`run` owns state transitions (including the
+``"failed"`` state when the algorithm raises) and resume bookkeeping,
+while the actual experiment loop lives in :meth:`_execute`. The serial
+controller delegates to the algorithm's campaign loop; the parallel
+controller in :mod:`repro.core.parallel` overrides ``_execute`` with a
+multiprocessing pool while inheriting every Figure-7 affordance.
 """
 
 from __future__ import annotations
@@ -36,6 +48,11 @@ class CampaignProgress:
     detections: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     state: str = "idle"
+    #: Number of worker processes executing experiments (1 = serial).
+    n_workers: int = 1
+    #: Experiments that exhausted their watchdog retries and were logged
+    #: with a ``worker-failure`` termination (parallel runner only).
+    n_worker_failures: int = 0
 
     @property
     def experiments_per_second(self) -> float:
@@ -56,7 +73,7 @@ ProgressListener = Callable[[CampaignProgress], None]
 class CampaignController:
     """Run a campaign with pause/restart/end control and progress events."""
 
-    def __init__(self, algorithm: FaultInjectionAlgorithms, sink=None):
+    def __init__(self, algorithm: Optional[FaultInjectionAlgorithms], sink=None):
         self.algorithm = algorithm
         self.sink = sink
         self.progress = CampaignProgress()
@@ -65,6 +82,7 @@ class CampaignController:
         self._resume_event.set()
         self._stop_requested = False
         self._started_at = 0.0
+        self._paused_seconds = 0.0
 
     # -- listeners -----------------------------------------------------------
 
@@ -82,6 +100,13 @@ class CampaignController:
         self.progress.state = "paused"
 
     def resume(self) -> None:
+        """Restart a paused campaign.
+
+        A no-op after :meth:`stop`: once the End button was pressed the
+        campaign is ending, and resuming must not flip the state back to
+        ``"running"`` (the stop still wins at the next checkpoint)."""
+        if self._stop_requested:
+            return
         self.progress.state = "running"
         self._resume_event.set()
 
@@ -93,21 +118,48 @@ class CampaignController:
     def paused(self) -> bool:
         return not self._resume_event.is_set()
 
+    # -- timing ------------------------------------------------------------------
+
+    def _elapsed(self) -> float:
+        """Active campaign time: wall time minus accumulated pause time."""
+        return time.perf_counter() - self._started_at - self._paused_seconds
+
+    def add_pause_time(self, seconds: float) -> None:
+        """Credit externally measured pause time (used by executors that
+        implement their own cooperative pause loop, e.g. the parallel
+        runner, so paused time never pollutes the throughput figure)."""
+        self._paused_seconds += max(0.0, seconds)
+
     # -- hooks called by the algorithm's campaign loop ----------------------------
 
     def checkpoint(self, index: int) -> None:
         if self._stop_requested:
             self.progress.state = "stopped"
             raise StopCampaign()
+        if self._resume_event.is_set():
+            return
         # Cooperative pause: wait in short slices so stop() still works.
-        while not self._resume_event.wait(timeout=0.05):
-            if self._stop_requested:
-                self.progress.state = "stopped"
-                raise StopCampaign()
+        # Whatever time is spent here is pause time, not campaign time.
+        pause_started = time.perf_counter()
+        try:
+            while not self._resume_event.wait(timeout=0.05):
+                if self._stop_requested:
+                    self.progress.state = "stopped"
+                    raise StopCampaign()
+        finally:
+            self._paused_seconds += time.perf_counter() - pause_started
 
     def report(self, index: int, result: ExperimentResult) -> None:
         progress = self.progress
         progress.n_done += 1
+        self._tally(progress, result)
+        progress.elapsed_seconds = self._elapsed()
+        self._notify()
+
+    @staticmethod
+    def _tally(progress: CampaignProgress, result: ExperimentResult) -> None:
+        """Fold one experiment's outcome into the running counters (shared
+        by live reporting and the resume-time rebuild from the sink)."""
         progress.n_injected_faults += len(result.injections)
         termination = result.termination
         if termination is not None:
@@ -118,8 +170,8 @@ class CampaignController:
                 progress.detections[termination.trap_name] = (
                     progress.detections.get(termination.trap_name, 0) + 1
                 )
-        progress.elapsed_seconds = time.perf_counter() - self._started_at
-        self._notify()
+            if termination.kind == "worker-failure":
+                progress.n_worker_failures += 1
 
     # -- campaign execution ---------------------------------------------------------
 
@@ -130,7 +182,14 @@ class CampaignController:
         already logged (the GOOFI database does), previously completed
         experiments are skipped — restarting an interrupted campaign
         picks up exactly where it stopped, injecting the same faults the
-        skipped indices would not have re-drawn."""
+        skipped indices would not have re-drawn. The progress counters
+        (injected faults, terminations, detections) are rebuilt from the
+        sink so post-resume breakdowns include the pre-interruption
+        experiments.
+
+        If the underlying algorithm raises, the controller transitions to
+        the ``"failed"`` state (never stuck in ``"running"``) and the
+        exception propagates; a later :meth:`run` is allowed again."""
         if self.progress.state == "running":
             raise CampaignError("controller is already running a campaign")
         skip_indices = None
@@ -148,24 +207,73 @@ class CampaignController:
             n_done=len(skip_indices or ()),
             state="running",
         )
+        if skip_indices:
+            self._rebuild_counters(campaign, skip_indices)
         self._stop_requested = False
         self._resume_event.set()
         self._started_at = time.perf_counter()
+        self._paused_seconds = 0.0
         self._notify()
-        sink = self.algorithm.run_campaign(
-            campaign, sink=self.sink, control=self, skip_indices=skip_indices
-        )
+        try:
+            sink = self._execute(campaign, skip_indices)
+        except Exception:
+            # Never leave the controller stuck in "running": a crashed
+            # campaign must not make every later run() raise "already
+            # running a campaign".
+            self.progress.state = "failed"
+            self.progress.elapsed_seconds = self._elapsed()
+            self._notify()
+            raise
         if self.progress.state != "stopped":
             self.progress.state = "finished"
-        self.progress.elapsed_seconds = time.perf_counter() - self._started_at
+        self.progress.elapsed_seconds = self._elapsed()
         self._notify()
         return sink
 
-    def run_in_thread(self, campaign: CampaignData) -> threading.Thread:
+    def _execute(self, campaign: CampaignData, skip_indices):
+        """Run the experiment loop; overridden by parallel executors."""
+        if self.algorithm is None:
+            raise CampaignError("controller has no algorithm to run")
+        return self.algorithm.run_campaign(
+            campaign, sink=self.sink, control=self, skip_indices=skip_indices
+        )
+
+    def _rebuild_counters(self, campaign: CampaignData, skip_indices) -> None:
+        """Rebuild fault/termination/detection counters from the sink's
+        already-logged experiments so a resumed campaign's breakdowns are
+        not silently reset to zero."""
+        results = self._logged_results(campaign)
+        if results is None:
+            return
+        for result in results:
+            if result.parent_experiment is not None:
+                continue  # re-runs are provenance children, not campaign rows
+            if result.index not in skip_indices:
+                continue
+            self._tally(self.progress, result)
+
+    def _logged_results(self, campaign: CampaignData):
+        sink = self.sink
+        if sink is None:
+            return None
+        if hasattr(sink, "load_experiments"):
+            return sink.load_experiments(campaign.campaign_name)
+        if hasattr(sink, "results"):
+            return sink.results
+        return None
+
+    def run_in_thread(
+        self, campaign: CampaignData, resume: bool = False
+    ) -> threading.Thread:
         """Start the campaign on a worker thread (the GUI mode of
-        operation); returns the thread, results flow into the sink."""
+        operation); returns the thread, results flow into the sink.
+        ``resume`` is forwarded to :meth:`run` so an interrupted GUI
+        campaign can be restarted without re-running logged experiments."""
         thread = threading.Thread(
-            target=self.run, args=(campaign,), name=f"campaign-{campaign.campaign_name}"
+            target=self.run,
+            args=(campaign,),
+            kwargs={"resume": resume},
+            name=f"campaign-{campaign.campaign_name}",
         )
         thread.start()
         return thread

@@ -217,6 +217,45 @@ def _ensure_builtin_targets() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Worker factory (parallel campaign execution)
+# ---------------------------------------------------------------------------
+
+class TargetFactory:
+    """Picklable recipe for constructing a target interface by registry
+    name — what the parallel campaign runner ships to worker processes so
+    each worker can build its *own* isolated Framework/simulator instance
+    (ports themselves hold live simulator state and are not picklable).
+
+    Works under both ``fork`` and ``spawn`` start methods: the factory
+    carries only the registry name and constructor kwargs, and target
+    registration happens lazily inside :func:`create_target` when the
+    worker first calls the factory."""
+
+    def __init__(self, target_name: str, **kwargs):
+        self.target_name = target_name
+        self.kwargs = dict(kwargs)
+
+    def __call__(self) -> Framework:
+        return create_target(self.target_name, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = "".join(f", {k}={v!r}" for k, v in sorted(self.kwargs.items()))
+        return f"TargetFactory({self.target_name!r}{extra})"
+
+
+def worker_factory(target_name: str, **kwargs) -> TargetFactory:
+    """A picklable zero-argument callable building a fresh port for
+    ``target_name`` — the ``factory`` argument of
+    :class:`repro.core.parallel.ParallelCampaignController` and
+    :func:`repro.core.parallel.run_parallel_campaign`."""
+    if target_name not in available_targets():
+        raise ConfigurationError(
+            f"unknown target {target_name!r}; available: {available_targets()}"
+        )
+    return TargetFactory(target_name, **kwargs)
+
+
+# ---------------------------------------------------------------------------
 # Port skeleton generation (the Figure 3 artefact)
 # ---------------------------------------------------------------------------
 

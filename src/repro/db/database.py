@@ -18,14 +18,35 @@ from repro.db.schema import DDL, SCHEMA_VERSION
 from repro.db.statevector import decode_state_payload, encode_state_payload
 from repro.util.errors import DatabaseError
 
+# Upsert for LoggedSystemState rows, shared by the single-row and the
+# batched (executemany) sink paths.
+_LOGGED_UPSERT = (
+    "INSERT INTO LoggedSystemState("
+    "experimentName, parentExperiment, campaignName, experimentData, "
+    "stateVector, isReference) VALUES (?, ?, ?, ?, ?, ?) "
+    "ON CONFLICT(experimentName) DO UPDATE SET "
+    "parentExperiment = excluded.parentExperiment, "
+    "experimentData = excluded.experimentData, "
+    "stateVector = excluded.stateVector, "
+    "isReference = excluded.isReference"
+)
+
 
 class GoofiDatabase:
     """A GOOFI campaign database (sqlite3 file or in-memory)."""
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path)
+        # Campaigns may log from a worker thread (run_in_thread) or flush
+        # batches from the parallel runner's parent loop.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
+        if path != ":memory:":
+            # WAL keeps readers (analysis queries, resume's
+            # completed_indices) unblocked while a campaign streams
+            # batches in, and makes the one-commit-per-batch path cheap.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(DDL)
         self._conn.execute("PRAGMA foreign_keys = ON")
         row = self._conn.execute("SELECT version FROM SchemaInfo").fetchone()
@@ -157,6 +178,51 @@ class GoofiDatabase:
             is_reference=False,
         )
 
+    def log_experiments(
+        self, campaign: CampaignData, results: List[ExperimentResult]
+    ) -> None:
+        """Batched sink path: land many experiment rows with a single
+        ``executemany`` and one commit.
+
+        The parallel campaign runner flushes its reorder buffer through
+        this method; combined with WAL journaling on file databases it
+        turns per-experiment fsync cost into per-batch cost."""
+        if not results:
+            return
+        rows = [
+            self._logged_row(
+                name=result.name,
+                parent=result.parent_experiment,
+                campaign_name=campaign.campaign_name,
+                experiment_data=result.experiment_data(),
+                state_blob=encode_state_payload(
+                    result.state_vector, result.detail_states
+                ),
+                is_reference=False,
+            )
+            for result in results
+        ]
+        self._conn.executemany(_LOGGED_UPSERT, rows)
+        self._conn.commit()
+
+    @staticmethod
+    def _logged_row(
+        name: str,
+        parent: Optional[str],
+        campaign_name: str,
+        experiment_data: dict,
+        state_blob: bytes,
+        is_reference: bool,
+    ) -> Tuple:
+        return (
+            name,
+            parent,
+            campaign_name,
+            json.dumps(experiment_data, sort_keys=True),
+            state_blob,
+            int(is_reference),
+        )
+
     def _insert_logged(
         self,
         name: str,
@@ -167,21 +233,10 @@ class GoofiDatabase:
         is_reference: bool,
     ) -> None:
         self._conn.execute(
-            "INSERT INTO LoggedSystemState("
-            "experimentName, parentExperiment, campaignName, experimentData, "
-            "stateVector, isReference) VALUES (?, ?, ?, ?, ?, ?) "
-            "ON CONFLICT(experimentName) DO UPDATE SET "
-            "parentExperiment = excluded.parentExperiment, "
-            "experimentData = excluded.experimentData, "
-            "stateVector = excluded.stateVector, "
-            "isReference = excluded.isReference",
-            (
-                name,
-                parent,
-                campaign_name,
-                json.dumps(experiment_data, sort_keys=True),
-                state_blob,
-                int(is_reference),
+            _LOGGED_UPSERT,
+            self._logged_row(
+                name, parent, campaign_name, experiment_data, state_blob,
+                is_reference,
             ),
         )
         self._conn.commit()

@@ -58,6 +58,11 @@ class ProgressWindow:
             f"faults injected: {progress.n_injected_faults}   "
             f"rate: {progress.experiments_per_second:.1f}/s",
         ]
+        if progress.n_workers > 1 or progress.n_worker_failures:
+            workers = f"workers: {progress.n_workers}"
+            if progress.n_worker_failures:
+                workers += f"   worker failures: {progress.n_worker_failures}"
+            lines.append(workers)
         if progress.terminations:
             terms = "  ".join(
                 f"{kind}={count}"
@@ -83,4 +88,6 @@ def _copy_progress(progress: CampaignProgress) -> CampaignProgress:
         detections=dict(progress.detections),
         elapsed_seconds=progress.elapsed_seconds,
         state=progress.state,
+        n_workers=progress.n_workers,
+        n_worker_failures=progress.n_worker_failures,
     )

@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.core import create_target
 from repro.core.controller import CampaignController
 from repro.util.errors import CampaignError
 from tests.conftest import make_campaign
@@ -121,3 +122,140 @@ class TestPauseResume:
         controller.progress.state = "running"
         with pytest.raises(CampaignError):
             controller.run(campaign)
+
+
+class TestFailureRecovery:
+    """A crashed campaign must not brick the controller (regression:
+    progress.state used to stay "running" forever after an exception,
+    making every later run() fail with "already running a campaign")."""
+
+    def test_failed_run_sets_failed_state(self, thor_target):
+        controller, _ = make_controller(thor_target)
+        bad = make_campaign(workload_name="no-such-workload")
+        with pytest.raises(Exception):
+            controller.run(bad)
+        assert controller.progress.state == "failed"
+
+    def test_controller_reusable_after_failure(self, thor_target):
+        controller, good = make_controller(thor_target, n_experiments=3)
+        bad = make_campaign(workload_name="no-such-workload")
+        with pytest.raises(Exception):
+            controller.run(bad)
+        # The same controller must accept a new campaign afterwards.
+        sink = controller.run(good)
+        assert len(sink.results) == 3
+        assert controller.progress.state == "finished"
+
+
+class TestPauseTiming:
+    """Paused time must not count as campaign time (regression: pause
+    duration used to inflate elapsed_seconds and deflate the
+    experiments_per_second figure)."""
+
+    def test_pause_excluded_from_elapsed(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=6)
+        pause_for = 0.5
+
+        def listener(progress):
+            if progress.n_done == 2 and not getattr(listener, "done", False):
+                listener.done = True
+                controller.pause()
+
+        controller.add_listener(listener)
+
+        def resumer():
+            while not controller.paused:
+                time.sleep(0.01)
+            time.sleep(pause_for)
+            controller.resume()
+
+        thread = threading.Thread(target=resumer)
+        thread.start()
+        wall_start = time.perf_counter()
+        controller.run(campaign)
+        wall = time.perf_counter() - wall_start
+        thread.join()
+        # The run really did pause...
+        assert wall >= pause_for
+        # ...but the active campaign time excludes (almost all of) it.
+        assert controller.progress.elapsed_seconds < wall - pause_for * 0.5
+        assert controller.progress.experiments_per_second > 0
+
+    def test_resume_is_noop_after_stop(self, thor_target):
+        controller, _ = make_controller(thor_target)
+        controller.stop()
+        controller.resume()
+        # resume() must not flip the state back to "running" once the
+        # End button was pressed.
+        assert controller.progress.state != "running"
+
+    def test_resume_after_stop_still_stops_campaign(self, thor_target):
+        controller, campaign = make_controller(thor_target, n_experiments=30)
+
+        fired = []
+
+        def listener(progress):
+            if progress.n_done == 2 and not fired:
+                fired.append(True)
+                controller.pause()
+                controller.stop()
+                controller.resume()  # must not cancel the stop
+
+        controller.add_listener(listener)
+        sink = controller.run(campaign)
+        assert controller.progress.state == "stopped"
+        assert len(sink.results) < 30
+
+
+class TestResumeCounters:
+    """Resuming must rebuild the fault/termination/detection breakdown
+    from the sink (regression: only n_done was restored; the breakdowns
+    silently restarted from zero)."""
+
+    def _partial_then_resume(self, db, n_experiments=10, stop_after=4):
+        campaign = make_campaign(n_experiments=n_experiments)
+        first = CampaignController(create_target("thor-rd"), sink=db)
+        first.add_listener(
+            lambda p: first.stop() if p.n_done >= stop_after else None
+        )
+        first.run(campaign)
+        assert 0 < first.progress.n_done < n_experiments
+        second = CampaignController(create_target("thor-rd"), sink=db)
+        second.run(campaign, resume=True)
+        return first, second, campaign
+
+    def test_resume_counters_match_uninterrupted_run(self, db):
+        _, resumed, campaign = self._partial_then_resume(db)
+        # Ground truth: the same campaign run start-to-finish.
+        full = CampaignController(create_target("thor-rd"))
+        full.run(campaign)
+        assert resumed.progress.n_done == full.progress.n_done
+        assert (
+            resumed.progress.n_injected_faults
+            == full.progress.n_injected_faults
+        )
+        assert resumed.progress.terminations == full.progress.terminations
+        assert resumed.progress.detections == full.progress.detections
+
+    def test_resume_termination_totals_cover_all_experiments(self, db):
+        _, resumed, campaign = self._partial_then_resume(db)
+        assert (
+            sum(resumed.progress.terminations.values())
+            == campaign.n_experiments
+        )
+
+    def test_run_in_thread_passes_resume_through(self, db):
+        first, _, campaign = self._partial_then_resume(db)
+        already = db.count_experiments(campaign.campaign_name)
+        assert already == campaign.n_experiments
+        # A third resume pass skips everything that is already logged.
+        third = CampaignController(create_target("thor-rd"), sink=db)
+        thread = third.run_in_thread(campaign, resume=True)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert third.progress.state == "finished"
+        assert third.progress.n_done == campaign.n_experiments
+        assert (
+            sum(third.progress.terminations.values())
+            == campaign.n_experiments
+        )

@@ -1,10 +1,11 @@
-"""Lint/type gate for the static-analysis subsystem.
+"""Lint/type gate for the strictly-checked subsystems.
 
 Runs ``ruff check`` and ``mypy`` over the strictly-checked scope
 configured in pyproject.toml (``src/repro/staticanalysis/`` plus
-``src/repro/core/preinjection.py``). Both tools are optional
-dependencies: when they are not installed the corresponding test is
-skipped, so the tier-1 suite stays runnable in minimal environments.
+``src/repro/core/preinjection.py`` and the parallel campaign engine
+``src/repro/core/parallel.py``). Both tools are optional dependencies:
+when they are not installed the corresponding test is skipped, so the
+tier-1 suite stays runnable in minimal environments.
 """
 
 import importlib.util
@@ -18,6 +19,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKED_PATHS = [
     "src/repro/staticanalysis",
     "src/repro/core/preinjection.py",
+    "src/repro/core/parallel.py",
     "src/repro/util/sampling.py",
 ]
 
