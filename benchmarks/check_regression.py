@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate over the ``BENCH_<name>.json`` artifacts.
+
+Compares freshly produced benchmark JSON files (written next to the repo
+root by the benchmarks in this directory) against the committed
+baselines under ``benchmarks/baselines/`` and exits nonzero when a gated
+metric regressed beyond the tolerance band.
+
+Gating rules, by metric-name suffix/substring (all case-insensitive):
+
+* higher-is-better quality metrics — names containing ``speedup``,
+  ``ratio``, ``fraction``, ``gain``, ``effectiveness`` or ending in
+  ``per_second`` / ``rate`` — fail when
+  ``fresh < baseline * (1 - tolerance)``;
+* wall-clock metrics — names containing ``seconds``, ``latency`` or
+  ``overhead`` — are *reported only* by default (CI boxes have noisy
+  clocks); pass ``--gate-seconds`` (or ``GOOFI_BENCH_GATE_SECONDS=1``)
+  to fail when ``fresh > baseline * (1 + tolerance)``;
+* exact-match configuration keys — ``n_experiments``, ``n_workers`` —
+  fail on any difference (a size drift would invalidate the comparison);
+* boolean invariants (e.g. ``rows_identical``) fail when the baseline is
+  true and the fresh run is false;
+* anything else is informational.
+
+The ``_meta.scale`` stamp recorded by ``benchmarks/conftest.py`` must
+match between baseline and fresh run unless ``--allow-scale-mismatch``
+is given: numbers taken at different ``GOOFI_BENCH_SCALE`` values are
+not comparable.
+
+Override knobs (CI documented in .github/workflows/ci.yml):
+
+* ``--tolerance`` / ``GOOFI_BENCH_TOLERANCE`` — relative band, default
+  0.5 (generous: shared CI runners jitter; the gate exists to catch
+  collapses, not 5% noise);
+* ``--gate-seconds`` / ``GOOFI_BENCH_GATE_SECONDS=1`` — also gate
+  wall-clock metrics;
+* ``--write-baseline`` — refresh the committed baselines from the fresh
+  run instead of comparing (use after an intentional perf change).
+
+Usage::
+
+    python benchmarks/check_regression.py                 # all baselines
+    python benchmarks/check_regression.py e11_static_pruning e12_parallel
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+HIGHER_BETTER_TOKENS = (
+    "speedup",
+    "ratio",
+    "fraction",
+    "gain",
+    "effectiveness",
+)
+HIGHER_BETTER_SUFFIXES = ("per_second", "rate")
+WALL_CLOCK_TOKENS = ("seconds", "latency", "overhead")
+EXACT_KEYS = ("n_experiments", "n_workers")
+
+
+def classify(name: str) -> str:
+    """Map a metric name to a gating class."""
+    lowered = name.lower()
+    leaf = lowered.rsplit(".", 1)[-1]
+    if leaf in EXACT_KEYS:
+        return "exact"
+    if any(token in lowered for token in WALL_CLOCK_TOKENS):
+        return "wall-clock"
+    if any(token in lowered for token in HIGHER_BETTER_TOKENS):
+        return "higher-better"
+    if any(lowered.endswith(suffix) for suffix in HIGHER_BETTER_SUFFIXES):
+        return "higher-better"
+    return "info"
+
+
+def flatten(payload: Dict, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    """Flatten nested dicts to dotted metric names; skips ``_meta``."""
+    for key, value in sorted(payload.items()):
+        if key == "_meta":
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from flatten(value, prefix=f"{name}.")
+        else:
+            yield name, value
+
+
+def load(path: pathlib.Path) -> Dict:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return data
+
+
+def compare_metric(
+    name: str,
+    baseline: object,
+    fresh: object,
+    tolerance: float,
+    gate_seconds: bool,
+) -> Tuple[bool, str]:
+    """Returns (ok, message) for one metric pair."""
+    kind = classify(name)
+    if isinstance(baseline, bool) or isinstance(fresh, bool):
+        ok = not (baseline is True and fresh is not True)
+        status = "ok" if ok else "FAIL"
+        return ok, f"  [{status}] {name}: {baseline} -> {fresh} (invariant)"
+    if isinstance(baseline, str) or isinstance(fresh, str):
+        ok = baseline == fresh
+        status = "ok" if ok else "FAIL"
+        return ok, f"  [{status}] {name}: {baseline!r} -> {fresh!r}"
+    if not isinstance(baseline, (int, float)) or not isinstance(
+        fresh, (int, float)
+    ):
+        return True, f"  [info] {name}: {baseline} -> {fresh}"
+    if kind == "exact":
+        ok = baseline == fresh
+        status = "ok" if ok else "FAIL"
+        return ok, (
+            f"  [{status}] {name}: {baseline} -> {fresh} (must match exactly)"
+        )
+    delta = _relative_change(float(baseline), float(fresh))
+    detail = f"{name}: {baseline:.6g} -> {fresh:.6g} ({delta:+.1%})"
+    if kind == "higher-better":
+        ok = float(fresh) >= float(baseline) * (1.0 - tolerance)
+        status = "ok" if ok else "FAIL"
+        return ok, f"  [{status}] {detail}"
+    if kind == "wall-clock":
+        if not gate_seconds:
+            return True, f"  [info] {detail} (wall-clock, not gated)"
+        ok = float(fresh) <= float(baseline) * (1.0 + tolerance)
+        status = "ok" if ok else "FAIL"
+        return ok, f"  [{status}] {detail}"
+    return True, f"  [info] {detail}"
+
+
+def _relative_change(baseline: float, fresh: float) -> float:
+    if baseline == 0:
+        return 0.0 if fresh == 0 else math.inf
+    return (fresh - baseline) / abs(baseline)
+
+
+def check_bench(
+    name: str,
+    baseline_path: pathlib.Path,
+    fresh_path: pathlib.Path,
+    tolerance: float,
+    gate_seconds: bool,
+    allow_scale_mismatch: bool,
+) -> Tuple[int, List[str]]:
+    """Compare one benchmark; returns (n_failures, report_lines)."""
+    lines = [f"{name}:"]
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+
+    base_scale = baseline.get("_meta", {}).get("scale")
+    fresh_scale = fresh.get("_meta", {}).get("scale")
+    if base_scale != fresh_scale and not allow_scale_mismatch:
+        lines.append(
+            f"  [FAIL] _meta.scale mismatch: baseline {base_scale} vs "
+            f"fresh {fresh_scale} (pass --allow-scale-mismatch to override)"
+        )
+        return 1, lines
+
+    failures = 0
+    fresh_metrics = dict(flatten(fresh))
+    for metric, base_value in flatten(baseline):
+        if metric not in fresh_metrics:
+            failures += 1
+            lines.append(f"  [FAIL] {metric}: missing from fresh run")
+            continue
+        ok, message = compare_metric(
+            metric, base_value, fresh_metrics[metric], tolerance, gate_seconds
+        )
+        lines.append(message)
+        if not ok:
+            failures += 1
+    return failures, lines
+
+
+def _resolve_names(args_names: List[str], baseline_dir: pathlib.Path) -> List[str]:
+    if args_names:
+        return args_names
+    return sorted(
+        path.stem[len("BENCH_"):]
+        for path in baseline_dir.glob("BENCH_*.json")
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate fresh BENCH_*.json results against baselines."
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names (e.g. e12_parallel); default: every baseline",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=str(REPO_ROOT),
+        help="directory holding the fresh BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(BASELINE_DIR),
+        help="directory holding the committed baselines",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("GOOFI_BENCH_TOLERANCE", "0.5")),
+        help="relative tolerance band (GOOFI_BENCH_TOLERANCE; default 0.5)",
+    )
+    parser.add_argument(
+        "--gate-seconds",
+        action="store_true",
+        default=os.environ.get("GOOFI_BENCH_GATE_SECONDS", "") not in ("", "0"),
+        help="also gate wall-clock metrics (GOOFI_BENCH_GATE_SECONDS=1)",
+    )
+    parser.add_argument(
+        "--allow-scale-mismatch",
+        action="store_true",
+        help="compare runs taken at different GOOFI_BENCH_SCALE values",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the baselines from the fresh run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_dir = pathlib.Path(args.fresh_dir)
+    baseline_dir = pathlib.Path(args.baseline_dir)
+
+    if args.write_baseline:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        names = args.names or sorted(
+            path.stem[len("BENCH_"):]
+            for path in fresh_dir.glob("BENCH_*.json")
+        )
+        for name in names:
+            source = fresh_dir / f"BENCH_{name}.json"
+            target = baseline_dir / f"BENCH_{name}.json"
+            target.write_text(source.read_text())
+            print(f"wrote baseline {target}")
+        return 0
+
+    names = _resolve_names(args.names, baseline_dir)
+    if not names:
+        print(f"no baselines found under {baseline_dir}", file=sys.stderr)
+        return 1
+
+    total_failures = 0
+    for name in names:
+        baseline_path = baseline_dir / f"BENCH_{name}.json"
+        fresh_path = fresh_dir / f"BENCH_{name}.json"
+        if not baseline_path.exists():
+            print(f"{name}:\n  [FAIL] no baseline at {baseline_path}")
+            total_failures += 1
+            continue
+        if not fresh_path.exists():
+            print(f"{name}:\n  [FAIL] no fresh result at {fresh_path}")
+            total_failures += 1
+            continue
+        failures, lines = check_bench(
+            name,
+            baseline_path,
+            fresh_path,
+            args.tolerance,
+            args.gate_seconds,
+            args.allow_scale_mismatch,
+        )
+        print("\n".join(lines))
+        total_failures += failures
+
+    if total_failures:
+        print(
+            f"\n{total_failures} gated metric(s) regressed beyond "
+            f"tolerance {args.tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall gated metrics within tolerance {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,22 @@
-"""Shared helpers for the experiment benchmarks (E1-E8 + ablations).
+"""Shared helpers for the experiment benchmarks (E1-E12 + ablations).
 
 Every benchmark regenerates one figure-equivalent or companion-study
 result of the paper (see DESIGN.md's experiment index) and asserts the
 *shape* of the outcome — who wins, in which direction — rather than
 absolute numbers.
+
+Campaign sizes honour ``GOOFI_BENCH_SCALE`` (a float, default 1.0): the
+CI benchmark job runs at 0.2 so the suite finishes in seconds while the
+nightly/full runs keep the paper-sized campaigns. Statistical shape
+assertions that need full-sized samples are gated on :data:`FULL_SCALE`;
+structural assertions (row counts, provenance, orderings that hold per
+experiment) run at every scale. Every bench emits a machine-readable
+``BENCH_<name>.json`` stamped with the scale it ran at, which
+``benchmarks/check_regression.py`` diffs against the committed baselines.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
@@ -19,13 +29,29 @@ from repro.core import CampaignData, create_target
 #: ``BENCH_<name>.json`` so campaign drivers can diff runs over time.
 BENCH_OUTPUT_DIR = pathlib.Path(__file__).resolve().parent.parent
 
+#: Global campaign-size multiplier (``GOOFI_BENCH_SCALE=0.2`` in CI).
+BENCH_SCALE = float(os.environ.get("GOOFI_BENCH_SCALE", "1"))
+
+#: True when running at (or above) paper-sized campaigns — the gate for
+#: statistical shape assertions that are noisy on reduced samples.
+FULL_SCALE = BENCH_SCALE >= 1.0
+
+
+def scaled(n, minimum=1):
+    """Scale a campaign size by ``GOOFI_BENCH_SCALE`` (floored)."""
+    return max(minimum, int(round(n * BENCH_SCALE)))
+
 
 def write_bench_json(name, payload):
     """Write one benchmark's result dictionary to ``BENCH_<name>.json``.
 
     Returns the path written. Payloads must be JSON-serialisable; keep
-    them small (headline numbers, not raw samples).
+    them small (headline numbers, not raw samples). A ``_meta`` block
+    recording the bench scale is added so the regression checker can
+    refuse to compare runs taken at different scales.
     """
+    payload = dict(payload)
+    payload.setdefault("_meta", {"scale": BENCH_SCALE})
     path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

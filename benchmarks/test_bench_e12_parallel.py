@@ -32,7 +32,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import write_bench_json
+from benchmarks.conftest import FULL_SCALE, scaled, write_bench_json
 from repro.core import CampaignData, create_target, worker_factory
 from repro.core.parallel import (
     ParallelConfig,
@@ -46,7 +46,7 @@ pytestmark = pytest.mark.skipif(
     reason="the parallel benchmark needs the fork start method",
 )
 
-N_EXPERIMENTS = 1000 if os.environ.get("E12_FULL") == "1" else 200
+N_EXPERIMENTS = 1000 if os.environ.get("E12_FULL") == "1" else scaled(200)
 N_WORKERS = int(os.environ.get("E12_WORKERS", "4"))
 
 
@@ -134,8 +134,9 @@ def test_bench_e12_parallel(benchmark, tmp_path):
     assert serial_rows == parallel_rows
 
     # Wall-clock acceptance number, only meaningful with real cores to
-    # spread over; single-core CI boxes can merely interleave.
-    if cores >= 2 and N_WORKERS >= 4:
+    # spread over and full-sized campaigns (pool startup dominates tiny
+    # ones); single-core CI boxes can merely interleave.
+    if FULL_SCALE and cores >= 2 and N_WORKERS >= 4:
         assert speedup >= 2.0, (
             f"expected >= 2x speedup at {N_WORKERS} workers on {cores} "
             f"cores, measured {speedup:.2f}x"

@@ -13,9 +13,14 @@ per-experiment target-side overhead (two full chain reads + one write
 minimum per experiment).
 """
 
-from benchmarks.conftest import print_report, run_campaign
+from benchmarks.conftest import (
+    print_report,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 
-N_EXPERIMENTS = 120
+N_EXPERIMENTS = scaled(120)
 
 
 def _campaign():
@@ -64,3 +69,13 @@ def test_bench_e1_scifi_campaign(benchmark):
     # thousand shift cycles per experiment vs a few hundred workload
     # cycles for this workload.
     assert scan_per_experiment > internal.total_bits
+
+    write_bench_json(
+        "e1_scifi_campaign",
+        {
+            "n_experiments": N_EXPERIMENTS,
+            "experiments_per_second": N_EXPERIMENTS / wall,
+            "scan_cycles_per_experiment": scan_per_experiment,
+            "effective_fraction": summary.effective / summary.total,
+        },
+    )

@@ -14,10 +14,14 @@ LoggedSystemState.
 
 import time
 
+from benchmarks.conftest import FULL_SCALE, scaled, write_bench_json
 from repro.core import CampaignData, create_target
 from repro.db import GoofiDatabase
 
-N_EXPERIMENTS = 15
+N_EXPERIMENTS = scaled(15, minimum=6)
+#: The normal-mode experiment re-run in detail mode for the provenance
+#: check (index 4 at full scale; clamped for reduced campaigns).
+RERUN_INDEX = min(4, N_EXPERIMENTS - 1)
 
 
 def _campaign(mode):
@@ -68,16 +72,32 @@ def test_bench_e2_logging_modes(benchmark):
 
     # The paper's qualitative claim: detail mode costs notably more time
     # and logs far more state (the payload blowup is damped by zlib —
-    # per-instruction states compress well).
-    assert overhead > 3.0
-    assert blowup > 4.0
+    # per-instruction states compress well). Wall-clock ratios are noisy
+    # on tiny campaigns, so the hard thresholds only apply at full scale.
+    assert overhead > 1.0
+    assert blowup > 1.0
+    if FULL_SCALE:
+        assert overhead > 3.0
+        assert blowup > 4.0
 
     # parentExperiment provenance (Figure 4): re-run one experiment of
     # the normal campaign in detail mode.
+    parent_name = f"e2-normal-exp{RERUN_INDEX:05d}"
     target = create_target("thor-rd")
-    rerun = target.rerun_experiment(_campaign("normal"), 4, sink=normal_db)
-    assert rerun.parent_experiment == "e2-normal-exp00004"
-    assert normal_db.children_of("e2-normal-exp00004") == [rerun.name]
+    rerun = target.rerun_experiment(
+        _campaign("normal"), RERUN_INDEX, sink=normal_db
+    )
+    assert rerun.parent_experiment == parent_name
+    assert normal_db.children_of(parent_name) == [rerun.name]
     assert len(rerun.detail_states) > 0
     print(f"provenance: {rerun.parent_experiment} -> {rerun.name} "
           f"({len(rerun.detail_states)} per-instruction states)")
+
+    write_bench_json(
+        "e2_logging_modes",
+        {
+            "n_experiments": N_EXPERIMENTS,
+            "detail_time_overhead": overhead,
+            "detail_payload_blowup": blowup,
+        },
+    )

@@ -14,9 +14,15 @@ Shapes asserted (the qualitative results of the Thor studies):
 """
 
 from repro.analysis import Outcome
-from benchmarks.conftest import print_comparison, run_campaign
+from benchmarks.conftest import (
+    FULL_SCALE,
+    print_comparison,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 
-N = 120
+N = scaled(120)
 
 
 def _run(tag, workload, patterns, seed):
@@ -66,7 +72,20 @@ def test_bench_e3_classification(benchmark):
     top_mechanism = max(detections, key=detections.get)
     assert top_mechanism == "dcache_parity"
 
-    # Control state is far more sensitive than the register file.
+    # Control state is far more sensitive than the register file; the
+    # 2x margin needs full-sized samples to be stable.
     regs_effective = regs.effective / regs.total
     ctrl_effective = ctrl.effective / ctrl.total
-    assert ctrl_effective > 2 * regs_effective
+    assert ctrl_effective >= regs_effective
+    if FULL_SCALE:
+        assert ctrl_effective > 2 * regs_effective
+
+    write_bench_json(
+        "e3_classification",
+        {
+            "n_experiments": N,
+            "regs_effective_fraction": regs_effective,
+            "ctrl_effective_fraction": ctrl_effective,
+            "dcache_top_mechanism": top_mechanism,
+        },
+    )

@@ -12,9 +12,15 @@ Shapes asserted:
   flips over all internal state.
 """
 
-from benchmarks.conftest import print_comparison, run_campaign
+from benchmarks.conftest import (
+    FULL_SCALE,
+    print_comparison,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 
-N = 100
+N = scaled(100)
 
 SETUPS = [
     ("scifi", "scifi", "thor-rd", ["scan:internal/*"]),
@@ -67,7 +73,21 @@ def test_bench_e4_technique_comparison(benchmark):
     assert outcomes["scifi"][0].card.total_scan_cycles > 0
     assert outcomes["simfi"][0].card.total_scan_cycles == 0
 
-    # Pre-runtime SWIFI concentrates faults in state the workload uses.
+    # Pre-runtime SWIFI concentrates faults in state the workload uses
+    # (a statistical margin — gated to full-sized campaigns).
     scifi_eff = outcomes["scifi"][2].effective / N
     swifi_eff = outcomes["swifi-pre"][2].effective / N
-    assert swifi_eff > scifi_eff
+    if FULL_SCALE:
+        assert swifi_eff > scifi_eff
+
+    write_bench_json(
+        "e4_technique_comparison",
+        {
+            "n_experiments": N,
+            "fault_space_bits": {
+                label: outcomes[label][3] for label in labels
+            },
+            "scifi_effective_fraction": scifi_eff,
+            "swifi_pre_effective_fraction": swifi_eff,
+        },
+    )

@@ -16,9 +16,15 @@ liveness oracle itself reports a small live fraction for uniform samples
 
 from repro.analysis import Outcome
 from repro.analysis.coverage import effectiveness_ratio
-from benchmarks.conftest import print_comparison, run_campaign
+from benchmarks.conftest import (
+    FULL_SCALE,
+    print_comparison,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 
-N = 150
+N = scaled(150)
 
 
 def _campaign(tag, preinjection):
@@ -57,10 +63,23 @@ def test_bench_e5_preinjection(benchmark):
     gain = live_eff.estimate / max(random_eff.estimate, 1e-9)
     print(f"efficiency gain:               {gain:.2f}x")
 
-    # The extension must pay off clearly.
-    assert live_eff.estimate > 1.5 * random_eff.estimate
-    # Overwritten faults are the ones pruned away.
-    assert (
-        live_summary.fraction(Outcome.OVERWRITTEN)
-        < random_summary.fraction(Outcome.OVERWRITTEN)
+    # The extension must pay off clearly; the 1.5x margin and the
+    # overwritten-fraction ordering are statistical, so gated.
+    assert live_eff.estimate > random_eff.estimate
+    if FULL_SCALE:
+        assert live_eff.estimate > 1.5 * random_eff.estimate
+        # Overwritten faults are the ones pruned away.
+        assert (
+            live_summary.fraction(Outcome.OVERWRITTEN)
+            < random_summary.fraction(Outcome.OVERWRITTEN)
+        )
+
+    write_bench_json(
+        "e5_preinjection",
+        {
+            "n_experiments": N,
+            "random_effectiveness": random_eff.estimate,
+            "preinjection_effectiveness": live_eff.estimate,
+            "efficiency_gain": gain,
+        },
     )

@@ -19,10 +19,16 @@ one and actually performs recoveries; the unprotected variant loses
 control at least once.
 """
 
-from benchmarks.conftest import print_comparison, run_campaign
+from benchmarks.conftest import (
+    FULL_SCALE,
+    print_comparison,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 from repro.core.campaign import EnvironmentSpec
 
-N = 80
+N = scaled(80)
 CRITICAL_DEVIATION = 50.0  # engineering units; fault-free max is ~12
 
 
@@ -80,8 +86,21 @@ def test_bench_e6_control_application(benchmark):
 
     # Fault-free closed loop is far inside the critical bound.
     assert ref_dev < CRITICAL_DEVIATION / 2
-    # The unprotected controller loses the plant for some faults.
-    assert unprot_critical > 0
-    # Protection never hurts and the recovery path actually fires.
+    # Protection never hurts (holds per experiment at any scale).
     assert prot_critical <= unprot_critical
-    assert recoveries > 0
+    if FULL_SCALE:
+        # The unprotected controller loses the plant for some faults and
+        # the recovery path actually fires — needs enough samples to hit
+        # a control-loss fault at all.
+        assert unprot_critical > 0
+        assert recoveries > 0
+
+    write_bench_json(
+        "e6_control_app",
+        {
+            "n_experiments": N,
+            "unprotected_critical_failures": unprot_critical,
+            "protected_critical_failures": prot_critical,
+            "recoveries": recoveries,
+        },
+    )

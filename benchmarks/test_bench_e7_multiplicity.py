@@ -13,10 +13,16 @@ Shapes asserted:
   blind to double flips inside one protected field).
 """
 
-from benchmarks.conftest import print_comparison, run_campaign
+from benchmarks.conftest import (
+    FULL_SCALE,
+    print_comparison,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 from repro.core.campaign import FaultModelSpec
 
-N = 150
+N = scaled(150)
 
 
 def _run(multiplicity):
@@ -55,8 +61,20 @@ def test_bench_e7_multiplicity(benchmark):
               f"{summary.escaped:>8d}")
 
     eff = {m: outcomes[m][2].effective for m in multiplicities}
-    assert eff[4] > eff[1]
+    assert eff[4] >= eff[1]
+    if FULL_SCALE:
+        assert eff[4] > eff[1]
     # Every experiment recorded the right number of injected bits.
     for m in multiplicities:
         sink = outcomes[m][1]
         assert all(len(r.injections) == m for r in sink.results)
+
+    write_bench_json(
+        "e7_multiplicity",
+        {
+            "n_experiments": N,
+            "effective_by_multiplicity": {
+                str(m): eff[m] for m in multiplicities
+            },
+        },
+    )

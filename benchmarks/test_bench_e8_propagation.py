@@ -11,9 +11,14 @@ instant; infection counts are non-trivial for some faults.
 """
 
 from repro.analysis import analyse_propagation
-from benchmarks.conftest import print_report, run_campaign
+from benchmarks.conftest import (
+    print_report,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 
-N = 12
+N = scaled(12, minimum=4)
 
 
 def test_bench_e8_propagation(benchmark):
@@ -65,3 +70,12 @@ def test_bench_e8_propagation(benchmark):
     print(f"\n{diverged}/{N} experiments diverged in the detail logs")
     # Pre-injection filtering guarantees live faults: most must diverge.
     assert diverged >= N // 2
+
+    write_bench_json(
+        "e8_propagation",
+        {
+            "n_experiments": N,
+            "diverged": diverged,
+            "diverged_fraction": diverged / N,
+        },
+    )

@@ -14,9 +14,15 @@ why parity does not protect against bus/pad faults.
 """
 
 from repro.analysis import Outcome
-from benchmarks.conftest import print_comparison, run_campaign
+from benchmarks.conftest import (
+    FULL_SCALE,
+    print_comparison,
+    run_campaign,
+    scaled,
+    write_bench_json,
+)
 
-N = 120
+N = scaled(120)
 
 
 def _run(tag, technique, patterns):
@@ -58,14 +64,27 @@ def test_bench_e9_pinlevel(benchmark):
     assert parity_detections > 0
     assert parity_detections >= 0.8 * array_summary.detected
 
-    # Pin faults: invisible to parity; wrong results dominate escapes.
+    # Pin faults: invisible to parity (structural — holds at any scale).
     assert "dcache_parity" not in pin_summary.detections_by_mechanism
     assert "icache_parity" not in pin_summary.detections_by_mechanism
-    assert pin_summary.count(Outcome.ESCAPED_VALUE) > pin_summary.detected
 
     pin_escape_rate = pin_summary.escaped / max(1, pin_summary.effective)
     array_escape_rate = array_summary.escaped / max(1, array_summary.effective)
     print()
     print(f"escape rate among effective faults: "
           f"pins {pin_escape_rate:.0%} vs arrays {array_escape_rate:.0%}")
-    assert pin_escape_rate > array_escape_rate
+    if FULL_SCALE:
+        # Wrong results dominate pin-fault escapes and the escape-rate
+        # ordering holds — statistical margins, gated to full campaigns.
+        assert pin_summary.count(Outcome.ESCAPED_VALUE) > pin_summary.detected
+        assert pin_escape_rate > array_escape_rate
+
+    write_bench_json(
+        "e9_pinlevel",
+        {
+            "n_experiments": N,
+            "pin_escape_rate": pin_escape_rate,
+            "array_escape_rate": array_escape_rate,
+            "parity_detections": parity_detections,
+        },
+    )

@@ -31,6 +31,7 @@ from repro.core.faultmodels import FaultModel, InjectionPlan, build_fault_model
 from repro.core.locations import FaultLocation, LocationSpace
 from repro.core.preinjection import build_liveness_oracle
 from repro.core.trace import Trace
+from repro.observability import get_observability
 from repro.util.errors import CampaignError
 from repro.util.rng import CampaignRandom
 
@@ -268,32 +269,39 @@ class FaultInjectionAlgorithms(abc.ABC):
     def make_reference_run(self) -> ReferenceRun:
         campaign = self._require_campaign()
         detail = campaign.logging_mode == "detail"
-        self.init_test_card()
-        self.load_workload()
-        self.write_memory()
-        self.start_trace()
-        self.set_detail_logging(detail)
-        self.run_workload()
-        budget = campaign.timeout_cycles or _REFERENCE_BUDGET
-        termination = self.wait_for_termination(budget, campaign.max_iterations)
-        trace = self.stop_trace()
-        self.set_detail_logging(False)
-        if termination.kind not in ("halt", "max_iterations"):
-            raise CampaignError(
-                "reference run did not terminate normally: "
-                f"{termination.kind} ({termination.trap_name})"
+        with get_observability().profile(
+            "reference-run",
+            campaign=campaign.campaign_name,
+            workload=campaign.workload_name,
+        ):
+            self.init_test_card()
+            self.load_workload()
+            self.write_memory()
+            self.start_trace()
+            self.set_detail_logging(detail)
+            self.run_workload()
+            budget = campaign.timeout_cycles or _REFERENCE_BUDGET
+            termination = self.wait_for_termination(
+                budget, campaign.max_iterations
             )
-        reference = ReferenceRun(
-            duration_cycles=termination.cycle,
-            duration_instructions=len(trace),
-            termination=termination,
-            state_vector=self.capture_state_vector(),
-            outputs=self.read_memory(),
-            trace=trace,
-            detail_states=self.drain_detail_states() if detail else [],
-        )
-        if campaign.use_preinjection:
-            self._liveness = self.build_preinjection_analysis(trace)
+            trace = self.stop_trace()
+            self.set_detail_logging(False)
+            if termination.kind not in ("halt", "max_iterations"):
+                raise CampaignError(
+                    "reference run did not terminate normally: "
+                    f"{termination.kind} ({termination.trap_name})"
+                )
+            reference = ReferenceRun(
+                duration_cycles=termination.cycle,
+                duration_instructions=len(trace),
+                termination=termination,
+                state_vector=self.capture_state_vector(),
+                outputs=self.read_memory(),
+                trace=trace,
+                detail_states=self.drain_detail_states() if detail else [],
+            )
+            if campaign.use_preinjection:
+                self._liveness = self.build_preinjection_analysis(trace)
         return reference
 
     def build_preinjection_analysis(self, trace: Optional[Trace]):
@@ -369,6 +377,14 @@ class FaultInjectionAlgorithms(abc.ABC):
                     "pre-injection analysis found no live (location, time) "
                     "pair in 1000 samples; widen the location selection"
                 )
+        if self._liveness is not None:
+            metrics = get_observability().metrics
+            if metrics.enabled:
+                # Prune ratio = rejected / sampled candidate pairs.
+                metrics.counter("preinjection.samples_total").inc(attempts)
+                metrics.counter("preinjection.rejected_total").inc(
+                    attempts - 1
+                )
         return self._fault_model.plan(rng, chosen, times, max_time=duration)
 
     # ------------------------------------------------------------------
@@ -395,6 +411,7 @@ class FaultInjectionAlgorithms(abc.ABC):
     def _experiment_scifi(self, index: int, plan: InjectionPlan) -> ExperimentResult:
         """One SCIFI experiment — the inner procedure of Figure 2."""
         campaign = self._require_campaign()
+        obs = get_observability()
         result = self._new_result(index)
         self.init_test_card()
         self.load_workload()
@@ -406,9 +423,11 @@ class FaultInjectionAlgorithms(abc.ABC):
             termination = self.wait_for_breakpoint(action.time)
             if termination is not None:
                 break
-            chains = self.read_scan_chain()
+            with obs.profile("scan.read"):
+                chains = self.read_scan_chain()
             result.injections.extend(self.inject_fault(chains, action))
-            self.write_scan_chain(chains)
+            with obs.profile("scan.write"):
+                self.write_scan_chain(chains)
         if termination is None:
             termination = self.wait_for_termination(
                 self._experiment_budget(), campaign.max_iterations
@@ -591,9 +610,17 @@ class FaultInjectionAlgorithms(abc.ABC):
         if plan is None:
             plan = self.plan_experiment(index, reference)
         procedure = getattr(self, self.TECHNIQUE_EXPERIMENTS[campaign.technique])
+        obs = get_observability()
         started = _time.perf_counter()
-        result = procedure(index, plan)
+        with obs.profile(
+            "experiment",
+            campaign=campaign.campaign_name,
+            index=index,
+            technique=campaign.technique,
+        ):
+            result = procedure(index, plan)
         result.wall_seconds = _time.perf_counter() - started
+        obs.metrics.counter("experiments_total").inc()
         return result
 
     def run_campaign(self, campaign, sink=None, control=None,
@@ -742,19 +769,32 @@ class FaultInjectionAlgorithms(abc.ABC):
         sink = sink if sink is not None else _ListSink()
         control = control if control is not None else _NullControl()
         skip = frozenset(skip_indices or ())
-        reference = self.prepare_run(campaign)
-        sink.log_reference(campaign, reference)
-        for index in range(campaign.n_experiments):
-            if index in skip:
-                continue
-            try:
-                control.checkpoint(index)
-            except StopCampaign:
-                break
-            plan = _fixed_plans.get(index) if _fixed_plans is not None else None
-            result = self.run_single_experiment(
-                index, plan=plan, reference=reference
-            )
-            sink.log_experiment(campaign, result)
-            control.report(index, result)
+        obs = get_observability()
+        with obs.profile(
+            "campaign",
+            campaign=campaign.campaign_name,
+            technique=campaign.technique,
+            n_experiments=campaign.n_experiments,
+            mode="serial",
+        ):
+            reference = self.prepare_run(campaign)
+            sink.log_reference(campaign, reference)
+            for index in range(campaign.n_experiments):
+                if index in skip:
+                    continue
+                try:
+                    control.checkpoint(index)
+                except StopCampaign:
+                    break
+                plan = (
+                    _fixed_plans.get(index)
+                    if _fixed_plans is not None
+                    else None
+                )
+                result = self.run_single_experiment(
+                    index, plan=plan, reference=reference
+                )
+                sink.log_experiment(campaign, result)
+                control.report(index, result)
+        obs.flush()
         return sink

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.algorithms import FaultInjectionAlgorithms, StopCampaign
 from repro.core.campaign import CampaignData
 from repro.core.experiment import ExperimentResult
+from repro.observability import get_observability
 from repro.util.errors import CampaignError
 
 
@@ -98,6 +99,7 @@ class CampaignController:
     def pause(self) -> None:
         self._resume_event.clear()
         self.progress.state = "paused"
+        self._state_event("paused")
 
     def resume(self) -> None:
         """Restart a paused campaign.
@@ -108,11 +110,21 @@ class CampaignController:
         if self._stop_requested:
             return
         self.progress.state = "running"
+        self._state_event("running")
         self._resume_event.set()
 
     def stop(self) -> None:
         self._stop_requested = True
+        self._state_event("stopping")
         self._resume_event.set()
+
+    def _state_event(self, state: str) -> None:
+        """Emit a campaign-state trace event (no-op when tracing is off)."""
+        get_observability().tracer.event(
+            "campaign-state",
+            campaign=self.progress.campaign_name,
+            state=state,
+        )
 
     @property
     def paused(self) -> bool:
@@ -154,6 +166,15 @@ class CampaignController:
         progress.n_done += 1
         self._tally(progress, result)
         progress.elapsed_seconds = self._elapsed()
+        metrics = get_observability().metrics
+        if metrics.enabled:
+            metrics.gauge("campaign.n_done").set(progress.n_done)
+            metrics.gauge("campaign.elapsed_seconds").set(
+                progress.elapsed_seconds
+            )
+            metrics.gauge("campaign.experiments_per_second").set(
+                progress.experiments_per_second
+            )
         self._notify()
 
     @staticmethod

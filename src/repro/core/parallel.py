@@ -53,6 +53,13 @@ from repro.core.algorithms import (
 from repro.core.campaign import CampaignData
 from repro.core.controller import CampaignController
 from repro.core.experiment import ExperimentResult, Termination
+from repro.observability import (
+    Observability,
+    ObservabilityConfig,
+    configure_worker,
+    current_config,
+    get_observability,
+)
 from repro.util.errors import CampaignError
 
 __all__ = [
@@ -85,6 +92,10 @@ class ParallelConfig:
     #: multiprocessing start method; ``None`` picks ``fork`` when the
     #: platform offers it (cheap worker start) and ``spawn`` otherwise.
     start_method: Optional[str] = None
+    #: Observability shipped to workers (sibling trace files, per-worker
+    #: metric deltas). ``None`` inherits the process-global configuration
+    #: (:func:`repro.observability.current_config`).
+    observability: Optional[ObservabilityConfig] = None
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -120,12 +131,28 @@ def _reference_fingerprint(reference: Any) -> Tuple[int, int, str]:
     )
 
 
-def _worker_main(conn: Any, factory: Any, campaign_json: str) -> None:
+def _worker_main(
+    conn: Any,
+    factory: Any,
+    campaign_json: str,
+    worker_id: int = 0,
+    obs_config: Optional[ObservabilityConfig] = None,
+) -> None:
     """Worker process entry point.
 
     Builds an isolated port via ``factory``, binds the campaign, performs
     its own reference run (announced as a determinism fingerprint), then
-    serves ``("run", [indices])`` task messages until ``("quit",)``."""
+    serves ``("run", [indices])`` task messages until ``("quit",)``.
+
+    With observability enabled, the worker installs its *own* fresh
+    instrumentation (a ``.workerN`` sibling trace file, an empty metrics
+    registry — never the parent's inherited state) and ships a metrics
+    *delta* alongside every shard's ``"done"`` message; the parent merges
+    the deltas under a ``worker<N>.`` prefix so per-worker experiment
+    counts stay attributable and sum to the campaign totals."""
+    obs: Optional[Observability] = None
+    if obs_config is not None and obs_config.enabled:
+        obs = configure_worker(obs_config, worker_id)
     try:
         campaign = CampaignData.from_json(campaign_json)
         port = factory()
@@ -144,7 +171,12 @@ def _worker_main(conn: Any, factory: Any, campaign_json: str) -> None:
                     conn.send(
                         ("error", index, f"{type(exc).__name__}: {exc}")
                     )
-            conn.send(("done",))
+            delta = (
+                obs.metrics.drain()
+                if obs is not None and obs.metrics.enabled
+                else None
+            )
+            conn.send(("done", delta))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     except Exception as exc:  # init failure, reported upstream as fatal
@@ -153,6 +185,8 @@ def _worker_main(conn: Any, factory: Any, campaign_json: str) -> None:
         except (OSError, ValueError):
             pass
     finally:
+        if obs is not None:
+            obs.close()
         try:
             conn.close()
         except OSError:
@@ -166,12 +200,20 @@ def _worker_main(conn: Any, factory: Any, campaign_json: str) -> None:
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
 
-    def __init__(self, context: Any, factory: Any, campaign_json: str):
+    def __init__(
+        self,
+        context: Any,
+        factory: Any,
+        campaign_json: str,
+        worker_id: int = 0,
+        obs_config: Optional[ObservabilityConfig] = None,
+    ):
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.conn = parent_conn
+        self.worker_id = worker_id
         self.process = context.Process(
             target=_worker_main,
-            args=(child_conn, factory, campaign_json),
+            args=(child_conn, factory, campaign_json, worker_id, obs_config),
             daemon=True,
         )
         self.process.start()
@@ -261,10 +303,30 @@ class _ParallelRun:
         self.fingerprint: Optional[Tuple[int, int, str]] = None
         self.campaign_json = ""
         self.failures = 0
+        self.obs = get_observability()
+        self.obs_config = (
+            config.observability
+            if config.observability is not None
+            else current_config()
+        )
+        self._next_worker_id = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     def execute(self) -> Any:
+        with self.obs.profile(
+            "campaign",
+            campaign=self.campaign.campaign_name,
+            technique=self.campaign.technique,
+            n_experiments=self.campaign.n_experiments,
+            mode="parallel",
+            n_workers=self.config.n_workers,
+        ):
+            self._execute_inner()
+        self.obs.flush()
+        return self.sink
+
+    def _execute_inner(self) -> None:
         parent_port = self.factory()
         if not isinstance(parent_port, FaultInjectionAlgorithms):
             raise CampaignError(
@@ -277,23 +339,37 @@ class _ParallelRun:
         # trigger addresses and iteration limits that workers must share.
         self.campaign_json = self.campaign.to_json()
         if not self.order:
-            return self.sink
+            return
         n_workers = min(self.config.n_workers, len(self.order))
         self._set_progress_workers(n_workers)
         context = self.config.context()
+        # Flush the parent's trace buffer before forking: a child must
+        # not inherit (and later flush) buffered parent records.
+        self.obs.flush()
         try:
             self.workers = [
-                _WorkerHandle(context, self.factory, self.campaign_json)
-                for _ in range(n_workers)
+                self._spawn_worker(context) for _ in range(n_workers)
             ]
             try:
                 self._event_loop()
+                self._await_worker_done()
             except StopCampaign:
                 self._drain_after_stop()
         finally:
             self._flush_ordered(final=True)
             self._shutdown()
-        return self.sink
+
+    def _spawn_worker(self, context: Any) -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        self.obs.tracer.event("worker-spawn", worker=worker_id)
+        return _WorkerHandle(
+            context,
+            self.factory,
+            self.campaign_json,
+            worker_id=worker_id,
+            obs_config=self.obs_config,
+        )
 
     # -- event loop --------------------------------------------------------
 
@@ -305,6 +381,20 @@ class _ParallelRun:
             self._check_watchdog()
             self._replace_dead_workers()
             self._flush_ordered()
+
+    def _await_worker_done(self, timeout: float = 2.0) -> None:
+        """After the last result arrived, give still-busy workers a brief
+        window to deliver their trailing ``"done"`` message — it carries
+        the final per-worker metrics delta (skipped when metrics are off:
+        the deltas would be empty)."""
+        if not self.obs.metrics.enabled:
+            return
+        deadline = time.perf_counter() + timeout
+        while (
+            any(w.busy and not w.dead for w in self.workers)
+            and time.perf_counter() < deadline
+        ):
+            self._pump_messages()
 
     def _wait_while_paused(self) -> None:
         """Cooperative pause: stop dispatching and reporting, but keep
@@ -399,6 +489,14 @@ class _ParallelRun:
             worker.busy = False
             worker.shard.clear()
             worker.deadline = None
+            delta = message[1] if len(message) > 1 else None
+            if delta:
+                # Per-worker metric shipping: the delta merges under a
+                # worker-scoped prefix, so the per-worker experiment
+                # counts remain attributable (and sum to the totals).
+                self.obs.metrics.merge(
+                    delta, prefix=f"worker{worker.worker_id}."
+                )
         elif kind == "fatal":
             raise CampaignError(f"parallel worker failed to start: {message[1]}")
 
@@ -417,6 +515,7 @@ class _ParallelRun:
                 continue
             if worker.overdue():
                 timeout = self.config.timeout_seconds or 0.0
+                self.obs.metrics.counter("parallel.watchdog_total").inc()
                 self._handle_worker_death(
                     worker, f"watchdog: experiment exceeded {timeout:.1f}s"
                 )
@@ -432,6 +531,9 @@ class _ParallelRun:
                 self.workers[position] = self._respawn()
 
     def _handle_worker_death(self, worker: _WorkerHandle, reason: str) -> None:
+        self.obs.tracer.event(
+            "worker-death", worker=worker.worker_id, reason=reason
+        )
         worker.kill()
         self._fail_worker_shard(worker, reason)
 
@@ -447,17 +549,18 @@ class _ParallelRun:
         worker.deadline = None
 
     def _respawn(self) -> _WorkerHandle:
-        return _WorkerHandle(
-            self.config.context(), self.factory, self.campaign_json
-        )
+        self.obs.metrics.counter("parallel.respawns_total").inc()
+        return self._spawn_worker(self.config.context())
 
     def _record_failure(self, index: int, reason: str) -> None:
         attempts = self.retries.get(index, 0)
         if attempts < self.config.max_retries:
             self.retries[index] = attempts + 1
             self.retry_queue.append(index)
+            self.obs.metrics.counter("parallel.retries_total").inc()
             return
         self.failures += 1
+        self.obs.metrics.counter("parallel.worker_failures_total").inc()
         self.completed[index] = self._failure_result(index, reason, attempts)
 
     def _failure_result(

@@ -16,6 +16,7 @@ from repro.core.campaign import CampaignData
 from repro.core.experiment import ExperimentResult, ReferenceRun, Termination
 from repro.db.schema import DDL, SCHEMA_VERSION
 from repro.db.statevector import decode_state_payload, encode_state_payload
+from repro.observability import get_observability
 from repro.util.errors import DatabaseError
 
 # Upsert for LoggedSystemState rows, shared by the single-row and the
@@ -167,6 +168,7 @@ class GoofiDatabase:
     def log_experiment(
         self, campaign: CampaignData, result: ExperimentResult
     ) -> None:
+        get_observability().metrics.counter("db.rows_total").inc()
         self._insert_logged(
             name=result.name,
             parent=result.parent_experiment,
@@ -189,21 +191,27 @@ class GoofiDatabase:
         turns per-experiment fsync cost into per-batch cost."""
         if not results:
             return
-        rows = [
-            self._logged_row(
-                name=result.name,
-                parent=result.parent_experiment,
-                campaign_name=campaign.campaign_name,
-                experiment_data=result.experiment_data(),
-                state_blob=encode_state_payload(
-                    result.state_vector, result.detail_states
-                ),
-                is_reference=False,
-            )
-            for result in results
-        ]
-        self._conn.executemany(_LOGGED_UPSERT, rows)
-        self._conn.commit()
+        obs = get_observability()
+        with obs.profile("db.batch", rows=len(results)):
+            rows = [
+                self._logged_row(
+                    name=result.name,
+                    parent=result.parent_experiment,
+                    campaign_name=campaign.campaign_name,
+                    experiment_data=result.experiment_data(),
+                    state_blob=encode_state_payload(
+                        result.state_vector, result.detail_states
+                    ),
+                    is_reference=False,
+                )
+                for result in results
+            ]
+            self._conn.executemany(_LOGGED_UPSERT, rows)
+            self._conn.commit()
+        metrics = obs.metrics
+        if metrics.enabled:
+            metrics.counter("db.batches_total").inc()
+            metrics.counter("db.rows_total").inc(len(results))
 
     @staticmethod
     def _logged_row(

@@ -1,0 +1,232 @@
+"""``repro.observability`` — tracing, metrics and profiling hooks.
+
+A zero-dependency, low-overhead instrumentation subsystem for campaign
+runs (motivated by ZOFI's near-zero measurement overhead and ProFIPy's
+machine-readable run reports):
+
+* :class:`~repro.observability.tracer.Tracer` — structured JSONL
+  span/event records (campaign, experiment, scan-chain op, DB batch)
+  with a shared no-op singleton on the disabled path;
+* :class:`~repro.observability.metrics.MetricsRegistry` — counters,
+  gauges and timing histograms, snapshotable to JSON, mergeable across
+  worker processes;
+* :func:`~repro.observability.profiling.profile` — a context-manager
+  timer feeding both surfaces at once.
+
+The subsystem is wired through ``repro.core.algorithms`` (experiments,
+scan ops, pre-injection sampling), ``repro.core.parallel`` (per-worker
+metric shipping), ``repro.core.controller`` (campaign state events) and
+``repro.db.database`` (batch latency); its snapshots feed the progress
+window and the CI benchmark-regression gate.
+
+Process-global access pattern::
+
+    from repro import observability
+
+    obs = observability.configure(trace_path="run.jsonl", metrics=True)
+    ...  # run campaigns; instrumented code calls get_observability()
+    snapshot = obs.metrics.snapshot()
+    observability.disable()
+
+Environment bootstrap: setting ``GOOFI_TRACE=<path>`` and/or
+``GOOFI_METRICS=1`` enables the corresponding surface at import time —
+the hook the CI benchmark job uses without code changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Any, ContextManager, Dict, List, Optional
+
+from repro.observability.metrics import (
+    NULL_INSTRUMENT,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.profiling import NULL_PROFILE, ProfiledBlock, profile
+from repro.observability.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TraceSchemaError,
+    Tracer,
+    read_trace,
+    validate_record,
+)
+
+__all__ = [
+    "NULL_INSTRUMENT",
+    "NULL_PROFILE",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "Tracer",
+    "TraceSchemaError",
+    "configure",
+    "current_config",
+    "disable",
+    "get_observability",
+    "profile",
+    "read_trace",
+    "set_observability",
+    "validate_record",
+    "worker_trace_path",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Picklable recipe for (re)building an :class:`Observability` —
+    what the parallel campaign runner ships to worker processes."""
+
+    trace_path: Optional[str] = None
+    metrics: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace_path is not None or self.metrics
+
+
+def worker_trace_path(trace_path: Optional[str], worker_id: int) -> Optional[str]:
+    """The sibling trace file a worker writes (workers never share the
+    parent's file handle, so traces stay valid under concurrency)."""
+    if trace_path is None:
+        return None
+    root, ext = os.path.splitext(trace_path)
+    return f"{root}.worker{worker_id}{ext or '.jsonl'}"
+
+
+class Observability:
+    """A tracer plus a metrics registry behind one switch."""
+
+    __slots__ = ("tracer", "metrics", "config")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        config: Optional[ObservabilityConfig] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.config = config if config is not None else ObservabilityConfig()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    def profile(self, name: str, **fields: Any) -> ContextManager[Any]:
+        """Time a block into a span record and a ``<name>_seconds``
+        histogram; returns the shared no-op singleton when disabled."""
+        if not self.enabled:
+            return NULL_PROFILE
+        return ProfiledBlock(self, name, fields)
+
+    def flush(self) -> None:
+        self.tracer.flush()
+
+    def close(self) -> None:
+        if self.tracer is not NULL_TRACER:
+            self.tracer.close()
+
+    def write_metrics(self, path: str) -> Dict[str, Any]:
+        """Dump the current metrics snapshot as JSON to ``path``."""
+        snapshot = self.metrics.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return snapshot
+
+
+def build(
+    config: ObservabilityConfig,
+    trace_buffer: Optional[List[Dict[str, Any]]] = None,
+) -> Observability:
+    """Construct a fresh :class:`Observability` from a config."""
+    tracer = (
+        Tracer(path=config.trace_path, buffer=trace_buffer)
+        if (config.trace_path is not None or trace_buffer is not None)
+        else NULL_TRACER
+    )
+    metrics = MetricsRegistry() if config.metrics else NULL_METRICS
+    return Observability(tracer, metrics, config)
+
+
+_DISABLED = Observability()
+_current: Observability = _DISABLED
+
+
+def get_observability() -> Observability:
+    """The process-global observability (disabled by default)."""
+    return _current
+
+
+def set_observability(obs: Observability) -> Observability:
+    """Swap the process-global observability; returns the previous one.
+
+    Never closes the previous instance — under the ``fork`` start method
+    a worker inherits the parent's instance, and closing it would flush
+    the inherited file-buffer copy into the parent's trace file."""
+    global _current
+    previous = _current
+    _current = obs
+    return previous
+
+
+def configure(
+    trace_path: Optional[str] = None,
+    metrics: bool = True,
+    trace_buffer: Optional[List[Dict[str, Any]]] = None,
+) -> Observability:
+    """Enable observability process-wide and return the instance."""
+    obs = build(
+        ObservabilityConfig(trace_path=trace_path, metrics=metrics),
+        trace_buffer=trace_buffer,
+    )
+    set_observability(obs)
+    return obs
+
+
+def configure_worker(
+    config: ObservabilityConfig, worker_id: int
+) -> Observability:
+    """Install a fresh, isolated observability in a worker process:
+    a sibling trace file and an empty metrics registry (never the
+    parent's inherited state)."""
+    worker_config = replace(
+        config, trace_path=worker_trace_path(config.trace_path, worker_id)
+    )
+    obs = build(worker_config)
+    set_observability(obs)
+    return obs
+
+
+def current_config() -> ObservabilityConfig:
+    """The picklable config describing the current global state."""
+    return _current.config
+
+
+def disable() -> None:
+    """Flush and drop the process-global observability."""
+    global _current
+    if _current is not _DISABLED:
+        _current.close()
+    _current = _DISABLED
+
+
+def _bootstrap_from_env() -> None:
+    trace_path = os.environ.get("GOOFI_TRACE") or None
+    metrics = os.environ.get("GOOFI_METRICS", "") not in ("", "0", "false")
+    if trace_path is not None or metrics:
+        configure(trace_path=trace_path, metrics=metrics)
+
+
+_bootstrap_from_env()

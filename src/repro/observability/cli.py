@@ -1,0 +1,86 @@
+"""The ``goofi-metrics`` command-line application.
+
+Machine-readable campaign observability from the shell (the ProFIPy-style
+service surface):
+
+    goofi-metrics report METRICS.json            # render one snapshot
+    goofi-metrics diff OLD.json NEW.json         # compare two snapshots
+    goofi-metrics trace TRACE.jsonl              # validate + summarize
+
+``report`` and ``diff`` consume the JSON snapshots written by
+``goofi run --metrics-out`` (or ``Observability.write_metrics``);
+``trace`` validates every record of a JSONL trace against the schema and
+prints per-span statistics. All commands exit nonzero on malformed
+input, so they can gate CI steps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.observability.report import (
+    render_diff,
+    render_metrics,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.observability.tracer import TraceSchemaError, read_trace
+
+__all__ = ["main"]
+
+
+def _load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path}: not a metrics snapshot object")
+    return snapshot
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="goofi-metrics",
+        description="report, diff and summarize GOOFI campaign "
+        "observability output",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="render a metrics snapshot")
+    p.add_argument("snapshot", help="metrics snapshot JSON file")
+
+    p = sub.add_parser("diff", help="diff two metrics snapshots")
+    p.add_argument("old", help="baseline snapshot JSON file")
+    p.add_argument("new", help="fresh snapshot JSON file")
+
+    p = sub.add_parser("trace", help="validate + summarize a JSONL trace")
+    p.add_argument("trace", help="JSONL trace file")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "report":
+            print(render_metrics(_load_snapshot(args.snapshot)))
+        elif args.command == "diff":
+            print(
+                render_diff(
+                    _load_snapshot(args.old), _load_snapshot(args.new)
+                )
+            )
+        elif args.command == "trace":
+            records = read_trace(args.trace)
+            print(f"{len(records)} valid records in {args.trace}")
+            print(render_trace_summary(summarize_trace(records)))
+    except (OSError, ValueError, TraceSchemaError) as exc:
+        print(f"goofi-metrics: error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""Counters, gauges and timing histograms with JSON snapshots.
+
+A :class:`MetricsRegistry` names a set of instruments. Instruments are
+created on first use (``registry.counter("experiments_total").inc()``),
+snapshot to a plain JSON-serialisable dictionary, and merge additively —
+the operation the parallel campaign runner uses to aggregate per-worker
+deltas into the parent's registry (prefixed ``worker<N>.``) so that the
+per-worker experiment counts provably sum to the serial totals.
+
+A disabled registry hands out one shared :data:`NULL_INSTRUMENT` whose
+methods do nothing, so instrumented hot paths cost a dictionary-free
+method call when metrics are off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "SNAPSHOT_SCHEMA_VERSION",
+]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Default histogram bucket upper bounds, tuned for seconds-scale timings
+#: (100 us .. 60 s); everything above the last bound lands in +Inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    60.0,
+)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled metrics."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self.value: float = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("_lock", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self,
+        lock: threading.Lock,
+        bounds: Optional[Sequence[float]] = None,
+    ):
+        self._lock = lock
+        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BUCKETS)
+        #: One slot per bound plus the +Inf overflow slot.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            slot = len(self.bounds)
+            for position, bound in enumerate(self.bounds):
+                if value <= bound:
+                    slot = position
+                    break
+            self.bucket_counts[slot] += 1
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        with self._lock:
+            if tuple(data.get("bounds", ())) != self.bounds:
+                # Different bucketing: fold into count/sum/min/max only,
+                # charging the overflow slot (merging never drops samples).
+                extra = int(data.get("count", 0))
+                self.bucket_counts[-1] += extra
+            else:
+                for slot, n in enumerate(data.get("bucket_counts", ())):
+                    self.bucket_counts[slot] += int(n)
+            self.count += int(data.get("count", 0))
+            self.total += float(data.get("sum", 0.0))
+            their_min = data.get("min")
+            if their_min is not None:
+                self.min = (
+                    their_min if self.min is None else min(self.min, their_min)
+                )
+            their_max = data.get("max")
+            if their_max is not None:
+                self.max = (
+                    their_max if self.max is None else max(self.max, their_max)
+                )
+
+
+class MetricsRegistry:
+    """Named instruments, snapshotable to JSON and mergeable."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Union[Counter, _NullInstrument]:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(self._lock))
+        return counter
+
+    def gauge(self, name: str) -> Union[Gauge, _NullInstrument]:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(self._lock))
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Union[Histogram, _NullInstrument]:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(self._lock, bounds)
+                )
+        return histogram
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain JSON-serialisable view of every instrument."""
+        with self._lock:
+            return {
+                "schema": SNAPSHOT_SCHEMA_VERSION,
+                "created": time.time(),
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def drain(self) -> Dict[str, Any]:
+        """Snapshot, then reset every instrument to zero.
+
+        The worker-to-parent shipping primitive: a worker drains after
+        each shard so successive deltas merge additively without double
+        counting."""
+        snapshot = self.snapshot()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        return snapshot
+
+    def merge(self, snapshot: Dict[str, Any], prefix: str = "") -> None:
+        """Fold a snapshot into this registry (counters and histogram
+        samples add; gauges take the incoming value). ``prefix`` namespaces
+        the incoming names, e.g. ``worker0.``."""
+        if not self.enabled or not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(prefix + name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(prefix + name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(prefix + name, data.get("bounds"))
+            if isinstance(histogram, Histogram):
+                histogram.merge_dict(data)
+
+
+#: Shared disabled registry (the module default).
+NULL_METRICS = MetricsRegistry(enabled=False)

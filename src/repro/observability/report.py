@@ -1,0 +1,196 @@
+"""Rendering and diffing metrics snapshots and trace summaries.
+
+The text surfaces of the observability subsystem: the ``goofi-metrics``
+CLI renders and diffs the JSON snapshots campaigns emit, the progress
+window appends a one-line live digest, and ``summarize_trace`` folds a
+JSONL trace into per-span-name statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "diff_snapshots",
+    "progress_metrics_line",
+    "render_diff",
+    "render_metrics",
+    "render_trace_summary",
+    "sum_counters",
+    "summarize_trace",
+]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def sum_counters(snapshot: Dict[str, Any], suffix: str) -> float:
+    """Sum every counter whose name ends with ``suffix`` — e.g. the
+    per-worker ``experiments_total`` counts of a parallel campaign."""
+    return sum(
+        value
+        for name, value in snapshot.get("counters", {}).items()
+        if name.endswith(suffix)
+    )
+
+
+def render_metrics(snapshot: Dict[str, Any]) -> str:
+    """Human-readable table of one metrics snapshot."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:44s} {_format_value(value):>12s}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:44s} {_format_value(value):>12s}")
+    if histograms:
+        lines.append("histograms:")
+        lines.append(
+            f"  {'name':44s} {'count':>8s} {'mean':>10s} "
+            f"{'min':>10s} {'max':>10s} {'total':>10s}"
+        )
+        for name, data in sorted(histograms.items()):
+            count = data.get("count", 0)
+            total = data.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:44s} {count:>8d} {_format_seconds(mean):>10s} "
+                f"{_format_seconds(data.get('min')):>10s} "
+                f"{_format_seconds(data.get('max')):>10s} "
+                f"{_format_seconds(total):>10s}"
+            )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+def diff_snapshots(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[Tuple[str, str, Optional[float], Optional[float]]]:
+    """Per-metric (kind, name, old, new) rows for every scalar metric
+    appearing in either snapshot (histograms compare their means)."""
+    rows: List[Tuple[str, str, Optional[float], Optional[float]]] = []
+    for kind in ("counters", "gauges"):
+        names = sorted(set(old.get(kind, {})) | set(new.get(kind, {})))
+        for name in names:
+            rows.append(
+                (kind[:-1], name, old.get(kind, {}).get(name),
+                 new.get(kind, {}).get(name))
+            )
+    names = sorted(
+        set(old.get("histograms", {})) | set(new.get("histograms", {}))
+    )
+    for name in names:
+
+        def _mean(snapshot: Dict[str, Any]) -> Optional[float]:
+            data = snapshot.get("histograms", {}).get(name)
+            if not data or not data.get("count"):
+                return None
+            return data["sum"] / data["count"]
+
+        rows.append(("histogram-mean", name, _mean(old), _mean(new)))
+    return rows
+
+
+def render_diff(old: Dict[str, Any], new: Dict[str, Any]) -> str:
+    """Tabular diff of two snapshots with relative change."""
+    lines = [
+        f"{'kind':15s} {'metric':44s} {'old':>12s} {'new':>12s} {'delta':>10s}"
+    ]
+    for kind, name, old_value, new_value in diff_snapshots(old, new):
+        if old_value is None and new_value is None:
+            continue
+        if old_value == new_value:
+            continue
+        old_text = "-" if old_value is None else _format_value(old_value)
+        new_text = "-" if new_value is None else _format_value(new_value)
+        if old_value and new_value is not None and old_value != 0:
+            delta = f"{100.0 * (new_value - old_value) / old_value:+.1f}%"
+        else:
+            delta = "new" if old_value is None else "-"
+        lines.append(f"{kind:15s} {name:44s} {old_text:>12s} "
+                     f"{new_text:>12s} {delta:>10s}")
+    if len(lines) == 1:
+        lines.append("(no differences)")
+    return "\n".join(lines)
+
+
+def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold trace records into per-name span statistics and event counts."""
+    spans: Dict[str, Dict[str, Any]] = {}
+    events: Dict[str, int] = {}
+    for record in records:
+        name = record["name"]
+        if record["kind"] == "event":
+            events[name] = events.get(name, 0) + 1
+            continue
+        stats = spans.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        stats["count"] += 1
+        stats["total_s"] += record["dur_s"]
+        stats["max_s"] = max(stats["max_s"], record["dur_s"])
+    return {"spans": spans, "events": events}
+
+
+def render_trace_summary(summary: Dict[str, Any]) -> str:
+    lines = [
+        f"{'span':30s} {'count':>8s} {'total':>10s} {'mean':>10s} {'max':>10s}"
+    ]
+    for name, stats in sorted(summary.get("spans", {}).items()):
+        count = stats["count"]
+        mean = stats["total_s"] / count if count else 0.0
+        lines.append(
+            f"{name:30s} {count:>8d} {_format_seconds(stats['total_s']):>10s} "
+            f"{_format_seconds(mean):>10s} "
+            f"{_format_seconds(stats['max_s']):>10s}"
+        )
+    events = summary.get("events", {})
+    if events:
+        lines.append("events:")
+        for name, count in sorted(events.items()):
+            lines.append(f"  {name:28s} {count:>8d}")
+    return "\n".join(lines)
+
+
+def progress_metrics_line(snapshot: Dict[str, Any]) -> str:
+    """The one-line digest the progress window appends when metrics are
+    enabled: experiment throughput, scan/DB latency, prune ratio."""
+    parts: List[str] = []
+    experiments = sum_counters(snapshot, "experiments_total")
+    if experiments:
+        parts.append(f"experiments={int(experiments)}")
+    histogram = snapshot.get("histograms", {}).get("experiment_seconds")
+    if histogram and histogram.get("count"):
+        parts.append(
+            "exp-mean="
+            + _format_seconds(histogram["sum"] / histogram["count"])
+        )
+    batches = snapshot.get("counters", {}).get("db.batches_total")
+    if batches:
+        parts.append(f"db-batches={int(batches)}")
+    samples = snapshot.get("counters", {}).get("preinjection.samples_total")
+    rejected = snapshot.get("counters", {}).get(
+        "preinjection.rejected_total"
+    )
+    if samples:
+        parts.append(f"prune={(rejected or 0) / samples:.2f}")
+    return "metrics: " + "  ".join(parts) if parts else ""

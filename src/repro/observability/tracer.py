@@ -1,0 +1,241 @@
+"""Structured JSONL tracing with a no-op fast path.
+
+The :class:`Tracer` emits one JSON object per line, either *span* records
+(a named duration with attached fields — campaign, experiment, scan-chain
+op, DB batch) or *event* records (a point in time). A disabled tracer is
+free: :meth:`Tracer.span` returns a shared no-op context-manager
+singleton and :meth:`Tracer.event` returns immediately, so leaving the
+instrumentation compiled into the hot paths costs two attribute lookups
+and a truth test per call site (ZOFI's "near zero overhead when off"
+requirement).
+
+Record schema (version 1)::
+
+    {"v": 1, "kind": "span",  "name": ..., "ts": <unix seconds>,
+     "dur_s": <float>, "pid": <int>, "fields": {...}}
+    {"v": 1, "kind": "event", "name": ..., "ts": <unix seconds>,
+     "pid": <int>, "fields": {...}}
+
+``read_trace`` parses and validates a trace file back into dictionaries
+(the round-trip contract asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "Tracer",
+    "read_trace",
+    "validate_record",
+]
+
+SCHEMA_VERSION = 1
+
+#: Records buffered before the tracer flushes its file sink.
+_FLUSH_EVERY = 256
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not conform to the JSONL span/event schema."""
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager emitting one span record on exit."""
+
+    __slots__ = ("_tracer", "_name", "_fields", "_ts", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self._ts = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self._fields = dict(self._fields)
+            self._fields["exc_type"] = exc_type.__name__
+        self._tracer.emit_span(self._name, self._ts, duration, self._fields)
+        return False
+
+
+class Tracer:
+    """JSONL span/event emitter.
+
+    ``path`` appends records to a file; ``buffer`` appends record dicts
+    to a caller-owned list (the in-memory mode used by tests and the
+    progress window). With neither, the tracer is disabled and every
+    call is a no-op.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        buffer: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        self._path = path
+        self._buffer = buffer
+        self._file: Optional[IO[str]] = None
+        self._pending = 0
+        self._lock = threading.Lock()
+        self.enabled = path is not None or buffer is not None
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    # -- emitting ----------------------------------------------------------
+
+    def span(self, name: str, **fields: Any) -> Union[_Span, _NullSpan]:
+        """A context manager timing ``name``; no-op singleton when off."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, fields)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a point-in-time event record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "event",
+                "name": name,
+                "ts": time.time(),
+                "pid": os.getpid(),
+                "fields": fields,
+            }
+        )
+
+    def emit_span(
+        self, name: str, ts: float, duration: float, fields: Dict[str, Any]
+    ) -> None:
+        if not self.enabled:
+            return
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "span",
+                "name": name,
+                "ts": ts,
+                "dur_s": duration,
+                "pid": os.getpid(),
+                "fields": fields,
+            }
+        )
+
+    # -- sinks -------------------------------------------------------------
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._buffer is not None:
+                self._buffer.append(record)
+            if self._path is not None:
+                if self._file is None:
+                    self._file = open(self._path, "a", encoding="utf-8")
+                self._file.write(json.dumps(record, sort_keys=True) + "\n")
+                self._pending += 1
+                if self._pending >= _FLUSH_EVERY:
+                    self._file.flush()
+                    self._pending = 0
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._pending = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+            self.enabled = False
+
+
+#: Shared disabled tracer (the module default).
+NULL_TRACER = Tracer()
+
+
+# ---------------------------------------------------------------------------
+# Reading and validating traces (the round-trip contract)
+# ---------------------------------------------------------------------------
+
+_COMMON_KEYS = {"v", "kind", "name", "ts", "pid", "fields"}
+
+
+def validate_record(record: Any) -> Dict[str, Any]:
+    """Check one parsed trace record against the schema; returns it."""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"record is not an object: {record!r}")
+    missing = _COMMON_KEYS - set(record)
+    if missing:
+        raise TraceSchemaError(f"record misses keys {sorted(missing)}")
+    if record["v"] != SCHEMA_VERSION:
+        raise TraceSchemaError(f"unknown schema version {record['v']!r}")
+    if record["kind"] not in ("span", "event"):
+        raise TraceSchemaError(f"unknown record kind {record['kind']!r}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise TraceSchemaError("record name must be a non-empty string")
+    if not isinstance(record["ts"], (int, float)):
+        raise TraceSchemaError("record ts must be numeric")
+    if not isinstance(record["pid"], int):
+        raise TraceSchemaError("record pid must be an int")
+    if not isinstance(record["fields"], dict):
+        raise TraceSchemaError("record fields must be an object")
+    if record["kind"] == "span":
+        duration = record.get("dur_s")
+        if not isinstance(duration, (int, float)) or duration < 0:
+            raise TraceSchemaError("span dur_s must be a non-negative number")
+    return record
+
+
+def iter_trace(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield validated records from a JSONL trace file."""
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+            yield validate_record(record)
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse and validate a whole JSONL trace file."""
+    return list(iter_trace(path))

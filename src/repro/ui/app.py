@@ -104,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true")
     p.add_argument("--resume", action="store_true",
                    help="skip experiments already logged in the database")
+    p.add_argument("--trace",
+                   help="write a structured JSONL trace of the run to PATH "
+                        "(inspect with 'goofi-metrics trace PATH')")
+    p.add_argument("--metrics-out",
+                   help="write a metrics snapshot (JSON) to PATH after the "
+                        "run (inspect with 'goofi-metrics report PATH')")
 
     p = sub.add_parser("analyze", help="classify a stored campaign")
     p.add_argument("--db", required=True)
@@ -204,15 +210,32 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    with GoofiDatabase(args.db) as db:
-        campaign = db.load_campaign(args.campaign)
-        target = create_target(campaign.target_name)
-        controller = CampaignController(target, sink=db)
-        window = ProgressWindow(
-            controller, stream=None if args.quiet else sys.stdout
-        )
-        controller.run(campaign, resume=args.resume)
-        print(window.render())
+    from repro.observability import configure, disable, get_observability
+
+    want_obs = bool(args.trace or args.metrics_out)
+    if want_obs:
+        configure(trace_path=args.trace, metrics=bool(args.metrics_out))
+    try:
+        with GoofiDatabase(args.db) as db:
+            campaign = db.load_campaign(args.campaign)
+            target = create_target(campaign.target_name)
+            controller = CampaignController(target, sink=db)
+            window = ProgressWindow(
+                controller, stream=None if args.quiet else sys.stdout
+            )
+            controller.run(campaign, resume=args.resume)
+            print(window.render())
+        if want_obs:
+            obs = get_observability()
+            obs.flush()
+            if args.metrics_out:
+                obs.write_metrics(args.metrics_out)
+                print(f"wrote metrics snapshot to {args.metrics_out}")
+            if args.trace:
+                print(f"wrote trace to {args.trace}")
+    finally:
+        if want_obs:
+            disable()
     return 0
 
 

@@ -10,10 +10,17 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.controller import CampaignController, CampaignProgress
+from repro.observability import get_observability
+from repro.observability.report import progress_metrics_line
 
 
 class ProgressWindow:
-    """Live view over a :class:`CampaignController`."""
+    """Live view over a :class:`CampaignController`.
+
+    When the process-global observability has metrics enabled, the
+    rendered window gains a live ``metrics:`` digest line (experiment
+    throughput, scan/DB latency, pre-injection prune ratio) fed from the
+    :class:`~repro.observability.metrics.MetricsRegistry` snapshot."""
 
     BAR_WIDTH = 40
 
@@ -75,6 +82,11 @@ class ProgressWindow:
                 for name, count in sorted(progress.detections.items())
             )
             lines.append(f"detections:   {dets}")
+        metrics = get_observability().metrics
+        if metrics.enabled:
+            digest = progress_metrics_line(metrics.snapshot())
+            if digest:
+                lines.append(digest)
         return "\n".join(lines)
 
 

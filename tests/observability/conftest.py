@@ -1,0 +1,17 @@
+"""Fixtures for the observability tests.
+
+Every test in this package runs against a clean process-global
+observability and leaves it disabled, so instrumented code paths in
+other test modules keep their zero-overhead default.
+"""
+
+import pytest
+
+from repro import observability
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    observability.disable()
+    yield
+    observability.disable()

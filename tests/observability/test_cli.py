@@ -1,0 +1,123 @@
+"""The goofi-metrics CLI and the goofi run --trace/--metrics-out flags."""
+
+import json
+
+import pytest
+
+from repro.observability.cli import main as metrics_main
+from repro.ui.app import main as goofi_main
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    snapshot = {
+        "schema": 1,
+        "created": 0.0,
+        "counters": {"experiments_total": 10, "db.rows_total": 10},
+        "gauges": {"campaign.n_done": 10},
+        "histograms": {
+            "experiment_seconds": {
+                "bounds": [0.1],
+                "bucket_counts": [10, 0],
+                "count": 10,
+                "sum": 0.5,
+                "min": 0.01,
+                "max": 0.09,
+            }
+        },
+    }
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps(snapshot))
+    return path, snapshot
+
+
+class TestGoofiMetrics:
+    def test_report(self, snapshot_file, capsys):
+        path, _ = snapshot_file
+        assert metrics_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiments_total" in out
+        assert "experiment_seconds" in out
+
+    def test_diff(self, snapshot_file, tmp_path, capsys):
+        path, snapshot = snapshot_file
+        newer = dict(snapshot)
+        newer["counters"] = {"experiments_total": 20, "db.rows_total": 10}
+        new_path = tmp_path / "new.json"
+        new_path.write_text(json.dumps(newer))
+        assert metrics_main(["diff", str(path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiments_total" in out
+        assert "+100.0%" in out
+        # Unchanged metrics are not listed.
+        assert "db.rows_total" not in out
+
+    def test_trace(self, tmp_path, capsys):
+        record = {
+            "v": 1,
+            "kind": "span",
+            "name": "experiment",
+            "ts": 1.0,
+            "dur_s": 0.5,
+            "pid": 1,
+            "fields": {},
+        }
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        assert metrics_main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 valid records" in out
+        assert "experiment" in out
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert metrics_main(["report", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 99}\n')
+        assert metrics_main(["trace", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGoofiRunFlags:
+    def _setup_campaign(self, tmp_path):
+        db = str(tmp_path / "g.db")
+        assert goofi_main([
+            "campaign", "--db", db, "--name", "c1",
+            "--experiments", "5", "--seed", "3",
+        ]) == 0
+        return db
+
+    def test_run_with_trace_and_metrics_out(self, tmp_path, capsys):
+        db = self._setup_campaign(tmp_path)
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert goofi_main([
+            "run", "--db", db, "--campaign", "c1", "--quiet",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        # The progress window gains the live metrics digest line.
+        assert "metrics:" in out
+
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["experiments_total"] == 5
+        assert snapshot["counters"]["db.rows_total"] == 5
+
+        # The trace validates and its spans cover the campaign.
+        assert metrics_main(["trace", str(trace)]) == 0
+        assert "campaign" in capsys.readouterr().out
+
+        # The global observability is restored to disabled afterwards.
+        from repro import observability
+
+        assert observability.get_observability().enabled is False
+
+    def test_run_without_flags_stays_uninstrumented(self, tmp_path, capsys):
+        db = self._setup_campaign(tmp_path)
+        assert goofi_main([
+            "run", "--db", db, "--campaign", "c1", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" not in out

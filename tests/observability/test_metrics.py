@@ -1,0 +1,179 @@
+"""Metrics registry: instruments, snapshots, merge additivity.
+
+The property test at the bottom is the subsystem's core correctness
+claim: splitting a stream of observations across worker registries and
+merging their drained deltas into a parent yields exactly the serial
+totals — what makes the parallel runner's per-worker counts trustworthy.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.metrics import (
+    NULL_INSTRUMENT,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.report import sum_counters
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.snapshot()["counters"]["a"] == 5
+
+    def test_gauge_takes_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        registry.gauge("g").set(2.5)
+        assert registry.snapshot()["gauges"]["g"] == 2.5
+
+    def test_histogram_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (0.005, 0.02, 0.5):
+            histogram.observe(value)
+        data = registry.snapshot()["histograms"]["h"]
+        assert data["count"] == 3
+        assert data["sum"] == pytest.approx(0.525)
+        assert data["min"] == 0.005
+        assert data["max"] == 0.5
+        assert sum(data["bucket_counts"]) == 3
+
+    def test_histogram_overflow_slot(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(10_000.0)  # beyond the last bound
+        data = registry.snapshot()["histograms"]["h"]
+        assert data["bucket_counts"][-1] == 1
+
+    def test_disabled_registry_hands_out_shared_null_instrument(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_INSTRUMENT
+        assert registry.gauge("b") is NULL_INSTRUMENT
+        assert registry.histogram("c") is NULL_INSTRUMENT
+        # All methods are no-ops.
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        registry.histogram("c").observe(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+
+class TestSnapshots:
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(3.0)
+        registry.histogram("h").observe(0.01)
+        snapshot = registry.snapshot()
+        restored = json.loads(json.dumps(snapshot))
+        assert restored["counters"] == {"c": 1}
+        assert restored["schema"] == snapshot["schema"]
+
+    def test_drain_resets_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        delta = registry.drain()
+        assert delta["counters"]["c"] == 3
+        assert registry.snapshot()["counters"] == {}
+        # Next use starts from zero again.
+        registry.counter("c").inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_merge_with_prefix(self):
+        worker = MetricsRegistry()
+        worker.counter("experiments_total").inc(7)
+        worker.histogram("experiment_seconds").observe(0.1)
+        parent = MetricsRegistry()
+        parent.merge(worker.drain(), prefix="worker0.")
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["worker0.experiments_total"] == 7
+        assert (
+            snapshot["histograms"]["worker0.experiment_seconds"]["count"] == 1
+        )
+
+    def test_merge_mismatched_bounds_folds_into_overflow(self):
+        incoming = Histogram(lock=__import__("threading").Lock(),
+                             bounds=(1.0, 2.0))
+        incoming.observe(0.5)
+        incoming.observe(1.5)
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(0.01)  # default bounds
+        parent.merge({"histograms": {"h": incoming.to_dict()}})
+        data = parent.snapshot()["histograms"]["h"]
+        # No samples dropped: count and sum fold in, extras charged to +Inf.
+        assert data["count"] == 3
+        assert data["sum"] == pytest.approx(2.01)
+        assert data["bucket_counts"][-1] == 2
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        parent = MetricsRegistry(enabled=False)
+        parent.merge({"counters": {"a": 1}})
+        assert parent.snapshot()["counters"] == {}
+
+    def test_sum_counters_matches_suffix(self):
+        snapshot = {
+            "counters": {
+                "worker0.experiments_total": 5,
+                "worker1.experiments_total": 7,
+                "db.rows_total": 99,
+            }
+        }
+        assert sum_counters(snapshot, "experiments_total") == 12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shards=st.lists(
+        st.lists(
+            st.floats(
+                min_value=0.0, max_value=100.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=20,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_sharded_merge_equals_serial_totals(shards):
+    """Counters and histogram counts/sums aggregated across worker
+    registries equal the serial registry's totals."""
+    serial = MetricsRegistry()
+    parent = MetricsRegistry()
+    for worker_id, shard in enumerate(shards):
+        worker = MetricsRegistry()
+        for value in shard:
+            serial.counter("experiments_total").inc()
+            serial.histogram("experiment_seconds").observe(value)
+            worker.counter("experiments_total").inc()
+            worker.histogram("experiment_seconds").observe(value)
+        parent.merge(worker.drain(), prefix=f"worker{worker_id}.")
+
+    serial_snapshot = serial.snapshot()
+    parent_snapshot = parent.snapshot()
+    total = sum(len(shard) for shard in shards)
+    assert sum_counters(parent_snapshot, "experiments_total") == total
+    assert (
+        sum_counters(parent_snapshot, "experiments_total")
+        == serial_snapshot["counters"].get("experiments_total", 0)
+    )
+    serial_hist = serial_snapshot["histograms"].get("experiment_seconds")
+    if serial_hist is not None:
+        merged = [
+            data
+            for name, data in parent_snapshot["histograms"].items()
+            if name.endswith("experiment_seconds")
+        ]
+        assert sum(d["count"] for d in merged) == serial_hist["count"]
+        assert sum(d["sum"] for d in merged) == pytest.approx(
+            serial_hist["sum"]
+        )

@@ -1,0 +1,121 @@
+"""Process-global observability: configuration, profiling, overhead."""
+
+import time
+
+import pytest
+
+from repro import observability
+from repro.observability import (
+    NULL_PROFILE,
+    Observability,
+    ObservabilityConfig,
+    worker_trace_path,
+)
+from repro.observability.tracer import read_trace
+
+
+class TestConfiguration:
+    def test_default_is_disabled(self):
+        obs = observability.get_observability()
+        assert obs.enabled is False
+        assert obs.tracer.enabled is False
+        assert obs.metrics.enabled is False
+
+    def test_configure_and_disable(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs = observability.configure(trace_path=path, metrics=True)
+        assert observability.get_observability() is obs
+        assert obs.enabled
+        assert observability.current_config() == ObservabilityConfig(
+            trace_path=path, metrics=True
+        )
+        observability.disable()
+        assert observability.get_observability().enabled is False
+        assert observability.current_config() == ObservabilityConfig()
+
+    def test_metrics_only_configuration(self):
+        obs = observability.configure(metrics=True)
+        assert obs.metrics.enabled
+        assert obs.tracer.enabled is False
+
+    def test_worker_trace_path_sibling_files(self):
+        assert (
+            worker_trace_path("/tmp/run.jsonl", 0) == "/tmp/run.worker0.jsonl"
+        )
+        assert worker_trace_path("/tmp/run", 3) == "/tmp/run.worker3.jsonl"
+        assert worker_trace_path(None, 1) is None
+
+    def test_configure_worker_isolates_state(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        parent = observability.configure(trace_path=path, metrics=True)
+        parent.metrics.counter("experiments_total").inc(10)
+        worker = observability.configure_worker(
+            parent.config, worker_id=2
+        )
+        assert worker is observability.get_observability()
+        assert worker.tracer.path == str(tmp_path / "trace.worker2.jsonl")
+        # Fresh registry: no inherited counts.
+        assert worker.metrics.snapshot()["counters"] == {}
+
+    def test_write_metrics(self, tmp_path):
+        obs = observability.configure(metrics=True)
+        obs.metrics.counter("experiments_total").inc(4)
+        out = tmp_path / "metrics.json"
+        snapshot = obs.write_metrics(str(out))
+        assert snapshot["counters"]["experiments_total"] == 4
+        assert out.exists()
+
+
+class TestProfiling:
+    def test_profile_feeds_both_surfaces(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs = observability.configure(trace_path=path, metrics=True)
+        with obs.profile("db.batch", rows=3):
+            time.sleep(0.001)
+        obs.flush()
+        (record,) = read_trace(path)
+        assert record["name"] == "db.batch"
+        assert record["fields"] == {"rows": 3}
+        data = obs.metrics.snapshot()["histograms"]["db.batch_seconds"]
+        assert data["count"] == 1
+        assert data["sum"] > 0
+
+    def test_profile_records_exception(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs = observability.configure(trace_path=path, metrics=False)
+        with pytest.raises(ValueError):
+            with obs.profile("experiment"):
+                raise ValueError("nope")
+        obs.flush()
+        (record,) = read_trace(path)
+        assert record["fields"]["exc_type"] == "ValueError"
+
+    def test_disabled_profile_is_shared_singleton(self):
+        obs = Observability()
+        assert obs.profile("experiment") is NULL_PROFILE
+        assert obs.profile("other", a=1) is NULL_PROFILE
+
+
+class TestDisabledOverhead:
+    def test_disabled_instrumentation_is_cheap(self):
+        """100k no-op profile/span/counter calls must stay well under a
+        generous absolute bound (the <2% acceptance figure is measured
+        on real campaigns; this guards against accidentally putting
+        allocation or I/O on the disabled path)."""
+        obs = observability.get_observability()
+        assert obs.enabled is False
+        started = time.perf_counter()
+        for _ in range(100_000):
+            with obs.profile("experiment"):
+                pass
+            obs.metrics.counter("experiments_total").inc()
+            obs.tracer.event("tick")
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0, f"disabled path took {elapsed:.2f}s for 100k"
+
+    def test_disabled_path_allocates_no_records(self):
+        obs = observability.get_observability()
+        with obs.profile("experiment") as handle:
+            pass
+        assert handle is None or handle is NULL_PROFILE
+        assert obs.metrics.snapshot()["counters"] == {}

@@ -1,0 +1,150 @@
+"""Tracer: disabled fast path, JSONL round-trip, schema validation."""
+
+import json
+import time
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    TraceSchemaError,
+    Tracer,
+    read_trace,
+    validate_record,
+)
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_is_marked_disabled(self):
+        assert Tracer().enabled is False
+
+    def test_span_returns_shared_null_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("experiment") is NULL_SPAN
+        assert tracer.span("other", index=3) is NULL_SPAN
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+
+    def test_event_is_a_noop(self):
+        Tracer().event("campaign-state", state="paused")  # must not raise
+
+    def test_no_file_created_when_disabled(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        tracer = Tracer()
+        tracer.event("x")
+        with tracer.span("y"):
+            pass
+        tracer.flush()
+        tracer.close()
+        assert not path.exists()
+
+
+class TestRoundTrip:
+    def test_span_and_event_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        with tracer.span("experiment", campaign="c1", index=7):
+            time.sleep(0.001)
+        tracer.event("campaign-state", state="running")
+        tracer.close()
+
+        records = read_trace(path)
+        assert len(records) == 2
+        span, event = records
+        assert span["kind"] == "span"
+        assert span["name"] == "experiment"
+        assert span["v"] == SCHEMA_VERSION
+        assert span["fields"] == {"campaign": "c1", "index": 7}
+        assert span["dur_s"] > 0
+        assert event["kind"] == "event"
+        assert event["fields"] == {"state": "running"}
+        assert isinstance(event["pid"], int)
+
+    def test_span_records_exception_type(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("experiment"):
+                raise RuntimeError("boom")
+        tracer.close()
+        (record,) = read_trace(path)
+        assert record["fields"]["exc_type"] == "RuntimeError"
+
+    def test_buffer_sink(self):
+        buffer = []
+        tracer = Tracer(buffer=buffer)
+        assert tracer.enabled
+        tracer.event("tick", n=1)
+        with tracer.span("work"):
+            pass
+        assert [r["kind"] for r in buffer] == ["event", "span"]
+        for record in buffer:
+            validate_record(record)
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        for n in range(5):
+            tracer.event("tick", n=n)
+        tracer.close()
+        lines = [
+            line
+            for line in open(path, encoding="utf-8").read().splitlines()
+            if line
+        ]
+        assert len(lines) == 5
+        assert [json.loads(line)["fields"]["n"] for line in lines] == list(
+            range(5)
+        )
+
+
+class TestValidation:
+    def _record(self, **overrides):
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": "event",
+            "name": "tick",
+            "ts": 123.0,
+            "pid": 1,
+            "fields": {},
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_record_is_returned(self):
+        record = self._record()
+        assert validate_record(record) is record
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"v": 99},
+            {"kind": "bogus"},
+            {"name": ""},
+            {"ts": "yesterday"},
+            {"pid": "one"},
+            {"fields": []},
+            {"kind": "span"},  # span without dur_s
+            {"kind": "span", "dur_s": -1.0},
+        ],
+    )
+    def test_malformed_records_rejected(self, overrides):
+        with pytest.raises(TraceSchemaError):
+            validate_record(self._record(**overrides))
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_record({"v": SCHEMA_VERSION})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_record([1, 2, 3])
+
+    def test_read_trace_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(TraceSchemaError):
+            read_trace(str(path))

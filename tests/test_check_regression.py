@@ -1,0 +1,156 @@
+"""The CI benchmark-regression gate (benchmarks/check_regression.py).
+
+Exercises the script exactly as the CI benchmarks job invokes it
+(a subprocess of the same interpreter), including the acceptance case:
+a synthetically slowed-down BENCH JSON must exit nonzero.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def _write(directory, name, payload):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "baselines", tmp_path / "fresh"
+
+
+BASELINE = {
+    "_meta": {"scale": 0.2},
+    "n_experiments": 40,
+    "n_workers": 2,
+    "serial_seconds": 1.0,
+    "parallel_seconds": 0.5,
+    "speedup": 2.0,
+    "rows_identical": True,
+}
+
+
+def test_identical_results_pass(dirs):
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    _write(fresh_dir, "e12_parallel", BASELINE)
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "within tolerance" in proc.stdout
+
+
+def test_degraded_speedup_fails(dirs):
+    """The acceptance case: a synthetic slowed-down result exits nonzero."""
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    degraded = dict(BASELINE)
+    degraded["speedup"] = 0.4      # collapse beyond the 50% band
+    degraded["parallel_seconds"] = 2.5
+    _write(fresh_dir, "e12_parallel", degraded)
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "[FAIL] speedup" in proc.stdout
+
+
+def test_wall_clock_gated_only_with_flag(dirs):
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    slower = dict(BASELINE)
+    slower["parallel_seconds"] = 5.0  # 10x wall-clock slowdown only
+    _write(fresh_dir, "e12_parallel", slower)
+    # Not gated by default.
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # Gated with the documented override knob.
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir),
+        "--gate-seconds",
+    )
+    assert proc.returncode == 1
+    assert "[FAIL] parallel_seconds" in proc.stdout
+
+
+def test_scale_mismatch_fails_without_override(dirs):
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    rescaled = dict(BASELINE)
+    rescaled["_meta"] = {"scale": 1.0}
+    _write(fresh_dir, "e12_parallel", rescaled)
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 1
+    assert "scale mismatch" in proc.stdout
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir),
+        "--allow-scale-mismatch",
+    )
+    assert proc.returncode == 0
+
+
+def test_config_drift_fails(dirs):
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    drifted = dict(BASELINE)
+    drifted["n_experiments"] = 39
+    _write(fresh_dir, "e12_parallel", drifted)
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 1
+    assert "must match exactly" in proc.stdout
+
+
+def test_broken_invariant_fails(dirs):
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    broken = dict(BASELINE)
+    broken["rows_identical"] = False
+    _write(fresh_dir, "e12_parallel", broken)
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 1
+    assert "[FAIL] rows_identical" in proc.stdout
+
+
+def test_missing_fresh_result_fails(dirs):
+    baseline_dir, fresh_dir = dirs
+    _write(baseline_dir, "e12_parallel", BASELINE)
+    fresh_dir.mkdir()
+    proc = _run(
+        "--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)
+    )
+    assert proc.returncode == 1
+    assert "no fresh result" in proc.stdout
+
+
+def test_committed_baselines_are_wellformed():
+    """Every committed baseline parses and is stamped with its scale."""
+    baseline_dir = REPO_ROOT / "benchmarks" / "baselines"
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    assert baselines, "no committed baselines"
+    for path in baselines:
+        data = json.loads(path.read_text())
+        assert isinstance(data.get("_meta", {}).get("scale"), float), path

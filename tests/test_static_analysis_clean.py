@@ -1,11 +1,12 @@
 """Lint/type gate for the strictly-checked subsystems.
 
 Runs ``ruff check`` and ``mypy`` over the strictly-checked scope
-configured in pyproject.toml (``src/repro/staticanalysis/`` plus
-``src/repro/core/preinjection.py`` and the parallel campaign engine
-``src/repro/core/parallel.py``). Both tools are optional dependencies:
-when they are not installed the corresponding test is skipped, so the
-tier-1 suite stays runnable in minimal environments.
+configured in pyproject.toml (``src/repro/staticanalysis/``, the
+pre-injection oracle, the parallel campaign engine, the campaign
+controller and the observability subsystem). Both tools are optional
+dependencies: when they are not installed the corresponding test is
+skipped, so the tier-1 suite stays runnable in minimal environments —
+the CI lint job hard-fails on the same commands instead.
 """
 
 import importlib.util
@@ -20,7 +21,9 @@ CHECKED_PATHS = [
     "src/repro/staticanalysis",
     "src/repro/core/preinjection.py",
     "src/repro/core/parallel.py",
+    "src/repro/core/controller.py",
     "src/repro/util/sampling.py",
+    "src/repro/observability",
 ]
 
 
