@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI smoke for the live-telemetry surface.
+
+Runs ``goofi run --serve-metrics 0`` (ephemeral port) as a subprocess,
+scrapes ``/snapshot`` and ``/metrics`` while the campaign is live, and
+writes the last snapshot it managed to capture to
+``live-snapshot.json`` — uploaded as a CI artifact together with any
+``flight-*.jsonl`` post-mortems. Exits nonzero when the exposition is
+malformed or no scrape succeeded, so the CI step actually gates.
+
+Usage:  python benchmarks/live_smoke.py [output.json]
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+_URL = re.compile(r"http://127\.0\.0\.1:(\d+)/metrics")
+
+
+def scrape(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return response.read().decode("utf-8")
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "live-snapshot.json"
+    workdir = tempfile.mkdtemp(prefix="goofi-live-smoke-")
+    db = f"{workdir}/smoke.db"
+    subprocess.run(
+        [sys.executable, "-m", "repro.ui.app", "campaign", "--db", db,
+         "--name", "live-smoke", "--experiments", "200", "--seed", "5"],
+        check=True, stdout=subprocess.DEVNULL,
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.ui.app", "run", "--db", db,
+         "--campaign", "live-smoke", "--quiet",
+         "--serve-metrics", "0", "--flight-records", "64"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        match = None
+        for line in process.stdout:
+            match = _URL.search(line)
+            if match:
+                break
+        if match is None:
+            print("live_smoke: exporter never announced a port")
+            return 1
+        port = int(match.group(1))
+        snapshot = None
+        exposition = None
+        while process.poll() is None:
+            try:
+                snapshot = json.loads(scrape(port, "/snapshot"))
+                exposition = scrape(port, "/metrics")
+                health = json.loads(scrape(port, "/healthz"))
+            except (urllib.error.URLError, OSError):
+                break  # the run finished and tore the exporter down
+            # "disabled" races the first scrape: the run's monitor is
+            # installed once the campaign actually starts.
+            if health.get("status") not in (
+                "ok", "drift", "stall", "disabled",
+            ):
+                print(f"live_smoke: unexpected health {health!r}")
+                return 1
+        process.stdout.read()  # drain
+        returncode = process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    if returncode != 0:
+        print(f"live_smoke: goofi run exited {returncode}")
+        return 1
+    if snapshot is None or exposition is None:
+        print("live_smoke: no successful scrape during the run")
+        return 1
+    if not exposition.endswith("# EOF\n"):
+        print("live_smoke: /metrics exposition missing the # EOF marker")
+        return 1
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+    print(
+        f"live_smoke: captured {out_path} with "
+        f"{len(snapshot.get('counters', {}))} counters; "
+        f"exposition {len(exposition.splitlines())} lines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Live campaign telemetry: exporter, health monitor, flight recorder.
+
+A long fault-injection campaign should be *watchable* while it runs, not
+just auditable afterwards. This walkthrough:
+
+  1. starts the OpenMetrics exporter on an ephemeral port and runs a
+     parallel campaign while a monitor thread polls ``/snapshot`` and
+     ``/healthz`` — the same endpoints a Prometheus scraper or a
+     load-balancer health check would hit;
+  2. prints the raw ``/metrics`` exposition once the campaign drains,
+     with per-worker experiment counters folded into ``worker="N"``
+     labels;
+  3. deliberately wedges a worker (an experiment that never returns) so
+     the health monitor raises a **stall** alert, the watchdog kills the
+     worker, and the crash **flight recorder** dumps the last trace
+     events to ``flight-<pid>.jsonl`` — the post-mortem you get even
+     though no trace file was configured;
+  4. shows the RunMeta provenance rows both runs left in the database
+     (tool version, seed, config hash, worker count, final metrics).
+
+Run:  python examples/live_monitoring.py
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro import observability
+from repro.core import (
+    CampaignData,
+    ParallelCampaignController,
+    ParallelConfig,
+    worker_factory,
+)
+from repro.core.framework import register_target, unregister_target
+from repro.db import GoofiDatabase
+from repro.observability.flightrec import read_flight_dump
+from repro.observability.runmeta import render_runs
+from repro.scifi.interface import ThorRDInterface
+
+WORK_DIR = tempfile.mkdtemp(prefix="goofi-live-")
+
+
+def make_campaign(name, n_experiments, target="thor-rd"):
+    return CampaignData(
+        campaign_name=name,
+        target_name=target,
+        technique="scifi",
+        workload_name="vecsum",
+        location_patterns=["scan:internal/cpu.regfile.*"],
+        n_experiments=n_experiments,
+        seed=7,
+    )
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read().decode("utf-8")
+
+
+# -- 1. a healthy parallel campaign, polled while it runs -------------------
+
+def poll_endpoints(exporter, stop_event, lines):
+    while not stop_event.is_set():
+        snapshot = json.loads(fetch(exporter.url("/snapshot")))
+        health = json.loads(fetch(exporter.url("/healthz")))
+        n_done = snapshot.get("gauges", {}).get("campaign.n_done", 0)
+        eta = health.get("eta_seconds")
+        lines.append(
+            f"  poll: n_done={int(n_done):3d}  status={health['status']}"
+            + (f"  eta={eta:.1f}s" if eta is not None else "")
+        )
+        time.sleep(0.05)
+
+
+def healthy_run(db):
+    print("=== live scrape of a healthy parallel campaign ===")
+    exporter = observability.start_exporter(port=0)
+    print(f"exporter listening on {exporter.url('/metrics')}")
+    campaign = make_campaign("live-demo", n_experiments=40)
+    controller = ParallelCampaignController(
+        worker_factory("thor-rd"),
+        sink=db,
+        config=ParallelConfig(n_workers=4, shard_size=4,
+                              start_method="fork"),
+    )
+    stop_event = threading.Event()
+    lines = []
+    poller = threading.Thread(
+        target=poll_endpoints, args=(exporter, stop_event, lines)
+    )
+    poller.start()
+    controller.run(campaign)
+    stop_event.set()
+    poller.join()
+    for line in lines[:6]:
+        print(line)
+    print(f"  ... ({len(lines)} polls total)")
+
+    print("\nfinal /metrics exposition (experiment counters):")
+    for line in fetch(exporter.url("/metrics")).splitlines():
+        if "experiments_total" in line:
+            print(f"  {line}")
+    exporter.stop()
+
+
+# -- 2. a wedged worker: stall alert + flight-recorder post-mortem ----------
+
+class WedgedPort(ThorRDInterface):
+    """Experiment #3 never returns (a hung simulator)."""
+
+    def run_single_experiment(self, index, plan=None, reference=None):
+        if index == 3:
+            time.sleep(3600)
+        return super().run_single_experiment(index, plan, reference)
+
+
+def wedged_run(db):
+    print("\n=== a wedged worker: stall alert + flight recorder ===")
+    register_target("thor-rd-wedged")(WedgedPort)
+    try:
+        campaign = make_campaign(
+            "wedged-demo", n_experiments=10, target="thor-rd-wedged"
+        )
+        controller = ParallelCampaignController(
+            worker_factory("thor-rd-wedged"),
+            sink=db,
+            config=ParallelConfig(
+                n_workers=2,
+                shard_size=2,
+                timeout_seconds=5.0,  # the watchdog kill
+                max_retries=0,
+                start_method="fork",
+            ),
+        )
+        controller.run(campaign)
+        print(f"campaign state: {controller.progress.state}")
+        print(f"terminations:   {controller.progress.terminations}")
+        for alert in controller.health.alerts:
+            print(f"health alert:   [{alert.kind}] {alert.message}")
+
+        obs = observability.get_observability()
+        print(f"flight dumps:   {obs.flightrec.dump_reasons}")
+        dump_file = os.path.join(WORK_DIR, f"flight-{os.getpid()}.jsonl")
+        records = read_flight_dump(dump_file)
+        print(f"post-mortem {os.path.basename(dump_file)} "
+              f"({len(records)} records); last events before the dump:")
+        for record in records[-5:]:
+            print(f"  {record['kind']:5s} {record['name']}")
+    finally:
+        unregister_target("thor-rd-wedged")
+
+
+def main():
+    # Metrics + flight recorder on, no trace file: the ring keeps the
+    # last 128 records in memory and only touches disk on a dump.
+    observability.configure(
+        metrics=True, flight_records=128, flight_dir=WORK_DIR
+    )
+    db = GoofiDatabase(os.path.join(WORK_DIR, "live.db"))
+    try:
+        healthy_run(db)
+        wedged_run(db)
+
+        print("\n=== RunMeta provenance rows ===")
+        print(render_runs(db.list_runs()))
+    finally:
+        db.close()
+        observability.disable()
+    print(f"\nartifacts in {WORK_DIR}")
+
+
+if __name__ == "__main__":
+    main()

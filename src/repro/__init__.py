@@ -1,0 +1,5 @@
+"""GOOFI reproduction: generic object-oriented fault injection tool."""
+
+#: Tool version recorded in RunMeta provenance rows (kept in sync with
+#: pyproject.toml).
+__version__ = "1.0.0"

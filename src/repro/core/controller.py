@@ -34,6 +34,11 @@ from repro.core.algorithms import FaultInjectionAlgorithms, StopCampaign
 from repro.core.campaign import CampaignData
 from repro.core.experiment import ExperimentResult
 from repro.observability import get_observability
+from repro.observability.health import (
+    NULL_HEALTH,
+    CampaignHealthMonitor,
+    set_health,
+)
 from repro.util.errors import CampaignError
 
 
@@ -54,6 +59,9 @@ class CampaignProgress:
     #: Experiments that exhausted their watchdog retries and were logged
     #: with a ``worker-failure`` termination (parallel runner only).
     n_worker_failures: int = 0
+    #: Estimated seconds to completion from the health monitor's latency
+    #: EWMA (``None`` when no health monitor is attached yet).
+    eta_seconds: Optional[float] = None
 
     @property
     def experiments_per_second(self) -> float:
@@ -78,6 +86,12 @@ class CampaignController:
         self.algorithm = algorithm
         self.sink = sink
         self.progress = CampaignProgress()
+        #: Live health monitor for the current run (no-op singleton when
+        #: observability is disabled — one truth test per call site).
+        self.health: CampaignHealthMonitor = NULL_HEALTH
+        #: RunMeta provenance row id of the current run (sinks that
+        #: implement ``record_run_start`` only).
+        self.run_id: Optional[int] = None
         self._listeners: List[ProgressListener] = []
         self._resume_event = threading.Event()
         self._resume_event.set()
@@ -166,6 +180,13 @@ class CampaignController:
         progress.n_done += 1
         self._tally(progress, result)
         progress.elapsed_seconds = self._elapsed()
+        if self.health.enabled:
+            termination = result.termination
+            self.health.record_result(
+                termination.kind if termination is not None else None
+            )
+            progress.eta_seconds = self.health.eta_seconds()
+            self.health.check()
         metrics = get_observability().metrics
         if metrics.enabled:
             metrics.gauge("campaign.n_done").set(progress.n_done)
@@ -175,6 +196,10 @@ class CampaignController:
             metrics.gauge("campaign.experiments_per_second").set(
                 progress.experiments_per_second
             )
+            if progress.eta_seconds is not None:
+                metrics.gauge("campaign.eta_seconds").set(
+                    progress.eta_seconds
+                )
         self._notify()
 
     @staticmethod
@@ -234,6 +259,20 @@ class CampaignController:
         self._resume_event.set()
         self._started_at = time.perf_counter()
         self._paused_seconds = 0.0
+        obs = get_observability()
+        if obs.enabled:
+            # Live telemetry: a fresh health monitor per run, installed
+            # process-globally so the exporter's /healthz sees it.
+            self.health = CampaignHealthMonitor()
+            self.health.begin(
+                campaign.campaign_name,
+                n_total=campaign.n_experiments,
+                n_workers=self._planned_workers(),
+            )
+            set_health(self.health)
+        else:
+            self.health = NULL_HEALTH
+        self.run_id = self._record_run_start(campaign)
         self._notify()
         try:
             sink = self._execute(campaign, skip_indices)
@@ -243,13 +282,46 @@ class CampaignController:
             # running a campaign".
             self.progress.state = "failed"
             self.progress.elapsed_seconds = self._elapsed()
+            obs.flightrec.dump(
+                "unhandled-exception", campaign=campaign.campaign_name
+            )
+            self._record_run_end("failed")
             self._notify()
             raise
         if self.progress.state != "stopped":
             self.progress.state = "finished"
         self.progress.elapsed_seconds = self._elapsed()
+        self._record_run_end(self.progress.state)
         self._notify()
         return sink
+
+    # -- run provenance (RunMeta, sinks that support it) --------------------
+
+    def _planned_workers(self) -> int:
+        """Worker processes this controller will use (1 = serial);
+        overridden by the parallel controller."""
+        return 1
+
+    def _record_run_start(self, campaign: CampaignData) -> Optional[int]:
+        record_start = getattr(self.sink, "record_run_start", None)
+        if not callable(record_start):
+            return None
+        return record_start(campaign, n_workers=self._planned_workers())
+
+    def _record_run_end(self, state: str) -> None:
+        if self.run_id is None:
+            return
+        record_end = getattr(self.sink, "record_run_end", None)
+        if not callable(record_end):
+            return
+        metrics = get_observability().metrics
+        snapshot = metrics.snapshot() if metrics.enabled else None
+        record_end(
+            self.run_id,
+            state,
+            metrics_snapshot=snapshot,
+            n_workers=self.progress.n_workers,
+        )
 
     def _execute(self, campaign: CampaignData, skip_indices):
         """Run the experiment loop; overridden by parallel executors."""

@@ -60,6 +60,11 @@ from repro.observability import (
     current_config,
     get_observability,
 )
+from repro.observability.health import (
+    NULL_HEALTH,
+    CampaignHealthMonitor,
+    set_health,
+)
 from repro.util.errors import CampaignError
 
 __all__ = [
@@ -310,6 +315,28 @@ class _ParallelRun:
             else current_config()
         )
         self._next_worker_id = 0
+        # Health monitoring: reuse the controller's monitor when running
+        # under a CampaignController (it already called begin()); as a
+        # bare run_parallel_campaign with observability on, install a
+        # fresh one so the exporter's /healthz still has live state.
+        health = getattr(control, "health", None)
+        #: True when this run created the monitor itself (bare
+        #: run_parallel_campaign); the run then also feeds results into
+        #: it — under a controller, ``control.report`` already does.
+        self._owns_health = False
+        if isinstance(health, CampaignHealthMonitor) and health.enabled:
+            self.health = health
+        elif self.obs.enabled:
+            self.health = CampaignHealthMonitor()
+            self.health.begin(
+                campaign.campaign_name,
+                len(self.order),
+                n_workers=config.n_workers,
+            )
+            set_health(self.health)
+            self._owns_health = True
+        else:
+            self.health = NULL_HEALTH
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -381,6 +408,11 @@ class _ParallelRun:
             self._check_watchdog()
             self._replace_dead_workers()
             self._flush_ordered()
+            if self.health.enabled:
+                # The event loop keeps spinning even while every worker
+                # is wedged, so stall alerts fire from here long before
+                # the watchdog's (much larger) per-experiment timeout.
+                self.health.check()
 
     def _await_worker_done(self, timeout: float = 2.0) -> None:
         """After the last result arrived, give still-busy workers a brief
@@ -467,6 +499,10 @@ class _ParallelRun:
 
     def _handle_message(self, worker: _WorkerHandle, message: Tuple) -> None:
         kind = message[0]
+        if self.health.enabled:
+            # Any message is a sign of life, not just results — a worker
+            # grinding through a slow shard still refreshes its heartbeat.
+            self.health.heartbeat(worker.worker_id)
         if kind == "ready":
             worker.ready = True
             if message[1] != self.fingerprint:
@@ -534,6 +570,16 @@ class _ParallelRun:
         self.obs.tracer.event(
             "worker-death", worker=worker.worker_id, reason=reason
         )
+        if self.obs.flightrec.enabled:
+            # Post-mortem from the parent's vantage point: the worker's
+            # own SIGTERM dump (configure_worker) covers the child side,
+            # this dump preserves the parent's recent event ring.
+            self.obs.flightrec.dump(
+                "worker-death",
+                campaign=self.campaign.campaign_name,
+                worker=worker.worker_id,
+                detail=reason,
+            )
         worker.kill()
         self._fail_worker_shard(worker, reason)
 
@@ -561,6 +607,14 @@ class _ParallelRun:
             return
         self.failures += 1
         self.obs.metrics.counter("parallel.worker_failures_total").inc()
+        if self.obs.flightrec.enabled:
+            self.obs.flightrec.dump(
+                "worker-failure",
+                campaign=self.campaign.campaign_name,
+                index=index,
+                detail=reason,
+                attempts=attempts + 1,
+            )
         self.completed[index] = self._failure_result(index, reason, attempts)
 
     def _failure_result(
@@ -595,6 +649,13 @@ class _ParallelRun:
                 self._flush_batch()
             self.reported += 1
             self.control.report(index, result)
+            if self._owns_health:
+                # Bare-run path: no controller feeds the monitor, so the
+                # run does (controller.report covers the other path).
+                termination = result.termination
+                self.health.record_result(
+                    termination.kind if termination is not None else None
+                )
         if final:
             # A stop may leave non-contiguous completed results (later
             # indices finished while an earlier one was still running);
@@ -657,6 +718,8 @@ class _ParallelRun:
         progress = getattr(self.control, "progress", None)
         if progress is not None and hasattr(progress, "n_workers"):
             progress.n_workers = n_workers
+        if self.health.enabled:
+            self.health.set_workers(n_workers)
 
 
 def run_parallel_campaign(
@@ -706,6 +769,11 @@ class ParallelCampaignController(CampaignController):
         super().__init__(algorithm=None, sink=sink)
         self.factory = factory
         self.config = config if config is not None else ParallelConfig()
+
+    def _planned_workers(self) -> int:
+        """The worker count the health monitor and RunMeta row start
+        with (trimmed later if fewer experiments than workers)."""
+        return self.config.n_workers
 
     def _execute(self, campaign: CampaignData, skip_indices: Any) -> Any:
         return run_parallel_campaign(

@@ -14,9 +14,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.campaign import CampaignData
 from repro.core.experiment import ExperimentResult, ReferenceRun, Termination
-from repro.db.schema import DDL, SCHEMA_VERSION
+from repro.db.schema import DDL, MIGRATABLE_VERSIONS, SCHEMA_VERSION
 from repro.db.statevector import decode_state_payload, encode_state_payload
 from repro.observability import get_observability
+from repro.observability.runmeta import (
+    RUNMETA_SCHEMA_VERSION,
+    RunMeta,
+    campaign_config_hash,
+    tool_version,
+)
 from repro.util.errors import DatabaseError
 
 # Upsert for LoggedSystemState rows, shared by the single-row and the
@@ -54,6 +60,13 @@ class GoofiDatabase:
         if row is None:
             self._conn.execute(
                 "INSERT INTO SchemaInfo(version) VALUES (?)", (SCHEMA_VERSION,)
+            )
+        elif row["version"] in MIGRATABLE_VERSIONS:
+            # Additive upgrade: the DDL above already created any table
+            # the old file was missing; stamping the version completes
+            # the in-place migration (v1 → v2 added RunMeta only).
+            self._conn.execute(
+                "UPDATE SchemaInfo SET version = ?", (SCHEMA_VERSION,)
             )
         elif row["version"] != SCHEMA_VERSION:
             raise DatabaseError(
@@ -248,6 +261,97 @@ class GoofiDatabase:
             ),
         )
         self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # RunMeta — per-execution provenance (schema v2)
+    # ------------------------------------------------------------------
+
+    def record_run_start(
+        self, campaign: CampaignData, n_workers: int = 1
+    ) -> int:
+        """Open a provenance row for one campaign execution; returns its
+        ``runId``. Saves the campaign first so the foreign key holds
+        (the same ordering ``log_reference`` uses)."""
+        self.save_campaign(campaign)
+        cursor = self._conn.execute(
+            "INSERT INTO RunMeta(campaignName, toolVersion, seed, "
+            "configHash, nWorkers, nExperiments, state, metaVersion) "
+            "VALUES (?, ?, ?, ?, ?, ?, 'running', ?)",
+            (
+                campaign.campaign_name,
+                tool_version(),
+                campaign.seed,
+                campaign_config_hash(campaign),
+                n_workers,
+                campaign.n_experiments,
+                RUNMETA_SCHEMA_VERSION,
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid or 0)
+
+    def record_run_end(
+        self,
+        run_id: int,
+        state: str,
+        metrics_snapshot: Optional[dict] = None,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        """Close a provenance row: final state, finish timestamp, the
+        final metrics snapshot, and (for parallel runs that only learn
+        their effective pool size late) the realised worker count."""
+        snapshot_text = (
+            json.dumps(metrics_snapshot, sort_keys=True)
+            if metrics_snapshot is not None
+            else None
+        )
+        self._conn.execute(
+            "UPDATE RunMeta SET state = ?, finishedAt = CURRENT_TIMESTAMP, "
+            "metricsSnapshot = COALESCE(?, metricsSnapshot), "
+            "nWorkers = COALESCE(?, nWorkers) WHERE runId = ?",
+            (state, snapshot_text, n_workers, run_id),
+        )
+        self._conn.commit()
+
+    def list_runs(self, campaign_name: Optional[str] = None) -> List[RunMeta]:
+        """Provenance rows, newest first (optionally for one campaign)."""
+        if campaign_name is None:
+            rows = self._conn.execute(
+                "SELECT * FROM RunMeta ORDER BY runId DESC"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM RunMeta WHERE campaignName = ? "
+                "ORDER BY runId DESC",
+                (campaign_name,),
+            ).fetchall()
+        return [self._row_to_runmeta(row) for row in rows]
+
+    def load_run(self, run_id: int) -> RunMeta:
+        row = self._conn.execute(
+            "SELECT * FROM RunMeta WHERE runId = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no RunMeta row {run_id}")
+        return self._row_to_runmeta(row)
+
+    @staticmethod
+    def _row_to_runmeta(row: sqlite3.Row) -> RunMeta:
+        snapshot = row["metricsSnapshot"]
+        return RunMeta(
+            run_id=row["runId"],
+            campaign_name=row["campaignName"],
+            seed=row["seed"],
+            config_hash=row["configHash"],
+            n_workers=row["nWorkers"],
+            n_experiments=row["nExperiments"],
+            tool_version=row["toolVersion"],
+            state=row["state"],
+            started_at=row["startedAt"] or "",
+            finished_at=row["finishedAt"],
+            meta_version=row["metaVersion"],
+            metrics_snapshot=json.loads(snapshot) if snapshot else None,
+        )
 
     # ------------------------------------------------------------------
     # Retrieval for the analysis phase

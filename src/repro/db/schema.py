@@ -1,6 +1,23 @@
-"""DDL for the GOOFI database (Figure 4)."""
+"""DDL for the GOOFI database (Figure 4, plus run provenance).
 
-SCHEMA_VERSION = 1
+Schema history:
+
+* **v1** — the paper's tables: ``TargetSystemData``, ``CampaignData``,
+  ``LoggedSystemState`` (with the ``parentExperiment`` re-run chain)
+  and ``SchemaInfo``.
+* **v2** — adds ``RunMeta``: one row per campaign *execution* recording
+  tool version, RNG seed, config hash, worker count, final state and
+  the final metrics snapshot, keyed to ``CampaignData`` the same way
+  ``parentExperiment`` keys re-runs. Upgrading from v1 is additive
+  (every table is ``CREATE TABLE IF NOT EXISTS``), so
+  :class:`~repro.db.database.GoofiDatabase` migrates v1 files in place
+  by stamping the new version.
+"""
+
+SCHEMA_VERSION = 2
+
+#: Prior versions that upgrade in place (purely additive DDL).
+MIGRATABLE_VERSIONS = (1,)
 
 DDL = """
 PRAGMA foreign_keys = ON;
@@ -36,6 +53,26 @@ CREATE TABLE IF NOT EXISTS LoggedSystemState (
 
 CREATE INDEX IF NOT EXISTS idx_logged_campaign
     ON LoggedSystemState(campaignName);
+
+CREATE TABLE IF NOT EXISTS RunMeta (
+    runId           INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaignName    TEXT NOT NULL
+                    REFERENCES CampaignData(campaignName)
+                    ON DELETE CASCADE,
+    startedAt       TEXT NOT NULL DEFAULT CURRENT_TIMESTAMP,
+    finishedAt      TEXT,
+    toolVersion     TEXT NOT NULL,
+    seed            INTEGER NOT NULL,
+    configHash      TEXT NOT NULL,
+    nWorkers        INTEGER NOT NULL DEFAULT 1,
+    nExperiments    INTEGER NOT NULL DEFAULT 0,
+    state           TEXT NOT NULL DEFAULT 'running',
+    metaVersion     INTEGER NOT NULL,
+    metricsSnapshot TEXT
+);
+
+CREATE INDEX IF NOT EXISTS idx_runmeta_campaign
+    ON RunMeta(campaignName);
 
 CREATE TABLE IF NOT EXISTS SchemaInfo (
     version INTEGER NOT NULL

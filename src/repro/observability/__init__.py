@@ -40,6 +40,18 @@ import os
 from dataclasses import dataclass, replace
 from typing import Any, ContextManager, Dict, List, Optional
 
+from repro.observability.flightrec import (
+    NULL_FLIGHTREC,
+    FlightRecorder,
+    read_flight_dump,
+)
+from repro.observability.health import (
+    NULL_HEALTH,
+    CampaignHealthMonitor,
+    HealthAlert,
+    get_health,
+    set_health,
+)
 from repro.observability.metrics import (
     NULL_INSTRUMENT,
     NULL_METRICS,
@@ -55,31 +67,51 @@ from repro.observability.tracer import (
     TraceSchemaError,
     Tracer,
     read_trace,
+    read_trace_with_rotation,
     validate_record,
 )
 
 __all__ = [
+    "CampaignHealthMonitor",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "HealthAlert",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_FLIGHTREC",
+    "NULL_HEALTH",
     "NULL_INSTRUMENT",
     "NULL_PROFILE",
     "NULL_SPAN",
-    "Counter",
-    "Gauge",
-    "Histogram",
-    "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
-    "Tracer",
     "TraceSchemaError",
+    "Tracer",
     "configure",
     "current_config",
     "disable",
+    "get_health",
     "get_observability",
     "profile",
+    "read_flight_dump",
     "read_trace",
+    "read_trace_with_rotation",
+    "set_health",
     "set_observability",
+    "start_exporter",
     "validate_record",
     "worker_trace_path",
 ]
+
+
+def start_exporter(port: int = 0, host: str = "127.0.0.1"):
+    """Serve live telemetry over HTTP (see
+    :mod:`repro.observability.exporter`); imported lazily so the plain
+    tracing/metrics path never touches ``http.server``."""
+    from repro.observability.exporter import MetricsExporter
+
+    return MetricsExporter(port=port, host=host)
 
 
 @dataclass(frozen=True)
@@ -89,10 +121,18 @@ class ObservabilityConfig:
 
     trace_path: Optional[str] = None
     metrics: bool = False
+    #: Flight-recorder ring capacity (0 disables the recorder).
+    flight_records: int = 0
+    #: Directory flight-recorder dumps are written to.
+    flight_dir: str = "."
 
     @property
     def enabled(self) -> bool:
-        return self.trace_path is not None or self.metrics
+        return (
+            self.trace_path is not None
+            or self.metrics
+            or self.flight_records > 0
+        )
 
 
 def worker_trace_path(trace_path: Optional[str], worker_id: int) -> Optional[str]:
@@ -105,23 +145,30 @@ def worker_trace_path(trace_path: Optional[str], worker_id: int) -> Optional[str
 
 
 class Observability:
-    """A tracer plus a metrics registry behind one switch."""
+    """A tracer, a metrics registry and a flight recorder behind one
+    switch."""
 
-    __slots__ = ("tracer", "metrics", "config")
+    __slots__ = ("tracer", "metrics", "flightrec", "config")
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         config: Optional[ObservabilityConfig] = None,
+        flightrec: Optional[FlightRecorder] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.flightrec = flightrec if flightrec is not None else NULL_FLIGHTREC
         self.config = config if config is not None else ObservabilityConfig()
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled
+        return (
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.flightrec.enabled
+        )
 
     def profile(self, name: str, **fields: Any) -> ContextManager[Any]:
         """Time a block into a span record and a ``<name>_seconds``
@@ -150,14 +197,31 @@ def build(
     config: ObservabilityConfig,
     trace_buffer: Optional[List[Dict[str, Any]]] = None,
 ) -> Observability:
-    """Construct a fresh :class:`Observability` from a config."""
+    """Construct a fresh :class:`Observability` from a config.
+
+    With ``flight_records`` set, the flight recorder is attached to the
+    tracer as a ring sink: span/event records land in the bounded ring
+    even when no trace file is configured, so dead-process post-mortems
+    do not require full tracing."""
+    flightrec = (
+        FlightRecorder(
+            capacity=config.flight_records, directory=config.flight_dir
+        )
+        if config.flight_records > 0
+        else NULL_FLIGHTREC
+    )
+    ring = flightrec if flightrec.enabled else None
     tracer = (
-        Tracer(path=config.trace_path, buffer=trace_buffer)
-        if (config.trace_path is not None or trace_buffer is not None)
+        Tracer(path=config.trace_path, buffer=trace_buffer, ring=ring)
+        if (
+            config.trace_path is not None
+            or trace_buffer is not None
+            or ring is not None
+        )
         else NULL_TRACER
     )
     metrics = MetricsRegistry() if config.metrics else NULL_METRICS
-    return Observability(tracer, metrics, config)
+    return Observability(tracer, metrics, config, flightrec)
 
 
 _DISABLED = Observability()
@@ -185,10 +249,17 @@ def configure(
     trace_path: Optional[str] = None,
     metrics: bool = True,
     trace_buffer: Optional[List[Dict[str, Any]]] = None,
+    flight_records: int = 0,
+    flight_dir: str = ".",
 ) -> Observability:
     """Enable observability process-wide and return the instance."""
     obs = build(
-        ObservabilityConfig(trace_path=trace_path, metrics=metrics),
+        ObservabilityConfig(
+            trace_path=trace_path,
+            metrics=metrics,
+            flight_records=flight_records,
+            flight_dir=flight_dir,
+        ),
         trace_buffer=trace_buffer,
     )
     set_observability(obs)
@@ -199,13 +270,17 @@ def configure_worker(
     config: ObservabilityConfig, worker_id: int
 ) -> Observability:
     """Install a fresh, isolated observability in a worker process:
-    a sibling trace file and an empty metrics registry (never the
-    parent's inherited state)."""
+    a sibling trace file, an empty metrics registry and its own flight
+    recorder (never the parent's inherited state). With flight
+    recording on, a SIGTERM handler turns a parent-side watchdog kill
+    into a ``flight-<pid>.jsonl`` post-mortem dump."""
     worker_config = replace(
         config, trace_path=worker_trace_path(config.trace_path, worker_id)
     )
     obs = build(worker_config)
     set_observability(obs)
+    if obs.flightrec.enabled:
+        obs.flightrec.install_signal_handler()
     return obs
 
 
@@ -222,11 +297,50 @@ def disable() -> None:
     _current = _DISABLED
 
 
+#: Exporter started by the env bootstrap (kept referenced so its daemon
+#: thread and bound socket live for the life of the process).
+_bootstrap_exporter: Optional[Any] = None
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "")
+    if raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 def _bootstrap_from_env() -> None:
+    """Zero-code-change enablement for CI and services: ``GOOFI_TRACE``
+    (trace file), ``GOOFI_METRICS`` (metrics registry),
+    ``GOOFI_FLIGHT_RECORDS`` (flight-recorder ring capacity) and
+    ``GOOFI_METRICS_PORT`` (OpenMetrics exporter; ``0`` binds an
+    ephemeral port, logged via ``GOOFI_METRICS_PORT_FILE`` when set)."""
+    global _bootstrap_exporter
     trace_path = os.environ.get("GOOFI_TRACE") or None
     metrics = os.environ.get("GOOFI_METRICS", "") not in ("", "0", "false")
-    if trace_path is not None or metrics:
-        configure(trace_path=trace_path, metrics=metrics)
+    flight_records = _env_int("GOOFI_FLIGHT_RECORDS") or 0
+    port = _env_int("GOOFI_METRICS_PORT")
+    if port is not None:
+        metrics = True  # an exporter without a registry would serve nothing
+    if trace_path is not None or metrics or flight_records > 0:
+        configure(
+            trace_path=trace_path,
+            metrics=metrics,
+            flight_records=flight_records,
+            flight_dir=os.environ.get("GOOFI_FLIGHT_DIR", "."),
+        )
+    if port is not None:
+        _bootstrap_exporter = start_exporter(port=port)
+        port_file = os.environ.get("GOOFI_METRICS_PORT_FILE")
+        if port_file:
+            try:
+                with open(port_file, "w", encoding="utf-8") as handle:
+                    handle.write(str(_bootstrap_exporter.port) + "\n")
+            except OSError:  # pragma: no cover - best-effort port report
+                pass
 
 
 _bootstrap_from_env()

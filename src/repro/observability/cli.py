@@ -6,12 +6,17 @@ service surface):
     goofi-metrics report METRICS.json            # render one snapshot
     goofi-metrics diff OLD.json NEW.json         # compare two snapshots
     goofi-metrics trace TRACE.jsonl              # validate + summarize
+    goofi-metrics runs --db g.db                 # RunMeta provenance rows
+    goofi-metrics show --db g.db CAMPAIGN        # latest run in detail
 
 ``report`` and ``diff`` consume the JSON snapshots written by
 ``goofi run --metrics-out`` (or ``Observability.write_metrics``);
-``trace`` validates every record of a JSONL trace against the schema and
-prints per-span statistics. All commands exit nonzero on malformed
-input, so they can gate CI steps.
+``trace`` validates every record of a JSONL trace against the schema
+(reading a rotated ``.1`` sibling first when the size cap rolled the
+file) and prints per-span statistics; ``runs`` and ``show`` read the
+schema-versioned ``RunMeta`` provenance table (tool version, RNG seed,
+config hash, worker count, final metrics snapshot per campaign run).
+All commands exit nonzero on malformed input, so they can gate CI steps.
 """
 
 from __future__ import annotations
@@ -27,7 +32,11 @@ from repro.observability.report import (
     render_trace_summary,
     summarize_trace,
 )
-from repro.observability.tracer import TraceSchemaError, read_trace
+from repro.observability.runmeta import render_run, render_runs
+from repro.observability.tracer import (
+    TraceSchemaError,
+    read_trace_with_rotation,
+)
 
 __all__ = ["main"]
 
@@ -58,7 +67,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace", help="validate + summarize a JSONL trace")
     p.add_argument("trace", help="JSONL trace file")
 
+    p = sub.add_parser("runs", help="list RunMeta provenance rows")
+    p.add_argument("--db", required=True, help="GOOFI database file")
+    p.add_argument("--campaign", help="restrict to one campaign's runs")
+
+    p = sub.add_parser("show", help="show a campaign's latest run in detail")
+    p.add_argument("--db", required=True, help="GOOFI database file")
+    p.add_argument("campaign", help="campaign name")
+    p.add_argument(
+        "--run-id", type=int, help="a specific run instead of the latest"
+    )
+
     return parser
+
+
+def _cmd_runs(args: Any) -> int:
+    from repro.db import GoofiDatabase
+
+    with GoofiDatabase(args.db) as db:
+        runs = db.list_runs(campaign_name=args.campaign)
+    if not runs:
+        scope = f" for campaign {args.campaign!r}" if args.campaign else ""
+        print(f"no runs recorded{scope}")
+        return 0
+    print(render_runs(runs))
+    return 0
+
+
+def _cmd_show(args: Any) -> int:
+    from repro.db import GoofiDatabase
+
+    with GoofiDatabase(args.db) as db:
+        if args.run_id is not None:
+            run = db.load_run(args.run_id)
+            if run.campaign_name != args.campaign:
+                print(
+                    f"goofi-metrics: error: run {args.run_id} belongs to "
+                    f"campaign {run.campaign_name!r}, not {args.campaign!r}",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            runs = db.list_runs(campaign_name=args.campaign)
+            if not runs:
+                print(
+                    "goofi-metrics: error: no runs recorded for campaign "
+                    f"{args.campaign!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            run = runs[0]  # list_runs orders newest first
+    print(render_run(run))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -73,9 +133,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             )
         elif args.command == "trace":
-            records = read_trace(args.trace)
+            # Rotation-aware: a capped trace rolls to `<path>.1`; reading
+            # the sibling first keeps records in chronological order.
+            records = read_trace_with_rotation(args.trace)
             print(f"{len(records)} valid records in {args.trace}")
             print(render_trace_summary(summarize_trace(records)))
+        elif args.command == "runs":
+            return _cmd_runs(args)
+        elif args.command == "show":
+            return _cmd_show(args)
     except (OSError, ValueError, TraceSchemaError) as exc:
         print(f"goofi-metrics: error: {exc}", file=sys.stderr)
         return 1

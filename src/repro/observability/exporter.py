@@ -1,0 +1,254 @@
+"""OpenMetrics/Prometheus HTTP exporter for live campaign telemetry.
+
+Serves the process-global :class:`~repro.observability.metrics.
+MetricsRegistry` over HTTP while a campaign runs — the ProFIPy-style
+"fault injection as a monitorable service" surface, built on nothing
+but the stdlib ``http.server`` in a daemon thread:
+
+* ``GET /metrics``  — OpenMetrics text exposition (scrapable by
+  Prometheus); counters, gauges and histograms with cumulative buckets,
+  ``worker<N>.``-prefixed metrics folded into a ``worker`` label;
+* ``GET /healthz``  — JSON body from the active
+  :class:`~repro.observability.health.CampaignHealthMonitor` (HTTP 503
+  while a stall alert is live, so load-balancer-style checks work);
+* ``GET /snapshot`` — the raw JSON metrics snapshot (the same document
+  ``goofi run --metrics-out`` writes at exit, but live).
+
+Activation: ``goofi run --serve-metrics PORT`` for one run, or the
+``GOOFI_METRICS_PORT`` environment variable for zero-code-change
+bootstrap (port ``0`` binds an ephemeral port; the chosen port is
+printed/logged). The server thread is a daemon — it never blocks
+process exit — and the handler resolves the registry *per request*, so
+reconfiguring observability mid-flight is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.observability.health import get_health
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE_OPENMETRICS",
+    "MetricsExporter",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "start_exporter",
+]
+
+CONTENT_TYPE_OPENMETRICS = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_PREFIX = "goofi_"
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_WORKER_PREFIX = re.compile(r"^worker(\d+)\.")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold an internal metric name into the OpenMetrics charset
+    (``campaign.n_done`` → ``goofi_campaign_n_done``)."""
+    sanitized = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return _NAME_PREFIX + sanitized
+
+
+def _split_worker_label(name: str) -> Tuple[str, str]:
+    """Strip a ``worker<N>.`` prefix into a ``worker="N"`` label pair
+    (the parallel runner's per-worker namespacing)."""
+    match = _WORKER_PREFIX.match(name)
+    if match is None:
+        return name, ""
+    return name[match.end():], f'{{worker="{match.group(1)}"}}'
+
+
+def _format_number(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(snapshot: Dict[str, Any]) -> str:
+    """The OpenMetrics text exposition of one metrics snapshot.
+
+    Counter families get the mandatory ``_total`` sample suffix (names
+    already ending in ``_total`` are not doubled), histogram buckets are
+    accumulated into the cumulative ``le`` form, and every family is
+    announced with a ``# TYPE`` line. Ends with the ``# EOF`` marker the
+    OpenMetrics spec requires."""
+    lines: List[str] = []
+    counters: Dict[str, List[Tuple[str, Any]]] = {}
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        base, labels = _split_worker_label(name)
+        if base.endswith("_total"):
+            base = base[: -len("_total")]
+        counters.setdefault(sanitize_metric_name(base), []).append(
+            (labels, value)
+        )
+    for family, samples in counters.items():
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in samples:
+            lines.append(f"{family}_total{labels} {_format_number(value)}")
+
+    gauges: Dict[str, List[Tuple[str, Any]]] = {}
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        base, labels = _split_worker_label(name)
+        gauges.setdefault(sanitize_metric_name(base), []).append(
+            (labels, value)
+        )
+    for family, samples in gauges.items():
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in samples:
+            lines.append(f"{family}{labels} {_format_number(value)}")
+
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        base, labels = _split_worker_label(name)
+        family = sanitize_metric_name(base)
+        label_body = labels[1:-1] if labels else ""
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        bounds = list(data.get("bounds", ()))
+        bucket_counts = list(data.get("bucket_counts", ()))
+        for position, bound in enumerate(bounds):
+            if position < len(bucket_counts):
+                cumulative += int(bucket_counts[position])
+            le = _format_number(bound)
+            label_text = f'le="{le}"'
+            if label_body:
+                label_text = label_body + "," + label_text
+            lines.append(f"{family}_bucket{{{label_text}}} {cumulative}")
+        label_text = 'le="+Inf"'
+        if label_body:
+            label_text = label_body + "," + label_text
+        lines.append(
+            f"{family}_bucket{{{label_text}}} {int(data.get('count', 0))}"
+        )
+        lines.append(
+            f"{family}_sum{labels} {_format_number(data.get('sum', 0.0))}"
+        )
+        lines.append(f"{family}_count{labels} {int(data.get('count', 0))}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class _ExporterHandler(BaseHTTPRequestHandler):
+    """Routes ``/metrics``, ``/healthz`` and ``/snapshot``."""
+
+    # Set by the server object; typed here for mypy.
+    server: "_ExporterServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_openmetrics(self.server.registry().snapshot())
+            self._reply(200, CONTENT_TYPE_OPENMETRICS, body)
+        elif path == "/snapshot":
+            body = json.dumps(
+                self.server.registry().snapshot(), indent=2, sort_keys=True
+            )
+            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            monitor = self.server.health()
+            check = getattr(monitor, "check", None)
+            if callable(check):
+                # A probe runs live stall/drift detection: the monitor
+                # can flag a stall even while the campaign thread is
+                # blocked inside a hung experiment.
+                check()
+            status = monitor.status()
+            code = 503 if status.get("status") == "stall" else 200
+            self._reply(
+                code, "application/json", json.dumps(status, sort_keys=True)
+            )
+        else:
+            self._reply(404, "text/plain", f"no such endpoint: {path}\n")
+
+    def _reply(self, code: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (scrapes are frequent)."""
+
+
+class _ExporterServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        registry: Callable[[], MetricsRegistry],
+        health: Callable[[], Any],
+    ) -> None:
+        super().__init__(address, _ExporterHandler)
+        self.registry = registry
+        self.health = health
+
+
+class MetricsExporter:
+    """The exporter's lifecycle handle: bound port, URLs, stop()."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[Callable[[], MetricsRegistry]] = None,
+        health: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        if registry is None:
+            def registry() -> MetricsRegistry:
+                from repro.observability import get_observability
+
+                return get_observability().metrics
+        self._server = _ExporterServer(
+            (host, port), registry, health if health is not None else get_health
+        )
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"goofi-metrics-exporter:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_exporter(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[Callable[[], MetricsRegistry]] = None,
+) -> MetricsExporter:
+    """Start serving live telemetry; returns the running exporter (its
+    ``.port`` is the bound port — pass ``0`` for an ephemeral one)."""
+    return MetricsExporter(port=port, host=host, registry=registry)

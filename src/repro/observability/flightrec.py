@@ -1,0 +1,178 @@
+"""Crash flight recorder: a bounded ring of recent trace records.
+
+A :class:`FlightRecorder` keeps the last *N* span/event records emitted
+in its process in a fixed-size ring buffer — cheap enough to leave on
+for every campaign, with or without full JSONL tracing. When something
+dies (an unhandled exception in the campaign loop, a watchdog kill, a
+``worker-failure`` termination) the ring is dumped to
+``flight-<pid>.jsonl`` so the post-mortem has the events leading up to
+the death even though nothing was being traced to disk.
+
+The recorder plugs into the :class:`~repro.observability.tracer.Tracer`
+as a *ring sink*: every record the tracer would emit is also appended to
+the ring, and a tracer with **only** a ring attached is enabled but
+writes no file — bounded memory, zero disk I/O until a dump is
+requested. Dump files are schema-valid JSONL (each line passes
+``validate_record``), prefixed with one ``flight-dump`` event carrying
+the dump reason, so ``goofi-metrics trace flight-<pid>.jsonl`` renders
+them directly.
+
+Worker processes killed by the parent's watchdog receive ``SIGTERM``;
+:meth:`FlightRecorder.install_signal_handler` converts that into a dump
+before the process exits, which is how post-mortems of hung workers are
+possible at all.
+
+Disabled path: :data:`NULL_FLIGHTREC` is a shared no-op singleton — the
+PR 3 invariant (a truth test per call site) holds for every dump hook.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "NULL_FLIGHTREC",
+    "flight_path",
+    "read_flight_dump",
+]
+
+#: Default number of trace records retained in the ring.
+DEFAULT_CAPACITY = 256
+
+
+def flight_path(directory: str, pid: Optional[int] = None) -> str:
+    """The dump file for process ``pid`` (default: this process)."""
+    pid = os.getpid() if pid is None else pid
+    return os.path.join(directory or ".", f"flight-{pid}.jsonl")
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of trace records, dumpable on death."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: str = ".",
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled and capacity > 0
+        self.capacity = capacity
+        self.directory = directory
+        self._ring: Deque[Dict[str, Any]] = deque(
+            maxlen=capacity if capacity > 0 else 1
+        )
+        self._lock = threading.Lock()
+        self._dumped_reasons: List[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, record: Dict[str, Any]) -> None:
+        """Append one trace record to the ring (oldest records fall off).
+
+        Called by the tracer for every span/event record it emits; the
+        deque append is O(1) and the lock is uncontended in the serial
+        case, so leaving the recorder on costs nanoseconds per record."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._ring.append(record)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """A stable copy of the ring contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    # -- dumping -----------------------------------------------------------
+
+    @property
+    def dump_reasons(self) -> List[str]:
+        """Reasons of every dump taken so far (test/debug surface)."""
+        return list(self._dumped_reasons)
+
+    def dump(self, reason: str, **fields: Any) -> Optional[str]:
+        """Write the ring to ``flight-<pid>.jsonl`` and return the path.
+
+        The file starts with a ``flight-dump`` event record carrying
+        ``reason`` plus any extra ``fields``, followed by the buffered
+        records oldest-first. Repeated dumps overwrite: the latest ring
+        is a superset of what mattered. Returns ``None`` when disabled;
+        never raises (a failing post-mortem writer must not mask the
+        original death)."""
+        if not self.enabled:
+            return None
+        path = flight_path(self.directory)
+        header = {
+            "v": 1,
+            "kind": "event",
+            "name": "flight-dump",
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "fields": dict(fields, reason=reason),
+        }
+        try:
+            with self._lock:
+                records = list(self._ring)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+                for record in records:
+                    handle.write(
+                        json.dumps(record, sort_keys=True, default=str) + "\n"
+                    )
+            self._dumped_reasons.append(reason)
+            return path
+        except OSError:  # pragma: no cover - post-mortem must not mask death
+            return None
+
+    # -- death hooks -------------------------------------------------------
+
+    def install_signal_handler(self) -> bool:
+        """Dump the ring when the process is SIGTERM'd (watchdog kill).
+
+        Installed in worker processes only (the handler re-raises the
+        default disposition after dumping, so the process still dies and
+        the parent's ``join`` sees a terminated child). Returns whether
+        the handler was installed — signal handlers only work on the
+        main thread, and a recorder that is disabled installs nothing."""
+        if not self.enabled:
+            return False
+        if threading.current_thread() is not threading.main_thread():
+            return False
+
+        def _on_sigterm(signum: int, frame: Any) -> None:
+            self.dump("watchdog-kill", signal="SIGTERM")
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            return False
+        return True
+
+
+#: Shared disabled recorder (the module default).
+NULL_FLIGHTREC = FlightRecorder(capacity=0, enabled=False)
+
+
+def read_flight_dump(path: str) -> List[Dict[str, Any]]:
+    """Parse and validate a flight-recorder dump (schema-valid JSONL,
+    first record is the ``flight-dump`` header event)."""
+    from repro.observability.tracer import TraceSchemaError, read_trace
+
+    records = read_trace(path)
+    if not records or records[0]["name"] != "flight-dump":
+        raise TraceSchemaError(
+            f"{path}: not a flight-recorder dump (missing header event)"
+        )
+    return records

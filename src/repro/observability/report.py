@@ -111,7 +111,12 @@ def diff_snapshots(
 
 
 def render_diff(old: Dict[str, Any], new: Dict[str, Any]) -> str:
-    """Tabular diff of two snapshots with relative change."""
+    """Tabular diff of two snapshots with relative change.
+
+    A metric present on only one side is never an error: it renders as
+    ``added`` (only in the new snapshot) or ``removed`` (only in the old
+    one) — a renamed counter or a feature toggled between runs must not
+    crash the CI regression gate that wraps this report."""
     lines = [
         f"{'kind':15s} {'metric':44s} {'old':>12s} {'new':>12s} {'delta':>10s}"
     ]
@@ -122,10 +127,14 @@ def render_diff(old: Dict[str, Any], new: Dict[str, Any]) -> str:
             continue
         old_text = "-" if old_value is None else _format_value(old_value)
         new_text = "-" if new_value is None else _format_value(new_value)
-        if old_value and new_value is not None and old_value != 0:
+        if old_value is None:
+            delta = "added"
+        elif new_value is None:
+            delta = "removed"
+        elif old_value != 0:
             delta = f"{100.0 * (new_value - old_value) / old_value:+.1f}%"
         else:
-            delta = "new" if old_value is None else "-"
+            delta = "-"
         lines.append(f"{kind:15s} {name:44s} {old_text:>12s} "
                      f"{new_text:>12s} {delta:>10s}")
     if len(lines) == 1:

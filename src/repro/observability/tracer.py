@@ -18,6 +18,13 @@ Record schema (version 1)::
 
 ``read_trace`` parses and validates a trace file back into dictionaries
 (the round-trip contract asserted by the test suite).
+
+File output is size-capped: when the trace file exceeds ``max_bytes``
+(default from ``GOOFI_TRACE_MAX_MB``, 256 MiB) the tracer rolls it to
+``<path>.1`` — one rotation generation, so a runaway campaign holds at
+most twice the cap on disk instead of growing unboundedly.
+``read_trace_with_rotation`` (and ``goofi-metrics trace``) read the
+rotated sibling first, preserving record order across the roll.
 """
 
 from __future__ import annotations
@@ -28,12 +35,17 @@ import threading
 import time
 from typing import IO, Any, Dict, Iterator, List, Optional, Union
 
+from repro.observability.flightrec import FlightRecorder
+
 __all__ = [
     "NULL_SPAN",
     "SCHEMA_VERSION",
     "TraceSchemaError",
     "Tracer",
+    "default_trace_max_bytes",
     "read_trace",
+    "read_trace_with_rotation",
+    "rotated_sibling",
     "validate_record",
 ]
 
@@ -41,6 +53,25 @@ SCHEMA_VERSION = 1
 
 #: Records buffered before the tracer flushes its file sink.
 _FLUSH_EVERY = 256
+
+#: Default trace size cap in MiB (``GOOFI_TRACE_MAX_MB`` overrides).
+_DEFAULT_MAX_MB = 256
+
+
+def default_trace_max_bytes() -> int:
+    """The size cap applied to trace files: ``GOOFI_TRACE_MAX_MB``
+    megabytes (default 256). Zero or negative disables rotation."""
+    raw = os.environ.get("GOOFI_TRACE_MAX_MB", "")
+    try:
+        mb = float(raw) if raw else float(_DEFAULT_MAX_MB)
+    except ValueError:
+        mb = float(_DEFAULT_MAX_MB)
+    return int(mb * 1024 * 1024)
+
+
+def rotated_sibling(path: str) -> str:
+    """The rotation target of a trace file (``trace.jsonl.1``)."""
+    return path + ".1"
 
 
 class TraceSchemaError(ValueError):
@@ -93,21 +124,37 @@ class Tracer:
 
     ``path`` appends records to a file; ``buffer`` appends record dicts
     to a caller-owned list (the in-memory mode used by tests and the
-    progress window). With neither, the tracer is disabled and every
+    progress window); ``ring`` mirrors every record into a
+    :class:`~repro.observability.flightrec.FlightRecorder` — a tracer
+    with *only* a ring is enabled but touches no disk until the ring is
+    dumped. With none of the three, the tracer is disabled and every
     call is a no-op.
+
+    ``max_bytes`` caps the file sink: past the cap the file rolls to
+    ``<path>.1`` (``None`` means the ``GOOFI_TRACE_MAX_MB`` default;
+    ``0`` disables rotation).
     """
 
     def __init__(
         self,
         path: Optional[str] = None,
         buffer: Optional[List[Dict[str, Any]]] = None,
+        ring: Optional[FlightRecorder] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         self._path = path
         self._buffer = buffer
+        self._ring = ring if ring is not None and ring.enabled else None
         self._file: Optional[IO[str]] = None
         self._pending = 0
+        self._bytes = 0
+        self._max_bytes = (
+            default_trace_max_bytes() if max_bytes is None else max_bytes
+        )
         self._lock = threading.Lock()
-        self.enabled = path is not None or buffer is not None
+        self.enabled = (
+            path is not None or buffer is not None or self._ring is not None
+        )
 
     @property
     def path(self) -> Optional[str]:
@@ -156,17 +203,42 @@ class Tracer:
     # -- sinks -------------------------------------------------------------
 
     def _write(self, record: Dict[str, Any]) -> None:
+        if self._ring is not None:
+            self._ring.record(record)
         with self._lock:
             if self._buffer is not None:
                 self._buffer.append(record)
             if self._path is not None:
                 if self._file is None:
                     self._file = open(self._path, "a", encoding="utf-8")
-                self._file.write(json.dumps(record, sort_keys=True) + "\n")
+                    try:
+                        self._bytes = os.path.getsize(self._path)
+                    except OSError:
+                        self._bytes = 0
+                line = json.dumps(record, sort_keys=True) + "\n"
+                self._file.write(line)
+                self._bytes += len(line)
                 self._pending += 1
                 if self._pending >= _FLUSH_EVERY:
                     self._file.flush()
                     self._pending = 0
+                if self._max_bytes > 0 and self._bytes >= self._max_bytes:
+                    self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Roll the full trace file to ``<path>.1`` (caller holds the
+        lock). One generation is kept: a second roll replaces the first,
+        bounding total disk use at twice ``max_bytes``."""
+        assert self._path is not None and self._file is not None
+        self._file.flush()
+        self._file.close()
+        try:
+            os.replace(self._path, rotated_sibling(self._path))
+        except OSError:  # pragma: no cover - rotation must not kill runs
+            pass
+        self._file = open(self._path, "a", encoding="utf-8")
+        self._bytes = 0
+        self._pending = 0
 
     def flush(self) -> None:
         with self._lock:
@@ -239,3 +311,15 @@ def iter_trace(path: str) -> Iterator[Dict[str, Any]]:
 def read_trace(path: str) -> List[Dict[str, Any]]:
     """Parse and validate a whole JSONL trace file."""
     return list(iter_trace(path))
+
+
+def read_trace_with_rotation(path: str) -> List[Dict[str, Any]]:
+    """Parse a trace plus its rotated sibling (``<path>.1``), oldest
+    records first — what ``goofi-metrics trace`` uses so a size-capped
+    trace still summarizes as one run."""
+    records: List[Dict[str, Any]] = []
+    sibling = rotated_sibling(path)
+    if os.path.exists(sibling):
+        records.extend(iter_trace(sibling))
+    records.extend(iter_trace(path))
+    return records

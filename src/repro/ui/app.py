@@ -110,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out",
                    help="write a metrics snapshot (JSON) to PATH after the "
                         "run (inspect with 'goofi-metrics report PATH')")
+    p.add_argument("--serve-metrics", type=int, metavar="PORT",
+                   help="serve live telemetry over HTTP while the campaign "
+                        "runs (/metrics OpenMetrics, /healthz, /snapshot); "
+                        "PORT 0 binds an ephemeral port (printed at start)")
+    p.add_argument("--flight-records", type=int, metavar="N", default=0,
+                   help="keep a crash flight recorder of the last N trace "
+                        "events; dumped to flight-<pid>.jsonl on crashes, "
+                        "watchdog kills and worker failures")
 
     p = sub.add_parser("analyze", help="classify a stored campaign")
     p.add_argument("--db", required=True)
@@ -210,12 +218,35 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.observability import configure, disable, get_observability
+    from repro.observability import (
+        configure,
+        disable,
+        get_observability,
+        start_exporter,
+    )
 
-    want_obs = bool(args.trace or args.metrics_out)
+    serve_port = getattr(args, "serve_metrics", None)
+    flight_records = getattr(args, "flight_records", 0) or 0
+    want_obs = bool(
+        args.trace
+        or args.metrics_out
+        or serve_port is not None
+        or flight_records > 0
+    )
     if want_obs:
-        configure(trace_path=args.trace, metrics=bool(args.metrics_out))
+        configure(
+            trace_path=args.trace,
+            metrics=bool(args.metrics_out) or serve_port is not None,
+            flight_records=flight_records,
+        )
+    exporter = None
     try:
+        if serve_port is not None:
+            exporter = start_exporter(port=serve_port)
+            print(
+                "serving live telemetry on "
+                f"{exporter.url('/metrics')} (/healthz, /snapshot)"
+            )
         with GoofiDatabase(args.db) as db:
             campaign = db.load_campaign(args.campaign)
             target = create_target(campaign.target_name)
@@ -234,6 +265,8 @@ def _cmd_run(args) -> int:
             if args.trace:
                 print(f"wrote trace to {args.trace}")
     finally:
+        if exporter is not None:
+            exporter.stop()
         if want_obs:
             disable()
     return 0

@@ -11,7 +11,18 @@ from typing import List, Optional
 
 from repro.core.controller import CampaignController, CampaignProgress
 from repro.observability import get_observability
+from repro.observability.health import get_health
 from repro.observability.report import progress_metrics_line
+
+
+def _format_eta(seconds: float) -> str:
+    """Compact ``1h02m`` / ``3m20s`` / ``12s`` rendering."""
+    total = int(round(seconds))
+    if total >= 3600:
+        return f"{total // 3600}h{(total % 3600) // 60:02d}m"
+    if total >= 60:
+        return f"{total // 60}m{total % 60:02d}s"
+    return f"{total}s"
 
 
 class ProgressWindow:
@@ -65,6 +76,8 @@ class ProgressWindow:
             f"faults injected: {progress.n_injected_faults}   "
             f"rate: {progress.experiments_per_second:.1f}/s",
         ]
+        if progress.eta_seconds is not None and progress.state == "running":
+            lines[-1] += f"   eta: {_format_eta(progress.eta_seconds)}"
         if progress.n_workers > 1 or progress.n_worker_failures:
             workers = f"workers: {progress.n_workers}"
             if progress.n_worker_failures:
@@ -87,6 +100,12 @@ class ProgressWindow:
             digest = progress_metrics_line(metrics.snapshot())
             if digest:
                 lines.append(digest)
+        health = get_health()
+        if health.enabled and health.alerts:
+            # Edge-triggered health findings (stall / outcome-mix drift)
+            # from the campaign's live monitor — newest last.
+            for alert in health.alerts[-3:]:
+                lines.append(f"health [{alert.kind}]: {alert.message}")
         return "\n".join(lines)
 
 
@@ -102,4 +121,5 @@ def _copy_progress(progress: CampaignProgress) -> CampaignProgress:
         state=progress.state,
         n_workers=progress.n_workers,
         n_worker_failures=progress.n_worker_failures,
+        eta_seconds=progress.eta_seconds,
     )

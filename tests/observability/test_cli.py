@@ -69,6 +69,60 @@ class TestGoofiMetrics:
         assert "1 valid records" in out
         assert "experiment" in out
 
+    def test_diff_metric_only_in_new_side(self, snapshot_file, tmp_path,
+                                          capsys):
+        path, snapshot = snapshot_file
+        newer = dict(snapshot)
+        newer["counters"] = dict(
+            snapshot["counters"], **{"health.stall_alerts_total": 2}
+        )
+        new_path = tmp_path / "new.json"
+        new_path.write_text(json.dumps(newer))
+        assert metrics_main(["diff", str(path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if "health.stall_alerts_total" in l
+        )
+        assert line.rstrip().endswith("added")
+
+    def test_diff_metric_only_in_old_side(self, snapshot_file, tmp_path,
+                                          capsys):
+        path, snapshot = snapshot_file
+        newer = dict(snapshot)
+        newer["counters"] = {"experiments_total": 10}  # db.rows_total gone
+        newer["gauges"] = {}
+        newer["histograms"] = {}
+        new_path = tmp_path / "new.json"
+        new_path.write_text(json.dumps(newer))
+        assert metrics_main(["diff", str(path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        rows_line = next(
+            l for l in out.splitlines() if "db.rows_total" in l
+        )
+        assert rows_line.rstrip().endswith("removed")
+        gauge_line = next(
+            l for l in out.splitlines() if "campaign.n_done" in l
+        )
+        assert gauge_line.rstrip().endswith("removed")
+
+    def test_trace_reads_rotated_sibling(self, tmp_path, capsys):
+        def record(name):
+            return {
+                "v": 1, "kind": "event", "name": name, "ts": 1.0,
+                "pid": 1, "fields": {},
+            }
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(record("recent")) + "\n")
+        (tmp_path / "trace.jsonl.1").write_text(
+            json.dumps(record("older")) + "\n"
+        )
+        assert metrics_main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 valid records" in out
+        assert "older" in out
+        assert "recent" in out
+
     def test_missing_file_exits_nonzero(self, tmp_path, capsys):
         assert metrics_main(["report", str(tmp_path / "nope.json")]) == 1
         assert "error" in capsys.readouterr().err
@@ -121,3 +175,30 @@ class TestGoofiRunFlags:
         ]) == 0
         out = capsys.readouterr().out
         assert "metrics:" not in out
+
+    def test_run_serve_metrics_announces_endpoint(self, tmp_path, capsys):
+        db = self._setup_campaign(tmp_path)
+        assert goofi_main([
+            "run", "--db", db, "--campaign", "c1", "--quiet",
+            "--serve-metrics", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving live telemetry on http://127.0.0.1:" in out
+        # Run provenance lands even without --metrics-out.
+        assert metrics_main(["runs", "--db", db]) == 0
+        assert "finished" in capsys.readouterr().out
+
+        from repro import observability
+
+        assert observability.get_observability().enabled is False
+
+    def test_run_records_provenance(self, tmp_path, capsys):
+        db = self._setup_campaign(tmp_path)
+        assert goofi_main([
+            "run", "--db", db, "--campaign", "c1", "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert metrics_main(["show", "--db", db, "c1"]) == 0
+        out = capsys.readouterr().out
+        assert "state:        finished" in out
+        assert "seed:         3" in out

@@ -1,0 +1,193 @@
+"""Tests for the OpenMetrics HTTP exporter."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import observability
+from repro.observability.exporter import (
+    CONTENT_TYPE_OPENMETRICS,
+    MetricsExporter,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from repro.observability.health import CampaignHealthMonitor
+from repro.observability.metrics import MetricsRegistry
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("campaign.n_done") == "goofi_campaign_n_done"
+
+    def test_invalid_chars(self):
+        assert sanitize_metric_name("a-b c") == "goofi_a_b_c"
+
+    def test_leading_digit(self):
+        assert sanitize_metric_name("7up").startswith("goofi__7")
+
+
+class TestRenderOpenMetrics:
+    def test_counter_total_suffix(self):
+        text = render_openmetrics({"counters": {"experiments_total": 5}})
+        assert "# TYPE goofi_experiments counter" in text
+        assert "goofi_experiments_total 5" in text
+        assert text.endswith("# EOF\n")
+
+    def test_counter_without_total_suffix_gains_one(self):
+        text = render_openmetrics({"counters": {"db.rows": 3}})
+        assert "goofi_db_rows_total 3" in text
+
+    def test_worker_prefix_becomes_label(self):
+        text = render_openmetrics(
+            {
+                "counters": {
+                    "worker0.experiments_total": 4,
+                    "worker1.experiments_total": 6,
+                }
+            }
+        )
+        assert 'goofi_experiments_total{worker="0"} 4' in text
+        assert 'goofi_experiments_total{worker="1"} 6' in text
+        # One family announcement for both samples.
+        assert text.count("# TYPE goofi_experiments counter") == 1
+
+    def test_gauges(self):
+        text = render_openmetrics({"gauges": {"campaign.n_done": 7}})
+        assert "# TYPE goofi_campaign_n_done gauge" in text
+        assert "goofi_campaign_n_done 7" in text
+
+    def test_histogram_cumulative_buckets(self):
+        snapshot = {
+            "histograms": {
+                "experiment_seconds": {
+                    "count": 6,
+                    "sum": 1.5,
+                    "bounds": [0.1, 1.0],
+                    "bucket_counts": [2, 3],
+                }
+            }
+        }
+        text = render_openmetrics(snapshot)
+        assert "# TYPE goofi_experiment_seconds histogram" in text
+        assert 'goofi_experiment_seconds_bucket{le="0.1"} 2' in text
+        # Cumulative: 2 + 3.
+        assert 'goofi_experiment_seconds_bucket{le="1"} 5' in text
+        assert 'goofi_experiment_seconds_bucket{le="+Inf"} 6' in text
+        assert "goofi_experiment_seconds_sum 1.5" in text
+        assert "goofi_experiment_seconds_count 6" in text
+
+    def test_empty_snapshot_is_valid(self):
+        assert render_openmetrics({}) == "# EOF\n"
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("experiments_total").inc(3)
+    registry.gauge("campaign.n_done").set(3)
+    return registry
+
+
+class TestHttpEndpoints:
+    def test_metrics_endpoint(self, registry):
+        with MetricsExporter(port=0, registry=lambda: registry) as exporter:
+            status, content_type, body = _get(exporter.url("/metrics"))
+        assert status == 200
+        assert content_type == CONTENT_TYPE_OPENMETRICS
+        assert "goofi_experiments_total 3" in body
+        assert body.endswith("# EOF\n")
+
+    def test_snapshot_endpoint(self, registry):
+        with MetricsExporter(port=0, registry=lambda: registry) as exporter:
+            status, content_type, body = _get(exporter.url("/snapshot"))
+        assert status == 200
+        assert content_type == "application/json"
+        snapshot = json.loads(body)
+        assert snapshot["counters"]["experiments_total"] == 3
+
+    def test_healthz_ok(self, registry):
+        monitor = CampaignHealthMonitor()
+        monitor.begin("c1", n_total=10)
+        with MetricsExporter(
+            port=0, registry=lambda: registry, health=lambda: monitor
+        ) as exporter:
+            status, _, body = _get(exporter.url("/healthz"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["campaign"] == "c1"
+
+    def test_healthz_503_on_stall(self, registry):
+        clock = [100.0]
+        monitor = CampaignHealthMonitor(
+            stall_floor_seconds=1.0, clock=lambda: clock[0]
+        )
+        monitor.begin("c1", n_total=10)
+        clock[0] += 0.5
+        monitor.record_result("halt")
+        clock[0] += 1000.0  # silence far past the threshold
+        with MetricsExporter(
+            port=0, registry=lambda: registry, health=lambda: monitor
+        ) as exporter:
+            # The probe itself runs check(): the stall is detected live.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(exporter.url("/healthz"))
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert payload["status"] == "stall"
+        assert payload["alerts"]
+
+    def test_unknown_path_404(self, registry):
+        with MetricsExporter(port=0, registry=lambda: registry) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(exporter.url("/nope"))
+        assert excinfo.value.code == 404
+
+    def test_default_registry_resolves_global(self):
+        obs = observability.configure(metrics=True)
+        try:
+            obs.metrics.counter("live_total").inc()
+            with MetricsExporter(port=0) as exporter:
+                _, _, body = _get(exporter.url("/metrics"))
+            assert "goofi_live_total 1" in body
+        finally:
+            observability.disable()
+
+    def test_ephemeral_port_is_bound(self, registry):
+        with MetricsExporter(port=0, registry=lambda: registry) as exporter:
+            assert exporter.port > 0
+            assert str(exporter.port) in exporter.url()
+
+
+class TestEnvBootstrapExporter:
+    def test_metrics_port_env(self, tmp_path, monkeypatch):
+        """GOOFI_METRICS_PORT=0 starts an exporter on an ephemeral port
+        and reports it via GOOFI_METRICS_PORT_FILE."""
+        from repro import observability as obs_module
+
+        port_file = tmp_path / "port"
+        monkeypatch.setenv("GOOFI_METRICS_PORT", "0")
+        monkeypatch.setenv("GOOFI_METRICS_PORT_FILE", str(port_file))
+        try:
+            obs_module._bootstrap_from_env()
+            port = int(port_file.read_text().strip())
+            status, _, body = _get(f"http://127.0.0.1:{port}/metrics")
+            assert status == 200
+            assert body.endswith("# EOF\n")
+        finally:
+            exporter = obs_module._bootstrap_exporter
+            if exporter is not None:
+                exporter.stop()
+            obs_module._bootstrap_exporter = None
+            obs_module.disable()

@@ -1,0 +1,160 @@
+"""Tests for the crash flight recorder (ring buffer + dumps)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro import observability
+from repro.observability.flightrec import (
+    NULL_FLIGHTREC,
+    FlightRecorder,
+    flight_path,
+    read_flight_dump,
+)
+from repro.observability.tracer import TraceSchemaError
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=5, directory=".")
+        for i in range(20):
+            recorder.record(
+                {"v": 1, "kind": "event", "name": f"e{i}", "ts": 0.0,
+                 "pid": 1, "fields": {}}
+            )
+        records = recorder.records()
+        assert len(records) == 5
+        assert records[0]["name"] == "e15"
+        assert records[-1]["name"] == "e19"
+
+    def test_disabled_records_nothing(self):
+        assert not NULL_FLIGHTREC.enabled
+        NULL_FLIGHTREC.record({"name": "x"})
+        assert len(NULL_FLIGHTREC) == 0
+        assert NULL_FLIGHTREC.dump("whatever") is None
+
+    def test_zero_capacity_disables(self):
+        assert not FlightRecorder(capacity=0).enabled
+
+
+class TestDump:
+    def test_dump_is_schema_valid_jsonl(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, directory=str(tmp_path))
+        recorder.record(
+            {"v": 1, "kind": "event", "name": "worker-spawn", "ts": 1.0,
+             "pid": 42, "fields": {"worker": 0}}
+        )
+        path = recorder.dump("unhandled-exception", campaign="c1")
+        assert path == flight_path(str(tmp_path))
+        records = read_flight_dump(path)
+        assert records[0]["name"] == "flight-dump"
+        assert records[0]["fields"]["reason"] == "unhandled-exception"
+        assert records[0]["fields"]["campaign"] == "c1"
+        assert records[1]["name"] == "worker-spawn"
+        assert recorder.dump_reasons == ["unhandled-exception"]
+
+    def test_repeated_dumps_overwrite(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, directory=str(tmp_path))
+        recorder.dump("first")
+        recorder.dump("second")
+        records = read_flight_dump(flight_path(str(tmp_path)))
+        assert records[0]["fields"]["reason"] == "second"
+        assert recorder.dump_reasons == ["first", "second"]
+
+    def test_read_flight_dump_rejects_plain_trace(self, tmp_path):
+        path = tmp_path / "not-a-dump.jsonl"
+        record = {"v": 1, "kind": "event", "name": "other", "ts": 0.0,
+                  "pid": 1, "fields": {}}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(TraceSchemaError):
+            read_flight_dump(str(path))
+
+
+class TestTracerRingSink:
+    def test_tracer_mirrors_into_ring_without_file(self, tmp_path):
+        obs = observability.configure(
+            metrics=False, flight_records=16, flight_dir=str(tmp_path)
+        )
+        try:
+            assert obs.flightrec.enabled
+            assert obs.tracer.enabled  # ring-only tracer is live
+            assert obs.tracer.path is None  # ...but writes no file
+            obs.tracer.event("scan-op", op="read")
+            with obs.tracer.span("experiment", index=3):
+                pass
+            names = [r["name"] for r in obs.flightrec.records()]
+            assert names == ["scan-op", "experiment"]
+            path = obs.flightrec.dump("worker-failure", index=3)
+            records = read_flight_dump(path)
+            assert [r["name"] for r in records[1:]] == [
+                "scan-op", "experiment",
+            ]
+        finally:
+            observability.disable()
+
+    def test_ring_and_file_tracing_together(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs = observability.configure(
+            trace_path=str(trace),
+            metrics=False,
+            flight_records=4,
+            flight_dir=str(tmp_path),
+        )
+        try:
+            obs.tracer.event("one")
+            obs.flush()
+            assert len(obs.flightrec) == 1
+            assert trace.exists()
+        finally:
+            observability.disable()
+
+
+class TestSignalHandler:
+    def test_sigterm_dump_in_subprocess(self, tmp_path):
+        """A SIGTERM'd process with the handler installed leaves a
+        flight-<pid>.jsonl post-mortem (the watchdog-kill path)."""
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        script = f"""
+import os, signal, sys
+sys.path.insert(0, {json.dumps(src_dir)})
+from repro.observability.flightrec import FlightRecorder
+recorder = FlightRecorder(capacity=8, directory={json.dumps(str(tmp_path))})
+recorder.record({{"v": 1, "kind": "event", "name": "pre-kill", "ts": 0.0,
+                  "pid": os.getpid(), "fields": {{}}}})
+assert recorder.install_signal_handler()
+print(os.getpid(), flush=True)
+signal.pause()
+"""
+        process = subprocess.Popen(
+            [sys.executable, "-c", script], stdout=subprocess.PIPE
+        )
+        try:
+            pid = int(process.stdout.readline().strip())
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=10)
+        finally:
+            process.stdout.close()
+            if process.poll() is None:
+                process.kill()
+        assert returncode == -signal.SIGTERM  # default disposition re-raised
+        records = read_flight_dump(flight_path(str(tmp_path), pid))
+        assert records[0]["fields"]["reason"] == "watchdog-kill"
+        assert any(r["name"] == "pre-kill" for r in records)
+
+    def test_install_refuses_off_main_thread(self):
+        import threading
+
+        recorder = FlightRecorder(capacity=4)
+        outcome = []
+        thread = threading.Thread(
+            target=lambda: outcome.append(recorder.install_signal_handler())
+        )
+        thread.start()
+        thread.join()
+        assert outcome == [False]

@@ -1,0 +1,237 @@
+"""Tests for the campaign health monitor (stall, drift, ETA)."""
+
+from repro import observability
+from repro.observability.health import (
+    NULL_HEALTH,
+    CampaignHealthMonitor,
+    get_health,
+    set_health,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_monitor(**overrides):
+    clock = overrides.pop("clock", FakeClock())
+    defaults = dict(
+        stall_factor=4.0,
+        stall_floor_seconds=1.0,
+        drift_threshold=0.5,
+        drift_window=10,
+        drift_min_baseline=10,
+    )
+    defaults.update(overrides)
+    monitor = CampaignHealthMonitor(clock=clock, **defaults)
+    return monitor, clock
+
+
+class TestProgressAndEta:
+    def test_rate_and_eta_from_ewma(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=100)
+        for _ in range(10):
+            clock.advance(2.0)
+            monitor.record_result("halt")
+        assert monitor.n_done == 10
+        # Constant 2s intervals: the EWMA converges to 2.0.
+        assert abs(monitor.rate() - 0.5) < 0.05
+        eta = monitor.eta_seconds()
+        assert eta is not None
+        assert abs(eta - 90 * 2.0) < 90 * 0.2
+
+    def test_eta_none_before_any_result(self):
+        monitor, _ = make_monitor()
+        monitor.begin("c1", n_total=10)
+        assert monitor.eta_seconds() is None
+        assert monitor.rate() == 0.0
+
+    def test_begin_resets_state(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=5)
+        clock.advance(1.0)
+        monitor.record_result("halt")
+        monitor.begin("c2", n_total=7, n_workers=3)
+        assert monitor.n_done == 0
+        assert monitor.n_total == 7
+        assert monitor.n_workers == 3
+        assert monitor.alerts == []
+
+
+class TestStallDetection:
+    def test_stall_alert_fires_after_threshold(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=10)
+        for _ in range(5):
+            clock.advance(1.0)
+            monitor.record_result("halt")
+        assert monitor.check() == []
+        clock.advance(monitor.stall_threshold_seconds() + 0.1)
+        alerts = monitor.check()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "stall"
+        assert monitor.status()["status"] == "stall"
+
+    def test_stall_is_edge_triggered(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=10)
+        clock.advance(1.0)
+        monitor.record_result("halt")
+        clock.advance(100.0)
+        assert len(monitor.check()) == 1
+        clock.advance(100.0)
+        assert monitor.check() == []  # same episode: no repeat
+
+    def test_progress_rearms_stall(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=10)
+        clock.advance(1.0)
+        monitor.record_result("halt")
+        clock.advance(100.0)
+        assert len(monitor.check()) == 1
+        clock.advance(1.0)
+        monitor.record_result("halt")  # recovery
+        assert monitor.status()["status"] == "ok"
+        clock.advance(500.0)
+        assert len(monitor.check()) == 1  # a fresh episode fires again
+
+    def test_no_stall_when_campaign_complete(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=1)
+        clock.advance(1.0)
+        monitor.record_result("halt")
+        clock.advance(1000.0)
+        assert monitor.check() == []
+
+    def test_threshold_floors(self):
+        monitor, _ = make_monitor(stall_floor_seconds=5.0)
+        monitor.begin("c1", n_total=10)
+        assert monitor.stall_threshold_seconds() == 5.0
+
+
+class TestDriftDetection:
+    def test_drift_alert_on_outcome_mix_change(self):
+        monitor, clock = make_monitor(drift_window=10, drift_min_baseline=10)
+        monitor.begin("c1", n_total=200)
+        # Build a pure-"halt" baseline, then a pure-"trap" window.
+        for _ in range(20):
+            clock.advance(0.1)
+            monitor.record_result("halt")
+        assert monitor.check() == []
+        for _ in range(10):
+            clock.advance(0.1)
+            monitor.record_result("trap")
+        alerts = monitor.check()
+        assert [a.kind for a in alerts] == ["drift"]
+        distance = monitor.drift_distance()
+        assert distance is not None and distance > 0.5
+
+    def test_no_drift_before_baseline(self):
+        monitor, clock = make_monitor(drift_min_baseline=50)
+        monitor.begin("c1", n_total=100)
+        for _ in range(20):
+            clock.advance(0.1)
+            monitor.record_result("halt")
+        assert monitor.drift_distance() is None
+        assert monitor.check() == []
+
+    def test_drift_rearms_after_recovery(self):
+        monitor, clock = make_monitor(drift_window=10, drift_min_baseline=10)
+        monitor.begin("c1", n_total=500)
+        for _ in range(20):
+            clock.advance(0.1)
+            monitor.record_result("halt")
+        for _ in range(10):
+            clock.advance(0.1)
+            monitor.record_result("trap")
+        assert len(monitor.check()) == 1
+        assert monitor.check() == []  # still drifting: edge-triggered
+        # Long recovery: window back to baseline mix re-arms the alert.
+        for _ in range(60):
+            clock.advance(0.1)
+            monitor.record_result("halt")
+            monitor.check()
+        assert not monitor._drifting
+
+
+class TestHeartbeats:
+    def test_heartbeat_ages(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=10, n_workers=2)
+        monitor.heartbeat(0)
+        clock.advance(3.0)
+        monitor.heartbeat(1)
+        ages = monitor.heartbeat_ages()
+        assert ages[0] == 3.0
+        assert ages[1] == 0.0
+
+    def test_heartbeat_gauge_when_metrics_enabled(self):
+        obs = observability.configure(metrics=True)
+        try:
+            monitor, _ = make_monitor()
+            monitor.begin("c1", n_total=10)
+            monitor.heartbeat(4)
+            snapshot = obs.metrics.snapshot()
+            assert "health.worker4.heartbeat_ts" in snapshot["gauges"]
+        finally:
+            observability.disable()
+
+
+class TestAlertEmission:
+    def test_alerts_mirrored_to_trace_and_counters(self):
+        buffer = []
+        obs = observability.configure(metrics=True, trace_buffer=buffer)
+        try:
+            monitor, clock = make_monitor()
+            monitor.begin("c1", n_total=10)
+            clock.advance(1.0)
+            monitor.record_result("halt")
+            clock.advance(100.0)
+            monitor.check()
+            events = [r for r in buffer if r["name"] == "health-alert"]
+            assert len(events) == 1
+            assert events[0]["fields"]["alert"] == "stall"
+            counters = obs.metrics.snapshot()["counters"]
+            assert counters["health.stall_alerts_total"] == 1
+        finally:
+            observability.disable()
+
+
+class TestDisabledPath:
+    def test_null_health_is_inert(self):
+        assert not NULL_HEALTH.enabled
+        NULL_HEALTH.begin("c1", 10)
+        NULL_HEALTH.heartbeat(0)
+        NULL_HEALTH.record_result("halt")
+        assert NULL_HEALTH.check() == []
+        assert NULL_HEALTH.status() == {"status": "disabled"}
+        assert NULL_HEALTH.n_done == 0
+
+    def test_get_set_health(self):
+        monitor = CampaignHealthMonitor()
+        previous = set_health(monitor)
+        try:
+            assert get_health() is monitor
+        finally:
+            set_health(previous)
+        assert get_health() is previous
+
+    def test_status_fields(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=10, n_workers=2)
+        clock.advance(1.0)
+        monitor.record_result("halt")
+        status = monitor.status()
+        assert status["status"] == "ok"
+        assert status["campaign"] == "c1"
+        assert status["n_done"] == 1
+        assert status["n_workers"] == 2
+        assert status["rate_per_second"] > 0

@@ -1,0 +1,100 @@
+"""Tests for trace-file size capping and rotation."""
+
+import os
+
+from repro.observability.tracer import (
+    Tracer,
+    default_trace_max_bytes,
+    read_trace,
+    read_trace_with_rotation,
+    rotated_sibling,
+)
+
+
+class TestDefaults:
+    def test_default_cap_is_256_mib(self, monkeypatch):
+        monkeypatch.delenv("GOOFI_TRACE_MAX_MB", raising=False)
+        assert default_trace_max_bytes() == 256 * 1024 * 1024
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("GOOFI_TRACE_MAX_MB", "1")
+        assert default_trace_max_bytes() == 1024 * 1024
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("GOOFI_TRACE_MAX_MB", "lots")
+        assert default_trace_max_bytes() == 256 * 1024 * 1024
+
+    def test_rotated_sibling(self):
+        assert rotated_sibling("run.jsonl") == "run.jsonl.1"
+
+
+class TestRotation:
+    def test_file_rolls_at_cap(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path, max_bytes=2_000)
+        for i in range(200):
+            tracer.event("tick", i=i)
+        tracer.close()
+        sibling = rotated_sibling(path)
+        assert os.path.exists(sibling)
+        assert os.path.exists(path)
+        # One generation only: total disk is bounded at ~2x the cap.
+        assert not os.path.exists(path + ".2")
+        assert os.path.getsize(sibling) <= 2_000 + 512
+
+    def test_no_records_lost_across_rotation(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path, max_bytes=8_000)
+        n = 100  # ~10 KB of records: exactly one rotation
+        for i in range(n):
+            tracer.event("tick", i=i)
+        tracer.close()
+        assert os.path.exists(rotated_sibling(path))
+        records = read_trace_with_rotation(path)
+        # A single rotation loses nothing; order stays chronological.
+        assert [r["fields"]["i"] for r in records] == list(range(n))
+
+    def test_second_rotation_drops_oldest_generation(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path, max_bytes=1_000)
+        for i in range(300):
+            tracer.event("tick", i=i)
+        tracer.close()
+        records = read_trace_with_rotation(path)
+        indices = [r["fields"]["i"] for r in records]
+        # The newest records always survive...
+        assert indices[-1] == 299
+        # ...and what remains is contiguous (a clean suffix, no holes).
+        assert indices == list(range(indices[0], 300))
+        assert len(indices) < 300
+
+    def test_uncapped_tracer_never_rotates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path, max_bytes=0)
+        for i in range(100):
+            tracer.event("tick", i=i)
+        tracer.close()
+        assert not os.path.exists(rotated_sibling(path))
+        assert len(read_trace(path)) == 100
+
+    def test_reopened_tracer_counts_existing_bytes(self, tmp_path):
+        """Resuming into an existing trace file starts byte accounting
+        from the current size, not from zero."""
+        path = str(tmp_path / "trace.jsonl")
+        first = Tracer(path=path, max_bytes=100_000)
+        for i in range(10):
+            first.event("a", i=i)
+        first.close()
+        size = os.path.getsize(path)
+        second = Tracer(path=path, max_bytes=size + 200)
+        for i in range(50):
+            second.event("b", i=i)
+        second.close()
+        assert os.path.exists(rotated_sibling(path))
+
+    def test_read_with_rotation_without_sibling(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        tracer.event("only")
+        tracer.close()
+        assert [r["name"] for r in read_trace_with_rotation(path)] == ["only"]

@@ -1,0 +1,203 @@
+"""Tests for RunMeta provenance (value object, DB CRUD, migration, CLI)."""
+
+import sqlite3
+
+import pytest
+
+from repro.db import GoofiDatabase
+from repro.db.schema import MIGRATABLE_VERSIONS, SCHEMA_VERSION
+from repro.observability.cli import main as metrics_main
+from repro.observability.runmeta import (
+    RUNMETA_SCHEMA_VERSION,
+    RunMeta,
+    campaign_config_hash,
+    render_run,
+    render_runs,
+    tool_version,
+)
+from repro.util.errors import DatabaseError
+from tests.conftest import make_campaign
+
+
+class TestConfigHash:
+    def test_hash_is_stable(self):
+        campaign = make_campaign()
+        assert campaign_config_hash(campaign) == campaign_config_hash(
+            make_campaign()
+        )
+
+    def test_hash_changes_with_any_knob(self):
+        base = campaign_config_hash(make_campaign())
+        assert campaign_config_hash(make_campaign(seed=999)) != base
+        assert (
+            campaign_config_hash(make_campaign(n_experiments=3)) != base
+        )
+
+    def test_tool_version_matches_package(self):
+        import repro
+
+        assert tool_version() == repro.__version__
+
+
+class TestRunMetaCrud:
+    def test_start_and_end_roundtrip(self, db):
+        campaign = make_campaign()
+        run_id = db.record_run_start(campaign, n_workers=4)
+        assert run_id > 0
+        run = db.load_run(run_id)
+        assert run.state == "running"
+        assert run.campaign_name == campaign.campaign_name
+        assert run.seed == campaign.seed
+        assert run.n_workers == 4
+        assert run.n_experiments == campaign.n_experiments
+        assert run.config_hash == campaign_config_hash(campaign)
+        assert run.tool_version == tool_version()
+        assert run.meta_version == RUNMETA_SCHEMA_VERSION
+        assert run.finished_at is None
+
+        snapshot = {"counters": {"experiments_total": 10}}
+        db.record_run_end(run_id, "finished", metrics_snapshot=snapshot)
+        run = db.load_run(run_id)
+        assert run.state == "finished"
+        assert run.finished_at is not None
+        assert run.metrics_snapshot == snapshot
+
+    def test_end_can_update_worker_count(self, db):
+        campaign = make_campaign()
+        run_id = db.record_run_start(campaign, n_workers=8)
+        db.record_run_end(run_id, "finished", n_workers=3)
+        assert db.load_run(run_id).n_workers == 3
+
+    def test_list_runs_newest_first(self, db):
+        campaign = make_campaign()
+        first = db.record_run_start(campaign)
+        second = db.record_run_start(campaign)
+        runs = db.list_runs()
+        assert [run.run_id for run in runs] == [second, first]
+
+    def test_list_runs_filters_by_campaign(self, db):
+        db.record_run_start(make_campaign(campaign_name="a"))
+        db.record_run_start(make_campaign(campaign_name="b"))
+        runs = db.list_runs(campaign_name="a")
+        assert [run.campaign_name for run in runs] == ["a"]
+        assert db.list_runs(campaign_name="zzz") == []
+
+    def test_load_missing_run_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.load_run(12345)
+
+
+class TestSchemaMigration:
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        """A PR 3-era (version 1) database opens cleanly: the additive
+        RunMeta DDL applies and the version is stamped forward."""
+        assert 1 in MIGRATABLE_VERSIONS
+        path = str(tmp_path / "old.db")
+        with GoofiDatabase(path) as db:
+            db.save_campaign(make_campaign())
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE RunMeta")
+        conn.execute("UPDATE SchemaInfo SET version = 1")
+        conn.commit()
+        conn.close()
+        with GoofiDatabase(path) as db:
+            run_id = db.record_run_start(make_campaign())
+            assert db.load_run(run_id).state == "running"
+        conn = sqlite3.connect(path)
+        row = conn.execute("SELECT version FROM SchemaInfo").fetchone()
+        conn.close()
+        assert row[0] == SCHEMA_VERSION
+
+    def test_unknown_version_still_rejected(self, tmp_path):
+        path = str(tmp_path / "v.db")
+        with GoofiDatabase(path):
+            pass
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE SchemaInfo SET version = 999")
+        conn.commit()
+        conn.close()
+        with pytest.raises(DatabaseError):
+            GoofiDatabase(path)
+
+
+class TestRendering:
+    def test_render_runs_table(self):
+        run = RunMeta(
+            campaign_name="c1",
+            seed=7,
+            config_hash="ab" * 32,
+            n_workers=2,
+            n_experiments=10,
+            state="finished",
+            started_at="2026-01-01 10:00:00",
+            run_id=3,
+        )
+        text = render_runs([run])
+        assert "c1" in text
+        assert "finished" in text
+        assert ("ab" * 6) in text  # 12-char hash prefix
+
+    def test_render_runs_empty(self):
+        assert "(no runs recorded)" in render_runs([])
+
+    def test_render_run_includes_snapshot(self):
+        run = RunMeta(
+            campaign_name="c1",
+            seed=7,
+            config_hash="ff" * 32,
+            run_id=1,
+            metrics_snapshot={"counters": {"experiments_total": 4}},
+        )
+        text = render_run(run)
+        assert "config hash:  " + "ff" * 32 in text
+        assert "experiments_total" in text
+
+
+class TestRunsCli:
+    @pytest.fixture
+    def db_path(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with GoofiDatabase(path) as db:
+            campaign = make_campaign(campaign_name="cli-campaign")
+            run_id = db.record_run_start(campaign, n_workers=2)
+            db.record_run_end(
+                run_id,
+                "finished",
+                metrics_snapshot={"counters": {"experiments_total": 10}},
+            )
+        return path
+
+    def test_runs_lists_rows(self, db_path, capsys):
+        assert metrics_main(["runs", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli-campaign" in out
+        assert "finished" in out
+
+    def test_runs_empty_db(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.db")
+        with GoofiDatabase(path):
+            pass
+        assert metrics_main(["runs", "--db", path]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show_latest_run(self, db_path, capsys):
+        assert metrics_main(["show", "--db", db_path, "cli-campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign:     cli-campaign" in out
+        assert "experiments_total" in out
+
+    def test_show_unknown_campaign_fails(self, db_path, capsys):
+        assert metrics_main(["show", "--db", db_path, "nope"]) == 1
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_show_wrong_run_id_fails(self, db_path, capsys):
+        with GoofiDatabase(db_path) as db:
+            other = db.record_run_start(make_campaign(campaign_name="other"))
+        assert (
+            metrics_main(
+                ["show", "--db", db_path, "cli-campaign",
+                 "--run-id", str(other)]
+            )
+            == 1
+        )
+        assert "belongs to campaign" in capsys.readouterr().err
