@@ -1,4 +1,4 @@
-"""Shared helpers for the experiment benchmarks (E1-E12 + ablations).
+"""Shared helpers for the experiment benchmarks (E1-E13 + ablations).
 
 Every benchmark regenerates one figure-equivalent or companion-study
 result of the paper (see DESIGN.md's experiment index) and asserts the

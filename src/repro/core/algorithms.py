@@ -20,6 +20,14 @@ import time as _time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.campaign import CampaignData
+from repro.core.checkpoint import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    MAX_CHECKPOINTS,
+    CheckpointMismatch,
+    CheckpointStore,
+    CheckpointTick,
+    RestoreImage,
+)
 from repro.core.experiment import (
     ExperimentResult,
     Injection,
@@ -32,12 +40,20 @@ from repro.core.locations import FaultLocation, LocationSpace
 from repro.core.preinjection import build_liveness_oracle
 from repro.core.trace import Trace
 from repro.observability import get_observability
-from repro.util.errors import CampaignError
+from repro.util.errors import CampaignError, NotImplementedByPort
 from repro.util.rng import CampaignRandom
 
 # Reference-run cycle budget when the campaign does not set an explicit
 # timeout (the reference run has no prior duration to derive one from).
 _REFERENCE_BUDGET = 50_000_000
+
+#: Techniques eligible for golden-run warm starts: their pre-injection
+#: prefix is pure execution from reset, so restoring a reference-run
+#: checkpoint at or before the first injection time is state-identical
+#: to re-simulating it. The SWIFI techniques mutate the image or
+#: instrumentation *before* execution starts and therefore always start
+#: cold.
+WARM_START_TECHNIQUES = ("scifi", "simfi", "pinlevel")
 
 
 class StopCampaign(Exception):
@@ -106,6 +122,14 @@ class FaultInjectionAlgorithms(abc.ABC):
         #: ``is_live(location, time)`` method.
         self._liveness = None
         self._reference: Optional[ReferenceRun] = None
+        #: Checkpoints captured along the reference run (warm starts);
+        #: None when the campaign, technique or port rules them out.
+        self._checkpoints: Optional[CheckpointStore] = None
+        #: Optional :class:`repro.core.goldencache.GoldenRunCache` —
+        #: when set, :meth:`prepare_run` reuses a cached golden run
+        #: (trace + fingerprint + checkpoint store) keyed by the
+        #: campaign's config hash instead of re-executing it.
+        self.golden_cache = None
 
     # ------------------------------------------------------------------
     # Abstract building blocks (Figure 2). A port implements the subset
@@ -139,8 +163,13 @@ class FaultInjectionAlgorithms(abc.ABC):
         was reached, or a Termination if the experiment ended first."""
 
     @abc.abstractmethod
-    def read_scan_chain(self) -> Dict[str, List[int]]:
-        """Shift out all scan chains (chain name -> bit list)."""
+    def read_scan_chain(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, List[int]]:
+        """Shift out scan chains (chain name -> bit list). ``names``
+        restricts the shift to the listed chains — the default SCIFI
+        fast path only round-trips the chains an action touches; None
+        (or ``campaign.full_scan_shift``) shifts every chain."""
 
     @abc.abstractmethod
     def inject_fault(self, chains: Dict[str, List[int]], action) -> List[Injection]:
@@ -219,6 +248,26 @@ class FaultInjectionAlgorithms(abc.ABC):
     def describe_target(self) -> dict:
         """Structural description stored in TargetSystemData."""
 
+    # Optional acceleration blocks (golden-run warm starts). These are
+    # *not* abstract: a port that cannot snapshot its target simply keeps
+    # the defaults, the first capture attempt raises NotImplementedByPort,
+    # and every experiment takes the cold start-from-reset path.
+
+    def capture_checkpoint(self) -> CheckpointTick:
+        """Snapshot the stopped target's full state (CPU registers,
+        pipeline latches, caches, scan-visible state, environment
+        simulator) plus the memory pages dirtied since the previous
+        capture. Called by the reference run at the checkpoint cadence."""
+        raise NotImplementedByPort(type(self).__name__, "capture_checkpoint")
+
+    def restore_checkpoint(self, image: RestoreImage) -> None:
+        """Load a reference-run checkpoint into the target — the warm
+        equivalent of ``init_test_card + load_workload + write_memory +
+        run_workload + wait_for_breakpoint(cycle)``. Must raise
+        :class:`repro.core.checkpoint.CheckpointMismatch` when the
+        restored state's fingerprint disagrees with the image's."""
+        raise NotImplementedByPort(type(self).__name__, "restore_checkpoint")
+
     def available_workloads(self):
         """Names of the workloads this target can run, or None when the
         port does not restrict them (optional override, used by the
@@ -251,6 +300,11 @@ class FaultInjectionAlgorithms(abc.ABC):
         self._fault_model = build_fault_model(campaign.fault_model)
         self._rng = CampaignRandom(campaign.seed)
         self._liveness = None
+        # A stale reference/checkpoint store from a previously bound
+        # campaign must never leak into this one (the reference-run
+        # budget and the warm-start eligibility both depend on them).
+        self._reference = None
+        self._checkpoints = None
 
     def _check_technique_spaces(self, campaign: CampaignData) -> None:
         allowed = self.TECHNIQUE_SPACES[campaign.technique]
@@ -269,6 +323,16 @@ class FaultInjectionAlgorithms(abc.ABC):
     def make_reference_run(self) -> ReferenceRun:
         campaign = self._require_campaign()
         detail = campaign.logging_mode == "detail"
+        # Capture warm-start checkpoints along the reference run when the
+        # campaign, logging mode and technique allow it. Detail mode is
+        # excluded (detail runs log per-instruction states from cycle 0,
+        # so a warm start would drop the prefix states).
+        warm = (
+            campaign.warm_start
+            and not detail
+            and campaign.technique in WARM_START_TECHNIQUES
+        )
+        store: Optional[CheckpointStore] = None
         with get_observability().profile(
             "reference-run",
             campaign=campaign.campaign_name,
@@ -281,9 +345,15 @@ class FaultInjectionAlgorithms(abc.ABC):
             self.set_detail_logging(detail)
             self.run_workload()
             budget = campaign.timeout_cycles or _REFERENCE_BUDGET
-            termination = self.wait_for_termination(
-                budget, campaign.max_iterations
-            )
+            termination: Optional[Termination] = None
+            if warm:
+                store, termination = self._capture_checkpointed_reference(
+                    budget
+                )
+            if termination is None:
+                termination = self.wait_for_termination(
+                    budget, campaign.max_iterations
+                )
             trace = self.stop_trace()
             self.set_detail_logging(False)
             if termination.kind not in ("halt", "max_iterations"):
@@ -302,7 +372,37 @@ class FaultInjectionAlgorithms(abc.ABC):
             )
             if campaign.use_preinjection:
                 self._liveness = self.build_preinjection_analysis(trace)
+        self._checkpoints = store
         return reference
+
+    def _capture_checkpointed_reference(self, budget: int):
+        """Run the reference workload to termination, pausing at the
+        checkpoint cadence to snapshot target state.
+
+        Returns ``(store, termination)``; termination is None when the
+        store filled up (MAX_CHECKPOINTS) before the workload ended, in
+        which case the caller finishes the run with
+        ``wait_for_termination``. Returns ``(None, None)`` when the port
+        does not implement the checkpoint blocks — the reference run then
+        proceeds exactly as it would without warm starts."""
+        campaign = self._require_campaign()
+        interval = campaign.checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL
+        store = CheckpointStore(context=campaign.campaign_name)
+        next_stop = 0
+        while len(store) < MAX_CHECKPOINTS:
+            termination = self.wait_for_breakpoint(next_stop)
+            if termination is not None:
+                return store, termination
+            try:
+                tick = self.capture_checkpoint()
+            except NotImplementedByPort:
+                # Port cannot snapshot its target: fall back to the plain
+                # reference run. The first capture attempt happens at
+                # cycle 0 before any stepping, so nothing was perturbed.
+                return None, None
+            store.append(tick)
+            next_stop = tick.cycle + interval
+        return store, None
 
     def build_preinjection_analysis(self, trace: Optional[Trace]):
         """Construct the campaign's liveness oracle (paper Section 4).
@@ -408,23 +508,81 @@ class FaultInjectionAlgorithms(abc.ABC):
         "pinlevel": "_experiment_pinlevel",
     }
 
-    def _experiment_scifi(self, index: int, plan: InjectionPlan) -> ExperimentResult:
-        """One SCIFI experiment — the inner procedure of Figure 2."""
-        campaign = self._require_campaign()
-        obs = get_observability()
-        result = self._new_result(index)
+    def _cold_prefix(self) -> None:
+        """The cold pre-injection prefix: power-cycle, download, arm."""
         self.init_test_card()
         self.load_workload()
         self.write_memory()
         self._apply_detail_mode()
         self.run_workload()
+
+    def _try_restore(self, plan: InjectionPlan) -> bool:
+        """Warm-start the experiment from the nearest reference-run
+        checkpoint at or before the plan's first injection time.
+
+        Returns True when the target is now in the restored state (the
+        caller skips the cold prefix); False when no checkpoint applies
+        or the restore failed its fingerprint check, in which case the
+        target is untouched/garbage and the caller must take the cold
+        path (which starts with ``init_test_card`` and is therefore
+        always safe)."""
+        store = self._checkpoints
+        campaign = self._require_campaign()
+        if store is None or len(store) == 0:
+            return False
+        if campaign.logging_mode == "detail":
+            return False
+        actions = plan.sorted_actions()
+        if not actions:
+            return False
+        index = store.nearest(actions[0].time)
+        if index is None:
+            return False
+        image = store.restore_image(index)
+        obs = get_observability()
+        try:
+            with obs.profile("checkpoint.restore", cycle=image.cycle):
+                self.restore_checkpoint(image)
+        except (CheckpointMismatch, NotImplementedByPort):
+            if obs.metrics.enabled:
+                obs.metrics.counter("checkpoint.cold_falls").inc()
+            return False
+        if obs.metrics.enabled:
+            obs.metrics.counter("checkpoint.hits").inc()
+            obs.metrics.counter("checkpoint.cycles_saved").inc(image.cycle)
+        return True
+
+    @staticmethod
+    def _action_chain_names(action) -> Optional[List[str]]:
+        """Scan chains an injection action touches — the restricted
+        read/write set for the SCIFI fast path. None when the action
+        reaches outside the scan space (shift everything)."""
+        names = set()
+        for location in action.locations:
+            if not location.space.startswith("scan:"):
+                return None
+            names.add(location.space.split(":", 1)[1])
+        return sorted(names) or None
+
+    def _experiment_scifi(self, index: int, plan: InjectionPlan) -> ExperimentResult:
+        """One SCIFI experiment — the inner procedure of Figure 2."""
+        campaign = self._require_campaign()
+        obs = get_observability()
+        result = self._new_result(index)
+        if not self._try_restore(plan):
+            self._cold_prefix()
         termination: Optional[Termination] = None
         for action in plan.sorted_actions():
             termination = self.wait_for_breakpoint(action.time)
             if termination is not None:
                 break
+            names = (
+                None
+                if campaign.full_scan_shift
+                else self._action_chain_names(action)
+            )
             with obs.profile("scan.read"):
-                chains = self.read_scan_chain()
+                chains = self.read_scan_chain(names)
             result.injections.extend(self.inject_fault(chains, action))
             with obs.profile("scan.write"):
                 self.write_scan_chain(chains)
@@ -482,11 +640,8 @@ class FaultInjectionAlgorithms(abc.ABC):
         direct state access, no scan-chain serialization."""
         campaign = self._require_campaign()
         result = self._new_result(index)
-        self.init_test_card()
-        self.load_workload()
-        self.write_memory()
-        self._apply_detail_mode()
-        self.run_workload()
+        if not self._try_restore(plan):
+            self._cold_prefix()
         termination: Optional[Termination] = None
         for action in plan.sorted_actions():
             termination = self.wait_for_breakpoint(action.time)
@@ -508,11 +663,8 @@ class FaultInjectionAlgorithms(abc.ABC):
         resume — the forced lines corrupt the next read transactions."""
         campaign = self._require_campaign()
         result = self._new_result(index)
-        self.init_test_card()
-        self.load_workload()
-        self.write_memory()
-        self._apply_detail_mode()
-        self.run_workload()
+        if not self._try_restore(plan):
+            self._cold_prefix()
         termination: Optional[Termination] = None
         for action in plan.sorted_actions():
             termination = self.wait_for_breakpoint(action.time)
@@ -571,15 +723,75 @@ class FaultInjectionAlgorithms(abc.ABC):
     # Reentrant single-experiment building block
     # ------------------------------------------------------------------
 
-    def prepare_run(self, campaign) -> ReferenceRun:
+    def prepare_run(self, campaign, golden=None) -> ReferenceRun:
         """Bind ``campaign`` and perform the reference run — everything a
         runner (serial loop, parallel worker, re-run helper) needs before
         it can call :meth:`run_single_experiment`. Returns the reference
-        run (also retained on the instance for budget derivation)."""
+        run (also retained on the instance for budget derivation).
+
+        ``golden`` optionally supplies a pre-computed
+        :class:`repro.core.goldencache.GoldenRun` (reference run +
+        checkpoint store) — the parallel runner hands workers the
+        parent's golden run so each worker skips its own reference
+        execution. When :attr:`golden_cache` is set, the golden run is
+        also looked up/stored on disk keyed by the campaign's config
+        hash, so repeated ``goofi run`` invocations of an unchanged
+        campaign skip the reference run entirely."""
         self.read_campaign_data(campaign)
+        cache = self.golden_cache
+        key = None
+        if golden is not None or cache is not None:
+            from repro.core.goldencache import campaign_golden_key
+
+            # Key is computed after read_campaign_data: port bindings may
+            # resolve symbolic trigger fields, and the key must reflect
+            # what will actually run.
+            key = campaign_golden_key(campaign)
+        obs = get_observability()
+        if golden is not None and self._adopt_golden(golden, key):
+            if obs.metrics.enabled:
+                obs.metrics.counter("goldencache.shared_hits").inc()
+            return self._reference
+        if cache is not None:
+            cached = cache.load(key)
+            if cached is not None and self._adopt_golden(cached, key):
+                if obs.metrics.enabled:
+                    obs.metrics.counter("goldencache.hits").inc()
+                return self._reference
+            if obs.metrics.enabled:
+                obs.metrics.counter("goldencache.misses").inc()
         reference = self.make_reference_run()
         self._reference = reference
+        if cache is not None and key is not None:
+            from repro.core.goldencache import GoldenRun
+
+            cache.store(
+                GoldenRun(
+                    config_hash=key,
+                    target_name=campaign.target_name,
+                    reference=reference,
+                    checkpoints=self._checkpoints,
+                )
+            )
         return reference
+
+    def _adopt_golden(self, golden, key: Optional[str]) -> bool:
+        """Install a shared/cached golden run on this instance. Returns
+        False (adopt nothing) when the golden run's config hash does not
+        match this campaign's — a stale cache entry must never shortcut
+        a different campaign."""
+        campaign = self._require_campaign()
+        if golden is None or key is None or golden.config_hash != key:
+            return False
+        if golden.target_name != campaign.target_name:
+            return False
+        self._reference = golden.reference
+        self._checkpoints = golden.checkpoints
+        if campaign.use_preinjection:
+            self._liveness = self.build_preinjection_analysis(
+                golden.reference.trace
+            )
+        return True
 
     def run_single_experiment(
         self,

@@ -101,6 +101,23 @@ class CampaignData:
     # fault-induced wild stores into code are detected instead of
     # silently corrupting instructions.
     protect_code: bool = False
+    # Golden-run warm starts: capture checkpoints along the reference
+    # run and restore the nearest one at or before the first injection
+    # time instead of re-simulating the pre-injection prefix. Applies to
+    # scifi/simfi/pinlevel on ports implementing the checkpoint blocks;
+    # detail-mode runs and the SWIFI techniques always take the cold
+    # path. Warm and cold runs are byte-identical (property-tested), so
+    # this is on by default.
+    warm_start: bool = True
+    # Capture cadence along the reference run, in target cycles; None
+    # uses repro.core.checkpoint.DEFAULT_CHECKPOINT_INTERVAL.
+    checkpoint_interval: Optional[int] = None
+    # Fidelity knob for SCIFI scan access: shift *all* scan chains on
+    # every injection action (the paper's literal read-modify-write of
+    # the whole serialized state) instead of only the chains the action
+    # touches. Outcomes are identical either way — untouched chains
+    # round-trip unchanged — only the scan-cycle accounting differs.
+    full_scan_shift: bool = False
 
     VALID_TECHNIQUES = (
         "scifi", "swifi-pre", "swifi-runtime", "simfi", "pinlevel"
@@ -133,6 +150,8 @@ class CampaignData:
             raise ConfigurationError(
                 f"unknown pre-injection mode {self.preinjection_mode!r}"
             )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive")
 
     # -- serialization ----------------------------------------------------------
 
@@ -157,6 +176,9 @@ class CampaignData:
             "use_preinjection": self.use_preinjection,
             "preinjection_mode": self.preinjection_mode,
             "protect_code": self.protect_code,
+            "warm_start": self.warm_start,
+            "checkpoint_interval": self.checkpoint_interval,
+            "full_scan_shift": self.full_scan_shift,
         }
 
     @staticmethod

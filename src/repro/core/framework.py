@@ -59,6 +59,13 @@ TECHNIQUE_BLOCKS: Dict[str, tuple] = {
     "pinlevel": ("wait_for_breakpoint", "force_pins"),
 }
 
+# Optional acceleration blocks: golden-run checkpoint capture/restore
+# (warm-start experiment execution). Deliberately *not* part of any
+# technique's required set — a port that leaves them as stubs simply
+# keeps the cold start-from-reset path, and ``supports_technique`` is
+# unaffected.
+CHECKPOINT_BLOCKS = ("capture_checkpoint", "restore_checkpoint")
+
 
 def _stub(name: str) -> Callable:
     def method(self, *args, **kwargs):
@@ -82,7 +89,9 @@ class Framework(FaultInjectionAlgorithms):
 # blocks raise NotImplementedByPort only when an algorithm calls them).
 _ALL_BLOCKS = tuple(
     dict.fromkeys(
-        COMMON_BLOCKS + tuple(b for blocks in TECHNIQUE_BLOCKS.values() for b in blocks)
+        COMMON_BLOCKS
+        + tuple(b for blocks in TECHNIQUE_BLOCKS.values() for b in blocks)
+        + CHECKPOINT_BLOCKS
     )
 )
 for _name in _ALL_BLOCKS:

@@ -101,6 +101,18 @@ class ParallelConfig:
     #: metric deltas). ``None`` inherits the process-global configuration
     #: (:func:`repro.observability.current_config`).
     observability: Optional[ObservabilityConfig] = None
+    #: Ship the parent's golden run (reference + checkpoint store) to
+    #: every worker so workers skip their per-process reference
+    #: execution. Serialised once in the parent (free under ``fork``:
+    #: copy-on-write). Disable to force each worker to redo its own
+    #: reference run (restores the per-worker determinism fingerprint
+    #: check as an end-to-end test of the port).
+    share_golden: bool = True
+    #: Directory for the on-disk golden-run cache
+    #: (:class:`repro.core.goldencache.GoldenRunCache`): the parent's
+    #: reference run is loaded from / stored to it, keyed by the
+    #: campaign's config hash. ``None`` disables disk caching.
+    golden_cache_dir: Optional[str] = None
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -142,6 +154,7 @@ def _worker_main(
     campaign_json: str,
     worker_id: int = 0,
     obs_config: Optional[ObservabilityConfig] = None,
+    golden: Any = None,
 ) -> None:
     """Worker process entry point.
 
@@ -161,7 +174,7 @@ def _worker_main(
     try:
         campaign = CampaignData.from_json(campaign_json)
         port = factory()
-        reference = port.prepare_run(campaign)
+        reference = port.prepare_run(campaign, golden=golden)
         conn.send(("ready", _reference_fingerprint(reference)))
         while True:
             message = conn.recv()
@@ -212,13 +225,21 @@ class _WorkerHandle:
         campaign_json: str,
         worker_id: int = 0,
         obs_config: Optional[ObservabilityConfig] = None,
+        golden: Any = None,
     ):
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.conn = parent_conn
         self.worker_id = worker_id
         self.process = context.Process(
             target=_worker_main,
-            args=(child_conn, factory, campaign_json, worker_id, obs_config),
+            args=(
+                child_conn,
+                factory,
+                campaign_json,
+                worker_id,
+                obs_config,
+                golden,
+            ),
             daemon=True,
         )
         self.process.start()
@@ -307,6 +328,8 @@ class _ParallelRun:
         self.workers: List[_WorkerHandle] = []
         self.fingerprint: Optional[Tuple[int, int, str]] = None
         self.campaign_json = ""
+        #: Parent golden-run bundle shipped to workers (share_golden).
+        self.golden: Any = None
         self.failures = 0
         self.obs = get_observability()
         self.obs_config = (
@@ -359,9 +382,28 @@ class _ParallelRun:
             raise CampaignError(
                 "worker factory must build a FaultInjectionAlgorithms port"
             )
+        if self.config.golden_cache_dir is not None:
+            from repro.core.goldencache import GoldenRunCache
+
+            parent_port.golden_cache = GoldenRunCache(
+                self.config.golden_cache_dir
+            )
         reference = parent_port.prepare_run(self.campaign)
         self.fingerprint = _reference_fingerprint(reference)
         self.sink.log_reference(self.campaign, reference)
+        if self.config.share_golden:
+            # Bundle the parent's golden run (reference + checkpoint
+            # store) once; every worker adopts it instead of redoing the
+            # reference execution. Built after prepare_run so a
+            # disk-cache hit is forwarded too.
+            from repro.core.goldencache import GoldenRun, campaign_golden_key
+
+            self.golden = GoldenRun(
+                config_hash=campaign_golden_key(self.campaign),
+                target_name=self.campaign.target_name,
+                reference=reference,
+                checkpoints=parent_port._checkpoints,
+            )
         # Serialise *after* prepare_run: campaign binding resolves
         # trigger addresses and iteration limits that workers must share.
         self.campaign_json = self.campaign.to_json()
@@ -396,6 +438,7 @@ class _ParallelRun:
             self.campaign_json,
             worker_id=worker_id,
             obs_config=self.obs_config,
+            golden=self.golden,
         )
 
     # -- event loop --------------------------------------------------------

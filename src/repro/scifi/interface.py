@@ -10,10 +10,17 @@ the simulation baseline.
 
 from __future__ import annotations
 
+import pickle
 import re
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.campaign import CampaignData
+from repro.core.checkpoint import (
+    CheckpointMismatch,
+    CheckpointTick,
+    RestoreImage,
+    state_digest,
+)
 from repro.core.experiment import Injection, StateVector, Termination
 from repro.core.faultmodels import InjectionAction, InjectionPlan, apply_op
 from repro.core.framework import Framework, register_target
@@ -82,6 +89,9 @@ class ThorRDInterface(Framework):
         # Cached per-campaign structures.
         self._space: Optional[LocationSpace] = None
         self._observe_cells: List[LocationCell] = []
+        # Golden-run checkpoint capture state (reference run only).
+        self._checkpointing = False
+        self._checkpoint_pages: Set[int] = set()
         self.card.on_step = self._dispatch_step
         self.card.trap_hook = self._dispatch_trap
 
@@ -134,6 +144,12 @@ class ThorRDInterface(Framework):
         self._detail_states = []
         self._instrumenter = None
         self._environment = None
+        # card.init() wipes memory (and with it the dirty-page set), but
+        # the tracking flag lives here: make sure reference-run tracking
+        # never leaks into experiment execution.
+        self.card.cpu.memory.stop_dirty_tracking()
+        self._checkpointing = False
+        self._checkpoint_pages = set()
 
     def load_workload(self) -> None:
         workload = self._require_workload()
@@ -197,8 +213,11 @@ class ThorRDInterface(Framework):
     # SCIFI blocks
     # ------------------------------------------------------------------
 
-    def read_scan_chain(self) -> Dict[str, List[int]]:
-        return {name: self.card.read_chain(name) for name in self.card.chains}
+    def read_scan_chain(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, List[int]]:
+        chain_names = self.card.chains if names is None else names
+        return {name: self.card.read_chain(name) for name in chain_names}
 
     def write_scan_chain(self, chains: Dict[str, List[int]]) -> None:
         for name, bits in chains.items():
@@ -535,6 +554,120 @@ class ThorRDInterface(Framework):
                 for name, chain in self.card.chains.items()
             },
         }
+
+    # ------------------------------------------------------------------
+    # Golden-run checkpointing (warm-start blocks)
+    # ------------------------------------------------------------------
+
+    def capture_checkpoint(self) -> CheckpointTick:
+        """Snapshot the stopped card: full CPU state, the environment
+        simulator (pickled), and the memory pages dirtied since the
+        previous capture (the first capture seeds from every non-zero
+        page, i.e. the whole downloaded image)."""
+        memory = self.card.cpu.memory
+        if not self._checkpointing:
+            # First capture of this reference run: everything written
+            # since reset is "dirty", then switch to incremental deltas.
+            memory.start_dirty_tracking()
+            self._checkpointing = True
+            self._checkpoint_pages = set()
+            dirty = memory.nonzero_pages()
+        else:
+            dirty = memory.drain_dirty_pages()
+        self._checkpoint_pages |= dirty
+        env_blob = pickle.dumps(
+            self._environment, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        payload = {
+            "cpu": self.card.cpu.snapshot(),
+            "protected": list(memory.protected_range()),
+            "environment": env_blob,
+        }
+        pages = {page: memory.read_page(page) for page in sorted(dirty)}
+        fingerprint = self._checkpoint_fingerprint(
+            sorted(self._checkpoint_pages), env_blob
+        )
+        return CheckpointTick(
+            cycle=self.card.cpu.cycles,
+            payload=payload,
+            dirty_pages=pages,
+            fingerprint=fingerprint,
+        )
+
+    def restore_checkpoint(self, image: RestoreImage) -> None:
+        """Load a reference-run checkpoint into the card and verify the
+        restored state's fingerprint against the capture-time one."""
+        memory = self.card.cpu.memory
+        memory.stop_dirty_tracking()
+        self._checkpointing = False
+        self._checkpoint_pages = set(image.pages)
+        # Memory: reset to all-zero (pages absent from the cumulative
+        # image were all-zero at capture time by the reset contract),
+        # then replay the page images.
+        memory.reset()
+        for page, words in image.pages.items():
+            memory.load_page(page, words)
+        # CPU core, caches, pipeline, bus-force state.
+        self.card.cpu.restore(image.payload["cpu"])
+        # Write protection (memory.reset() cleared it).
+        lo, hi = image.payload["protected"]
+        if lo <= hi:
+            memory.protect(lo, hi)
+        else:
+            memory.unprotect()
+        # Card-level state the cold prefix would have set.
+        workload = self._require_workload()
+        self.card.program = workload.program
+        self.card.set_breakpoints([])
+        # Environment simulator at its checkpoint-instant state.
+        environment = pickle.loads(image.payload["environment"])
+        self._environment = environment
+        self.card.on_sync = (
+            environment.exchange if environment is not None else None
+        )
+        # Host-side per-experiment state (same as init_test_card).
+        self._detail_states = []
+        self._instrumenter = None
+        self._tracing = False
+        self._detail = False
+        # Verify: recompute the fingerprint over the *live* restored
+        # state and compare with the capture-time digest.
+        restored_blob = pickle.dumps(
+            self._environment, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        fingerprint = self._checkpoint_fingerprint(
+            sorted(image.pages), restored_blob
+        )
+        if fingerprint != image.fingerprint:
+            raise CheckpointMismatch(
+                f"restore fingerprint mismatch at cycle {image.cycle}: "
+                f"{fingerprint[:12]} != {image.fingerprint[:12]}"
+            )
+
+    def _checkpoint_fingerprint(
+        self, pages: Sequence[int], env_blob: bytes
+    ) -> str:
+        """Canonical digest of the card's full live state: run counters,
+        every scan-visible cell, the listed memory pages, the protection
+        range and the environment simulator. Computed identically at
+        capture and after restore — any divergence trips the cold
+        fallback."""
+        cpu = self.card.cpu
+        memory = cpu.memory
+        parts = {
+            "cycles": cpu.cycles,
+            "instret": cpu.instret,
+            "iterations": cpu.iterations,
+            "halted": cpu.halted,
+            "chains": {
+                name: chain.capture_values()
+                for name, chain in self.card.chains.items()
+            },
+            "pages": {page: memory.read_page(page) for page in pages},
+            "protected": list(memory.protected_range()),
+            "environment": env_blob,
+        }
+        return state_digest(parts)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -178,3 +178,43 @@ class Cache:
 
     def peek_line(self, index: int) -> CacheLine:
         return self.lines[index]
+
+    # -- checkpoint support ----------------------------------------------------
+    # Snapshot/restore mutate the existing CacheLine objects in place (the
+    # scan cells close over the cache object and index lines on access, so
+    # either would work — in-place keeps allocation off the restore path).
+
+    def snapshot_state(self) -> dict:
+        """Full stored state of the arrays plus the access counters (the
+        counters are deterministic along the reference run, so restoring
+        them keeps a warm experiment bit-identical to a cold one)."""
+        return {
+            "lines": [
+                (
+                    line.valid,
+                    line.tag,
+                    line.tag_parity,
+                    list(line.data),
+                    list(line.data_parity),
+                )
+                for line in self.lines
+            ],
+            "stats": (
+                self.stats.hits,
+                self.stats.misses,
+                self.stats.parity_errors,
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for line, snap in zip(self.lines, state["lines"]):
+            valid, tag, tag_parity, data, data_parity = snap
+            line.valid = bool(valid)
+            line.tag = tag
+            line.tag_parity = tag_parity
+            line.data[:] = data
+            line.data_parity[:] = data_parity
+        hits, misses, parity_errors = state["stats"]
+        self.stats.hits = hits
+        self.stats.misses = misses
+        self.stats.parity_errors = parity_errors

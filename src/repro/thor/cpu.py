@@ -150,6 +150,82 @@ class Cpu:
         self.halted = False
         self.trap_event = None
 
+    # -- checkpoint support (golden-run warm starts) ---------------------------
+
+    def snapshot(self) -> dict:
+        """Everything but main memory, as plain picklable data.
+
+        Captured at instruction boundaries along the trap-free reference
+        run, so ``halted`` is False and no trap is latched; ``last_exec``
+        is included because fault triggers consume it."""
+        last = self.last_exec
+        return {
+            "regs": self.regs.snapshot(),
+            "psr": self.psr.to_word(),
+            "pipeline": self.pipeline.snapshot(),
+            "icache": self.icache.snapshot_state(),
+            "dcache": self.dcache.snapshot_state(),
+            "bus": (
+                self.bus.force_mask,
+                self.bus.force_value,
+                self.bus.force_reads,
+            ),
+            "pc": self.pc,
+            "cycles": self.cycles,
+            "instret": self.instret,
+            "iterations": self.iterations,
+            "last_exec": (
+                last.pc,
+                None if last.opcode is None else last.opcode.name,
+                last.branch_taken,
+                last.mem_address,
+                last.mem_value,
+                last.mem_is_write,
+                tuple(last.reg_reads),
+                tuple(last.reg_writes),
+            ),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (memory is restored separately by
+        the test card's page loads). Leaves the CPU running (not halted,
+        no trap latched) exactly as it was at the capture boundary."""
+        self.regs.restore(state["regs"])
+        self.psr.from_word(state["psr"])
+        self.pipeline.restore(state["pipeline"])
+        self.icache.restore_state(state["icache"])
+        self.dcache.restore_state(state["dcache"])
+        force_mask, force_value, force_reads = state["bus"]
+        self.bus.force_mask = force_mask
+        self.bus.force_value = force_value
+        self.bus.force_reads = force_reads
+        self.pc = state["pc"]
+        self.cycles = state["cycles"]
+        self.instret = state["instret"]
+        self.iterations = state["iterations"]
+        self.halted = False
+        self.trap_event = None
+        (
+            pc,
+            opcode_name,
+            branch_taken,
+            mem_address,
+            mem_value,
+            mem_is_write,
+            reg_reads,
+            reg_writes,
+        ) = state["last_exec"]
+        self.last_exec = LastExec(
+            pc=pc,
+            opcode=None if opcode_name is None else Opcode[opcode_name],
+            branch_taken=branch_taken,
+            mem_address=mem_address,
+            mem_value=mem_value,
+            mem_is_write=mem_is_write,
+            reg_reads=tuple(reg_reads),
+            reg_writes=tuple(reg_writes),
+        )
+
     # -- trap path -------------------------------------------------------------
 
     def _raise_trap(self, trap: Trap, detail: str = "", code: int = 0) -> CpuEvent:

@@ -19,11 +19,15 @@ hardware except where noted)::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.thor.isa import WORD_MASK
 
 DEFAULT_SIZE = 65536
+#: Words per page for checkpoint dirty-page tracking (must match
+#: repro.core.checkpoint.PAGE_WORDS; kept local so the simulator layer
+#: stays import-independent of the algorithm layer).
+PAGE_WORDS = 256
 STACK_TOP = 0xF000
 ENV_INPUT_BASE = 0xFF00
 ENV_OUTPUT_BASE = 0xFF40
@@ -50,10 +54,16 @@ class Memory:
         # Optional write-protected range [lo, hi] (inclusive), used to
         # protect the code image when the campaign asks for it.
         self._protected: Tuple[int, int] = (1, 0)  # empty
+        # Dirty-page tracking for golden-run checkpointing: off by
+        # default (zero overhead on the experiment hot path), enabled by
+        # the port for the duration of the reference run.
+        self._track_dirty = False
+        self._dirty_pages: Set[int] = set()
 
     def reset(self) -> None:
         self._words = [0] * self.size
         self._protected = (1, 0)
+        self._dirty_pages.clear()
 
     def protect(self, lo: int, hi: int) -> None:
         """Write-protect the inclusive word range [lo, hi]."""
@@ -74,6 +84,8 @@ class Memory:
         if lo <= address <= hi:
             raise IllegalAddress(address, "write-protected")
         self._words[address] = value & WORD_MASK
+        if self._track_dirty:
+            self._dirty_pages.add(address // PAGE_WORDS)
 
     # -- raw access for the test card / fault injectors -------------------
     # The test card's download port and the pre-runtime SWIFI injector
@@ -83,6 +95,8 @@ class Memory:
         if not 0 <= address < self.size:
             raise IllegalAddress(address, "poke")
         self._words[address] = value & WORD_MASK
+        if self._track_dirty:
+            self._dirty_pages.add(address // PAGE_WORDS)
 
     def peek(self, address: int) -> int:
         if not 0 <= address < self.size:
@@ -101,6 +115,65 @@ class Memory:
 
     def nonzero_addresses(self) -> Iterable[int]:
         return (a for a, w in enumerate(self._words) if w)
+
+    # -- checkpoint support (golden-run warm starts) ----------------------
+
+    @property
+    def n_pages(self) -> int:
+        return (self.size + PAGE_WORDS - 1) // PAGE_WORDS
+
+    def protected_range(self) -> Tuple[int, int]:
+        """The current write-protect range (empty = (1, 0)); part of the
+        checkpoint payload because :meth:`reset` clears protection."""
+        return self._protected
+
+    def start_dirty_tracking(self) -> None:
+        """Begin recording which pages are written (via :meth:`write`
+        and :meth:`poke`); the tracked set seeds checkpoint deltas."""
+        self._track_dirty = True
+        self._dirty_pages = set()
+
+    def stop_dirty_tracking(self) -> None:
+        self._track_dirty = False
+        self._dirty_pages = set()
+
+    def drain_dirty_pages(self) -> Set[int]:
+        """Pages written since the previous drain; clears the set."""
+        dirty = self._dirty_pages
+        self._dirty_pages = set()
+        return dirty
+
+    def nonzero_pages(self) -> Set[int]:
+        """Pages holding at least one non-zero word — the first
+        checkpoint's page set (everything downloaded since reset)."""
+        pages: Set[int] = set()
+        words = self._words
+        for base in range(0, self.size, PAGE_WORDS):
+            if any(words[base : base + PAGE_WORDS]):
+                pages.add(base // PAGE_WORDS)
+        return pages
+
+    def read_page(self, page: int) -> List[int]:
+        """Full word image of one page (short final page zero-padded to
+        PAGE_WORDS so every stored page has uniform size)."""
+        if not 0 <= page < self.n_pages:
+            raise IllegalAddress(page * PAGE_WORDS, "read-page")
+        base = page * PAGE_WORDS
+        words = self._words[base : base + PAGE_WORDS]
+        if len(words) < PAGE_WORDS:
+            words = words + [0] * (PAGE_WORDS - len(words))
+        return words
+
+    def load_page(self, page: int, words: List[int]) -> None:
+        """Restore one page image (raw chip access: bypasses write
+        protection, like :meth:`poke`)."""
+        if not 0 <= page < self.n_pages:
+            raise IllegalAddress(page * PAGE_WORDS, "load-page")
+        base = page * PAGE_WORDS
+        count = min(PAGE_WORDS, self.size - base)
+        self._words[base : base + count] = words[:count]
+        if self._track_dirty:
+            self._dirty_pages.add(page)
 
 
 class MemoryBus:

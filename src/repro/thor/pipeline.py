@@ -19,6 +19,8 @@ dominate fault-injection behaviour:
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.thor.isa import WORD_MASK
 
 
@@ -51,3 +53,12 @@ class PipelineLatches:
     def latch_memory(self, address: int, data: int) -> None:
         self.mar = address & WORD_MASK
         self.mdr = data & WORD_MASK
+
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot(self) -> Tuple[int, int, int, bool]:
+        return (self.ir, self.mar, self.mdr, self.ir_forced)
+
+    def restore(self, state: Tuple[int, int, int, bool]) -> None:
+        self.ir, self.mar, self.mdr, forced = state
+        self.ir_forced = bool(forced)

@@ -30,6 +30,15 @@ class RegisterFile:
     def snapshot(self) -> List[int]:
         return list(self._regs)
 
+    def restore(self, values: List[int]) -> None:
+        """Checkpoint restore: replace the whole file at once."""
+        if len(values) != NUM_REGISTERS:
+            raise ValueError(
+                f"register snapshot needs {NUM_REGISTERS} values, "
+                f"got {len(values)}"
+            )
+        self._regs = [value & WORD_MASK for value in values]
+
     def __getitem__(self, index: int) -> int:
         return self._regs[index]
 

@@ -111,6 +111,16 @@ class ScanChain:
             if value != slot.cell.reader():
                 slot.cell.writer(value)
 
+    # -- checkpoint support ---------------------------------------------------
+
+    def capture_values(self) -> List[Tuple[str, int]]:
+        """Raw ``(path, value)`` pairs of every cell, **without** shift
+        accounting. Used by golden-run checkpointing to fingerprint the
+        chain-visible state: checkpoint capture is host-side
+        bookkeeping, not a TAP access, so it must not perturb the scan
+        cycle counters the E1/E2 benchmarks measure."""
+        return [(slot.cell.path, slot.cell.reader()) for slot in self._slots]
+
     # -- structural queries (used by campaign set-up and the GUI) -------------
 
     def cells(self) -> List[ScanCell]:

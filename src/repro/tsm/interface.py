@@ -11,7 +11,7 @@ asking for the other techniques — the Section 2 adaptation contract.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.campaign import CampaignData
 from repro.core.experiment import Injection, StateVector, Termination
@@ -147,8 +147,11 @@ class TsmInterface(Framework):
     # SCIFI blocks
     # ------------------------------------------------------------------
 
-    def read_scan_chain(self) -> Dict[str, List[int]]:
-        return {name: self.board.read_chain(name) for name in self.board.chains}
+    def read_scan_chain(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, List[int]]:
+        chain_names = self.board.chains if names is None else names
+        return {name: self.board.read_chain(name) for name in chain_names}
 
     def write_scan_chain(self, chains: Dict[str, List[int]]) -> None:
         for name, bits in chains.items():

@@ -23,6 +23,7 @@ Drives the four phases of a fault-injection study from the shell:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -118,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="keep a crash flight recorder of the last N trace "
                         "events; dumped to flight-<pid>.jsonl on crashes, "
                         "watchdog kills and worker failures")
+    p.add_argument("--golden-cache", metavar="DIR",
+                   default=os.environ.get("GOOFI_GOLDEN_CACHE") or None,
+                   help="cache golden (reference) runs in DIR keyed by the "
+                        "campaign's config hash, so re-running an unchanged "
+                        "campaign skips the reference execution "
+                        "(GOOFI_GOLDEN_CACHE)")
 
     p = sub.add_parser("analyze", help="classify a stored campaign")
     p.add_argument("--db", required=True)
@@ -250,6 +257,11 @@ def _cmd_run(args) -> int:
         with GoofiDatabase(args.db) as db:
             campaign = db.load_campaign(args.campaign)
             target = create_target(campaign.target_name)
+            golden_dir = getattr(args, "golden_cache", None)
+            if golden_dir:
+                from repro.core.goldencache import GoldenRunCache
+
+                target.golden_cache = GoldenRunCache(golden_dir)
             controller = CampaignController(target, sink=db)
             window = ProgressWindow(
                 controller, stream=None if args.quiet else sys.stdout

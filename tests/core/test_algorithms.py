@@ -54,9 +54,13 @@ for _name in (
 
 class TestScifiCallOrder:
     def test_figure2_sequence(self):
-        """The per-experiment block sequence of faultInjectorSCIFI."""
+        """The per-experiment block sequence of faultInjectorSCIFI.
+
+        warm_start is disabled: the paper's Figure 2 sequence is the
+        *cold* path (warm starts replace the prefix with a checkpoint
+        restore; their equivalence is covered by test_checkpoint)."""
         target = RecordingInterface()
-        campaign = make_campaign(n_experiments=1)
+        campaign = make_campaign(n_experiments=1, warm_start=False)
         target.run_campaign(campaign)
         # Strip the reference run prefix (ends with its read_memory after
         # wait_for_termination).

@@ -1,0 +1,106 @@
+"""Property test: warm-started experiments are byte-identical to cold.
+
+The warm-start correctness gate (E13): for any campaign shape, running
+with ``warm_start=True`` (checkpoint restore at the nearest capture at
+or before the first injection time) must produce exactly the results of
+``warm_start=False`` (the paper's cold start-from-reset path) — same
+injections, same terminations, same outputs, same observed state — for
+every technique, seed and workload. The only tolerated difference is
+the wall-clock field, which is nondeterministic in both modes.
+
+Hypothesis drives technique, seed, campaign size and checkpoint
+cadence; the invariant is exact equality of the canonicalised results.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import create_target
+from tests.conftest import make_campaign
+
+#: Warm-eligible techniques plus swifi-runtime (always cold by design —
+#: included to pin down that the flag is a no-op there, not a crash).
+_TECHNIQUE_PATTERNS = {
+    "scifi": ["scan:internal/cpu.regfile.*"],
+    "simfi": ["scan:internal/cpu.regfile.*", "memory:data/*"],
+    "pinlevel": ["scan:boundary/pins.data_bus"],
+    "swifi-runtime": ["memory:data/*"],
+}
+
+campaign_shapes = st.fixed_dictionaries(
+    {
+        "technique": st.sampled_from(sorted(_TECHNIQUE_PATTERNS)),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "n_experiments": st.integers(min_value=1, max_value=6),
+        "workload_name": st.sampled_from(["vecsum", "bubblesort"]),
+        "checkpoint_interval": st.sampled_from([None, 64, 1000]),
+    }
+)
+
+
+def _canonical(sink):
+    rows = []
+    for result in sink.results:
+        data = dataclasses.asdict(result)
+        data["wall_seconds"] = 0.0
+        rows.append(data)
+    return rows
+
+
+def _run(shape, warm):
+    campaign = make_campaign(
+        campaign_name="warm-prop",
+        technique=shape["technique"],
+        location_patterns=_TECHNIQUE_PATTERNS[shape["technique"]],
+        seed=shape["seed"],
+        n_experiments=shape["n_experiments"],
+        workload_name=shape["workload_name"],
+        checkpoint_interval=shape["checkpoint_interval"],
+        warm_start=warm,
+    )
+    target = create_target("thor-rd")
+    sink = target.run_campaign(campaign)
+    return _canonical(sink), target
+
+
+class TestWarmColdEquivalence:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(shape=campaign_shapes)
+    def test_warm_equals_cold(self, shape):
+        cold, _ = _run(shape, warm=False)
+        warm, target = _run(shape, warm=True)
+        assert warm == cold
+        if shape["technique"] in ("scifi", "simfi", "pinlevel"):
+            # Warm eligibility: the reference run captured checkpoints.
+            assert target._checkpoints is not None
+            assert len(target._checkpoints) >= 1
+        else:
+            assert target._checkpoints is None
+
+    def test_warm_saves_simulated_cycles(self):
+        """The restore really skips prefix simulation (counter check)."""
+        from repro.observability import configure, disable, get_observability
+
+        configure(metrics=True)
+        try:
+            campaign = make_campaign(
+                campaign_name="warm-cycles",
+                n_experiments=4,
+                workload_name="bubblesort",
+                warm_start=True,
+            )
+            create_target("thor-rd").run_campaign(campaign)
+            snapshot = get_observability().metrics.snapshot()
+            counters = snapshot.get("counters", snapshot)
+            hits = counters.get("checkpoint.hits", 0)
+            saved = counters.get("checkpoint.cycles_saved", 0)
+            assert hits >= 1
+            assert saved > 0
+        finally:
+            disable()

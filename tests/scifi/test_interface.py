@@ -185,3 +185,51 @@ class TestEnvironmentValidation:
         assert description["memory_size"] == 65536
         assert "internal" in description["chains"]
         assert "boundary" in description["chains"]
+
+
+class TestRestrictedScanShift:
+    """The restricted scan round-trip (PR 5 satellite): SCIFI reads and
+    writes only the chains an injection action touches, unless the
+    campaign opts back into ``full_scan_shift``. Outcomes must be
+    identical either way — the restriction is purely a cycle saver."""
+
+    def _run(self, full_scan_shift):
+        target = ThorRDInterface()
+        campaign = make_campaign(
+            campaign_name="scan-restrict",
+            n_experiments=6,
+            full_scan_shift=full_scan_shift,
+        )
+        sink = target.run_campaign(campaign)
+        rows = [
+            (r.termination.kind, r.injections, r.outputs, r.state_vector)
+            for r in sink.results
+        ]
+        return target.card.total_scan_cycles, rows
+
+    def test_restricted_is_cheaper_and_identical(self):
+        full_cycles, full_rows = self._run(True)
+        restricted_cycles, restricted_rows = self._run(False)
+        assert restricted_rows == full_rows
+        assert restricted_cycles < full_cycles
+
+    def test_read_scan_chain_names_subset(self, bound_target):
+        bound_target.init_test_card()
+        bound_target.load_workload()
+        chains = bound_target.read_scan_chain(["internal"])
+        assert set(chains) == {"internal"}
+
+    def test_action_chain_names(self):
+        scan = FaultLocation("scan:internal", "cpu.regfile.r3", 7)
+        boundary = FaultLocation("scan:boundary", "pins.data_bus", 0)
+        memory = FaultLocation("memory:data", "0x100", 0)
+        names = ThorRDInterface._action_chain_names
+        assert names(InjectionAction(time=1, locations=(scan,))) == [
+            "internal"
+        ]
+        assert names(
+            InjectionAction(time=1, locations=(scan, boundary))
+        ) == ["boundary", "internal"]
+        assert names(
+            InjectionAction(time=1, locations=(scan, memory))
+        ) is None

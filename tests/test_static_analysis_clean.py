@@ -22,6 +22,8 @@ CHECKED_PATHS = [
     "src/repro/core/preinjection.py",
     "src/repro/core/parallel.py",
     "src/repro/core/controller.py",
+    "src/repro/core/checkpoint.py",
+    "src/repro/core/goldencache.py",
     "src/repro/util/sampling.py",
     "src/repro/observability",
 ]
