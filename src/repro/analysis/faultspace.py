@@ -120,6 +120,61 @@ def effective_fault_space(
     return PrunedFaultSpace(raw=raw, live_fraction=fraction)
 
 
+@dataclass(frozen=True)
+class CollapsedFaultSpace:
+    """Fault space after pruning *and* equivalence collapsing.
+
+    On top of the liveness-pruned effective space
+    (:class:`PrunedFaultSpace`), the equivalence engine partitions the
+    *sampled* experiments into provably outcome-identical classes
+    (:class:`repro.staticanalysis.equivalence.EquivalencePartition`);
+    only one representative per class is executed. This wrapper carries
+    both accountings so reports can state "space → effective space →
+    executed experiments" in one line.
+    """
+
+    pruned: PrunedFaultSpace
+    n_experiments: int
+    n_classes: int
+    n_executed: int
+    n_derived: int
+    n_singletons: int
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Executed-experiment reduction factor (>= 1.0)."""
+        if self.n_executed == 0:
+            return 1.0
+        return self.n_experiments / self.n_executed
+
+    def describe(self) -> str:
+        return (
+            f"{self.pruned.describe()}; {self.n_experiments} sampled "
+            f"experiments fall into {self.n_classes} equivalence classes "
+            f"-> {self.n_executed} executed, {self.n_derived} derived "
+            f"({self.collapse_ratio:.2f}x collapse, "
+            f"{self.n_singletons} singleton classes)"
+        )
+
+
+def collapsed_fault_space(
+    pruned: PrunedFaultSpace, partition_stats
+) -> CollapsedFaultSpace:
+    """Combine pruning and partition accounting for one campaign.
+
+    ``partition_stats`` is a :class:`repro.staticanalysis.equivalence.
+    PartitionStats` (duck-typed: anything with the same counters works).
+    """
+    return CollapsedFaultSpace(
+        pruned=pruned,
+        n_experiments=partition_stats.n_experiments,
+        n_classes=partition_stats.n_classes,
+        n_executed=partition_stats.n_executed,
+        n_derived=partition_stats.n_derived,
+        n_singletons=partition_stats.n_singletons,
+    )
+
+
 def required_experiments(
     expected_proportion: float,
     half_width: float,

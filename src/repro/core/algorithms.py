@@ -16,6 +16,7 @@ previously-undefined blocks (paper Section 2.1).
 from __future__ import annotations
 
 import abc
+import random
 import time as _time
 from typing import Dict, List, Optional, Sequence
 
@@ -54,6 +55,15 @@ _REFERENCE_BUDGET = 50_000_000
 #: instrumentation *before* execution starts and therefore always start
 #: cold.
 WARM_START_TECHNIQUES = ("scifi", "simfi", "pinlevel")
+
+#: Techniques whose experiments may be collapsed by the equivalence
+#: engine. The soundness argument (see
+#: :mod:`repro.staticanalysis.equivalence`) requires that an experiment
+#: is "golden execution up to a stop-at-cycle breakpoint, then one bit
+#: flip" — exactly the stop-and-inject techniques. The SWIFI variants
+#: mutate the image or instrument the workload before execution, so two
+#: different injection times are different programs from cycle 0.
+EQUIVALENCE_TECHNIQUES = ("scifi", "simfi", "pinlevel")
 
 
 class StopCampaign(Exception):
@@ -121,6 +131,18 @@ class FaultInjectionAlgorithms(abc.ABC):
         #: enables pre-injection analysis; any object with an
         #: ``is_live(location, time)`` method.
         self._liveness = None
+        #: :class:`repro.staticanalysis.equivalence.
+        #: EquivalencePreInjectionAnalysis` when the campaign selects
+        #: ``preinjection_mode="equivalence"`` — the campaign loop uses
+        #: it to partition the planned fault list.
+        self._equivalence = None
+        #: Fraction of statically-derived experiment outcomes that are
+        #: re-executed for real and compared against the derivation
+        #: (``goofi run --verify-equivalence P``). Any divergence is a
+        #: hard failure. Not part of CampaignData: verification does not
+        #: change what the campaign computes, only how much of it is
+        #: double-checked, so it must not perturb config hashes.
+        self.verify_equivalence: float = 0.0
         self._reference: Optional[ReferenceRun] = None
         #: Checkpoints captured along the reference run (warm starts);
         #: None when the campaign, technique or port rules them out.
@@ -300,6 +322,7 @@ class FaultInjectionAlgorithms(abc.ABC):
         self._fault_model = build_fault_model(campaign.fault_model)
         self._rng = CampaignRandom(campaign.seed)
         self._liveness = None
+        self._equivalence = None
         # A stale reference/checkpoint store from a previously bound
         # campaign must never leak into this one (the reference-run
         # budget and the warm-start eligibility both depend on them).
@@ -370,10 +393,23 @@ class FaultInjectionAlgorithms(abc.ABC):
                 trace=trace,
                 detail_states=self.drain_detail_states() if detail else [],
             )
-            if campaign.use_preinjection:
-                self._liveness = self.build_preinjection_analysis(trace)
+            self._install_oracles(trace)
         self._checkpoints = store
         return reference
+
+    def _install_oracles(self, trace: Optional[Trace]) -> None:
+        """Build the pre-injection/equivalence oracles from a reference
+        trace. ``preinjection_mode="equivalence"`` activates the
+        partitioner even when liveness pruning itself is off."""
+        campaign = self._require_campaign()
+        equivalence = campaign.preinjection_mode == "equivalence"
+        if not (campaign.use_preinjection or equivalence):
+            return
+        oracle = self.build_preinjection_analysis(trace)
+        if campaign.use_preinjection:
+            self._liveness = oracle
+        if equivalence:
+            self._equivalence = oracle
 
     def _capture_checkpointed_reference(self, budget: int):
         """Run the reference workload to termination, pausing at the
@@ -412,7 +448,9 @@ class FaultInjectionAlgorithms(abc.ABC):
         .PreInjectionAnalysis`; ``static`` the trace-free
         :class:`~repro.staticanalysis.oracle.StaticPreInjectionAnalysis`
         over the port's ``workload_program``; ``hybrid`` intersects the
-        two."""
+        two; ``equivalence`` wraps the static oracle in the fault-space
+        partitioner (:class:`~repro.staticanalysis.equivalence
+        .EquivalencePreInjectionAnalysis`)."""
         campaign = self._require_campaign()
         return build_liveness_oracle(
             campaign.preinjection_mode,
@@ -787,10 +825,7 @@ class FaultInjectionAlgorithms(abc.ABC):
             return False
         self._reference = golden.reference
         self._checkpoints = golden.checkpoints
-        if campaign.use_preinjection:
-            self._liveness = self.build_preinjection_analysis(
-                golden.reference.trace
-            )
+        self._install_oracles(golden.reference.trace)
         return True
 
     def run_single_experiment(
@@ -991,6 +1026,32 @@ class FaultInjectionAlgorithms(abc.ABC):
         ):
             reference = self.prepare_run(campaign)
             sink.log_reference(campaign, reference)
+            plans: Optional[Dict[int, InjectionPlan]] = None
+            derived_of: Dict[int, int] = {}
+            # Representative results retained only while derived members
+            # of their class are still pending (bounded memory).
+            rep_results: Dict[int, ExperimentResult] = {}
+            pending: Dict[int, int] = {}
+            if self._collapse_enabled(campaign):
+                plans = {}
+                for index in range(campaign.n_experiments):
+                    if index in skip:
+                        continue
+                    fixed = (
+                        _fixed_plans.get(index)
+                        if _fixed_plans is not None
+                        else None
+                    )
+                    plans[index] = (
+                        fixed
+                        if fixed is not None
+                        else self.plan_experiment(index, reference)
+                    )
+                partition = self._equivalence.partition(plans)
+                self._record_partition_metrics(partition)
+                derived_of = partition.derived_map()
+                for rep in derived_of.values():
+                    pending[rep] = pending.get(rep, 0) + 1
             for index in range(campaign.n_experiments):
                 if index in skip:
                     continue
@@ -998,15 +1059,159 @@ class FaultInjectionAlgorithms(abc.ABC):
                     control.checkpoint(index)
                 except StopCampaign:
                     break
-                plan = (
-                    _fixed_plans.get(index)
-                    if _fixed_plans is not None
-                    else None
-                )
-                result = self.run_single_experiment(
-                    index, plan=plan, reference=reference
-                )
+                rep = derived_of.get(index)
+                if rep is not None and rep in rep_results:
+                    assert plans is not None
+                    result = self._derive_result(
+                        index, plans[index], rep_results[rep]
+                    )
+                    if self._should_verify(index):
+                        self._verify_derived(
+                            index, plans[index], result, reference
+                        )
+                    pending[rep] -= 1
+                    if pending[rep] == 0:
+                        del rep_results[rep]
+                else:
+                    # Representatives, singletons, and members whose
+                    # representative did not run (resumed campaigns can
+                    # skip it) execute for real.
+                    if plans is not None:
+                        plan: Optional[InjectionPlan] = plans[index]
+                    elif _fixed_plans is not None:
+                        plan = _fixed_plans.get(index)
+                    else:
+                        plan = None
+                    result = self.run_single_experiment(
+                        index, plan=plan, reference=reference
+                    )
+                    if pending.get(index):
+                        rep_results[index] = result
                 sink.log_experiment(campaign, result)
                 control.report(index, result)
         obs.flush()
         return sink
+
+    # ------------------------------------------------------------------
+    # Equivalence collapsing (preinjection_mode="equivalence")
+    # ------------------------------------------------------------------
+
+    def _collapse_enabled(self, campaign: CampaignData) -> bool:
+        """May this campaign's experiments be collapsed?
+
+        Detail mode is excluded: per-instruction state logs differ
+        *inside* an unobserved def-use region (the flipped bit shows up
+        in detail states before anything architectural reads it), so
+        only terminal outcomes — not detail logs — are class-invariant.
+        """
+        return (
+            self._equivalence is not None
+            and campaign.technique in EQUIVALENCE_TECHNIQUES
+            and campaign.logging_mode != "detail"
+        )
+
+    def _record_partition_metrics(self, partition) -> None:
+        stats = partition.stats()
+        metrics = get_observability().metrics
+        if metrics.enabled:
+            metrics.counter("equivalence.classes").inc(stats.n_classes)
+            metrics.counter("equivalence.executed").inc(stats.n_executed)
+            metrics.counter("equivalence.collapsed").inc(stats.n_derived)
+
+    def _derive_result(
+        self,
+        index: int,
+        plan: InjectionPlan,
+        rep_result: ExperimentResult,
+    ) -> ExperimentResult:
+        """Statically-derived outcome of a non-representative member.
+
+        Everything observable at termination is copied from the executed
+        representative — that is the equivalence theorem. The injection
+        record keeps the *member's* own injection time (the flipped
+        value is class-invariant: no write to the location happens
+        between the two injection instants).
+        """
+        result = self._new_result(index)
+        result.derived_from = rep_result.name
+        times = [action.time for action in plan.sorted_actions()]
+        for i, injection in enumerate(rep_result.injections):
+            result.injections.append(
+                Injection(
+                    time=times[i] if i < len(times) else injection.time,
+                    location=injection.location,
+                    op=injection.op,
+                    bit_before=injection.bit_before,
+                    bit_after=injection.bit_after,
+                )
+            )
+        assert rep_result.termination is not None
+        result.termination = Termination.from_dict(
+            rep_result.termination.to_dict()
+        )
+        result.outputs = dict(rep_result.outputs)
+        result.state_vector = dict(rep_result.state_vector)
+        result.wall_seconds = 0.0
+        return result
+
+    def _should_verify(self, index: int) -> bool:
+        fraction = self.verify_equivalence
+        if fraction <= 0.0:
+            return False
+        if fraction >= 1.0:
+            return True
+        campaign = self._require_campaign()
+        # Index-keyed stream, disjoint from the planning substreams.
+        return (
+            random.Random(f"{campaign.seed}:verify:{index}").random()
+            < fraction
+        )
+
+    def _verify_derived(
+        self,
+        index: int,
+        plan: InjectionPlan,
+        derived: ExperimentResult,
+        reference: ReferenceRun,
+    ) -> None:
+        """Force-execute a derived member and hard-fail on divergence."""
+        actual = self.run_single_experiment(
+            index, plan=plan, reference=reference
+        )
+        self.check_derived_outcome(index, actual, derived)
+
+    def check_derived_outcome(
+        self,
+        index: int,
+        actual: ExperimentResult,
+        derived: ExperimentResult,
+    ) -> None:
+        """Compare a real execution against its static derivation and
+        hard-fail the campaign on any divergence (the ``--verify-
+        equivalence`` contract; also used by the parallel runner, which
+        executes verify members on workers)."""
+        mismatches = []
+        if [i.to_dict() for i in actual.injections] != [
+            i.to_dict() for i in derived.injections
+        ]:
+            mismatches.append("injections")
+        actual_term = actual.termination.to_dict() if actual.termination else None
+        derived_term = (
+            derived.termination.to_dict() if derived.termination else None
+        )
+        if actual_term != derived_term:
+            mismatches.append("termination")
+        if actual.outputs != derived.outputs:
+            mismatches.append("outputs")
+        if actual.state_vector != derived.state_vector:
+            mismatches.append("state_vector")
+        if mismatches:
+            raise CampaignError(
+                f"equivalence verification failed for experiment {index} "
+                f"(derived from {derived.derived_from}): "
+                f"{', '.join(mismatches)} diverged — the static "
+                "equivalence certificate is unsound for this class"
+            )
+        metrics = get_observability().metrics
+        if metrics.enabled:
+            metrics.counter("equivalence.verified").inc()

@@ -95,7 +95,10 @@ class CampaignData:
     # How the pre-injection liveness oracle is built when
     # use_preinjection is set: from the reference trace ("dynamic"), from
     # static CFG/liveness analysis of the program image ("static" — no
-    # trace needed), or the intersection of both ("hybrid").
+    # trace needed), the intersection of both ("hybrid"), or static
+    # analysis plus def-use equivalence collapsing ("equivalence": plans
+    # exactly like "static" but executes one experiment per provable
+    # equivalence class and derives the rest).
     preinjection_mode: str = "dynamic"
     # Optional software EDM: write-protect the workload's code image so
     # fault-induced wild stores into code are detected instead of
@@ -146,7 +149,12 @@ class CampaignData:
             raise ConfigurationError("timeout_cycles must be positive")
         if self.timeout_factor <= 1.0:
             raise ConfigurationError("timeout_factor must exceed 1.0")
-        if self.preinjection_mode not in ("dynamic", "static", "hybrid"):
+        if self.preinjection_mode not in (
+            "dynamic",
+            "static",
+            "hybrid",
+            "equivalence",
+        ):
             raise ConfigurationError(
                 f"unknown pre-injection mode {self.preinjection_mode!r}"
             )

@@ -62,6 +62,10 @@ class CampaignProgress:
     #: Estimated seconds to completion from the health monitor's latency
     #: EWMA (``None`` when no health monitor is attached yet).
     eta_seconds: Optional[float] = None
+    #: Experiments whose outcome was statically derived from an executed
+    #: equivalence-class representative rather than executed itself
+    #: (``preinjection_mode="equivalence"``).
+    n_derived: int = 0
 
     @property
     def experiments_per_second(self) -> float:
@@ -207,6 +211,8 @@ class CampaignController:
         """Fold one experiment's outcome into the running counters (shared
         by live reporting and the resume-time rebuild from the sink)."""
         progress.n_injected_faults += len(result.injections)
+        if result.derived_from is not None:
+            progress.n_derived += 1
         termination = result.termination
         if termination is not None:
             progress.terminations[termination.kind] = (

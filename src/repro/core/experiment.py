@@ -104,6 +104,11 @@ class ExperimentResult:
     outputs: Dict[str, int] = field(default_factory=dict)
     detail_states: List[StateVector] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Name of the executed representative this outcome was statically
+    #: derived from (equivalence collapsing); None for executed results.
+    #: Deliberately NOT part of experiment_data(): derived rows must stay
+    #: byte-identical to what executing the member would have logged.
+    derived_from: Optional[str] = None
 
     def experiment_data(self) -> dict:
         """The "experimentData" payload of the LoggedSystemState row."""

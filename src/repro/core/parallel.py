@@ -113,6 +113,10 @@ class ParallelConfig:
     #: reference run is loaded from / stored to it, keyed by the
     #: campaign's config hash. ``None`` disables disk caching.
     golden_cache_dir: Optional[str] = None
+    #: Fraction of statically-derived experiments (equivalence mode) that
+    #: are re-executed for real and compared against their derivation;
+    #: any divergence aborts the campaign.
+    verify_equivalence: float = 0.0
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -126,6 +130,10 @@ class ParallelConfig:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise CampaignError(
                 "ParallelConfig.timeout_seconds must be positive or None"
+            )
+        if not 0.0 <= self.verify_equivalence <= 1.0:
+            raise CampaignError(
+                "ParallelConfig.verify_equivalence must be in [0, 1]"
             )
 
     def context(self) -> Any:
@@ -319,10 +327,30 @@ class _ParallelRun:
         self.order: List[int] = [
             i for i in range(campaign.n_experiments) if i not in skip
         ]
-        self.queue: Deque[int] = deque(self.order)
+        #: Dispatch queue of *units*: lists of indices that must land in
+        #: the same shard. Without equivalence collapsing every unit is a
+        #: single index; with it, a unit is one equivalence class's
+        #: executed members (representative + verify-sampled members), so
+        #: a class never spans shards.
+        self.queue: Deque[List[int]] = deque([i] for i in self.order)
         self.retry_queue: Deque[int] = deque()
         self.retries: Dict[int, int] = {}
         self.completed: Dict[int, ExperimentResult] = {}
+        # -- equivalence collapsing (preinjection_mode="equivalence") --
+        #: Parent port retained for plan/derive/verify helpers.
+        self.port: Optional[FaultInjectionAlgorithms] = None
+        #: index -> InjectionPlan for every index in ``order``.
+        self.plans: Optional[Dict[int, Any]] = None
+        #: representative index -> its derived member indices.
+        self._class_derived: Dict[int, List[int]] = {}
+        #: verify-sampled member index -> its representative index.
+        self._verify_members: Dict[int, int] = {}
+        #: verify member -> synthesized derived result (awaiting compare).
+        self._derived_results: Dict[int, ExperimentResult] = {}
+        #: verify member -> real result that arrived before its rep's.
+        self._verify_actual: Dict[int, ExperimentResult] = {}
+        #: representatives that terminally failed (members re-queued).
+        self._failed_reps: Set[int] = set()
         self.reported = 0
         self.batch: List[ExperimentResult] = []
         self.workers: List[_WorkerHandle] = []
@@ -407,6 +435,7 @@ class _ParallelRun:
         # Serialise *after* prepare_run: campaign binding resolves
         # trigger addresses and iteration limits that workers must share.
         self.campaign_json = self.campaign.to_json()
+        self._prepare_equivalence(parent_port, reference)
         if not self.order:
             return
         n_workers = min(self.config.n_workers, len(self.order))
@@ -427,6 +456,114 @@ class _ParallelRun:
         finally:
             self._flush_ordered(final=True)
             self._shutdown()
+
+    def _prepare_equivalence(
+        self, parent_port: FaultInjectionAlgorithms, reference: Any
+    ) -> None:
+        """Partition the fault list and rebuild the dispatch queue as
+        class units.
+
+        The parent plans every experiment (index-keyed substreams: the
+        workers re-derive identical plans), partitions the plans, and
+        enqueues one unit per class holding only the indices that must
+        *execute* — the representative plus any verify-sampled members.
+        The remaining members' results are synthesized in the parent as
+        each representative's result arrives."""
+        self.port = parent_port
+        parent_port.verify_equivalence = self.config.verify_equivalence
+        if not parent_port._collapse_enabled(self.campaign):
+            return
+        equivalence = parent_port._equivalence
+        plans = {
+            index: parent_port.plan_experiment(index, reference)
+            for index in self.order
+        }
+        partition = equivalence.partition(plans)
+        parent_port._record_partition_metrics(partition)
+        self.plans = plans
+        units: List[List[int]] = []
+        for cls in partition.classes:
+            unit = [cls.representative]
+            derived_members: List[int] = []
+            for member in cls.members[1:]:
+                derived_members.append(member)
+                if parent_port._should_verify(member):
+                    self._verify_members[member] = cls.representative
+                    unit.append(member)
+            if derived_members:
+                self._class_derived[cls.representative] = derived_members
+            units.append(unit)
+        self.queue = deque(units)
+
+    def _accept_result(self, index: int, result: ExperimentResult) -> None:
+        """Fold one worker result into ``completed``, synthesizing and
+        verifying derived class members as needed."""
+        rep = self._verify_members.get(index)
+        if rep is not None:
+            if rep in self._failed_reps:
+                # No derivation exists to compare against: the real
+                # execution simply becomes the logged result.
+                self.completed[index] = result
+                return
+            derived = self._derived_results.pop(index, None)
+            if derived is None:
+                # Representative result not in yet (a retry reordered
+                # the shard) — park the real result until it is.
+                self._verify_actual[index] = result
+                return
+            self._check_verified(index, result, derived)
+            self.completed[index] = derived
+            return
+        self.completed[index] = result
+        if index in self._class_derived:
+            self._synthesize_class(index, result)
+
+    def _synthesize_class(
+        self, rep: int, rep_result: ExperimentResult
+    ) -> None:
+        assert self.port is not None and self.plans is not None
+        for member in self._class_derived.get(rep, []):
+            derived = self.port._derive_result(
+                member, self.plans[member], rep_result
+            )
+            if member in self._verify_members:
+                actual = self._verify_actual.pop(member, None)
+                if actual is not None:
+                    self._check_verified(member, actual, derived)
+                    self.completed[member] = derived
+                elif member not in self.completed:
+                    self._derived_results[member] = derived
+                # A member already in completed terminally failed its
+                # real execution; the failure placeholder stands.
+            else:
+                self.completed[member] = derived
+
+    def _check_verified(
+        self,
+        index: int,
+        actual: ExperimentResult,
+        derived: ExperimentResult,
+    ) -> None:
+        assert self.port is not None
+        self.port.check_derived_outcome(index, actual, derived)
+
+    def _handle_rep_failure(self, rep: int) -> None:
+        """A class representative exhausted its retries: its members can
+        no longer be derived, so every remaining member re-queues as its
+        own singleton unit and executes for real."""
+        members = self._class_derived.pop(rep, None)
+        if members is None:
+            return
+        self._failed_reps.add(rep)
+        for member in members:
+            if member in self._verify_members:
+                # Already dispatched for real execution in the class
+                # unit; its result now simply gets logged directly.
+                actual = self._verify_actual.pop(member, None)
+                if actual is not None:
+                    self.completed[member] = actual
+            else:
+                self.queue.append([member])
 
     def _spawn_worker(self, context: Any) -> _WorkerHandle:
         worker_id = self._next_worker_id
@@ -513,7 +650,10 @@ class _ParallelRun:
             if self.retry_queue:
                 shard.append(self.retry_queue.popleft())
             elif self.queue:
-                shard.append(self.queue.popleft())
+                # A unit (equivalence class) is never split across
+                # shards; a large class may push the shard past
+                # shard_size, which is harmless.
+                shard.extend(self.queue.popleft())
             else:
                 break
         return shard
@@ -558,7 +698,7 @@ class _ParallelRun:
             index, result = message[1], message[2]
             self._discard_from_shard(worker, index)
             worker.touch(self.config.timeout_seconds)
-            self.completed[index] = result
+            self._accept_result(index, result)
         elif kind == "error":
             index, reason = message[1], message[2]
             self._discard_from_shard(worker, index)
@@ -659,6 +799,10 @@ class _ParallelRun:
                 attempts=attempts + 1,
             )
         self.completed[index] = self._failure_result(index, reason, attempts)
+        # A failed verify member cannot be compared; its failure
+        # placeholder is logged and the parked derivation dropped.
+        self._derived_results.pop(index, None)
+        self._handle_rep_failure(index)
 
     def _failure_result(
         self, index: int, reason: str, attempts: int
@@ -737,7 +881,7 @@ class _ParallelRun:
                     break
                 if message[0] in ("result", "error", "done"):
                     if message[0] == "result":
-                        self.completed[message[1]] = message[2]
+                        self._accept_result(message[1], message[2])
                     self._discard_from_shard(
                         worker, message[1] if len(message) > 1 else -1
                     )

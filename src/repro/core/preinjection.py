@@ -228,7 +228,10 @@ class HybridPreInjectionAnalysis:
 
 
 #: Pruning modes a campaign may select (CampaignData.preinjection_mode).
-PREINJECTION_MODES = ("dynamic", "static", "hybrid")
+#: "equivalence" plans exactly like "static" but additionally partitions
+#: the planned fault list into provably outcome-identical classes so the
+#: campaign loop executes one representative per class.
+PREINJECTION_MODES = ("dynamic", "static", "hybrid", "equivalence")
 
 
 def build_liveness_oracle(
@@ -260,6 +263,18 @@ def build_liveness_oracle(
             "block"
         )
     duration = trace.duration_cycles if trace is not None else None
+    if mode == "equivalence":
+        from repro.staticanalysis.equivalence import (
+            EquivalencePreInjectionAnalysis,
+        )
+
+        if trace is None:
+            raise CampaignError(
+                "equivalence pre-injection needs a reference trace"
+            )
+        return EquivalencePreInjectionAnalysis(
+            program, trace, duration=duration
+        )
     static = StaticPreInjectionAnalysis(program, duration=duration)
     if mode == "static":
         return static

@@ -30,12 +30,13 @@ from repro.util.errors import DatabaseError
 _LOGGED_UPSERT = (
     "INSERT INTO LoggedSystemState("
     "experimentName, parentExperiment, campaignName, experimentData, "
-    "stateVector, isReference) VALUES (?, ?, ?, ?, ?, ?) "
+    "stateVector, isReference, derivedFrom) VALUES (?, ?, ?, ?, ?, ?, ?) "
     "ON CONFLICT(experimentName) DO UPDATE SET "
     "parentExperiment = excluded.parentExperiment, "
     "experimentData = excluded.experimentData, "
     "stateVector = excluded.stateVector, "
-    "isReference = excluded.isReference"
+    "isReference = excluded.isReference, "
+    "derivedFrom = excluded.derivedFrom"
 )
 
 
@@ -56,6 +57,7 @@ class GoofiDatabase:
             self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(DDL)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self._migrate_columns()
         row = self._conn.execute("SELECT version FROM SchemaInfo").fetchone()
         if row is None:
             self._conn.execute(
@@ -73,6 +75,25 @@ class GoofiDatabase:
                 f"database schema version {row['version']} != {SCHEMA_VERSION}"
             )
         self._conn.commit()
+
+    def _migrate_columns(self) -> None:
+        """Add columns newer schema versions grew on existing tables.
+
+        ``CREATE TABLE IF NOT EXISTS`` is a no-op on a pre-existing
+        table, so additive *column* migrations need an explicit
+        ``ALTER TABLE`` (v2 → v3: ``LoggedSystemState.derivedFrom``)."""
+        columns = {
+            row["name"]
+            for row in self._conn.execute(
+                "PRAGMA table_info(LoggedSystemState)"
+            )
+        }
+        if "derivedFrom" not in columns:
+            self._conn.execute(
+                "ALTER TABLE LoggedSystemState ADD COLUMN derivedFrom TEXT "
+                "REFERENCES LoggedSystemState(experimentName) "
+                "ON DELETE SET NULL"
+            )
 
     def close(self) -> None:
         self._conn.close()
@@ -176,6 +197,7 @@ class GoofiDatabase:
             experiment_data=experiment_data,
             state_blob=encode_state_payload(ref.state_vector, ref.detail_states),
             is_reference=True,
+            derived_from=None,
         )
 
     def log_experiment(
@@ -191,6 +213,7 @@ class GoofiDatabase:
                 result.state_vector, result.detail_states
             ),
             is_reference=False,
+            derived_from=result.derived_from,
         )
 
     def log_experiments(
@@ -216,6 +239,7 @@ class GoofiDatabase:
                         result.state_vector, result.detail_states
                     ),
                     is_reference=False,
+                    derived_from=result.derived_from,
                 )
                 for result in results
             ]
@@ -234,6 +258,7 @@ class GoofiDatabase:
         experiment_data: dict,
         state_blob: bytes,
         is_reference: bool,
+        derived_from: Optional[str] = None,
     ) -> Tuple:
         return (
             name,
@@ -242,6 +267,7 @@ class GoofiDatabase:
             json.dumps(experiment_data, sort_keys=True),
             state_blob,
             int(is_reference),
+            derived_from,
         )
 
     def _insert_logged(
@@ -252,12 +278,13 @@ class GoofiDatabase:
         experiment_data: dict,
         state_blob: bytes,
         is_reference: bool,
+        derived_from: Optional[str] = None,
     ) -> None:
         self._conn.execute(
             _LOGGED_UPSERT,
             self._logged_row(
                 name, parent, campaign_name, experiment_data, state_blob,
-                is_reference,
+                is_reference, derived_from,
             ),
         )
         self._conn.commit()
@@ -446,6 +473,7 @@ class GoofiDatabase:
             outputs=data.get("outputs", {}),
             detail_states=payload["detail"],
             wall_seconds=data.get("wall_seconds", 0.0),
+            derived_from=row["derivedFrom"],
         )
         return result
 

@@ -12,12 +12,19 @@ Schema history:
   (every table is ``CREATE TABLE IF NOT EXISTS``), so
   :class:`~repro.db.database.GoofiDatabase` migrates v1 files in place
   by stamping the new version.
+* **v3** — adds ``LoggedSystemState.derivedFrom``: for experiments whose
+  outcome was statically derived by the equivalence engine
+  (``preinjection_mode="equivalence"``), the experiment name of the
+  executed class representative; NULL for executed experiments.
+  Upgrading from v1/v2 is additive: ``CREATE TABLE IF NOT EXISTS``
+  cannot grow an existing table, so the migration issues an
+  ``ALTER TABLE ... ADD COLUMN`` before stamping the version.
 """
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Prior versions that upgrade in place (purely additive DDL).
-MIGRATABLE_VERSIONS = (1,)
+MIGRATABLE_VERSIONS = (1, 2)
 
 DDL = """
 PRAGMA foreign_keys = ON;
@@ -48,6 +55,9 @@ CREATE TABLE IF NOT EXISTS LoggedSystemState (
     experimentData   TEXT NOT NULL,
     stateVector      BLOB NOT NULL,
     isReference      INTEGER NOT NULL DEFAULT 0,
+    derivedFrom      TEXT
+                     REFERENCES LoggedSystemState(experimentName)
+                     ON DELETE SET NULL,
     loggedAt         TEXT NOT NULL DEFAULT CURRENT_TIMESTAMP
 );
 

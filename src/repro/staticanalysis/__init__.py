@@ -1,47 +1,91 @@
 """Static program analysis over assembled THOR-lite workloads.
 
 Classical dataflow analysis — def/use extraction, control-flow-graph
-construction, backward liveness and reaching definitions — computed from
-the program image alone, **without running the workload**. Two consumers:
+construction, backward liveness, reaching definitions with full
+def-use/use-def chains, dominator trees with natural-loop detection, and
+sparse conditional constant propagation — computed from the program
+image alone, **without running the workload**. Three consumers:
 
 * :class:`~repro.staticanalysis.oracle.StaticPreInjectionAnalysis` — a
   trace-free liveness oracle with the same ``is_live(location, time)``
   interface as the dynamic (trace-based) pre-injection analysis of
   :mod:`repro.core.preinjection`. Campaigns select static, dynamic or
   hybrid pruning via ``CampaignData.preinjection_mode``.
+* :class:`~repro.staticanalysis.equivalence
+  .EquivalencePreInjectionAnalysis` — the fault-equivalence engine
+  behind ``preinjection_mode="equivalence"``: it partitions a campaign's
+  planned fault list into provably outcome-identical classes so the
+  campaign loop executes one representative per class and statically
+  derives the rest.
 * :func:`~repro.staticanalysis.lint.lint_campaign` — a set-up-phase lint
   pass that rejects broken campaign configurations (zero-match location
   patterns, injection windows beyond the reference duration, faults into
   provably-dead registers, unreachable workload code) before a single
-  experiment runs.
+  experiment runs. See the module docstring for the rule catalog.
 
 Soundness contract: the static result is an *over-approximation* of the
 dynamic one — every (location, time) pair the trace-based analysis
 reports live is also reported live statically, so static pruning never
 discards a fault the dynamic oracle would have kept. The property test
 ``tests/properties/test_prop_static_soundness.py`` asserts this for every
-workload in the library.
+workload in the library; ``tests/properties/test_prop_equivalence.py``
+asserts the equivalence engine's derived outcomes equal force-executed
+ones.
 """
 
 from repro.staticanalysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.staticanalysis.constprop import (
+    NAC,
+    ConstPropResult,
+    propagate_constants,
+)
 from repro.staticanalysis.defuse import (
+    FLAGS,
     InstructionDefUse,
     ReachingDefinitions,
     program_defuse,
 )
-from repro.staticanalysis.lint import LintFinding, lint_campaign
-from repro.staticanalysis.liveness import FLAGS, LivenessResult, compute_liveness
+from repro.staticanalysis.dominators import (
+    DominatorTree,
+    NaturalLoop,
+    build_dominator_tree,
+    natural_loops,
+)
+from repro.staticanalysis.equivalence import (
+    EquivalenceClass,
+    EquivalencePartition,
+    EquivalencePreInjectionAnalysis,
+    PartitionStats,
+    RegionCertifier,
+    location_item,
+)
+from repro.staticanalysis.lint import LintFinding, lint_campaign, lint_errors
+from repro.staticanalysis.liveness import LivenessResult, compute_liveness
 from repro.staticanalysis.oracle import StaticPreInjectionAnalysis
 
 __all__ = [
     "BasicBlock",
     "ControlFlowGraph",
     "build_cfg",
+    "NAC",
+    "ConstPropResult",
+    "propagate_constants",
     "InstructionDefUse",
     "ReachingDefinitions",
     "program_defuse",
+    "DominatorTree",
+    "NaturalLoop",
+    "build_dominator_tree",
+    "natural_loops",
+    "EquivalenceClass",
+    "EquivalencePartition",
+    "EquivalencePreInjectionAnalysis",
+    "PartitionStats",
+    "RegionCertifier",
+    "location_item",
     "LintFinding",
     "lint_campaign",
+    "lint_errors",
     "FLAGS",
     "LivenessResult",
     "compute_liveness",

@@ -17,6 +17,12 @@ from repro.thor.assembler import Program
 from repro.thor.effects import register_effects
 from repro.thor.isa import Instruction, try_decode
 
+#: Pseudo dataflow item for the PSR flags (register items are 0..15).
+#: Shared with :mod:`repro.staticanalysis.liveness` so flag definitions
+#: (ALU results, CMP/CMPI) and flag uses (conditional branches) appear in
+#: the same item space as register definitions and uses.
+FLAGS = isa.NUM_REGISTERS
+
 
 @dataclass(frozen=True)
 class InstructionDefUse:
@@ -42,6 +48,22 @@ class InstructionDefUse:
     @property
     def is_memory_write(self) -> bool:
         return self.mem == isa.MEM_STORE
+
+    @property
+    def item_uses(self) -> FrozenSet[int]:
+        """Register uses plus the :data:`FLAGS` item for flag readers.
+
+        Conditional branches have empty ``uses`` but *do* consume the PSR
+        — dropping that implicit operand silently removes the CMP→branch
+        edge from every chain, which is exactly the class of bug the
+        equivalence engine cannot tolerate.
+        """
+        return self.uses | frozenset([FLAGS] if self.reads_flags else [])
+
+    @property
+    def item_defs(self) -> FrozenSet[int]:
+        """Register defs plus the :data:`FLAGS` item for flag writers."""
+        return self.defs | frozenset([FLAGS] if self.writes_flags else [])
 
 
 def instruction_defuse(address: int, instr: Instruction) -> InstructionDefUse:
@@ -80,21 +102,31 @@ def program_defuse(program: Program) -> Dict[int, InstructionDefUse]:
 # Reaching definitions (forward dataflow, worklist iteration)
 # ---------------------------------------------------------------------------
 
-# A definition is identified by (defining address, register index).
+# A definition is identified by (defining address, dataflow item). Items
+# are register indices 0..15 or the FLAGS pseudo-item.
 Definition = Tuple[int, int]
+
+# A use site is identified the same way: (using address, dataflow item).
+UseSite = Tuple[int, int]
 
 
 class ReachingDefinitions:
-    """Which register definitions may reach each program point.
+    """Which definitions may reach each program point.
 
     Forward may-analysis over the instruction-level CFG:
 
         IN[a]  = union of OUT[p] for p in preds(a)
         OUT[a] = GEN[a] | (IN[a] - KILL[a])
 
+    Dataflow items are the 16 general-purpose registers plus the PSR
+    flags (:data:`FLAGS`) — the implicit flag writes of ALU/CMP
+    instructions and the implicit flag reads of conditional branches
+    participate in the lattice exactly like register operands, so
+    def-use chains never silently drop the CMP→branch edge.
+
     Used by the campaign lint pass to flag dead stores (definitions that
-    never reach a use) and available to future constant-propagation
-    passes for bounding indirect load/store addresses.
+    never reach a use) and by the equivalence engine, which consumes the
+    full def-use/use-def chains to certify unobserved def-use regions.
     """
 
     def __init__(
@@ -108,6 +140,8 @@ class ReachingDefinitions:
         self.entry = entry
         self.reach_in: Dict[int, FrozenSet[Definition]] = {}
         self.reach_out: Dict[int, FrozenSet[Definition]] = {}
+        self._def_use: Optional[Dict[Definition, Tuple[int, ...]]] = None
+        self._use_def: Optional[Dict[UseSite, Tuple[int, ...]]] = None
         self._solve()
 
     def _solve(self) -> None:
@@ -128,8 +162,8 @@ class ReachingDefinitions:
             for pred in predecessors[address]:
                 incoming |= reach_out[pred]
             new_in = frozenset(incoming)
-            gen = frozenset((address, reg) for reg in fact.defs)
-            killed = fact.defs
+            gen = frozenset((address, item) for item in fact.item_defs)
+            killed = fact.item_defs
             new_out = gen | frozenset(
                 d for d in new_in if d[1] not in killed
             )
@@ -154,26 +188,78 @@ class ReachingDefinitions:
         )
 
     def dead_definitions(
-        self, reachable: Optional[FrozenSet[int]] = None
+        self,
+        reachable: Optional[FrozenSet[int]] = None,
+        include_flags: bool = False,
     ) -> List[Definition]:
-        """Definitions that never reach any use of their register.
+        """Definitions that never reach any use of their item.
 
         A classic dead-store diagnostic: the value written at the
         definition site is overwritten (or the run ends) before anything
         reads it. ``reachable`` restricts the scan to reachable code.
+        Flag definitions are excluded unless ``include_flags`` is set —
+        nearly every ALU instruction writes flags incidentally, so dead
+        flag writes are expected rather than diagnostic.
         """
         used: Set[Definition] = set()
         for address, fact in self.defuse.items():
             if reachable is not None and address not in reachable:
                 continue
-            for reg in fact.uses:
-                for def_addr in self.definitions_reaching(address, reg):
-                    used.add((def_addr, reg))
+            for item in fact.item_uses:
+                for def_addr in self.definitions_reaching(address, item):
+                    used.add((def_addr, item))
         dead: List[Definition] = []
         for address, fact in self.defuse.items():
             if reachable is not None and address not in reachable:
                 continue
-            for reg in fact.defs:
-                if (address, reg) not in used:
-                    dead.append((address, reg))
+            items = fact.item_defs if include_flags else fact.defs
+            for item in items:
+                if (address, item) not in used:
+                    dead.append((address, item))
         return sorted(dead)
+
+    # -- full chains -----------------------------------------------------------
+
+    def _build_chains(self) -> None:
+        def_use: Dict[Definition, Set[int]] = {}
+        use_def: Dict[UseSite, Set[int]] = {}
+        for address, fact in self.defuse.items():
+            for item in fact.item_uses:
+                defs = {
+                    def_addr
+                    for def_addr, it in self.reach_in.get(
+                        address, frozenset()
+                    )
+                    if it == item
+                }
+                use_def[(address, item)] = defs
+                for def_addr in defs:
+                    def_use.setdefault((def_addr, item), set()).add(address)
+            for item in fact.item_defs:
+                def_use.setdefault((address, item), set())
+        self._def_use = {
+            definition: tuple(sorted(uses))
+            for definition, uses in def_use.items()
+        }
+        self._use_def = {
+            use: tuple(sorted(defs)) for use, defs in use_def.items()
+        }
+
+    def def_use_chains(self) -> Dict[Definition, Tuple[int, ...]]:
+        """Map each definition ``(address, item)`` to its use addresses.
+
+        Definitions that reach no use map to an empty tuple. Flag
+        definitions and flag uses are included, so a ``CMP`` chains to
+        the branches it controls.
+        """
+        if self._def_use is None:
+            self._build_chains()
+        assert self._def_use is not None
+        return self._def_use
+
+    def use_def_chains(self) -> Dict[UseSite, Tuple[int, ...]]:
+        """Map each use site ``(address, item)`` to its reaching defs."""
+        if self._use_def is None:
+            self._build_chains()
+        assert self._use_def is not None
+        return self._use_def

@@ -1,0 +1,238 @@
+"""Dominator tree and natural-loop detection on the block-level CFG.
+
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm over
+the reachable basic blocks of a :class:`repro.staticanalysis.cfg.
+ControlFlowGraph`, plus back-edge/natural-loop discovery on top of it.
+
+The equivalence engine (:mod:`repro.staticanalysis.equivalence`) uses
+dominance as its fast path when certifying def-use regions: when the
+definition's block dominates the use's block and the region is a single
+straight-line block, every path from def to use is the textual
+instruction sequence between them, so scanning that sequence for
+observation points is exact. Loop headers identify definitions whose
+def-use region re-executes — those collapse per *trace window*, never
+across iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.staticanalysis.cfg import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: a header block and the blocks of its body.
+
+    ``back_edges`` are the (tail block, header block) CFG edges whose
+    tail is dominated by the header. ``body`` contains block start
+    addresses, header included.
+    """
+
+    header: int
+    back_edges: Tuple[Tuple[int, int], ...]
+    body: FrozenSet[int]
+
+    def contains_block(self, start: int) -> bool:
+        return start in self.body
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator relation over the reachable blocks.
+
+    ``idom`` maps each reachable block start to its immediate dominator
+    (the entry block maps to itself). Blocks unreachable from the entry
+    are absent — dominance is undefined for them.
+    """
+
+    cfg: ControlFlowGraph
+    entry_block: int
+    idom: Dict[int, int]
+    # Reverse-postorder index of each reachable block (entry first).
+    rpo_index: Dict[int, int]
+    children: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            for block, parent in self.idom.items():
+                if block != parent:
+                    self.children.setdefault(parent, []).append(block)
+            for kids in self.children.values():
+                kids.sort()
+
+    # -- queries ---------------------------------------------------------------
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        if a not in self.idom or b not in self.idom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+    def dominators_of(self, block: int) -> List[int]:
+        """All dominators of ``block``, entry first."""
+        if block not in self.idom:
+            return []
+        chain: List[int] = []
+        node = block
+        while True:
+            chain.append(node)
+            parent = self.idom[node]
+            if parent == node:
+                break
+            node = parent
+        return list(reversed(chain))
+
+    def depth(self, block: int) -> int:
+        """Distance from the entry block in the dominator tree."""
+        return len(self.dominators_of(block)) - 1
+
+
+def _reachable_block_graph(
+    cfg: ControlFlowGraph,
+) -> Tuple[Dict[int, Tuple[int, ...]], List[int], Optional[int]]:
+    """(successors, reachable block starts, entry block start)."""
+    entry_block = cfg.entry if cfg.entry in cfg.blocks else None
+    reachable = {
+        start for start, block in cfg.blocks.items() if block.reachable
+    }
+    if entry_block is None or entry_block not in reachable:
+        return {}, [], None
+    successors = {
+        start: tuple(
+            s for s in cfg.blocks[start].successors if s in reachable
+        )
+        for start in reachable
+    }
+    return successors, sorted(reachable), entry_block
+
+
+def _reverse_postorder(
+    successors: Dict[int, Tuple[int, ...]], entry: int
+) -> List[int]:
+    order: List[int] = []
+    visited: Set[int] = set()
+    # Iterative post-order DFS (explicit stack keeps deep CFGs safe).
+    stack: List[Tuple[int, int]] = [(entry, 0)]
+    visited.add(entry)
+    while stack:
+        node, child_index = stack.pop()
+        succ = successors.get(node, ())
+        if child_index < len(succ):
+            stack.append((node, child_index + 1))
+            child = succ[child_index]
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def build_dominator_tree(cfg: ControlFlowGraph) -> Optional[DominatorTree]:
+    """Dominator tree of the reachable block graph of ``cfg``.
+
+    Returns ``None`` when the program has no reachable entry block
+    (e.g. an image whose entry points at a data word).
+    """
+    successors, _, entry = _reachable_block_graph(cfg)
+    if entry is None:
+        return None
+    rpo = _reverse_postorder(successors, entry)
+    rpo_index = {block: i for i, block in enumerate(rpo)}
+    predecessors: Dict[int, List[int]] = {b: [] for b in rpo}
+    for block in rpo:
+        for succ in successors.get(block, ()):
+            if succ in predecessors:
+                predecessors[succ].append(block)
+
+    idom: Dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block == entry:
+                continue
+            candidates = [p for p in predecessors[block] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(block) != new_idom:
+                idom[block] = new_idom
+                changed = True
+
+    return DominatorTree(
+        cfg=cfg, entry_block=entry, idom=idom, rpo_index=rpo_index
+    )
+
+
+def natural_loops(tree: DominatorTree) -> List[NaturalLoop]:
+    """Natural loops of the CFG underlying ``tree``.
+
+    One loop per header, merging the bodies of all back edges that share
+    the header (standard for reducible graphs; irreducible regions,
+    which Thor's structured assembler output does not produce, simply
+    yield no back edge and therefore no loop).
+    """
+    cfg = tree.cfg
+    successors, reachable, entry = _reachable_block_graph(cfg)
+    if entry is None:
+        return []
+    by_header: Dict[int, List[Tuple[int, int]]] = {}
+    for block in reachable:
+        for succ in successors.get(block, ()):
+            if tree.dominates(succ, block):
+                by_header.setdefault(succ, []).append((block, succ))
+
+    predecessors: Dict[int, List[int]] = {b: [] for b in reachable}
+    for block in reachable:
+        for succ in successors.get(block, ()):
+            predecessors[succ].append(block)
+
+    loops: List[NaturalLoop] = []
+    for header in sorted(by_header):
+        body: Set[int] = {header}
+        worklist = [tail for tail, _ in by_header[header]]
+        while worklist:
+            node = worklist.pop()
+            if node in body:
+                continue
+            body.add(node)
+            worklist.extend(predecessors.get(node, []))
+        loops.append(
+            NaturalLoop(
+                header=header,
+                back_edges=tuple(sorted(by_header[header])),
+                body=frozenset(body),
+            )
+        )
+    return loops
+
+
+def loop_blocks(loops: List[NaturalLoop]) -> FrozenSet[int]:
+    """Union of all loop bodies — blocks that may re-execute."""
+    blocks: Set[int] = set()
+    for loop in loops:
+        blocks |= loop.body
+    return frozenset(blocks)

@@ -1,0 +1,502 @@
+"""Static fault-equivalence engine: def-use partitioning of campaigns.
+
+Two single-bit transient flips into the *same* location are provably
+indistinguishable when no architectural access to that location happens
+between their injection points: up to the first access, the faulty run
+executes exactly the fault-free reference (the flipped bit is not yet
+observed and nothing else differs), so both runs arrive at the next
+access with bitwise-identical machine state — flipped bit included,
+because no intervening write changed it — and behave identically from
+there on. Every member of such an equivalence class therefore yields
+the same termination, outputs, state vector and outcome classification,
+and a campaign only needs to *execute* one representative per class.
+
+The partitioner grounds that argument in two layers:
+
+* **Trace windows** — the reference trace instantiates, per location,
+  the sequence of access instants (the same read/write convention as
+  :class:`repro.core.preinjection.PreInjectionAnalysis`, expressed in
+  stop-step indices so the window boundaries coincide exactly with
+  where a stop-at-cycle breakpoint lands, cf.
+  :meth:`repro.core.trace.Trace.step_after_cycle`).
+* **Static region certificates** — a window only collapses when the
+  def-use region between its bounding accesses is *statically* proven
+  observation-free: starting from the defining access, the first
+  observation of the item on **every** executable CFG path must be the
+  window's closing access. The straight-line case (both bounds in one
+  basic block, nothing between them touching the item — the issue's
+  "no read, no store, no branch, no trap between def and use") is
+  decided exactly via the dominator-tree block structure; the general
+  case is a frontier search over the conditional-constant-refined CFG
+  (:mod:`repro.staticanalysis.constprop`), with trap instructions
+  always acting as barriers. Regions the static layer cannot certify
+  fall back to *stop-point* classes: members whose breakpoint lands on
+  the same trace step run the literally identical experiment and are
+  always safe to merge.
+
+Locations outside the register file and the PSR (memory words behind
+the caches, pins, anything unrecognised) never get access windows —
+cache fills and write-backs are invisible to the trace, so only the
+exact stop-point collapse applies to them.
+
+:class:`EquivalencePreInjectionAnalysis` is the campaign-facing oracle
+for ``preinjection_mode="equivalence"``: its ``is_live`` delegates to
+the static oracle (so equivalence campaigns plan *identical* fault
+lists to ``preinjection_mode="static"`` — the byte-identity contract
+the property tests pin down), and its :meth:`partition` produces the
+classes the campaign loop collapses.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.thor import isa
+from repro.thor.assembler import Program
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.constprop import ConstPropResult, propagate_constants
+from repro.staticanalysis.dominators import (
+    DominatorTree,
+    build_dominator_tree,
+    loop_blocks,
+    natural_loops,
+)
+from repro.staticanalysis.oracle import StaticPreInjectionAnalysis
+
+_REG_RE = re.compile(r"cpu\.regfile\.r(\d+)$")
+
+# Dataflow item of a fault location: ("reg", index) or ("flags",).
+ItemKey = Tuple[object, ...]
+
+# Class keys sort/compare structurally; see EquivalenceClass.kind.
+ClassKey = Tuple[object, ...]
+
+KIND_REGION = "region"
+KIND_STOP = "stop"
+KIND_SINGLETON = "singleton"
+
+
+def location_item(location) -> Optional[ItemKey]:
+    """The trace-observable dataflow item behind a fault location.
+
+    Returns ``None`` for locations whose accesses the trace cannot
+    enumerate soundly (memory words behind the caches, pins, PC/IR and
+    unknown state) — those collapse only via exact stop-point identity.
+    """
+    path = location.path
+    match = _REG_RE.search(path)
+    if match is not None:
+        return ("reg", int(match.group(1)))
+    if path.endswith("cpu.psr"):
+        return ("flags",)
+    return None
+
+
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """One set of provably outcome-identical experiments."""
+
+    key: ClassKey
+    kind: str  # KIND_REGION | KIND_STOP | KIND_SINGLETON
+    members: Tuple[int, ...]  # experiment indices, ascending
+
+    @property
+    def representative(self) -> int:
+        return self.members[0]
+
+    @property
+    def n_derived(self) -> int:
+        return len(self.members) - 1
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Aggregate accounting of one partition (metrics + lint + E14)."""
+
+    n_experiments: int
+    n_classes: int
+    n_executed: int
+    n_derived: int
+    n_singletons: int
+    n_region_classes: int
+    n_stop_classes: int
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Executed-experiment reduction factor (>= 1.0)."""
+        if self.n_executed == 0:
+            return 1.0
+        return self.n_experiments / self.n_executed
+
+    @property
+    def singleton_fraction(self) -> float:
+        if self.n_classes == 0:
+            return 0.0
+        return self.n_singletons / self.n_classes
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "n_experiments": self.n_experiments,
+            "n_classes": self.n_classes,
+            "n_executed": self.n_executed,
+            "n_derived": self.n_derived,
+            "n_singletons": self.n_singletons,
+            "n_region_classes": self.n_region_classes,
+            "n_stop_classes": self.n_stop_classes,
+            "collapse_ratio": self.collapse_ratio,
+            "singleton_fraction": self.singleton_fraction,
+        }
+
+
+class EquivalencePartition:
+    """The equivalence classes of one campaign's planned fault list."""
+
+    def __init__(self, classes: Sequence[EquivalenceClass]):
+        self.classes: List[EquivalenceClass] = sorted(
+            classes, key=lambda c: c.representative
+        )
+        self._by_member: Dict[int, EquivalenceClass] = {}
+        self._derived: Dict[int, int] = {}
+        for cls in self.classes:
+            for member in cls.members:
+                self._by_member[member] = cls
+            for member in cls.members[1:]:
+                self._derived[member] = cls.representative
+
+    def class_of(self, index: int) -> Optional[EquivalenceClass]:
+        return self._by_member.get(index)
+
+    def derived_map(self) -> Dict[int, int]:
+        """member index -> representative index (non-representatives only)."""
+        return dict(self._derived)
+
+    def derived_members_of(self, representative: int) -> List[int]:
+        cls = self._by_member.get(representative)
+        if cls is None or cls.representative != representative:
+            return []
+        return list(cls.members[1:])
+
+    def stats(self) -> PartitionStats:
+        n_members = sum(len(c.members) for c in self.classes)
+        n_singletons = sum(1 for c in self.classes if len(c.members) == 1)
+        n_region = sum(
+            1
+            for c in self.classes
+            if c.kind == KIND_REGION and len(c.members) > 1
+        )
+        n_stop = sum(
+            1
+            for c in self.classes
+            if c.kind == KIND_STOP and len(c.members) > 1
+        )
+        n_derived = len(self._derived)
+        return PartitionStats(
+            n_experiments=n_members,
+            n_classes=len(self.classes),
+            n_executed=n_members - n_derived,
+            n_derived=n_derived,
+            n_singletons=n_singletons,
+            n_region_classes=n_region,
+            n_stop_classes=n_stop,
+        )
+
+
+class RegionCertifier:
+    """Static observation-freedom certificates for def-use regions."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.constprop: ConstPropResult = propagate_constants(cfg)
+        self.domtree: Optional[DominatorTree] = build_dominator_tree(cfg)
+        self.loops = (
+            natural_loops(self.domtree) if self.domtree is not None else []
+        )
+        self._loop_block_starts = loop_blocks(self.loops)
+        # address -> (block start, position within block)
+        self._position: Dict[int, Tuple[int, int]] = {}
+        for start, block in cfg.blocks.items():
+            for pos, address in enumerate(block.addresses):
+                self._position[address] = (start, pos)
+        # Trap instructions end the experiment — they bar every region.
+        self._traps = frozenset(
+            address
+            for address, fact in cfg.defuse.items()
+            if fact.flow == isa.FLOW_TRAP
+        )
+        self._obs_cache: Dict[ItemKey, FrozenSet[int]] = {}
+        self._cert_cache: Dict[
+            Tuple[ItemKey, Optional[int], Optional[int]], bool
+        ] = {}
+        #: Windows refused inside natural-loop bodies (diagnostic: these
+        #: are the re-executing regions the lint surfaces as the usual
+        #: cause of singleton-heavy partitions).
+        self.loop_refusals = 0
+
+    def observation_sites(self, item: ItemKey) -> FrozenSet[int]:
+        """Executable addresses that read or write ``item``, plus traps."""
+        cached = self._obs_cache.get(item)
+        if cached is not None:
+            return cached
+        executable = self.constprop.executable
+        sites: Set[int] = set()
+        for address, fact in self.cfg.defuse.items():
+            if address not in executable:
+                continue
+            if item[0] == "reg":
+                register = item[1]
+                if register in fact.uses or register in fact.defs:
+                    sites.add(address)
+            elif item[0] == "flags":
+                if fact.reads_flags or fact.writes_flags:
+                    sites.add(address)
+        sites |= self._traps & executable
+        result = frozenset(sites)
+        self._obs_cache[item] = result
+        return result
+
+    def _in_loop(self, address: int) -> bool:
+        position = self._position.get(address)
+        return position is not None and position[0] in self._loop_block_starts
+
+    def _frontier(
+        self, starts: Sequence[int], obs: FrozenSet[int]
+    ) -> Optional[Set[int]]:
+        """First observations hit on any executable path from ``starts``.
+
+        Returns None when the search leaves the known code image (an
+        unresolved successor) — certification must then fail.
+        """
+        executable = self.constprop.executable
+        frontier: Set[int] = set()
+        visited: Set[int] = set()
+        stack = [s for s in starts]
+        while stack:
+            address = stack.pop()
+            if address in visited:
+                continue
+            visited.add(address)
+            if address not in self.cfg.defuse:
+                return None
+            if address not in executable:
+                continue  # proven never to execute
+            if address in obs:
+                frontier.add(address)
+                continue
+            stack.extend(self.cfg.successors.get(address, ()))
+        return frontier
+
+    def certify(
+        self,
+        item: ItemKey,
+        prev_pc: Optional[int],
+        next_pc: Optional[int],
+    ) -> bool:
+        """Is the region between the bounding accesses observation-free?
+
+        ``prev_pc``/``next_pc`` are the instruction addresses of the
+        accesses bounding the trace window (None for the program entry /
+        end of run). Certified means: on every executable static path
+        out of the opening access, the first observation of ``item`` is
+        the closing access — so no path can read, overwrite or trap on
+        the item anywhere strictly inside the region.
+        """
+        key = (item, prev_pc, next_pc)
+        cached = self._cert_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._certify_uncached(item, prev_pc, next_pc)
+        if not result and prev_pc is not None and self._in_loop(prev_pc):
+            self.loop_refusals += 1
+        self._cert_cache[key] = result
+        return result
+
+    def _certify_uncached(
+        self,
+        item: ItemKey,
+        prev_pc: Optional[int],
+        next_pc: Optional[int],
+    ) -> bool:
+        obs = self.observation_sites(item)
+        if prev_pc is None:
+            entry = self.cfg.entry
+            if entry not in self.cfg.defuse:
+                return False
+            starts: List[int] = [entry]
+        else:
+            if prev_pc not in self.cfg.defuse:
+                return False
+            # Dominator/straight-line fast path: both bounds in one basic
+            # block with the closing access strictly after the opening
+            # one — execution is the textual sequence between them, so a
+            # linear scan is an exact certificate.
+            if next_pc is not None:
+                prev_position = self._position.get(prev_pc)
+                next_position = self._position.get(next_pc)
+                if (
+                    prev_position is not None
+                    and next_position is not None
+                    and prev_position[0] == next_position[0]
+                    and prev_position[1] < next_position[1]
+                ):
+                    block = self.cfg.blocks[prev_position[0]]
+                    between = block.addresses[
+                        prev_position[1] + 1 : next_position[1]
+                    ]
+                    return not any(address in obs for address in between)
+            starts = list(self.cfg.successors.get(prev_pc, ()))
+        frontier = self._frontier(starts, obs)
+        if frontier is None:
+            return False
+        if next_pc is None:
+            return not frontier
+        return frontier <= {next_pc}
+
+
+class _ItemAccesses:
+    """Per-item access instants of the reference trace, in stop-step
+    coordinates (access at step j is *future* for a breakpoint landing
+    on step s iff j >= s)."""
+
+    def __init__(self) -> None:
+        self.steps: List[int] = []
+        self.pcs: List[int] = []
+
+    def add(self, step_index: int, pc: int) -> None:
+        if self.steps and self.steps[-1] == step_index:
+            return
+        self.steps.append(step_index)
+        self.pcs.append(pc)
+
+    def window(
+        self, stop_step: int
+    ) -> Tuple[int, Optional[int], Optional[int]]:
+        """(window index, opening access pc, closing access pc)."""
+        k = bisect.bisect_left(self.steps, stop_step)
+        prev_pc = self.pcs[k - 1] if k > 0 else None
+        next_pc = self.pcs[k] if k < len(self.pcs) else None
+        return k, prev_pc, next_pc
+
+
+class EquivalencePreInjectionAnalysis:
+    """Liveness oracle + fault-space partitioner for equivalence mode.
+
+    The liveness interface (``is_live`` / ``live_fraction``) delegates
+    verbatim to :class:`StaticPreInjectionAnalysis`, so campaigns in
+    equivalence mode draw byte-identical fault lists to static mode —
+    only the execution strategy differs.
+    """
+
+    def __init__(
+        self, program: Program, trace, duration: Optional[int] = None
+    ):
+        self.static = StaticPreInjectionAnalysis(program, duration=duration)
+        self.certifier = RegionCertifier(self.static.cfg)
+        # Stop-step boundaries: a breakpoint at cycle t lands on the
+        # first step whose cycle_before >= t (Trace.step_after_cycle).
+        self._step_cycles: List[int] = [
+            step.cycle_before for step in trace
+        ]
+        self._accesses: Dict[ItemKey, _ItemAccesses] = {}
+        for step_index, step in enumerate(trace):
+            for register in set(step.reg_reads) | set(step.reg_writes):
+                self._access(("reg", register)).add(step_index, step.pc)
+            if step.reads_flags or step.writes_flags:
+                self._access(("flags",)).add(step_index, step.pc)
+
+    def _access(self, item: ItemKey) -> _ItemAccesses:
+        accesses = self._accesses.get(item)
+        if accesses is None:
+            accesses = _ItemAccesses()
+            self._accesses[item] = accesses
+        return accesses
+
+    # -- the oracle interface (plan parity with static mode) -----------------
+
+    def is_live(self, location, time: int) -> bool:
+        return self.static.is_live(location, time)
+
+    def live_fraction(
+        self,
+        locations,
+        times,
+        max_samples: Optional[int] = None,
+    ) -> float:
+        return self.static.live_fraction(locations, times, max_samples)
+
+    # -- partitioning ----------------------------------------------------------
+
+    def stop_step(self, time: int) -> int:
+        """Index of the trace step a breakpoint at ``time`` lands on
+        (``len(trace)`` when the run ends before the breakpoint —
+        such an experiment never injects)."""
+        return bisect.bisect_left(self._step_cycles, time)
+
+    def _collapsible(self, plan) -> Optional[Tuple[object, str, int]]:
+        """(location, op, time) for single-action single-location plans."""
+        actions = plan.sorted_actions()
+        if len(actions) != 1:
+            return None
+        action = actions[0]
+        if len(action.locations) != 1:
+            return None
+        return action.locations[0], action.op, action.time
+
+    def class_key(self, plan) -> Tuple[ClassKey, str]:
+        """(class key, kind) for one experiment's injection plan."""
+        core = self._collapsible(plan)
+        if core is None:
+            return ("singleton", id(plan)), KIND_SINGLETON
+        location, op, time = core
+        stop = self.stop_step(time)
+        injects = stop < len(self._step_cycles)
+        item = location_item(location)
+        if item is not None and injects:
+            accesses = self._accesses.get(item)
+            if accesses is None:
+                # Item never accessed in the trace: one global window,
+                # certified iff no observation site is ever executable.
+                if self.certifier.certify(item, None, None):
+                    return (
+                        KIND_REGION,
+                        location.key(),
+                        op,
+                        0,
+                    ), KIND_REGION
+            else:
+                k, prev_pc, next_pc = accesses.window(stop)
+                if self.certifier.certify(item, prev_pc, next_pc):
+                    return (
+                        KIND_REGION,
+                        location.key(),
+                        op,
+                        k,
+                    ), KIND_REGION
+        # Fallback: exact stop-point identity (always sound — the very
+        # same breakpoint step means the literally identical experiment).
+        return (KIND_STOP, location.key(), op, stop), KIND_STOP
+
+    def partition(self, plans: Dict[int, object]) -> EquivalencePartition:
+        """Partition planned experiments into equivalence classes.
+
+        ``plans`` maps experiment index -> :class:`InjectionPlan`.
+        """
+        buckets: Dict[ClassKey, List[int]] = {}
+        kinds: Dict[ClassKey, str] = {}
+        for index in sorted(plans):
+            key, kind = self.class_key(plans[index])
+            if kind == KIND_SINGLETON:
+                key = (KIND_SINGLETON, index)
+            buckets.setdefault(key, []).append(index)
+            kinds[key] = kind
+        classes = []
+        for key, members in buckets.items():
+            kind = kinds[key] if len(members) > 1 else KIND_SINGLETON
+            classes.append(
+                EquivalenceClass(
+                    key=key, kind=kind, members=tuple(sorted(members))
+                )
+            )
+        return EquivalencePartition(classes)

@@ -13,6 +13,38 @@ yields a :class:`LintFinding`; severities:
                 workload code in the selection, tight timeouts).
 * ``info``    — diagnostics (dead stores found by reaching
                 definitions).
+
+Rule catalog (``goofi lint`` exits non-zero when any *error* fires):
+
+==========================  ========  =====================================
+rule                        severity  fires when
+==========================  ========  =====================================
+zero-match-pattern          error     a location pattern matches no cells
+read-only-pattern           error     a pattern matches only observe-only
+                                      cells
+injection-window            error     the trigger can never fire inside
+                                      the reference run
+no-live-location            error     every selected location is provably
+                                      dead
+dead-register               warning   a selected register is never read by
+                                      reachable code
+unreachable-code            warning   a selected code word is CFG-
+                                      unreachable
+unreachable-workload-code   warning   the workload image contains
+                                      CFG-unreachable blocks
+unreachable-location        warning   a selected code word survives the
+                                      plain CFG but is proven dead by
+                                      conditional constant propagation
+                                      (branch folding)
+class-singleton-heavy       warning   an equivalence-mode partition is
+                                      dominated by singleton classes —
+                                      collapsing will not pay off
+timeout-too-tight           warning   timeout_cycles < reference duration
+dead-store                  info      register definitions that reach no
+                                      use
+constant-dead-write         info      dead stores whose written value is
+                                      additionally a compile-time constant
+==========================  ========  =====================================
 """
 
 from __future__ import annotations
@@ -245,29 +277,130 @@ def _check_dead_stores(
     ]
 
 
+def _check_conditional_unreachable(
+    campaign: CampaignData,
+    space: LocationSpace,
+    oracle: StaticPreInjectionAnalysis,
+    constprop,
+) -> List[LintFinding]:
+    """Selected code words that the plain CFG reaches but conditional
+    constant propagation proves dead (a folded branch skips them)."""
+    refined = set(constprop.refined_unreachable())
+    if not refined:
+        return []
+    findings: List[LintFinding] = []
+    for cell in space.select_cells(campaign.location_patterns):
+        mem_match = _MEM_RE.search(cell.path)
+        if (
+            mem_match is not None
+            and cell.space.endswith("code")
+            and int(mem_match.group(1), 16) in refined
+        ):
+            findings.append(
+                LintFinding(
+                    rule="unreachable-location",
+                    severity="warning",
+                    message=(
+                        f"{cell.full_path} is conditionally unreachable: a "
+                        "provably constant branch always skips it, so a "
+                        "fault there is never activated"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_constant_dead_writes(
+    oracle: StaticPreInjectionAnalysis, constprop
+) -> List[LintFinding]:
+    dead = oracle.reaching_definitions().dead_definitions(
+        reachable=oracle.cfg.reachable
+    )
+    rows = constprop.constant_dead_writes(dead)
+    if not rows:
+        return []
+    sample = ", ".join(
+        f"r{item}@{addr:#06x}={value:#x}" for addr, item, value in rows[:4]
+    )
+    suffix = ", ..." if len(rows) > 4 else ""
+    return [
+        LintFinding(
+            rule="constant-dead-write",
+            severity="info",
+            message=(
+                f"{len(rows)} dead store(s) write a compile-time constant "
+                f"({sample}{suffix}) — candidates for workload cleanup"
+            ),
+        )
+    ]
+
+
+#: class-singleton-heavy thresholds: the rule only fires on campaigns
+#: large enough for collapsing to matter, dominated by 1-member classes.
+_SINGLETON_HEAVY_MIN_EXPERIMENTS = 20
+_SINGLETON_HEAVY_FRACTION = 0.8
+
+
+def _check_partition(partition_stats) -> List[LintFinding]:
+    """Equivalence-mode accounting: warn when the partition is dominated
+    by singleton classes and collapsing will barely reduce executions."""
+    stats = partition_stats
+    if stats.n_experiments < _SINGLETON_HEAVY_MIN_EXPERIMENTS:
+        return []
+    if stats.singleton_fraction <= _SINGLETON_HEAVY_FRACTION:
+        return []
+    return [
+        LintFinding(
+            rule="class-singleton-heavy",
+            severity="warning",
+            message=(
+                f"equivalence partition is singleton-heavy: "
+                f"{stats.n_singletons}/{stats.n_classes} classes have one "
+                f"member (collapse ratio {stats.collapse_ratio:.2f}x over "
+                f"{stats.n_experiments} experiments) — narrow the location "
+                "selection to rarely-accessed state, or drop "
+                "preinjection_mode=\"equivalence\" for this campaign"
+            ),
+        )
+    ]
+
+
 def lint_campaign(
     campaign: CampaignData,
     space: LocationSpace,
     program: Optional[Program] = None,
     reference_duration: Optional[int] = None,
+    partition_stats=None,
 ) -> List[LintFinding]:
     """Run every lint check applicable to ``campaign``.
 
     ``program`` enables the static-analysis checks (dead registers,
-    unreachable code, dead stores); ``reference_duration`` enables the
-    injection-window checks. Both are optional so the lint pass degrades
-    gracefully for targets without a THOR-lite program image.
+    unreachable code, dead stores, conditional reachability);
+    ``reference_duration`` enables the injection-window checks;
+    ``partition_stats`` (a :class:`repro.staticanalysis.equivalence.
+    PartitionStats`) enables the equivalence-partition accounting check.
+    All are optional so the lint pass degrades gracefully for targets
+    without a THOR-lite program image.
     """
     findings: List[LintFinding] = []
     findings.extend(_check_patterns(campaign, space))
     findings.extend(_check_trigger(campaign, reference_duration))
     if program is not None:
+        from repro.staticanalysis.constprop import propagate_constants
+
         oracle = StaticPreInjectionAnalysis(
             program, duration=reference_duration
         )
+        constprop = propagate_constants(oracle.cfg)
         findings.extend(_check_static_liveness(campaign, space, oracle))
         findings.extend(_check_unreachable_workload(oracle))
+        findings.extend(
+            _check_conditional_unreachable(campaign, space, oracle, constprop)
+        )
         findings.extend(_check_dead_stores(oracle))
+        findings.extend(_check_constant_dead_writes(oracle, constprop))
+    if partition_stats is not None:
+        findings.extend(_check_partition(partition_stats))
     return findings
 
 

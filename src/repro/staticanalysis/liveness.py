@@ -24,8 +24,11 @@ from typing import Dict, FrozenSet, List, Set
 from repro.thor import isa
 from repro.staticanalysis.cfg import ControlFlowGraph
 
-#: Pseudo dataflow item for the PSR flags (register items are 0..15).
-FLAGS = isa.NUM_REGISTERS
+# The PSR pseudo-item (re-exported): repro.staticanalysis.defuse owns
+# the dataflow item space shared by liveness and reaching definitions.
+from repro.staticanalysis.defuse import FLAGS
+
+__all__ = ["FLAGS", "LivenessResult", "compute_liveness"]
 
 
 @dataclass

@@ -8,6 +8,7 @@ Drives the four phases of a fault-injection study from the shell:
     goofi tree       --target thor-rd           # location hierarchy (Fig. 6)
     goofi campaign   --db g.db --name c1 ...    # set-up phase (Fig. 6)
     goofi merge      --db g.db --into c3 c1 c2  # merge stored campaigns
+    goofi lint       --db g.db --campaign c1    # set-up validation, CI gate
     goofi run        --db g.db --campaign c1    # fault-injection phase (Fig. 7)
     goofi analyze    --db g.db --campaign c1    # analysis phase
     goofi rerun      --db g.db --campaign c1 --index 4   # detail re-run
@@ -99,6 +100,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("campaigns", help="list stored campaigns")
     p.add_argument("--db", required=True)
 
+    p = sub.add_parser(
+        "lint",
+        help="lint campaign configurations (exits 1 on error findings, "
+             "so it can gate CI)",
+    )
+    p.add_argument("--db", help="database holding the stored campaign")
+    p.add_argument("--campaign", help="stored campaign name to lint")
+    p.add_argument(
+        "--spec", nargs="+", metavar="FILE",
+        help="CampaignData JSON spec file(s) to lint instead of a stored "
+             "campaign",
+    )
+    p.add_argument(
+        "--partition", action="store_true",
+        help="for equivalence-mode campaigns, perform the reference run "
+             "and partition the planned fault list so class statistics "
+             "(class-singleton-heavy) are linted too",
+    )
+
     p = sub.add_parser("run", help="run a campaign (Figure 7)")
     p.add_argument("--db", required=True)
     p.add_argument("--campaign", required=True)
@@ -125,6 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         "campaign's config hash, so re-running an unchanged "
                         "campaign skips the reference execution "
                         "(GOOFI_GOLDEN_CACHE)")
+    p.add_argument("--verify-equivalence", type=float, metavar="P",
+                   default=0.0,
+                   help="equivalence mode: re-execute fraction P of "
+                        "statically-derived experiments for real and "
+                        "hard-fail the campaign if any outcome diverges "
+                        "from its derivation")
 
     p = sub.add_parser("analyze", help="classify a stored campaign")
     p.add_argument("--db", required=True)
@@ -262,6 +288,14 @@ def _cmd_run(args) -> int:
                 from repro.core.goldencache import GoldenRunCache
 
                 target.golden_cache = GoldenRunCache(golden_dir)
+            verify = getattr(args, "verify_equivalence", 0.0) or 0.0
+            if not 0.0 <= verify <= 1.0:
+                print(
+                    "goofi: error: --verify-equivalence must be in [0, 1]",
+                    file=sys.stderr,
+                )
+                return 1
+            target.verify_equivalence = verify
             controller = CampaignController(target, sink=db)
             window = ProgressWindow(
                 controller, stream=None if args.quiet else sys.stdout
@@ -282,6 +316,98 @@ def _cmd_run(args) -> int:
         if want_obs:
             disable()
     return 0
+
+
+def _lint_one_campaign(campaign, partition: bool) -> List:
+    """Lint one campaign, returning its findings.
+
+    Binding errors (zero-match patterns, unknown modes …) are folded
+    into the findings as ``invalid-campaign`` errors rather than
+    aborting, so one broken spec does not hide the others' reports."""
+    from repro.staticanalysis.lint import LintFinding
+
+    target = create_target(campaign.target_name)
+    findings: List = []
+    partition_stats = None
+    reference_duration = None
+    try:
+        target.read_campaign_data(campaign)
+        program = target.workload_program()
+    except ReproError as exc:
+        findings.append(
+            LintFinding(
+                rule="invalid-campaign",
+                severity="error",
+                message=str(exc),
+            )
+        )
+        # A fresh unbound target still provides the location space, so
+        # the pattern checks can name the offending patterns.
+        findings.extend(
+            _lint(campaign, create_target(campaign.target_name)
+                  .location_space())
+        )
+        return findings
+    if partition and campaign.preinjection_mode == "equivalence":
+        reference = target.prepare_run(campaign)
+        reference_duration = reference.duration_cycles
+        plans = {
+            index: target.plan_experiment(index, reference)
+            for index in range(campaign.n_experiments)
+        }
+        partition_stats = target._equivalence.partition(plans).stats()
+    findings.extend(
+        _lint(
+            campaign,
+            target.location_space(),
+            program=program,
+            reference_duration=reference_duration,
+            partition_stats=partition_stats,
+        )
+    )
+    return findings
+
+
+def _lint(campaign, space, **kwargs) -> List:
+    from repro.staticanalysis.lint import lint_campaign
+
+    return lint_campaign(campaign, space, **kwargs)
+
+
+def _cmd_lint(args) -> int:
+    from repro.core.campaign import CampaignData
+    from repro.staticanalysis.lint import lint_errors
+
+    jobs = []  # (label, campaign)
+    if args.spec:
+        for path in args.spec:
+            with open(path) as handle:
+                jobs.append((path, CampaignData.from_json(handle.read())))
+    if args.campaign:
+        if not args.db:
+            print(
+                "goofi: error: --campaign needs --db", file=sys.stderr
+            )
+            return 2
+        with GoofiDatabase(args.db) as db:
+            jobs.append((args.campaign, db.load_campaign(args.campaign)))
+    if not jobs:
+        print(
+            "goofi: error: nothing to lint — pass --spec FILE... or "
+            "--db/--campaign",
+            file=sys.stderr,
+        )
+        return 2
+    n_errors = 0
+    for label, campaign in jobs:
+        findings = _lint_one_campaign(campaign, args.partition)
+        errors = lint_errors(findings)
+        n_errors += len(errors)
+        status = "FAIL" if errors else "ok"
+        print(f"{label}: {status} ({len(findings)} finding(s))")
+        for finding in findings:
+            print(f"  {finding}")
+    return 1 if n_errors else 0
 
 
 def _cmd_analyze(args) -> int:
@@ -438,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for name in db.list_campaigns():
                     print(name)
             return 0
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "analyze":

@@ -139,3 +139,56 @@ class TestProportionComparison:
         text = compare_proportions(60, 100, 20, 100).describe()
         assert "significant" in text
         assert "z=" in text
+
+
+class TestCollapsedFaultSpace:
+    @staticmethod
+    def _collapsed(n_experiments=40, n_executed=16):
+        from repro.analysis.faultspace import collapsed_fault_space
+        from repro.staticanalysis.equivalence import PartitionStats
+
+        pruned = PrunedFaultSpace(
+            raw=FaultSpace(n_locations=64, n_instants=1000),
+            live_fraction=0.5,
+        )
+        stats = PartitionStats(
+            n_experiments=n_experiments,
+            n_classes=n_executed,
+            n_executed=n_executed,
+            n_derived=n_experiments - n_executed,
+            n_singletons=4,
+            n_region_classes=10,
+            n_stop_classes=2,
+        )
+        return collapsed_fault_space(pruned, stats)
+
+    def test_collapse_ratio(self):
+        collapsed = self._collapsed()
+        assert collapsed.collapse_ratio == pytest.approx(2.5)
+        assert collapsed.n_derived == 24
+
+    def test_degenerate_zero_executed(self):
+        collapsed = self._collapsed(n_experiments=0, n_executed=0)
+        assert collapsed.collapse_ratio == 1.0
+
+    def test_describe_chains_all_accountings(self):
+        text = self._collapsed().describe()
+        assert "equivalence classes" in text
+        assert "2.50x collapse" in text
+        assert "pruned" in text  # the wrapped PrunedFaultSpace line
+
+    def test_duck_typed_stats_accepted(self):
+        from repro.analysis.faultspace import collapsed_fault_space
+
+        class FakeStats:
+            n_experiments = 10
+            n_classes = 5
+            n_executed = 5
+            n_derived = 5
+            n_singletons = 1
+
+        pruned = PrunedFaultSpace(
+            raw=FaultSpace(8, 100), live_fraction=1.0
+        )
+        collapsed = collapsed_fault_space(pruned, FakeStats())
+        assert collapsed.collapse_ratio == 2.0

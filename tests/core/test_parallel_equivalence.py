@@ -1,0 +1,124 @@
+"""Parallel execution of equivalence-collapsed campaigns.
+
+The parallel engine partitions up front in the parent, dispatches only
+representatives/singletons (plus verify-sampled members) to workers as
+unsplittable units, and synthesizes derived members' results in the
+parent when their representative's result arrives. These tests pin
+serial/parallel equality and the class-aware sharding contract.
+"""
+
+import dataclasses
+import multiprocessing
+
+import pytest
+
+from repro.core import ParallelConfig, create_target, worker_factory
+from repro.core.parallel import (
+    canonical_experiment_rows,
+    run_parallel_campaign,
+)
+from repro.db import GoofiDatabase
+from repro.util.errors import CampaignError
+from tests.conftest import make_campaign
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel tests need the fork start method",
+)
+
+PATTERNS = [
+    "scan:internal/cpu.regfile.r5",
+    "scan:internal/cpu.regfile.r10",
+]
+
+
+def equivalence_campaign(**overrides):
+    defaults = dict(
+        campaign_name="equiv-parallel",
+        preinjection_mode="equivalence",
+        use_preinjection=True,
+        location_patterns=PATTERNS,
+        n_experiments=20,
+    )
+    defaults.update(overrides)
+    return make_campaign(**defaults)
+
+
+def _config(**overrides):
+    defaults = dict(n_workers=2, start_method="fork", shard_size=3)
+    defaults.update(overrides)
+    return ParallelConfig(**defaults)
+
+
+class TestParallelCollapse:
+    def test_parallel_equals_serial_byte_for_byte(self, tmp_path):
+        campaign = equivalence_campaign()
+        serial_db = GoofiDatabase(str(tmp_path / "serial.db"))
+        parallel_db = GoofiDatabase(str(tmp_path / "parallel.db"))
+        try:
+            create_target("thor-rd").run_campaign(campaign, sink=serial_db)
+            run_parallel_campaign(
+                campaign,
+                worker_factory("thor-rd"),
+                sink=parallel_db,
+                config=_config(),
+            )
+            serial_rows = canonical_experiment_rows(
+                serial_db, campaign.campaign_name
+            )
+            parallel_rows = canonical_experiment_rows(
+                parallel_db, campaign.campaign_name
+            )
+            assert serial_rows == parallel_rows
+        finally:
+            serial_db.close()
+            parallel_db.close()
+
+    def test_derived_members_synthesized_in_parent(self):
+        campaign = equivalence_campaign()
+        sink = run_parallel_campaign(
+            campaign, worker_factory("thor-rd"), config=_config()
+        )
+        results = {r.index: r for r in sink.results}
+        assert sorted(results) == list(range(campaign.n_experiments))
+        derived = [r for r in sink.results if r.derived_from is not None]
+        assert derived
+        names = {r.name for r in sink.results}
+        for result in derived:
+            assert result.derived_from in names
+            assert result.wall_seconds == 0.0
+
+    def test_verify_equivalence_passes_end_to_end(self):
+        campaign = equivalence_campaign(n_experiments=12)
+        sink = run_parallel_campaign(
+            campaign,
+            worker_factory("thor-rd"),
+            config=_config(verify_equivalence=1.0),
+        )
+        assert len(sink.results) == 12
+        # Full verification force-executes every member, so the derived
+        # results are still reported as derived (the derivation stands).
+        assert any(r.derived_from is not None for r in sink.results)
+
+    def test_verify_sampling_fraction(self):
+        campaign = equivalence_campaign()
+        sink = run_parallel_campaign(
+            campaign,
+            worker_factory("thor-rd"),
+            config=_config(verify_equivalence=0.5),
+        )
+        assert len(sink.results) == campaign.n_experiments
+
+
+class TestConfigValidation:
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(CampaignError):
+            _config(verify_equivalence=-0.1).validate()
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(CampaignError):
+            _config(verify_equivalence=1.5).validate()
+
+    def test_boundary_fractions_accepted(self):
+        _config(verify_equivalence=0.0).validate()
+        _config(verify_equivalence=1.0).validate()

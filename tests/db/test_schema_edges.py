@@ -81,3 +81,73 @@ class TestCompletedIndicesEdges:
         for index in (4, 0, 2):
             db.log_experiment(campaign, make_result(index))
         assert db.completed_indices(campaign.campaign_name) == [0, 2, 4]
+
+
+class TestSchemaMigration:
+    @staticmethod
+    def _downgrade_to_v2(path):
+        """Rewrite a fresh DB into v2 shape: no derivedFrom column."""
+        conn = sqlite3.connect(path)
+        columns = [
+            row[1]
+            for row in conn.execute(
+                "PRAGMA table_info(LoggedSystemState)"
+            )
+        ]
+        assert "derivedFrom" in columns
+        if sqlite3.sqlite_version_info >= (3, 35, 0):
+            conn.execute(
+                "ALTER TABLE LoggedSystemState DROP COLUMN derivedFrom"
+            )
+        else:  # pragma: no cover - old sqlite fallback
+            keep = ", ".join(c for c in columns if c != "derivedFrom")
+            conn.executescript(
+                "CREATE TABLE _old AS SELECT {0} FROM LoggedSystemState;"
+                "DROP TABLE LoggedSystemState;"
+                "ALTER TABLE _old RENAME TO LoggedSystemState;".format(keep)
+            )
+        conn.execute("UPDATE SchemaInfo SET version = 2")
+        conn.commit()
+        conn.close()
+
+    def test_v2_database_migrates_in_place(self, tmp_path):
+        path = str(tmp_path / "v2.db")
+        with GoofiDatabase(path):
+            pass
+        self._downgrade_to_v2(path)
+        with GoofiDatabase(path):
+            pass
+        conn = sqlite3.connect(path)
+        version = conn.execute(
+            "SELECT version FROM SchemaInfo"
+        ).fetchone()[0]
+        columns = [
+            row[1]
+            for row in conn.execute(
+                "PRAGMA table_info(LoggedSystemState)"
+            )
+        ]
+        conn.close()
+        assert version == SCHEMA_VERSION
+        assert "derivedFrom" in columns
+
+    def test_migrated_database_round_trips_derived_from(self, tmp_path):
+        from tests.conftest import make_campaign
+        from tests.db.test_database import make_reference, make_result
+
+        path = str(tmp_path / "v2rt.db")
+        with GoofiDatabase(path):
+            pass
+        self._downgrade_to_v2(path)
+        campaign = make_campaign()
+        with GoofiDatabase(path) as db:
+            db.log_reference(campaign, make_reference())
+            rep = make_result(0)
+            member = make_result(1)
+            member.derived_from = rep.name
+            db.log_experiment(campaign, rep)
+            db.log_experiment(campaign, member)
+            loaded = db.load_experiments(campaign.campaign_name)
+        by_index = {r.index: r for r in loaded}
+        assert by_index[0].derived_from is None
+        assert by_index[1].derived_from == rep.name

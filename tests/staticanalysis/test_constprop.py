@@ -1,0 +1,217 @@
+"""Unit tests for sparse conditional constant propagation."""
+
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.constprop import NAC, propagate_constants
+from repro.staticanalysis.defuse import FLAGS
+from repro.thor.assembler import assemble
+
+
+def _solve(text):
+    program = assemble(text)
+    cfg = build_cfg(program)
+    return program, propagate_constants(cfg)
+
+
+class TestConstantLattice:
+    def test_straightline_arithmetic_folds(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 5
+                   addi r2, r1, 3
+                   muli r3, r2, 2
+                   halt
+            """
+        )
+        halt = program.entry + 3
+        assert result.constant_at(halt, 1) == 5
+        assert result.constant_at(halt, 2) == 8
+        assert result.constant_at(halt, 3) == 16
+
+    def test_memory_load_is_not_a_constant(self):
+        program, result = _solve(
+            """
+            start: ldi r2, 0x80
+                   ld r1, [r2+0]
+                   halt
+            """
+        )
+        halt = program.entry + 2
+        assert result.constant_at(halt, 2) == 0x80
+        assert result.constant_at(halt, 1) is None
+
+    def test_never_written_register_is_unknown(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 1
+                   halt
+            """
+        )
+        assert result.constant_at(program.entry + 1, 7) is None
+
+    def test_flags_nibble_tracked_as_item(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 0
+                   cmpi r1, 0
+                   halt
+            """
+        )
+        halt = program.entry + 2
+        # cmp 0, 0: result 0 -> Z set; subtraction of 0 borrows nothing
+        # on this ALU, so C is set too (carry-out of a - 0).
+        nibble = result.env_in[halt][FLAGS]
+        assert isinstance(nibble, int)
+        assert nibble & 1  # Z
+
+    def test_ranges_summarise_constant_observations(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 3
+                   addi r1, r1, 4
+                   halt
+            """
+        )
+        lo, hi = result.ranges[1]
+        assert lo == 3 and hi == 7
+
+    def test_unknown_write_poisons_range(self):
+        program, result = _solve(
+            """
+            start: ldi r2, 0x80
+                   ld r1, [r2+0]
+                   addi r1, r1, 1
+                   halt
+            """
+        )
+        assert 1 not in result.ranges
+
+
+class TestBranchFolding:
+    def test_constant_branch_folds_taken(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 0
+                   cmpi r1, 0
+                   beq skip
+                   ldi r2, 1
+            skip:  halt
+            """
+        )
+        branch = program.entry + 2
+        dead_write = program.entry + 3
+        assert result.folded_branches[branch] is True
+        assert dead_write not in result.executable
+        assert dead_write in result.refined_unreachable()
+        # The plain CFG still reaches it — only folding proves it dead.
+        assert dead_write in result.cfg.reachable
+
+    def test_constant_branch_folds_fallthrough(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 1
+                   cmpi r1, 0
+                   beq skip
+                   ldi r2, 1
+            skip:  halt
+            """
+        )
+        branch = program.entry + 2
+        fallthrough = program.entry + 3
+        assert result.folded_branches[branch] is False
+        assert fallthrough in result.executable
+
+    def test_unknown_condition_keeps_both_edges(self):
+        program, result = _solve(
+            """
+            start: ldi r3, 0x80
+                   ld r1, [r3+0]
+                   cmpi r1, 0
+                   beq skip
+                   ldi r2, 1
+            skip:  halt
+            """
+        )
+        branch = program.entry + 3
+        assert branch not in result.folded_branches
+        assert program.entry + 4 in result.executable
+        assert result.refined_unreachable() == []
+
+    def test_conflicting_constants_meet_to_nac_at_join(self):
+        program, result = _solve(
+            """
+            start: ldi r3, 0x80
+                   ld r1, [r3+0]
+                   cmpi r1, 0
+                   beq other
+                   ldi r2, 1
+                   jmp join
+            other: ldi r2, 2
+            join:  halt
+            """
+        )
+        join = program.symbols["join"]
+        # r2 is 1 on one path, 2 on the other: not a constant at the join.
+        assert result.constant_at(join, 2) is None
+        assert result.env_in[join][2] is NAC
+
+    def test_executable_is_subset_of_reachable(self):
+        _, result = _solve(
+            """
+            start: ldi r1, 0
+                   cmpi r1, 1
+                   beq skip
+                   addi r1, r1, 1
+            skip:  halt
+            """
+        )
+        assert set(result.executable) <= set(result.cfg.reachable)
+
+
+class TestConstantDeadWrites:
+    def _dead(self, program, result):
+        from repro.staticanalysis.defuse import ReachingDefinitions
+
+        cfg = result.cfg
+        rd = ReachingDefinitions(cfg.defuse, cfg.successors, cfg.entry)
+        return rd.dead_definitions(reachable=cfg.reachable)
+
+    def test_constant_dead_store_reported_with_value(self):
+        program, result = _solve(
+            """
+            start: ldi r9, 7
+                   ldi r1, 1
+                   addi r2, r1, 1
+                   halt
+            """
+        )
+        dead = self._dead(program, result)
+        rows = result.constant_dead_writes(dead)
+        assert (program.entry, 9, 7) in rows
+
+    def test_unknown_valued_dead_store_not_reported(self):
+        program, result = _solve(
+            """
+            start: ldi r3, 0x80
+                   ld r9, [r3+0]
+                   halt
+            """
+        )
+        dead = self._dead(program, result)
+        assert (program.entry + 1, 9) in dead
+        rows = result.constant_dead_writes(dead)
+        assert all(item != 9 for _, item, _ in rows)
+
+    def test_folded_away_dead_store_not_reported(self):
+        program, result = _solve(
+            """
+            start: ldi r1, 0
+                   cmpi r1, 0
+                   beq skip
+                   ldi r9, 7
+            skip:  halt
+            """
+        )
+        dead_write = program.entry + 3
+        dead = self._dead(program, result)
+        rows = result.constant_dead_writes(dead)
+        assert all(address != dead_write for address, _, _ in rows)

@@ -1,6 +1,7 @@
 """Unit tests for def/use extraction and reaching definitions."""
 
 from repro.staticanalysis.defuse import (
+    FLAGS,
     ReachingDefinitions,
     instruction_defuse,
     program_defuse,
@@ -142,3 +143,123 @@ class TestReachingDefinitions:
         assert rd.definitions_reaching(loop, 1) == sorted(
             [program.entry, loop]
         )
+
+
+class TestSemanticsTableRegression:
+    """Every opcode's def/use facts against the full isa.SEMANTICS table.
+
+    The equivalence engine certifies def-use regions from these facts, so
+    a silently dropped implicit operand (an ALU flag write, a branch flag
+    read, the PUSH/POP stack pointer, the CALL link register) would make
+    it merge experiments that are *not* equivalent. This regression pins
+    instruction_defuse to the operand-semantics table for all opcodes.
+    """
+
+    @staticmethod
+    def _roles_to_registers(instr, roles):
+        resolved = set()
+        for role in roles:
+            if role == isa.ROLE_RD:
+                resolved.add(instr.rd)
+            elif role == isa.ROLE_RS1:
+                resolved.add(instr.rs1)
+            elif role == isa.ROLE_RS2:
+                resolved.add(instr.rs2)
+            elif role == isa.ROLE_SP:
+                resolved.add(isa.REG_SP)
+            elif role == isa.ROLE_LR:
+                resolved.add(isa.REG_LR)
+            else:  # pragma: no cover - new role must be added here
+                raise AssertionError(f"unknown operand role {role!r}")
+        return frozenset(resolved)
+
+    def test_explicit_operands_match_table(self):
+        for opcode, sem in isa.SEMANTICS.items():
+            instr = Instruction(opcode, rd=1, rs1=2, rs2=3, imm=1)
+            fact = instruction_defuse(0x200, instr)
+            assert fact.uses == self._roles_to_registers(instr, sem.reads), (
+                opcode
+            )
+            assert fact.defs == self._roles_to_registers(instr, sem.writes), (
+                opcode
+            )
+
+    def test_implicit_flag_operands_match_table(self):
+        for opcode, sem in isa.SEMANTICS.items():
+            instr = Instruction(opcode, rd=1, rs1=2, rs2=3, imm=1)
+            fact = instruction_defuse(0x200, instr)
+            assert (FLAGS in fact.item_uses) == sem.reads_flags, opcode
+            assert (FLAGS in fact.item_defs) == sem.writes_flags, opcode
+            # The FLAGS pseudo-item is the *only* thing item_* adds.
+            assert fact.item_uses - {FLAGS} == fact.uses, opcode
+            assert fact.item_defs - {FLAGS} == fact.defs, opcode
+
+    def test_flow_and_memory_class_match_table(self):
+        for opcode, sem in isa.SEMANTICS.items():
+            instr = Instruction(opcode, rd=1, rs1=2, rs2=3, imm=1)
+            fact = instruction_defuse(0x200, instr)
+            assert fact.flow == sem.flow, opcode
+            assert fact.mem == sem.mem, opcode
+
+    def test_table_exercises_both_flag_directions(self):
+        # Sanity on the fixture itself: the table must contain both flag
+        # writers (ALU/CMP) and flag readers (conditional branches).
+        assert any(sem.writes_flags for sem in isa.SEMANTICS.values())
+        assert any(sem.reads_flags for sem in isa.SEMANTICS.values())
+
+
+class TestFlagChains:
+    def test_cmp_chains_to_its_branch(self):
+        program = assemble(
+            """
+            start: ldi r1, 5
+                   cmpi r1, 3
+                   beq done
+                   addi r2, r1, 1
+            done:  halt
+            """
+        )
+        cfg = build_cfg(program)
+        rd = ReachingDefinitions(cfg.defuse, cfg.successors, cfg.entry)
+        cmp_address = program.entry + 1
+        branch_address = program.entry + 2
+        chains = rd.def_use_chains()
+        assert branch_address in chains[(cmp_address, FLAGS)]
+        assert rd.use_def_chains()[(branch_address, FLAGS)] == (cmp_address,)
+
+    def test_flag_redefinition_kills_older_chain(self):
+        program = assemble(
+            """
+            start: cmpi r1, 1
+                   cmpi r1, 2
+                   beq start
+                   halt
+            """
+        )
+        cfg = build_cfg(program)
+        rd = ReachingDefinitions(cfg.defuse, cfg.successors, cfg.entry)
+        first_cmp = program.entry
+        second_cmp = program.entry + 1
+        branch = program.entry + 2
+        chains = rd.def_use_chains()
+        assert chains[(first_cmp, FLAGS)] == ()
+        assert branch in chains[(second_cmp, FLAGS)]
+
+    def test_dead_definitions_exclude_flags_by_default(self):
+        program = assemble(
+            """
+            start: addi r1, r1, 1
+                   halt
+            """
+        )
+        cfg = build_cfg(program)
+        rd = ReachingDefinitions(cfg.defuse, cfg.successors, cfg.entry)
+        entry = program.entry
+        default = rd.dead_definitions(reachable=cfg.reachable)
+        with_flags = rd.dead_definitions(
+            reachable=cfg.reachable, include_flags=True
+        )
+        # The incidental flag write of addi is dead but only reported on
+        # request — nearly every ALU op writes flags incidentally.
+        assert (entry, FLAGS) not in default
+        assert (entry, FLAGS) in with_flags

@@ -1,0 +1,145 @@
+"""Unit tests for the dominator tree and natural-loop detection."""
+
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.dominators import (
+    build_dominator_tree,
+    loop_blocks,
+    natural_loops,
+)
+from repro.thor.assembler import assemble
+
+#: A diamond (if/else) followed by a single-block counting loop.
+DIAMOND_AND_LOOP = """
+start: ldi r1, 0
+       cmpi r1, 5
+       blt then
+       ldi r2, 1
+       jmp join
+then:  ldi r2, 2
+join:  ldi r3, 0
+loop:  addi r3, r3, 1
+       cmpi r3, 3
+       blt loop
+       halt
+"""
+
+
+def _build(text):
+    program = assemble(text)
+    cfg = build_cfg(program)
+    tree = build_dominator_tree(cfg)
+    assert tree is not None
+    return program, cfg, tree
+
+
+def _block_of(cfg, address):
+    """Start address of the basic block containing ``address``."""
+    for start, block in cfg.blocks.items():
+        if address in block.addresses:
+            return start
+    raise AssertionError(f"no block contains {address:#06x}")
+
+
+class TestDominatorTree:
+    def test_entry_dominates_every_reachable_block(self):
+        program, cfg, tree = _build(DIAMOND_AND_LOOP)
+        assert tree.entry_block == program.entry
+        for block in tree.idom:
+            assert tree.dominates(tree.entry_block, block)
+
+    def test_dominance_is_reflexive(self):
+        _, _, tree = _build(DIAMOND_AND_LOOP)
+        for block in tree.idom:
+            assert tree.dominates(block, block)
+
+    def test_diamond_arms_do_not_dominate_join(self):
+        program, cfg, tree = _build(DIAMOND_AND_LOOP)
+        then_block = _block_of(cfg, program.symbols["then"])
+        else_block = _block_of(cfg, program.entry + 3)  # ldi r2, 1
+        join_block = _block_of(cfg, program.symbols["join"])
+        assert not tree.dominates(then_block, join_block)
+        assert not tree.dominates(else_block, join_block)
+        # The join's immediate dominator is the branching entry block.
+        assert tree.idom[join_block] == _block_of(cfg, program.entry)
+
+    def test_dominators_of_lists_entry_first(self):
+        program, cfg, tree = _build(DIAMOND_AND_LOOP)
+        join_block = _block_of(cfg, program.symbols["join"])
+        chain = tree.dominators_of(join_block)
+        assert chain[0] == tree.entry_block
+        assert chain[-1] == join_block
+
+    def test_depth_counts_tree_edges(self):
+        program, cfg, tree = _build(DIAMOND_AND_LOOP)
+        assert tree.depth(tree.entry_block) == 0
+        join_block = _block_of(cfg, program.symbols["join"])
+        assert tree.depth(join_block) == tree.depth(tree.entry_block) + 1
+
+    def test_unknown_blocks_never_dominate(self):
+        _, _, tree = _build(DIAMOND_AND_LOOP)
+        assert not tree.dominates(0xDEAD, tree.entry_block)
+        assert not tree.dominates(tree.entry_block, 0xDEAD)
+        assert tree.dominators_of(0xDEAD) == []
+
+    def test_straightline_program_is_a_chain(self):
+        program, cfg, tree = _build(
+            """
+            start: ldi r1, 1
+                   halt
+            """
+        )
+        # One block, dominated only by itself.
+        assert list(tree.idom) == [program.entry]
+        assert tree.idom[program.entry] == program.entry
+
+
+class TestNaturalLoops:
+    def test_single_block_loop_found(self):
+        program, cfg, tree = _build(DIAMOND_AND_LOOP)
+        loops = natural_loops(tree)
+        assert len(loops) == 1
+        loop = loops[0]
+        loop_start = _block_of(cfg, program.symbols["loop"])
+        assert loop.header == loop_start
+        assert loop.body == frozenset({loop_start})
+        assert loop.back_edges == ((loop_start, loop_start),)
+        assert loop.contains_block(loop_start)
+        assert not loop.contains_block(tree.entry_block)
+
+    def test_multi_block_loop_body(self):
+        program, cfg, tree = _build(
+            """
+            start: ldi r1, 0
+            head:  cmpi r1, 4
+                   bge done
+                   addi r1, r1, 1
+                   jmp head
+            done:  halt
+            """
+        )
+        loops = natural_loops(tree)
+        assert len(loops) == 1
+        loop = loops[0]
+        head = _block_of(cfg, program.symbols["head"])
+        body_block = _block_of(cfg, program.symbols["head"] + 2)
+        assert loop.header == head
+        assert {head, body_block} <= loop.body
+        assert _block_of(cfg, program.symbols["done"]) not in loop.body
+
+    def test_loop_free_program_has_no_loops(self):
+        _, _, tree = _build(
+            """
+            start: ldi r1, 1
+                   cmpi r1, 0
+                   beq out
+                   ldi r2, 2
+            out:   halt
+            """
+        )
+        assert natural_loops(tree) == []
+        assert loop_blocks([]) == frozenset()
+
+    def test_loop_blocks_union(self):
+        program, cfg, tree = _build(DIAMOND_AND_LOOP)
+        loops = natural_loops(tree)
+        assert loop_blocks(loops) == loops[0].body

@@ -1,0 +1,375 @@
+"""Unit tests for the static fault-equivalence engine."""
+
+from repro.core import create_target
+from repro.core.faultmodels import InjectionAction, InjectionPlan
+from repro.core.locations import FaultLocation
+from repro.core.trace import Trace, TraceStep
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.equivalence import (
+    KIND_REGION,
+    KIND_SINGLETON,
+    KIND_STOP,
+    EquivalencePreInjectionAnalysis,
+    RegionCertifier,
+    location_item,
+)
+from repro.staticanalysis.oracle import StaticPreInjectionAnalysis
+from repro.thor.assembler import assemble
+from tests.conftest import make_campaign
+
+
+def reg_loc(n, bit=0):
+    return FaultLocation("scan:internal", f"cpu.regfile.r{n}", bit)
+
+
+def flip_plan(location, time):
+    return InjectionPlan(
+        actions=[InjectionAction(time=time, locations=(location,))]
+    )
+
+
+class TestLocationItem:
+    def test_register_locations(self):
+        assert location_item(reg_loc(7, bit=3)) == ("reg", 7)
+
+    def test_psr_location(self):
+        location = FaultLocation("scan:internal", "cpu.psr", 0)
+        assert location_item(location) == ("flags",)
+
+    def test_unwindowable_locations(self):
+        for space, path in (
+            ("memory:data", "word.0x0300"),
+            ("scan:boundary", "pins.data_bus"),
+            ("scan:internal", "cpu.pc"),
+            ("scan:internal", "dcache.line0.word1"),
+        ):
+            assert location_item(FaultLocation(space, path, 0)) is None
+
+
+class TestRegionCertifier:
+    def _certifier(self, text):
+        program = assemble(text)
+        return program, RegionCertifier(build_cfg(program))
+
+    def test_straightline_region_certified(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   ldi r1, 2
+                   ldi r2, 3
+                   addi r6, r5, 1
+                   halt
+            """
+        )
+        assert certifier.certify(
+            ("reg", 5), program.entry, program.entry + 3
+        )
+
+    def test_intervening_read_refused(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   mov r7, r5
+                   addi r6, r5, 1
+                   halt
+            """
+        )
+        assert not certifier.certify(
+            ("reg", 5), program.entry, program.entry + 2
+        )
+
+    def test_trap_is_a_barrier(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   trap 1
+                   addi r6, r5, 1
+                   halt
+            """
+        )
+        assert not certifier.certify(
+            ("reg", 5), program.entry, program.entry + 2
+        )
+
+    def test_untouched_diamond_certified(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   cmpi r1, 0
+                   beq other
+                   ldi r2, 1
+                   jmp join
+            other: ldi r2, 2
+            join:  addi r6, r5, 1
+                   halt
+            """
+        )
+        assert certifier.certify(
+            ("reg", 5), program.entry, program.symbols["join"]
+        )
+
+    def test_touching_arm_refused(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   cmpi r1, 0
+                   beq other
+                   ldi r5, 9
+                   jmp join
+            other: ldi r2, 2
+            join:  addi r6, r5, 1
+                   halt
+            """
+        )
+        assert not certifier.certify(
+            ("reg", 5), program.entry, program.symbols["join"]
+        )
+
+    def test_folded_away_access_ignored(self):
+        # The write to r5 sits behind a provably-not-taken branch, so the
+        # conditional-constant-refined CFG certifies the region anyway.
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   ldi r1, 1
+                   cmpi r1, 0
+                   beq dead
+                   jmp join
+            dead:  ldi r5, 9
+            join:  addi r6, r5, 1
+                   halt
+            """
+        )
+        assert certifier.certify(
+            ("reg", 5), program.entry, program.symbols["join"]
+        )
+
+    def test_loop_refusal_counted(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 0
+            loop:  addi r5, r5, 1
+                   cmpi r5, 3
+                   blt loop
+                   addi r6, r5, 1
+                   halt
+            """
+        )
+        loop = program.symbols["loop"]
+        use = loop + 3
+        assert certifier.loop_refusals == 0
+        assert not certifier.certify(("reg", 5), loop, use)
+        assert certifier.loop_refusals == 1
+
+    def test_observation_sites_include_traps(self):
+        program, certifier = self._certifier(
+            """
+            start: ldi r5, 1
+                   trap 1
+            """
+        )
+        sites = certifier.observation_sites(("reg", 5))
+        assert program.entry in sites  # the write itself
+        assert program.entry + 1 in sites  # the trap barrier
+
+    def test_flags_observation_sites(self):
+        program, certifier = self._certifier(
+            """
+            start: cmpi r1, 0
+                   beq start
+                   halt
+            """
+        )
+        sites = certifier.observation_sites(("flags",))
+        assert program.entry in sites  # writer
+        assert program.entry + 1 in sites  # reader
+
+
+#: Straight-line fixture shared by the analysis tests: r5 written at the
+#: entry, untouched for two instructions, read at entry+3.
+STRAIGHTLINE = """
+start: ldi r5, 1
+       ldi r1, 2
+       ldi r2, 3
+       addi r6, r5, 1
+       halt
+"""
+
+
+def make_analysis():
+    program = assemble(STRAIGHTLINE)
+    entry = program.entry
+    steps = []
+    accesses = [
+        dict(reg_writes=(5,)),
+        dict(reg_writes=(1,)),
+        dict(reg_writes=(2,)),
+        dict(reg_reads=(5,), reg_writes=(6,), writes_flags=True),
+        dict(),
+    ]
+    for i, kw in enumerate(accesses):
+        steps.append(
+            TraceStep(
+                index=i,
+                pc=entry + i,
+                cycle_before=i * 10,
+                cycle_after=i * 10 + 10,
+                **kw,
+            )
+        )
+    return program, EquivalencePreInjectionAnalysis(program, Trace(steps))
+
+
+class TestStopSteps:
+    def test_breakpoint_lands_on_first_step_at_or_after(self):
+        _, analysis = make_analysis()
+        assert analysis.stop_step(0) == 0
+        assert analysis.stop_step(5) == 1
+        assert analysis.stop_step(10) == 1
+        assert analysis.stop_step(11) == 2
+        assert analysis.stop_step(35) == 4
+
+    def test_beyond_end_of_run(self):
+        _, analysis = make_analysis()
+        assert analysis.stop_step(10_000) == 5  # == len(trace): no injection
+
+
+class TestClassKeys:
+    def test_same_window_same_key(self):
+        _, analysis = make_analysis()
+        keys = set()
+        for time in (5, 15, 25):
+            key, kind = analysis.class_key(flip_plan(reg_loc(5), time))
+            assert kind == KIND_REGION
+            keys.add(key)
+        assert len(keys) == 1
+
+    def test_different_bits_split_classes(self):
+        _, analysis = make_analysis()
+        key0, _ = analysis.class_key(flip_plan(reg_loc(5, bit=0), 5))
+        key1, _ = analysis.class_key(flip_plan(reg_loc(5, bit=1), 5))
+        assert key0 != key1
+
+    def test_injection_across_access_splits_windows(self):
+        _, analysis = make_analysis()
+        # t=5 stops before the read of r5 (step 3); t=35 stops after it.
+        key_before, _ = analysis.class_key(flip_plan(reg_loc(5), 5))
+        key_after, _ = analysis.class_key(flip_plan(reg_loc(5), 35))
+        assert key_before != key_after
+
+    def test_memory_location_falls_back_to_stop_point(self):
+        _, analysis = make_analysis()
+        location = FaultLocation("memory:data", "word.0x0300", 0)
+        key_a, kind = analysis.class_key(flip_plan(location, 5))
+        assert kind == KIND_STOP
+        # Same stop step merges; a different stop step does not.
+        key_b, _ = analysis.class_key(flip_plan(location, 7))
+        key_c, _ = analysis.class_key(flip_plan(location, 15))
+        assert key_a == key_b
+        assert key_a != key_c
+
+    def test_non_injecting_experiments_share_a_stop_class(self):
+        _, analysis = make_analysis()
+        key_a, kind = analysis.class_key(flip_plan(reg_loc(5), 9_000))
+        key_b, _ = analysis.class_key(flip_plan(reg_loc(5), 9_999))
+        assert kind == KIND_STOP
+        assert key_a == key_b
+
+    def test_multi_action_plan_is_singleton(self):
+        _, analysis = make_analysis()
+        plan = InjectionPlan(
+            actions=[
+                InjectionAction(time=5, locations=(reg_loc(5),)),
+                InjectionAction(time=15, locations=(reg_loc(5),)),
+            ]
+        )
+        _, kind = analysis.class_key(plan)
+        assert kind == KIND_SINGLETON
+
+    def test_liveness_delegates_to_static_oracle(self):
+        program, analysis = make_analysis()
+        static = StaticPreInjectionAnalysis(program)
+        for time in (1, 10, 100):
+            for n in (1, 5, 9):
+                assert analysis.is_live(reg_loc(n), time) == static.is_live(
+                    reg_loc(n), time
+                )
+
+
+class TestPartition:
+    def test_partition_covers_all_plans_exactly_once(self):
+        _, analysis = make_analysis()
+        plans = {
+            i: flip_plan(reg_loc(5), time)
+            for i, time in enumerate((5, 15, 25, 35, 9_000))
+        }
+        partition = analysis.partition(plans)
+        members = [m for c in partition.classes for m in c.members]
+        assert sorted(members) == sorted(plans)
+
+    def test_region_class_and_representative(self):
+        _, analysis = make_analysis()
+        plans = {
+            i: flip_plan(reg_loc(5), time)
+            for i, time in enumerate((5, 15, 25))
+        }
+        partition = analysis.partition(plans)
+        assert len(partition.classes) == 1
+        cls = partition.classes[0]
+        assert cls.kind == KIND_REGION
+        assert cls.representative == 0
+        assert cls.n_derived == 2
+        assert partition.derived_map() == {1: 0, 2: 0}
+        assert partition.derived_members_of(0) == [1, 2]
+        assert partition.derived_members_of(1) == []
+
+    def test_stats_accounting(self):
+        _, analysis = make_analysis()
+        plans = {
+            i: flip_plan(reg_loc(5), time)
+            for i, time in enumerate((5, 15, 35, 9_000, 9_999))
+        }
+        stats = analysis.partition(plans).stats()
+        assert stats.n_experiments == 5
+        assert stats.n_executed + stats.n_derived == 5
+        assert stats.n_executed == stats.n_classes
+        # {5,15} region class, {9000,9999} stop class, {35} singleton.
+        assert stats.n_region_classes == 1
+        assert stats.n_stop_classes == 1
+        assert stats.n_singletons == 1
+        assert stats.collapse_ratio == 5 / 3
+        assert 0.0 < stats.singleton_fraction < 1.0
+        payload = stats.to_dict()
+        assert payload["n_experiments"] == 5
+        assert payload["collapse_ratio"] == stats.collapse_ratio
+
+    def test_single_member_class_downgraded_to_singleton(self):
+        _, analysis = make_analysis()
+        partition = analysis.partition({0: flip_plan(reg_loc(5), 5)})
+        assert partition.classes[0].kind == KIND_SINGLETON
+
+
+class TestTargetIntegration:
+    def test_partition_of_a_real_campaign(self):
+        campaign = make_campaign(
+            preinjection_mode="equivalence",
+            use_preinjection=True,
+            location_patterns=["scan:internal/cpu.regfile.r5"],
+            n_experiments=24,
+        )
+        target = create_target("thor-rd")
+        reference = target.prepare_run(campaign)
+        analysis = target._equivalence
+        assert analysis is not None
+        plans = {
+            i: target.plan_experiment(i, reference)
+            for i in range(campaign.n_experiments)
+        }
+        partition = analysis.partition(plans)
+        stats = partition.stats()
+        assert stats.n_experiments == 24
+        assert stats.n_derived > 0  # r5 has few access windows in vecsum
+        members = sorted(m for c in partition.classes for m in c.members)
+        assert members == list(range(24))
+        for member, rep in partition.derived_map().items():
+            assert partition.class_of(member) is partition.class_of(rep)

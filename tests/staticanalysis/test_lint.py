@@ -158,3 +158,105 @@ class TestSetupCampaign:
         )
         text = str(lint_errors(findings)[0])
         assert text.startswith("[error] zero-match-pattern:")
+
+
+class TestConditionalReachabilityChecks:
+    def test_unreachable_location_warning(self):
+        from repro.thor.assembler import assemble
+
+        program = assemble(
+            """
+            start: ldi r1, 0
+                   cmpi r1, 0
+                   beq skip
+                   ldi r2, 1
+            skip:  halt
+            """
+        )
+        dead = program.entry + 3  # behind the always-taken beq
+        space = LocationSpace(
+            [
+                LocationCell("memory:code", f"word.{dead:#06x}", 32),
+                LocationCell("scan:internal", "cpu.regfile.r1", 32),
+            ]
+        )
+        campaign = make_campaign(
+            location_patterns=[
+                f"memory:code/word.{dead:#06x}",
+                "scan:internal/cpu.regfile.r1",
+            ]
+        )
+        findings = lint_campaign(campaign, space, program=program)
+        hits = [f for f in findings if f.rule == "unreachable-location"]
+        assert hits and hits[0].severity == "warning"
+        assert f"{dead:#06x}" in hits[0].message
+        # The plain-CFG rule must NOT fire: only folding proves it dead.
+        assert "unreachable-code" not in rules(findings)
+
+    def test_no_unreachable_location_without_folding(self):
+        findings = lint_on_thor(make_campaign(workload_name="vecsum"))
+        assert "unreachable-location" not in rules(findings)
+
+    def test_constant_dead_write_info(self):
+        findings = lint_on_thor(make_campaign(workload_name="vecsum"))
+        hits = [f for f in findings if f.rule == "constant-dead-write"]
+        assert hits and hits[0].severity == "info"
+        # The message names the register, address and constant value.
+        assert "@" in hits[0].message and "=" in hits[0].message
+
+
+class TestPartitionCheck:
+    @staticmethod
+    def _stats(n_experiments=40, n_classes=36, n_singletons=33):
+        from repro.staticanalysis.equivalence import PartitionStats
+
+        n_derived = n_experiments - n_classes
+        return PartitionStats(
+            n_experiments=n_experiments,
+            n_classes=n_classes,
+            n_executed=n_classes,
+            n_derived=n_derived,
+            n_singletons=n_singletons,
+            n_region_classes=2,
+            n_stop_classes=1,
+        )
+
+    def test_singleton_heavy_partition_warns(self):
+        campaign = make_campaign()
+        target = create_target("thor-rd")
+        target.read_campaign_data(campaign)
+        findings = lint_campaign(
+            campaign,
+            target.location_space(),
+            partition_stats=self._stats(),
+        )
+        hits = [f for f in findings if f.rule == "class-singleton-heavy"]
+        assert hits and hits[0].severity == "warning"
+
+    def test_collapsing_partition_is_clean(self):
+        campaign = make_campaign()
+        target = create_target("thor-rd")
+        target.read_campaign_data(campaign)
+        findings = lint_campaign(
+            campaign,
+            target.location_space(),
+            partition_stats=self._stats(n_classes=10, n_singletons=2),
+        )
+        assert "class-singleton-heavy" not in rules(findings)
+
+    def test_small_campaigns_exempt(self):
+        campaign = make_campaign()
+        target = create_target("thor-rd")
+        target.read_campaign_data(campaign)
+        findings = lint_campaign(
+            campaign,
+            target.location_space(),
+            partition_stats=self._stats(
+                n_experiments=10, n_classes=10, n_singletons=10
+            ),
+        )
+        assert "class-singleton-heavy" not in rules(findings)
+
+    def test_no_partition_stats_no_check(self):
+        findings = lint_on_thor(make_campaign())
+        assert "class-singleton-heavy" not in rules(findings)

@@ -149,3 +149,115 @@ class TestStatisticsCommands:
         assert main(["propagate", "--db", db, "--experiment",
                      "q-exp00000"]) == 1
         assert "no detail-mode states" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    @staticmethod
+    def _spec(tmp_path, name, **overrides):
+        from tests.conftest import make_campaign
+
+        overrides.setdefault("campaign_name", name)
+        path = tmp_path / f"{name}.json"
+        path.write_text(make_campaign(**overrides).to_json())
+        return str(path)
+
+    def test_clean_spec_exits_zero(self, tmp_path, capsys):
+        spec = self._spec(tmp_path, "clean")
+        assert main(["lint", "--spec", spec]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, tmp_path, capsys):
+        spec = self._spec(
+            tmp_path,
+            "broken",
+            location_patterns=[
+                "scan:internal/cpu.regfile.*",
+                "scan:internal/cpu.bogus.*",
+            ],
+        )
+        assert main(["lint", "--spec", spec]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "zero-match-pattern" in out
+
+    def test_multiple_specs_reported_individually(self, tmp_path, capsys):
+        good = self._spec(tmp_path, "good")
+        bad = self._spec(
+            tmp_path, "bad", location_patterns=["scan:internal/cpu.nope.*"]
+        )
+        assert main(["lint", "--spec", good, bad]) == 1
+        out = capsys.readouterr().out
+        assert f"{good}: ok" in out
+        assert f"{bad}: FAIL" in out
+
+    def test_invalid_spec_reported_not_raised(self, tmp_path, capsys):
+        spec = self._spec(tmp_path, "badmode", workload_name="no-such-load")
+        assert main(["lint", "--spec", spec]) == 1
+        assert "invalid-campaign" in capsys.readouterr().out
+
+    def test_stored_campaign_lint(self, tmp_path, capsys):
+        db = str(tmp_path / "lint.db")
+        main(["campaign", "--db", db, "--name", "stored",
+              "--experiments", "5"])
+        assert main(["lint", "--db", db, "--campaign", "stored"]) == 0
+        assert "stored: ok" in capsys.readouterr().out
+
+    def test_campaign_without_db_is_usage_error(self, capsys):
+        assert main(["lint", "--campaign", "x"]) == 2
+
+    def test_nothing_to_lint_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_partition_flag_reports_equivalence_stats(self, tmp_path, capsys):
+        spec = self._spec(
+            tmp_path,
+            "equiv",
+            preinjection_mode="equivalence",
+            use_preinjection=True,
+            location_patterns=["scan:internal/cpu.regfile.r5"],
+            n_experiments=8,
+        )
+        assert main(["lint", "--spec", spec, "--partition"]) == 0
+        assert "equiv" in capsys.readouterr().out
+
+    def test_example_specs_lint_clean(self, capsys):
+        import pathlib
+
+        examples = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "campaigns"
+        )
+        specs = sorted(str(p) for p in examples.glob("*.json"))
+        assert specs, "examples/campaigns must ship lintable specs"
+        assert main(["lint", "--spec"] + specs) == 0
+
+
+class TestRunVerifyEquivalence:
+    def test_run_with_verification(self, tmp_path, capsys):
+        from repro.db import GoofiDatabase
+        from tests.conftest import make_campaign
+
+        db = str(tmp_path / "verify.db")
+        campaign = make_campaign(
+            campaign_name="equiv-cli",
+            preinjection_mode="equivalence",
+            use_preinjection=True,
+            location_patterns=["scan:internal/cpu.regfile.r5"],
+            n_experiments=6,
+        )
+        with GoofiDatabase(db) as handle:
+            handle.save_campaign(campaign)
+        assert main(["run", "--db", db, "--campaign", "equiv-cli",
+                     "--quiet", "--verify-equivalence", "0.5"]) == 0
+        assert "6/6" in capsys.readouterr().out
+
+    def test_bad_fraction_rejected(self, tmp_path, capsys):
+        from repro.db import GoofiDatabase
+        from tests.conftest import make_campaign
+
+        db = str(tmp_path / "verify.db")
+        with GoofiDatabase(db) as handle:
+            handle.save_campaign(make_campaign(campaign_name="c"))
+        assert main(["run", "--db", db, "--campaign", "c", "--quiet",
+                     "--verify-equivalence", "1.5"]) == 1
+        assert "must be in [0, 1]" in capsys.readouterr().err
