@@ -29,6 +29,12 @@ from repro.core.checkpoint import (
     CheckpointTick,
     RestoreImage,
 )
+from repro.core.divergence import (
+    MemoEntry,
+    OutcomeMemo,
+    memo_key,
+    run_window,
+)
 from repro.core.experiment import (
     ExperimentResult,
     Injection,
@@ -147,6 +153,23 @@ class FaultInjectionAlgorithms(abc.ABC):
         #: Checkpoints captured along the reference run (warm starts);
         #: None when the campaign, technique or port rules them out.
         self._checkpoints: Optional[CheckpointStore] = None
+        #: Divergence-window execution: probe the faulty run's state
+        #: digest against the golden checkpoints after injection and
+        #: synthesize the golden outcome on re-convergence instead of
+        #: simulating the tail. Not part of CampaignData for the same
+        #: reason as :attr:`verify_equivalence`: it changes how much is
+        #: simulated, never what the campaign computes (byte-identity is
+        #: property-tested), so it must not perturb config hashes.
+        #: Disabled by ``goofi run --no-early-exit``.
+        self.early_exit: bool = True
+        #: Outcome memoization: replay the recorded outcome of an
+        #: earlier experiment with the same (restore checkpoint digest,
+        #: canonical injection delta) key instead of executing. Same
+        #: non-CampaignData rationale as :attr:`early_exit`.
+        self.memoize: bool = True
+        #: Per-campaign-binding memo table (reset on rebind: a "cold"
+        #: key from another workload must never shortcut this one).
+        self._memo: Optional[OutcomeMemo] = None
         #: Optional :class:`repro.core.goldencache.GoldenRunCache` —
         #: when set, :meth:`prepare_run` reuses a cached golden run
         #: (trace + fingerprint + checkpoint store) keyed by the
@@ -290,6 +313,36 @@ class FaultInjectionAlgorithms(abc.ABC):
         restored state's fingerprint disagrees with the image's."""
         raise NotImplementedByPort(type(self).__name__, "restore_checkpoint")
 
+    def start_divergence_tracking(self) -> None:
+        """Arm the faulty run for divergence probing: begin tracking the
+        state (dirty memory pages) that ``capture_state_digest`` must
+        fold in. Called once per experiment, after the restore/cold
+        prefix and before the injection loop."""
+        raise NotImplementedByPort(
+            type(self).__name__, "start_divergence_tracking"
+        )
+
+    def capture_state_digest(self) -> str:
+        """Canonical :func:`repro.core.checkpoint.state_digest` of the
+        stopped faulty target, computed exactly the way
+        ``capture_checkpoint`` fingerprints the golden run — equality
+        with a golden tick's fingerprint proves re-convergence. Unlike
+        ``capture_checkpoint`` this must not perturb the target (no
+        payload assembly, no dirty-tracking reset beyond draining)."""
+        raise NotImplementedByPort(
+            type(self).__name__, "capture_state_digest"
+        )
+
+    def capture_core_digest(self) -> str:
+        """Optional cheap pre-filter for divergence probing: a digest
+        over a strict *subset* of ``capture_state_digest``'s coverage
+        (so a mismatch here proves a full mismatch). Ports that cannot
+        split their state cheaply just leave this unimplemented — the
+        window runner then compares full digests directly."""
+        raise NotImplementedByPort(
+            type(self).__name__, "capture_core_digest"
+        )
+
     def available_workloads(self):
         """Names of the workloads this target can run, or None when the
         port does not restrict them (optional override, used by the
@@ -323,11 +376,14 @@ class FaultInjectionAlgorithms(abc.ABC):
         self._rng = CampaignRandom(campaign.seed)
         self._liveness = None
         self._equivalence = None
-        # A stale reference/checkpoint store from a previously bound
-        # campaign must never leak into this one (the reference-run
-        # budget and the warm-start eligibility both depend on them).
+        # A stale reference/checkpoint store/memo table from a
+        # previously bound campaign must never leak into this one (the
+        # reference-run budget and the warm-start eligibility depend on
+        # the former; a cold-keyed memo entry of a different workload
+        # would silently corrupt outcomes through the latter).
         self._reference = None
         self._checkpoints = None
+        self._memo = None
 
     def _check_technique_spaces(self, campaign: CampaignData) -> None:
         allowed = self.TECHNIQUE_SPACES[campaign.technique]
@@ -555,8 +611,14 @@ class FaultInjectionAlgorithms(abc.ABC):
         self.run_workload()
 
     def _try_restore(self, plan: InjectionPlan) -> bool:
-        """Warm-start the experiment from the nearest reference-run
-        checkpoint at or before the plan's first injection time.
+        """Warm-start the experiment from the latest reference-run
+        checkpoint *strictly before* the plan's first injection time.
+
+        Strictly before, not at-or-before: a checkpoint captured exactly
+        at the injection cycle would land the restored target on the
+        injection instant and skip that cycle's trigger/pre-injection
+        evaluation, so the first-injection hop must always approach the
+        injection time from earlier state.
 
         Returns True when the target is now in the restored state (the
         caller skips the cold prefix); False when no checkpoint applies
@@ -573,7 +635,7 @@ class FaultInjectionAlgorithms(abc.ABC):
         actions = plan.sorted_actions()
         if not actions:
             return False
-        index = store.nearest(actions[0].time)
+        index = store.nearest_before(actions[0].time)
         if index is None:
             return False
         image = store.restore_image(index)
@@ -609,6 +671,7 @@ class FaultInjectionAlgorithms(abc.ABC):
         result = self._new_result(index)
         if not self._try_restore(plan):
             self._cold_prefix()
+        probing = self._begin_divergence(plan)
         termination: Optional[Termination] = None
         for action in plan.sorted_actions():
             termination = self.wait_for_breakpoint(action.time)
@@ -624,11 +687,7 @@ class FaultInjectionAlgorithms(abc.ABC):
             result.injections.extend(self.inject_fault(chains, action))
             with obs.profile("scan.write"):
                 self.write_scan_chain(chains)
-        if termination is None:
-            termination = self.wait_for_termination(
-                self._experiment_budget(), campaign.max_iterations
-            )
-        self._finish(result, termination)
+        self._finish_tail(result, plan, termination, probing)
         return result
 
     def _experiment_swifi_pre(
@@ -680,17 +739,14 @@ class FaultInjectionAlgorithms(abc.ABC):
         result = self._new_result(index)
         if not self._try_restore(plan):
             self._cold_prefix()
+        probing = self._begin_divergence(plan)
         termination: Optional[Termination] = None
         for action in plan.sorted_actions():
             termination = self.wait_for_breakpoint(action.time)
             if termination is not None:
                 break
             result.injections.extend(self.inject_fault_direct(action))
-        if termination is None:
-            termination = self.wait_for_termination(
-                self._experiment_budget(), campaign.max_iterations
-            )
-        self._finish(result, termination)
+        self._finish_tail(result, plan, termination, probing)
         return result
 
     def _experiment_pinlevel(
@@ -703,17 +759,14 @@ class FaultInjectionAlgorithms(abc.ABC):
         result = self._new_result(index)
         if not self._try_restore(plan):
             self._cold_prefix()
+        probing = self._begin_divergence(plan)
         termination: Optional[Termination] = None
         for action in plan.sorted_actions():
             termination = self.wait_for_breakpoint(action.time)
             if termination is not None:
                 break
             result.injections.extend(self.force_pins(action))
-        if termination is None:
-            termination = self.wait_for_termination(
-                self._experiment_budget(), campaign.max_iterations
-            )
-        self._finish(result, termination)
+        self._finish_tail(result, plan, termination, probing)
         return result
 
     def fault_injector_scifi(self, campaign, sink=None, control=None,
@@ -833,6 +886,7 @@ class FaultInjectionAlgorithms(abc.ABC):
         index: int,
         plan: Optional[InjectionPlan] = None,
         reference: Optional[ReferenceRun] = None,
+        use_memo: bool = True,
     ) -> ExperimentResult:
         """Plan and execute exactly one experiment of the bound campaign.
 
@@ -842,6 +896,14 @@ class FaultInjectionAlgorithms(abc.ABC):
         result no matter which process runs it or in which order, because
         the injection plan is drawn from the index-keyed RNG substream and
         the target is reinitialised by the experiment procedure itself.
+
+        That same determinism powers the outcome memo: two experiments of
+        one campaign binding that would restore the same checkpoint (or
+        both start cold) and inject the identical action list are the
+        same computation, so the second replays the first's recorded
+        outcome instead of executing. ``use_memo=False`` forces real
+        execution (the equivalence verifier uses it — a verification that
+        replays a memo would verify nothing).
 
         ``plan`` overrides the sampled plan (the re-run mechanism);
         ``reference`` defaults to the instance's retained reference run
@@ -856,8 +918,22 @@ class FaultInjectionAlgorithms(abc.ABC):
             )
         if plan is None:
             plan = self.plan_experiment(index, reference)
-        procedure = getattr(self, self.TECHNIQUE_EXPERIMENTS[campaign.technique])
         obs = get_observability()
+        memo = self._memo_table() if use_memo else None
+        key: Optional[str] = None
+        if memo is not None:
+            key = memo_key(self._restore_digest(plan), plan)
+            entry = memo.lookup(key)
+            if entry is not None:
+                started = _time.perf_counter()
+                result = self._new_result(index)
+                entry.apply(result)
+                result.wall_seconds = _time.perf_counter() - started
+                if obs.metrics.enabled:
+                    obs.metrics.counter("divergence.memo_hits").inc()
+                obs.metrics.counter("experiments_total").inc()
+                return result
+        procedure = getattr(self, self.TECHNIQUE_EXPERIMENTS[campaign.technique])
         started = _time.perf_counter()
         with obs.profile(
             "experiment",
@@ -868,6 +944,10 @@ class FaultInjectionAlgorithms(abc.ABC):
             result = procedure(index, plan)
         result.wall_seconds = _time.perf_counter() - started
         obs.metrics.counter("experiments_total").inc()
+        if memo is not None and key is not None and result.termination is not None:
+            memo.record(key, MemoEntry.from_result(result))
+            if obs.metrics.enabled:
+                obs.metrics.counter("divergence.memo_inserts").inc()
         return result
 
     def run_campaign(self, campaign, sink=None, control=None,
@@ -1009,6 +1089,115 @@ class FaultInjectionAlgorithms(abc.ABC):
         if campaign.logging_mode == "detail":
             result.detail_states = self.drain_detail_states()
             self.set_detail_logging(False)
+
+    # ------------------------------------------------------------------
+    # Divergence-window execution + outcome memoization
+    # ------------------------------------------------------------------
+
+    def _begin_divergence(self, plan: InjectionPlan) -> bool:
+        """Arm divergence probing for one experiment, if it can pay off.
+
+        Probing needs early-exit enabled, a checkpointed reference run
+        with at least one golden tick strictly after the last injection
+        action and strictly before the reference termination (otherwise
+        there is no tail to skip), summary logging (detail mode must
+        observe every instruction of the real tail), and a port that
+        implements the tracking block. Returns whether probing is armed;
+        False always means "run the plain tail", never an error."""
+        if not self.early_exit:
+            return False
+        campaign = self._require_campaign()
+        if campaign.logging_mode == "detail":
+            return False
+        store = self._checkpoints
+        reference = getattr(self, "_reference", None)
+        if store is None or len(store) == 0 or reference is None:
+            return False
+        actions = plan.sorted_actions()
+        if not actions:
+            return False
+        start = store.first_after(actions[-1].time)
+        if start is None:
+            return False
+        if store.tick(start).cycle >= reference.duration_cycles:
+            return False
+        try:
+            self.start_divergence_tracking()
+        except NotImplementedByPort:
+            return False
+        return True
+
+    def _finish_tail(
+        self,
+        result: ExperimentResult,
+        plan: InjectionPlan,
+        termination: Optional[Termination],
+        probing: bool,
+    ) -> None:
+        """Complete a stop-and-inject experiment after its injection
+        loop: probe the divergence window when armed (synthesizing the
+        golden outcome on re-convergence), otherwise — or when probing
+        stays inconclusive — run the plain tail to termination."""
+        campaign = self._require_campaign()
+        if termination is None and probing:
+            window = run_window(self, plan, self._reference, self._checkpoints)
+            if window.converged:
+                self._finish_golden(result)
+                return
+            termination = window.termination
+        if termination is None:
+            termination = self.wait_for_termination(
+                self._experiment_budget(), campaign.max_iterations
+            )
+        self._finish(result, termination)
+
+    def _finish_golden(self, result: ExperimentResult) -> None:
+        """Fill ``result`` with the golden run's outcome — the faulty
+        run's state digest matched a golden tick, so its future is the
+        golden future and its final termination/outputs/state vector are
+        the reference run's, byte for byte. Fresh copies, never aliases:
+        results outlive the experiment and are mutated downstream."""
+        reference = self._reference
+        assert reference is not None
+        result.termination = Termination.from_dict(
+            reference.termination.to_dict()
+        )
+        result.outputs = dict(reference.outputs)
+        result.state_vector = dict(reference.state_vector)
+
+    def _memo_table(self) -> Optional[OutcomeMemo]:
+        """The campaign-scoped outcome memo, or None when memoization
+        does not apply (disabled, or detail mode — a replayed outcome
+        has no per-instruction states to drain)."""
+        if not self.memoize:
+            return None
+        campaign = self._require_campaign()
+        if campaign.logging_mode == "detail":
+            return None
+        if self._memo is None:
+            self._memo = OutcomeMemo()
+        return self._memo
+
+    def _restore_digest(self, plan: InjectionPlan) -> Optional[str]:
+        """Fingerprint of the checkpoint this plan's experiment would
+        warm-restore, or None (= the cold sentinel) when the experiment
+        starts from reset — mirroring :meth:`_try_restore`'s eligibility
+        exactly, so the memo key names the true starting state."""
+        campaign = self._require_campaign()
+        store = self._checkpoints
+        if store is None or len(store) == 0:
+            return None
+        if not campaign.warm_start:
+            return None
+        if campaign.technique not in WARM_START_TECHNIQUES:
+            return None
+        actions = plan.sorted_actions()
+        if not actions:
+            return None
+        index = store.nearest_before(actions[0].time)
+        if index is None:
+            return None
+        return store.tick(index).fingerprint
 
     def _campaign_loop(self, campaign, sink, control,
                        _fixed_plans: Optional[dict] = None,
@@ -1174,9 +1363,11 @@ class FaultInjectionAlgorithms(abc.ABC):
         derived: ExperimentResult,
         reference: ReferenceRun,
     ) -> None:
-        """Force-execute a derived member and hard-fail on divergence."""
+        """Force-execute a derived member and hard-fail on divergence.
+        The memo is bypassed: replaying a memoized outcome would compare
+        a copy against a copy and verify nothing."""
         actual = self.run_single_experiment(
-            index, plan=plan, reference=reference
+            index, plan=plan, reference=reference, use_memo=False
         )
         self.check_derived_outcome(index, actual, derived)
 

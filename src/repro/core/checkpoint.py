@@ -37,13 +37,14 @@ from __future__ import annotations
 
 import hashlib
 from array import array
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.util.errors import CampaignError
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
     "DEFAULT_CHECKPOINT_INTERVAL",
     "MAX_CHECKPOINTS",
     "PAGE_WORDS",
@@ -53,6 +54,16 @@ __all__ = [
     "RestoreImage",
     "state_digest",
 ]
+
+#: Version of the checkpoint payload/fingerprint layout. Bumped whenever
+#: what a tick captures (or how its fingerprint is computed) changes, so
+#: persisted golden runs from an older layout miss cleanly instead of
+#: tripping restore-time mismatches. v2: fingerprints cover the full CPU
+#: snapshot (pipeline force flags, last-executed-instruction record) in
+#: addition to the scan-visible cells, making digest equality total with
+#: respect to future execution — the divergence-window soundness
+#: requirement.
+CHECKPOINT_FORMAT = 2
 
 #: Words per memory page in the dirty-page delta encoding (2^8 words —
 #: small enough that a sparse workload dirties few pages, large enough
@@ -144,13 +155,19 @@ class CheckpointTick:
     previous tick** (for the first tick: every page that is non-zero or
     was written since reset). ``fingerprint`` is the
     :func:`state_digest` the port computed over the live state at
-    capture time; restores verify against it.
+    capture time; restores verify against it. ``core_fingerprint`` is an
+    optional cheap digest over a strict *subset* of the fingerprinted
+    state (for Thor: the CPU core without memory pages or scan chains) —
+    the divergence-window runner compares it first and only pays the
+    full-state digest once the cores already agree, since a subset
+    mismatch proves a full mismatch (checkpoint format v2).
     """
 
     cycle: int
     payload: Dict[str, Any]
     dirty_pages: Dict[int, List[int]] = field(default_factory=dict)
     fingerprint: str = ""
+    core_fingerprint: str = ""
 
 
 @dataclass
@@ -215,6 +232,26 @@ class CheckpointStore:
         or None when the store is empty or every tick is later."""
         position = bisect_right(self._cycles, cycle) - 1
         return position if position >= 0 else None
+
+    def nearest_before(self, cycle: int) -> Optional[int]:
+        """Index of the latest checkpoint with ``tick.cycle < cycle``
+        (strictly before), or None when no tick qualifies.
+
+        This is the warm-restore lookup: restoring a checkpoint captured
+        *at* the injection cycle would land the target on the injection
+        instant and skip that cycle's trigger/pre-injection evaluation,
+        so restores must approach the injection time from strictly
+        earlier state."""
+        position = bisect_left(self._cycles, cycle) - 1
+        return position if position >= 0 else None
+
+    def first_after(self, cycle: int) -> Optional[int]:
+        """Index of the earliest checkpoint with ``tick.cycle > cycle``
+        (strictly after), or None when every tick is at or before. The
+        divergence-window runner uses this to find the first golden tick
+        worth probing once injection is done."""
+        position = bisect_right(self._cycles, cycle)
+        return position if position < len(self._cycles) else None
 
     def restore_image(self, index: int) -> RestoreImage:
         """Reconstruct the cumulative restore image for checkpoint

@@ -117,6 +117,7 @@ class CampaignController:
     def pause(self) -> None:
         self._resume_event.clear()
         self.progress.state = "paused"
+        self.health.notify_paused()
         self._state_event("paused")
 
     def resume(self) -> None:
@@ -128,6 +129,7 @@ class CampaignController:
         if self._stop_requested:
             return
         self.progress.state = "running"
+        self.health.notify_resumed()
         self._state_event("running")
         self._resume_event.set()
 

@@ -11,14 +11,18 @@ parallel campaign, would each redo it from scratch.
 :class:`GoldenRunCache` stores the golden run on disk keyed by the
 campaign's config hash (:func:`repro.observability.runmeta
 .campaign_config_hash` — a canonical digest of the *entire* campaign
-record), so any configuration change invalidates the entry
-automatically. Entries are pickled atomically (write to a temp file,
-then ``os.replace``) so a crashed writer never leaves a torn entry; a
-corrupt or stale entry is treated as a miss, never an error.
+record) folded with the tool version and the checkpoint format version,
+so any configuration change — *or* any tool upgrade that could change
+what a golden run contains or how its checkpoints are fingerprinted —
+invalidates the entry automatically. Entries are pickled atomically
+(write to a temp file, then ``os.replace``) so a crashed writer never
+leaves a torn entry; a corrupt, stale or cross-version entry is treated
+as a miss, never an error.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -26,7 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from repro.core.checkpoint import CheckpointStore
+from repro.core.checkpoint import CHECKPOINT_FORMAT, CheckpointStore
 from repro.core.experiment import ReferenceRun
 
 #: Bumped whenever the pickled layout of GoldenRun (or anything it
@@ -37,21 +41,36 @@ CACHE_FORMAT = 1
 @dataclass
 class GoldenRun:
     """One cache entry: the reference run plus its checkpoint store,
-    stamped with the campaign config hash and target that produced it."""
+    stamped with the campaign config hash, the target, and the tool /
+    checkpoint-format versions that produced it (``None`` on entries
+    pickled before versions were stamped — always a mismatch)."""
 
     config_hash: str
     target_name: str
     reference: ReferenceRun
     checkpoints: Optional[CheckpointStore] = None
+    tool_version: Optional[str] = None
+    checkpoint_format: Optional[int] = None
 
 
 def campaign_golden_key(campaign) -> str:
-    """Cache key for a campaign's golden run — the canonical config
-    hash over the *bound* campaign record (compute it after the port's
-    ``read_campaign_data`` so resolved fields are included)."""
-    from repro.observability.runmeta import campaign_config_hash
+    """Cache key for a campaign's golden run: the canonical config hash
+    over the *bound* campaign record (compute it after the port's
+    ``read_campaign_data`` so resolved fields are included), folded with
+    the tool version and the checkpoint-format version.
 
-    return campaign_config_hash(campaign)
+    The version fold is load-bearing: a golden run pickled by an older
+    tool can deserialise perfectly well yet carry checkpoints whose
+    fingerprints were computed over a different state layout — silently
+    adopting one would make every warm restore fall cold at best, or
+    validate against the wrong digest at worst. A version bump must be a
+    clean miss, exactly like a corrupt entry."""
+    from repro.observability.runmeta import campaign_config_hash, tool_version
+
+    base = campaign_config_hash(campaign)
+    return hashlib.sha256(
+        f"{base}:{tool_version()}:ckpt{CHECKPOINT_FORMAT}".encode("utf-8")
+    ).hexdigest()
 
 
 class GoldenRunCache:
@@ -71,7 +90,9 @@ class GoldenRunCache:
 
     def load(self, key: Optional[str]) -> Optional[GoldenRun]:
         """The cached golden run for ``key``, or None. Corrupt,
-        unreadable or mislabelled entries count as misses."""
+        unreadable, mislabelled or cross-version entries count as
+        misses (``getattr``: entries pickled before the version stamps
+        existed deserialise without the attributes and must miss)."""
         if not key:
             return None
         path = self.path_for(key)
@@ -85,11 +106,25 @@ class GoldenRunCache:
         if not isinstance(entry, GoldenRun) or entry.config_hash != key:
             self.misses += 1
             return None
+        from repro.observability.runmeta import tool_version
+
+        if (
+            getattr(entry, "tool_version", None) != tool_version()
+            or getattr(entry, "checkpoint_format", None) != CHECKPOINT_FORMAT
+        ):
+            self.misses += 1
+            return None
         self.hits += 1
         return entry
 
     def store(self, golden: GoldenRun) -> Path:
-        """Atomically persist one golden run (temp file + rename)."""
+        """Atomically persist one golden run (temp file + rename),
+        stamping it with the producing tool / checkpoint-format versions
+        so :meth:`load` can refuse cross-version adoption."""
+        from repro.observability.runmeta import tool_version
+
+        golden.tool_version = tool_version()
+        golden.checkpoint_format = CHECKPOINT_FORMAT
         path = self.path_for(golden.config_hash)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=".golden-", suffix=".tmp"

@@ -52,6 +52,7 @@ from repro.core.algorithms import (
 )
 from repro.core.campaign import CampaignData
 from repro.core.controller import CampaignController
+from repro.core.divergence import OutcomeMemo
 from repro.core.experiment import ExperimentResult, Termination
 from repro.observability import (
     Observability,
@@ -117,6 +118,14 @@ class ParallelConfig:
     #: are re-executed for real and compared against their derivation;
     #: any divergence aborts the campaign.
     verify_equivalence: float = 0.0
+    #: Divergence-window early exits + outcome memoization in workers
+    #: (the parallel face of ``goofi run --no-early-exit``). When on,
+    #: newly recorded memo entries ride each shard's ``"done"`` message
+    #: to the parent, which forwards the merged table to every worker on
+    #: dispatch — the same parent-side merge topology as the golden
+    #: cache, so a class of identical faults executes once campaign-wide
+    #: rather than once per worker.
+    early_exit: bool = True
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -163,25 +172,33 @@ def _worker_main(
     worker_id: int = 0,
     obs_config: Optional[ObservabilityConfig] = None,
     golden: Any = None,
+    port_options: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Worker process entry point.
 
     Builds an isolated port via ``factory``, binds the campaign, performs
     its own reference run (announced as a determinism fingerprint), then
-    serves ``("run", [indices])`` task messages until ``("quit",)``.
+    serves ``("run", [indices])`` / ``("run", [indices], memo_rows)``
+    task messages until ``("quit",)``. ``port_options`` are plain
+    attribute overrides applied to the fresh port before the campaign
+    binds (``early_exit``/``memoize`` — the knobs that live on the
+    instance rather than in CampaignData).
 
     With observability enabled, the worker installs its *own* fresh
     instrumentation (a ``.workerN`` sibling trace file, an empty metrics
     registry — never the parent's inherited state) and ships a metrics
-    *delta* alongside every shard's ``"done"`` message; the parent merges
-    the deltas under a ``worker<N>.`` prefix so per-worker experiment
-    counts stay attributable and sum to the campaign totals."""
+    *delta* — and any outcome-memo entries it recorded — alongside every
+    shard's ``"done"`` message; the parent merges the deltas under a
+    ``worker<N>.`` prefix so per-worker experiment counts stay
+    attributable and sum to the campaign totals."""
     obs: Optional[Observability] = None
     if obs_config is not None and obs_config.enabled:
         obs = configure_worker(obs_config, worker_id)
     try:
         campaign = CampaignData.from_json(campaign_json)
         port = factory()
+        for name, value in (port_options or {}).items():
+            setattr(port, name, value)
         reference = port.prepare_run(campaign, golden=golden)
         conn.send(("ready", _reference_fingerprint(reference)))
         while True:
@@ -189,6 +206,9 @@ def _worker_main(
             if message[0] == "quit":
                 break
             assert message[0] == "run"
+            memo = port._memo_table()
+            if memo is not None and len(message) > 2 and message[2]:
+                memo.merge(message[2])
             for index in message[1]:
                 try:
                     result = port.run_single_experiment(index)
@@ -202,7 +222,8 @@ def _worker_main(
                 if obs is not None and obs.metrics.enabled
                 else None
             )
-            conn.send(("done", delta))
+            memo_delta = memo.drain_new() if memo is not None else []
+            conn.send(("done", delta, memo_delta))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     except Exception as exc:  # init failure, reported upstream as fatal
@@ -234,6 +255,7 @@ class _WorkerHandle:
         worker_id: int = 0,
         obs_config: Optional[ObservabilityConfig] = None,
         golden: Any = None,
+        port_options: Optional[Dict[str, Any]] = None,
     ):
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.conn = parent_conn
@@ -247,6 +269,7 @@ class _WorkerHandle:
                 worker_id,
                 obs_config,
                 golden,
+                port_options,
             ),
             daemon=True,
         )
@@ -267,10 +290,15 @@ class _WorkerHandle:
     def idle(self) -> bool:
         return self.ready and not self.dead and not self.busy
 
-    def dispatch(self, indices: Sequence[int], timeout: Optional[float]) -> None:
+    def dispatch(
+        self,
+        indices: Sequence[int],
+        timeout: Optional[float],
+        memo_rows: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
         self.busy = True
         self.shard = deque(indices)
-        self.conn.send(("run", list(indices)))
+        self.conn.send(("run", list(indices), memo_rows or []))
         self.touch(timeout)
 
     def touch(self, timeout: Optional[float]) -> None:
@@ -358,6 +386,17 @@ class _ParallelRun:
         self.campaign_json = ""
         #: Parent golden-run bundle shipped to workers (share_golden).
         self.golden: Any = None
+        #: Campaign-wide outcome memo relay: worker recordings merge in
+        #: via "done" messages; :meth:`_memo_rows_for` forwards the
+        #: global insertion order to each worker through a per-worker
+        #: cursor, so every worker eventually sees every entry exactly
+        #: once. None when early-exit/memoization is off.
+        self.memo: Optional[OutcomeMemo] = (
+            OutcomeMemo() if config.early_exit else None
+        )
+        #: worker_id -> how far into the memo's insertion order that
+        #: worker has been forwarded.
+        self._memo_cursors: Dict[int, int] = {}
         self.failures = 0
         self.obs = get_observability()
         self.obs_config = (
@@ -471,6 +510,8 @@ class _ParallelRun:
         each representative's result arrives."""
         self.port = parent_port
         parent_port.verify_equivalence = self.config.verify_equivalence
+        parent_port.early_exit = self.config.early_exit
+        parent_port.memoize = self.config.early_exit
         if not parent_port._collapse_enabled(self.campaign):
             return
         equivalence = parent_port._equivalence
@@ -576,6 +617,10 @@ class _ParallelRun:
             worker_id=worker_id,
             obs_config=self.obs_config,
             golden=self.golden,
+            port_options={
+                "early_exit": self.config.early_exit,
+                "memoize": self.config.early_exit,
+            },
         )
 
     # -- event loop --------------------------------------------------------
@@ -642,7 +687,23 @@ class _ParallelRun:
             shard = self._next_shard()
             if not shard:
                 return
-            worker.dispatch(shard, self.config.timeout_seconds)
+            worker.dispatch(
+                shard,
+                self.config.timeout_seconds,
+                memo_rows=self._memo_rows_for(worker),
+            )
+
+    def _memo_rows_for(
+        self, worker: _WorkerHandle
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Memo entries this worker has not been forwarded yet (its
+        cursor over the parent table's global insertion order)."""
+        if self.memo is None:
+            return None
+        cursor = self._memo_cursors.get(worker.worker_id, 0)
+        rows, advanced = self.memo.rows_since(cursor)
+        self._memo_cursors[worker.worker_id] = advanced
+        return rows
 
     def _next_shard(self) -> List[int]:
         shard: List[int] = []
@@ -709,6 +770,9 @@ class _ParallelRun:
             worker.shard.clear()
             worker.deadline = None
             delta = message[1] if len(message) > 1 else None
+            memo_delta = message[2] if len(message) > 2 else None
+            if self.memo is not None and memo_delta:
+                self.memo.merge(memo_delta)
             if delta:
                 # Per-worker metric shipping: the delta merges under a
                 # worker-scoped prefix, so the per-worker experiment

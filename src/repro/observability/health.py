@@ -103,6 +103,8 @@ class CampaignHealthMonitor:
         self.alerts: List[HealthAlert] = []
         self._stalled = False
         self._drifting = False
+        # -- pause awareness (controller pause() / resume())
+        self._paused_at: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -126,12 +128,53 @@ class CampaignHealthMonitor:
             self.alerts = []
             self._stalled = False
             self._drifting = False
+            self._paused_at = None
 
     def set_workers(self, n_workers: int) -> None:
         if not self.enabled:
             return
         with self._lock:
             self.n_workers = n_workers
+
+    def notify_paused(self) -> None:
+        """The controller paused the campaign: freeze stall evaluation.
+
+        An operator pause is deliberate silence — counting it as
+        heartbeat silence would fire a spurious stall alert as soon as
+        the pause outlives ``stall_factor × EWMA`` and then pollute the
+        EWMA with one giant inter-completion interval on resume.
+        Idempotent (a second pause notification keeps the first
+        pause instant)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._paused_at is None:
+                self._paused_at = self._clock()
+
+    def notify_resumed(self) -> None:
+        """The controller resumed: shift every timing reference forward
+        by the pause duration so the paused interval vanishes from
+        silence and EWMA computations — mirroring the controller's own
+        paused-time exclusion from elapsed/rate. No-op when not
+        paused."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._paused_at is None:
+                return
+            now = self._clock()
+            pause = max(0.0, now - self._paused_at)
+            self._paused_at = None
+            if self._started_at is not None:
+                self._started_at = min(now, self._started_at + pause)
+            if self._last_completion is not None:
+                self._last_completion = min(
+                    now, self._last_completion + pause
+                )
+            self._heartbeats = {
+                worker_id: min(now, ts + pause)
+                for worker_id, ts in self._heartbeats.items()
+            }
 
     # -- feeding -----------------------------------------------------------
 
@@ -288,6 +331,7 @@ class CampaignHealthMonitor:
                 silence is not None
                 and silence > threshold
                 and not self._stalled
+                and self._paused_at is None
                 and self.n_done < self.n_total
             ):
                 self._stalled = True

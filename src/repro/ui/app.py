@@ -151,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         "statically-derived experiments for real and "
                         "hard-fail the campaign if any outcome diverges "
                         "from its derivation")
+    p.add_argument("--no-early-exit", action="store_true",
+                   help="disable divergence-window early exits and "
+                        "outcome memoization: simulate every faulty run "
+                        "to workload end (the escape hatch for "
+                        "debugging or timing studies)")
 
     p = sub.add_parser("analyze", help="classify a stored campaign")
     p.add_argument("--db", required=True)
@@ -296,6 +301,9 @@ def _cmd_run(args) -> int:
                 )
                 return 1
             target.verify_equivalence = verify
+            if getattr(args, "no_early_exit", False):
+                target.early_exit = False
+                target.memoize = False
             controller = CampaignController(target, sink=db)
             window = ProgressWindow(
                 controller, stream=None if args.quiet else sys.stdout

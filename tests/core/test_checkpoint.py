@@ -89,6 +89,27 @@ class TestNearestLookup:
         store = make_store((100, {}),)
         assert store.nearest(99) is None
 
+    def test_nearest_before_is_strict(self):
+        """The warm-restore lookup must never return the checkpoint
+        captured *at* the requested cycle — restoring it would land the
+        target on the injection instant and skip that cycle's trigger
+        evaluation (the off-by-one this method exists to prevent)."""
+        store = make_store((0, {}), (512, {}), (1024, {}))
+        assert store.nearest_before(512) == 0   # nearest() would say 1
+        assert store.nearest_before(513) == 1
+        assert store.nearest_before(1024) == 1
+        assert store.nearest_before(99999) == 2
+        assert store.nearest_before(0) is None
+        assert CheckpointStore().nearest_before(10) is None
+
+    def test_first_after_is_strict(self):
+        store = make_store((0, {}), (512, {}), (1024, {}))
+        assert store.first_after(0) == 1
+        assert store.first_after(511) == 1
+        assert store.first_after(512) == 2
+        assert store.first_after(1024) is None
+        assert CheckpointStore().first_after(0) is None
+
 
 class TestDeltaRoundTrip:
     def test_later_deltas_win(self):

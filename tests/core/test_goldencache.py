@@ -77,6 +77,69 @@ class TestCacheBasics:
         assert len(cache) == 0
 
 
+class TestVersionedKeys:
+    """Cross-version adoption regression: entries produced by a
+    different tool version or checkpoint-format version must be misses,
+    never silently adopted."""
+
+    def test_key_folds_tool_and_checkpoint_versions(self, monkeypatch):
+        campaign = make_campaign()
+        base_key = campaign_golden_key(campaign)
+
+        import repro.observability.runmeta as runmeta
+        monkeypatch.setattr(runmeta, "tool_version", lambda: "0.0.1-old")
+        assert campaign_golden_key(campaign) != base_key
+
+        monkeypatch.undo()
+        import repro.core.goldencache as goldencache
+        monkeypatch.setattr(goldencache, "CHECKPOINT_FORMAT", 999)
+        assert campaign_golden_key(campaign) != base_key
+
+    def test_store_stamps_versions(self, tmp_path):
+        from repro.core.checkpoint import CHECKPOINT_FORMAT
+        from repro.observability.runmeta import tool_version
+
+        cache = GoldenRunCache(tmp_path)
+        _, campaign = prepared_target(cache)
+        entry = cache.load(campaign_golden_key(campaign))
+        assert entry.tool_version == tool_version()
+        assert entry.checkpoint_format == CHECKPOINT_FORMAT
+
+    def test_stale_tool_version_is_miss(self, tmp_path):
+        cache = GoldenRunCache(tmp_path)
+        _, campaign = prepared_target(cache)
+        key = campaign_golden_key(campaign)
+        entry = cache.load(key)
+        entry.tool_version = "0.0.1-old"
+        with open(cache.path_for(key), "wb") as handle:
+            pickle.dump(entry, handle)
+        assert cache.load(key) is None
+
+    def test_stale_checkpoint_format_is_miss(self, tmp_path):
+        cache = GoldenRunCache(tmp_path)
+        _, campaign = prepared_target(cache)
+        key = campaign_golden_key(campaign)
+        entry = cache.load(key)
+        entry.checkpoint_format = 1
+        with open(cache.path_for(key), "wb") as handle:
+            pickle.dump(entry, handle)
+        assert cache.load(key) is None
+
+    def test_unstamped_legacy_entry_is_miss(self, tmp_path):
+        """An entry pickled before the version stamps existed
+        deserialises without the attributes — it must miss, exactly
+        like a corrupt entry."""
+        cache = GoldenRunCache(tmp_path)
+        _, campaign = prepared_target(cache)
+        key = campaign_golden_key(campaign)
+        entry = cache.load(key)
+        del entry.__dict__["tool_version"]
+        del entry.__dict__["checkpoint_format"]
+        with open(cache.path_for(key), "wb") as handle:
+            pickle.dump(entry, handle)
+        assert cache.load(key) is None
+
+
 class TestPrepareRunIntegration:
     def test_second_prepare_skips_reference_run(self, tmp_path):
         cache = GoldenRunCache(tmp_path)

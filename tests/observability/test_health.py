@@ -117,6 +117,104 @@ class TestStallDetection:
         assert monitor.stall_threshold_seconds() == 5.0
 
 
+class TestPauseAwareness:
+    """Regression: controller pause() time is deliberate silence, not a
+    stall — and it must not pollute the EWMA on resume."""
+
+    def _running_monitor(self):
+        monitor, clock = make_monitor()
+        monitor.begin("c1", n_total=10, n_workers=2)
+        monitor.heartbeat(0)
+        monitor.heartbeat(1)
+        for _ in range(3):
+            clock.advance(1.0)
+            monitor.record_result("halt")
+        return monitor, clock
+
+    def test_no_stall_alert_while_paused(self):
+        monitor, clock = self._running_monitor()
+        monitor.notify_paused()
+        clock.advance(1000.0)  # far past any stall threshold
+        assert monitor.check() == []
+        assert monitor.status()["status"] == "ok"
+
+    def test_resume_excludes_paused_time_from_silence(self):
+        monitor, clock = self._running_monitor()
+        monitor.notify_paused()
+        clock.advance(1000.0)
+        monitor.notify_resumed()
+        # Immediately after resume the silence clock restarts at ~0:
+        # the paused interval vanished from seconds_since_progress.
+        assert monitor.seconds_since_progress() < 1.0
+        assert monitor.check() == []
+
+    def test_resume_does_not_pollute_ewma(self):
+        monitor, clock = self._running_monitor()
+        rate_before = monitor.rate()
+        monitor.notify_paused()
+        clock.advance(1000.0)
+        monitor.notify_resumed()
+        clock.advance(1.0)
+        monitor.record_result("halt")
+        # The first post-resume interval reads ~1s, not ~1001s.
+        assert abs(monitor.rate() - rate_before) / rate_before < 0.5
+
+    def test_resume_shifts_heartbeats(self):
+        monitor, clock = self._running_monitor()
+        monitor.notify_paused()
+        clock.advance(1000.0)
+        monitor.notify_resumed()
+        assert all(
+            age < 10.0 for age in monitor.heartbeat_ages().values()
+        )
+
+    def test_stall_rearms_after_resume(self):
+        monitor, clock = self._running_monitor()
+        monitor.notify_paused()
+        clock.advance(1000.0)
+        monitor.notify_resumed()
+        # Genuine post-resume silence must still fire.
+        clock.advance(monitor.stall_threshold_seconds() + 0.1)
+        alerts = monitor.check()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "stall"
+
+    def test_pause_notifications_idempotent(self):
+        monitor, clock = self._running_monitor()
+        monitor.notify_paused()
+        clock.advance(50.0)
+        monitor.notify_paused()  # keeps the first pause instant
+        clock.advance(50.0)
+        monitor.notify_resumed()
+        assert monitor.seconds_since_progress() < 1.0
+        monitor.notify_resumed()  # no-op when not paused
+        assert monitor.check() == []
+
+    def test_begin_clears_pause_state(self):
+        monitor, clock = self._running_monitor()
+        monitor.notify_paused()
+        monitor.begin("c2", n_total=5)
+        clock.advance(monitor.stall_threshold_seconds() + 0.1)
+        # A fresh run is not considered paused by a stale notification.
+        assert len(monitor.check()) == 1
+
+    def test_controller_pause_resume_wires_monitor(self):
+        """The serial controller forwards pause()/resume() to its
+        monitor (spurious-stall regression at the integration seam)."""
+        from repro.core.controller import CampaignController
+
+        controller = CampaignController(algorithm=None)
+        monitor, clock = self._running_monitor()
+        controller.health = monitor
+        controller.pause()
+        clock.advance(1000.0)
+        assert monitor.check() == []
+        controller.resume()
+        assert monitor.seconds_since_progress() < 1.0
+        clock.advance(monitor.stall_threshold_seconds() + 0.1)
+        assert len(monitor.check()) == 1
+
+
 class TestDriftDetection:
     def test_drift_alert_on_outcome_mix_change(self):
         monitor, clock = make_monitor(drift_window=10, drift_min_baseline=10)

@@ -10,6 +10,9 @@ the wall-clock field, which is nondeterministic in both modes.
 
 Hypothesis drives technique, seed, campaign size and checkpoint
 cadence; the invariant is exact equality of the canonicalised results.
+The same gate covers the divergence-window accelerations stacked on
+top of warm starts: early exits and outcome-memo replays must be
+byte-identical to the plain run-to-termination tail.
 """
 
 import dataclasses
@@ -49,7 +52,7 @@ def _canonical(sink):
     return rows
 
 
-def _run(shape, warm):
+def _run(shape, warm, plain=False):
     campaign = make_campaign(
         campaign_name="warm-prop",
         technique=shape["technique"],
@@ -61,6 +64,11 @@ def _run(shape, warm):
         warm_start=warm,
     )
     target = create_target("thor-rd")
+    if plain:
+        # The paper's unaccelerated Figure-2 tail: no divergence-window
+        # early exits, no outcome memo (goofi run --no-early-exit).
+        target.early_exit = False
+        target.memoize = False
     sink = target.run_campaign(campaign)
     return _canonical(sink), target
 
@@ -82,6 +90,21 @@ class TestWarmColdEquivalence:
             assert len(target._checkpoints) >= 1
         else:
             assert target._checkpoints is None
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(shape=campaign_shapes)
+    def test_early_exit_equals_plain_tail(self, shape):
+        """Divergence-window early exits and memo replays must be
+        invisible in the logged rows: the default accelerated path is
+        byte-identical to the plain run-to-termination tail for every
+        technique, seed, workload and checkpoint cadence."""
+        accelerated, _ = _run(shape, warm=True)
+        plain, _ = _run(shape, warm=True, plain=True)
+        assert accelerated == plain
 
     def test_warm_saves_simulated_cycles(self):
         """The restore really skips prefix simulation (counter check)."""
