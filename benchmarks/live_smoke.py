@@ -54,6 +54,7 @@ def main() -> int:
             print("live_smoke: exporter never announced a port")
             return 1
         port = int(match.group(1))
+        print(f"live_smoke: exporter announced port {port}")
         snapshot = None
         exposition = None
         while process.poll() is None:
@@ -61,6 +62,18 @@ def main() -> int:
                 snapshot = json.loads(scrape(port, "/snapshot"))
                 exposition = scrape(port, "/metrics")
                 health = json.loads(scrape(port, "/healthz"))
+            except urllib.error.HTTPError as exc:
+                # HTTPError subclasses URLError: without this branch a
+                # 503 stall probe would be mistaken for run teardown
+                # and silently pass. Dump the body (the /healthz JSON)
+                # so the CI log shows *why* the probe went non-200.
+                body = exc.read().decode("utf-8", "replace")
+                print(
+                    f"live_smoke: port {port} {exc.url} returned "
+                    f"{exc.code}; last body:"
+                )
+                print(body)
+                return 1
             except (urllib.error.URLError, OSError):
                 break  # the run finished and tore the exporter down
             # "disabled" races the first scrape: the run's monitor is

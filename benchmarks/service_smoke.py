@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI smoke for the campaign fabric service surface.
+
+Starts ``goofi serve`` on an ephemeral port as a real subprocess,
+submits ``examples/campaigns/static_pruning_scifi.json`` through
+:class:`repro.service.FabricClient`, polls the job to completion, and
+asserts the canonical result rows are byte-identical to a local serial
+run of the same spec. The final job status document is written to
+``service-job-status.json`` — uploaded as a CI artifact so a red run
+leaves the job's last known state behind. Exits nonzero on any
+mismatch so the CI step actually gates.
+
+Usage:  python benchmarks/service_smoke.py [status-out.json]
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+_URL = re.compile(r"fabric: serving on (http://\S+)")
+_SPEC = os.path.join("examples", "campaigns", "static_pruning_scifi.json")
+
+
+def serial_rows(spec):
+    from repro.core import CampaignController, CampaignData, create_target
+    from repro.db import GoofiDatabase
+    from repro.service.schema import canonical_rows_payload
+
+    campaign = CampaignData.from_dict(spec)
+    with GoofiDatabase(":memory:") as db:
+        CampaignController(
+            create_target(campaign.target_name), sink=db
+        ).run(campaign)
+        return canonical_rows_payload(db, campaign.campaign_name)
+
+
+def main() -> int:
+    from repro.service import FabricClient
+
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "service-job-status.json"
+    workdir = tempfile.mkdtemp(prefix="goofi-service-smoke-")
+    with open(_SPEC, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.ui.app", "serve",
+         "--db", f"{workdir}/fabric.db", "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    status = None
+    try:
+        match = None
+        for line in process.stdout:
+            match = _URL.search(line)
+            if match:
+                break
+        if match is None:
+            print("service_smoke: server never announced a URL")
+            return 1
+        url = match.group(1)
+        print(f"service_smoke: fabric announced {url}")
+        client = FabricClient(url)
+        record = client.submit(
+            {"campaign": spec, "tenant": "ci", "n_workers": 2}
+        )
+        job_id = record["job_id"]
+        print(f"service_smoke: submitted {job_id} "
+              f"({record['campaign_name']})")
+        status = client.wait(job_id, timeout=600)
+        if status["state"] != "finished":
+            print(f"service_smoke: job ended {status['state']}: "
+                  f"{status.get('error')}")
+            return 1
+        rows = client.results(job_id)["rows"]
+        expected = serial_rows(spec)
+        if rows != expected:
+            print(
+                f"service_smoke: fabric rows diverge from serial "
+                f"({len(rows)} vs {len(expected)} rows)"
+            )
+            return 1
+        result = status.get("result") or {}
+        print(
+            f"service_smoke: {job_id} finished with "
+            f"{result.get('n_done')} experiments; "
+            f"{len(rows)} rows byte-identical to serial"
+        )
+        return 0
+    finally:
+        if status is not None:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                json.dump(status, handle, indent=2, sort_keys=True)
+            print(f"service_smoke: wrote {out_path}")
+        if process.poll() is None:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

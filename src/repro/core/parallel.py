@@ -69,8 +69,10 @@ from repro.observability.health import (
 from repro.util.errors import CampaignError
 
 __all__ = [
+    "LocalWorkerHandle",
     "ParallelConfig",
     "ParallelCampaignController",
+    "WorkerHandle",
     "run_parallel_campaign",
     "canonical_experiment_rows",
 ]
@@ -126,6 +128,12 @@ class ParallelConfig:
     #: cache, so a class of identical faults executes once campaign-wide
     #: rather than once per worker.
     early_exit: bool = True
+    #: Pluggable worker construction: a callable with
+    #: :class:`LocalWorkerHandle`'s signature returning a
+    #: :class:`WorkerHandle`. ``None`` builds local worker processes;
+    #: the campaign fabric's socket-attached remote workers land behind
+    #: this seam without the event loop noticing.
+    handle_factory: Optional[Any] = None
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -244,37 +252,27 @@ def _worker_main(
 # Parent side
 # ---------------------------------------------------------------------------
 
-class _WorkerHandle:
-    """Parent-side bookkeeping for one worker process."""
+class WorkerHandle:
+    """Parent-side view of one fleet worker — the interface the event
+    loop schedules shards against.
 
-    def __init__(
-        self,
-        context: Any,
-        factory: Any,
-        campaign_json: str,
-        worker_id: int = 0,
-        obs_config: Optional[ObservabilityConfig] = None,
-        golden: Any = None,
-        port_options: Optional[Dict[str, Any]] = None,
-    ):
-        parent_conn, child_conn = context.Pipe(duplex=True)
-        self.conn = parent_conn
+    The base class owns everything that is pure bookkeeping over a
+    duplex message ``conn`` (dispatch, watchdog deadlines, shard
+    tracking, quit requests); transports implement the three lifecycle
+    hooks — :meth:`alive`, :meth:`join` and :meth:`_terminate` — plus a
+    constructor that sets :attr:`conn`. :class:`LocalWorkerHandle`
+    backs the handle with a forked/spawned process and a pipe; a
+    socket-attached remote worker implements the same contract over a
+    ``multiprocessing.connection.Client`` connection and plugs in via
+    :attr:`ParallelConfig.handle_factory` — the event loop cannot tell
+    the difference."""
+
+    #: Duplex connection speaking the worker protocol (must support
+    #: ``send``/``recv``/``poll``/``close`` and ``_mpc.wait``).
+    conn: Any
+
+    def __init__(self, worker_id: int = 0) -> None:
         self.worker_id = worker_id
-        self.process = context.Process(
-            target=_worker_main,
-            args=(
-                child_conn,
-                factory,
-                campaign_json,
-                worker_id,
-                obs_config,
-                golden,
-                port_options,
-            ),
-            daemon=True,
-        )
-        self.process.start()
-        child_conn.close()
         self.ready = False
         self.dead = False
         #: True from shard dispatch until the worker's "done" message —
@@ -320,15 +318,76 @@ class _WorkerHandle:
             self.conn.close()
         except OSError:
             pass
-        if self.process.is_alive():
-            self.process.terminate()
-        self.process.join(timeout=5.0)
+        self._terminate()
 
     def request_quit(self) -> None:
         try:
             self.conn.send(("quit",))
         except (OSError, ValueError, BrokenPipeError):
             pass
+
+    # -- transport hooks ---------------------------------------------------
+
+    def alive(self) -> bool:
+        """Is the underlying worker still there? (watchdog liveness)"""
+        raise NotImplementedError
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the worker to wind down after a quit request."""
+        raise NotImplementedError
+
+    def _terminate(self) -> None:
+        """Forcibly stop the worker (called from :meth:`kill`)."""
+        raise NotImplementedError
+
+
+class LocalWorkerHandle(WorkerHandle):
+    """A :class:`WorkerHandle` backed by a local worker process and a
+    duplex pipe (the default transport)."""
+
+    def __init__(
+        self,
+        context: Any,
+        factory: Any,
+        campaign_json: str,
+        worker_id: int = 0,
+        obs_config: Optional[ObservabilityConfig] = None,
+        golden: Any = None,
+        port_options: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(worker_id)
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                factory,
+                campaign_json,
+                worker_id,
+                obs_config,
+                golden,
+                port_options,
+            ),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def alive(self) -> bool:
+        return bool(self.process.is_alive())
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.process.join(timeout=timeout)
+
+    def _terminate(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+#: Backwards-compatible alias (pre-fabric name).
+_WorkerHandle = LocalWorkerHandle
 
 
 class _ParallelRun:
@@ -381,7 +440,7 @@ class _ParallelRun:
         self._failed_reps: Set[int] = set()
         self.reported = 0
         self.batch: List[ExperimentResult] = []
-        self.workers: List[_WorkerHandle] = []
+        self.workers: List[WorkerHandle] = []
         self.fingerprint: Optional[Tuple[int, int, str]] = None
         self.campaign_json = ""
         #: Parent golden-run bundle shipped to workers (share_golden).
@@ -606,11 +665,12 @@ class _ParallelRun:
             else:
                 self.queue.append([member])
 
-    def _spawn_worker(self, context: Any) -> _WorkerHandle:
+    def _spawn_worker(self, context: Any) -> WorkerHandle:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         self.obs.tracer.event("worker-spawn", worker=worker_id)
-        return _WorkerHandle(
+        handle_factory = self.config.handle_factory or LocalWorkerHandle
+        return handle_factory(
             context,
             self.factory,
             self.campaign_json,
@@ -694,7 +754,7 @@ class _ParallelRun:
             )
 
     def _memo_rows_for(
-        self, worker: _WorkerHandle
+        self, worker: WorkerHandle
     ) -> Optional[List[Dict[str, Any]]]:
         """Memo entries this worker has not been forwarded yet (its
         cursor over the parent table's global insertion order)."""
@@ -735,13 +795,13 @@ class _ParallelRun:
                 continue
             self._handle_message(worker, message)
 
-    def _worker_for(self, conn: Any) -> Optional[_WorkerHandle]:
+    def _worker_for(self, conn: Any) -> Optional[WorkerHandle]:
         for worker in self.workers:
             if worker.conn is conn:
                 return worker
         return None
 
-    def _handle_message(self, worker: _WorkerHandle, message: Tuple) -> None:
+    def _handle_message(self, worker: WorkerHandle, message: Tuple) -> None:
         kind = message[0]
         if self.health.enabled:
             # Any message is a sign of life, not just results — a worker
@@ -784,7 +844,7 @@ class _ParallelRun:
             raise CampaignError(f"parallel worker failed to start: {message[1]}")
 
     @staticmethod
-    def _discard_from_shard(worker: _WorkerHandle, index: int) -> None:
+    def _discard_from_shard(worker: WorkerHandle, index: int) -> None:
         try:
             worker.shard.remove(index)
         except ValueError:
@@ -802,7 +862,7 @@ class _ParallelRun:
                 self._handle_worker_death(
                     worker, f"watchdog: experiment exceeded {timeout:.1f}s"
                 )
-            elif not worker.process.is_alive():
+            elif not worker.alive():
                 self._handle_worker_death(worker, "worker process crashed")
 
     def _replace_dead_workers(self) -> None:
@@ -813,7 +873,7 @@ class _ParallelRun:
             if worker.dead and work_remains:
                 self.workers[position] = self._respawn()
 
-    def _handle_worker_death(self, worker: _WorkerHandle, reason: str) -> None:
+    def _handle_worker_death(self, worker: WorkerHandle, reason: str) -> None:
         self.obs.tracer.event(
             "worker-death", worker=worker.worker_id, reason=reason
         )
@@ -830,7 +890,7 @@ class _ParallelRun:
         worker.kill()
         self._fail_worker_shard(worker, reason)
 
-    def _fail_worker_shard(self, worker: _WorkerHandle, reason: str) -> None:
+    def _fail_worker_shard(self, worker: WorkerHandle, reason: str) -> None:
         """The leftmost shard entry was in flight when the worker died —
         charge the failure to it; later entries were never started and are
         requeued without a retry penalty."""
@@ -841,7 +901,7 @@ class _ParallelRun:
             self.retry_queue.appendleft(worker.shard.pop())
         worker.deadline = None
 
-    def _respawn(self) -> _WorkerHandle:
+    def _respawn(self) -> WorkerHandle:
         self.obs.metrics.counter("parallel.respawns_total").inc()
         return self._spawn_worker(self.config.context())
 
@@ -956,8 +1016,8 @@ class _ParallelRun:
         for worker in self.workers:
             worker.request_quit()
         for worker in self.workers:
-            worker.process.join(timeout=1.0)
-            if worker.process.is_alive():
+            worker.join(timeout=1.0)
+            if worker.alive():
                 worker.kill()
             else:
                 try:

@@ -81,7 +81,8 @@ class GoofiDatabase:
 
         ``CREATE TABLE IF NOT EXISTS`` is a no-op on a pre-existing
         table, so additive *column* migrations need an explicit
-        ``ALTER TABLE`` (v2 → v3: ``LoggedSystemState.derivedFrom``)."""
+        ``ALTER TABLE`` (v2 → v3: ``LoggedSystemState.derivedFrom``;
+        v3 → v4: ``RunMeta.jobId`` / ``RunMeta.tenant``)."""
         columns = {
             row["name"]
             for row in self._conn.execute(
@@ -94,6 +95,14 @@ class GoofiDatabase:
                 "REFERENCES LoggedSystemState(experimentName) "
                 "ON DELETE SET NULL"
             )
+        runmeta_columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(RunMeta)")
+        }
+        if "jobId" not in runmeta_columns:
+            self._conn.execute("ALTER TABLE RunMeta ADD COLUMN jobId TEXT")
+        if "tenant" not in runmeta_columns:
+            self._conn.execute("ALTER TABLE RunMeta ADD COLUMN tenant TEXT")
 
     def close(self) -> None:
         self._conn.close()
@@ -294,16 +303,23 @@ class GoofiDatabase:
     # ------------------------------------------------------------------
 
     def record_run_start(
-        self, campaign: CampaignData, n_workers: int = 1
+        self,
+        campaign: CampaignData,
+        n_workers: int = 1,
+        job_id: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> int:
         """Open a provenance row for one campaign execution; returns its
         ``runId``. Saves the campaign first so the foreign key holds
-        (the same ordering ``log_reference`` uses)."""
+        (the same ordering ``log_reference`` uses). Fabric runs pass
+        ``job_id``/``tenant`` (via ``CampaignController.run_tags``) so
+        the provenance chain reaches the submitting tenant."""
         self.save_campaign(campaign)
         cursor = self._conn.execute(
             "INSERT INTO RunMeta(campaignName, toolVersion, seed, "
-            "configHash, nWorkers, nExperiments, state, metaVersion) "
-            "VALUES (?, ?, ?, ?, ?, ?, 'running', ?)",
+            "configHash, nWorkers, nExperiments, state, metaVersion, "
+            "jobId, tenant) "
+            "VALUES (?, ?, ?, ?, ?, ?, 'running', ?, ?, ?)",
             (
                 campaign.campaign_name,
                 tool_version(),
@@ -312,6 +328,8 @@ class GoofiDatabase:
                 n_workers,
                 campaign.n_experiments,
                 RUNMETA_SCHEMA_VERSION,
+                job_id,
+                tenant,
             ),
         )
         self._conn.commit()
@@ -378,7 +396,97 @@ class GoofiDatabase:
             finished_at=row["finishedAt"],
             meta_version=row["metaVersion"],
             metrics_snapshot=json.loads(snapshot) if snapshot else None,
+            job_id=row["jobId"],
+            tenant=row["tenant"],
         )
+
+    # ------------------------------------------------------------------
+    # FabricJob — the campaign fabric's job table (schema v4)
+    # ------------------------------------------------------------------
+
+    def save_job(self, job: Dict) -> None:
+        """Upsert one fabric job row (``goofi serve`` persists every
+        lifecycle transition here, so jobs survive server restarts and
+        are queryable next to the experiment rows they produced).
+
+        ``job`` is the JSON-safe dict the service layer exchanges
+        (:meth:`repro.service.schema.JobRecord.to_dict` plus a
+        ``"spec"`` key holding the submission document)."""
+        self._conn.execute(
+            "INSERT INTO FabricJob(jobId, tenant, state, priority, "
+            "campaignName, spec, submittedAt, startedAt, finishedAt, "
+            "allocatedWorkers, runId, error, result) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(jobId) DO UPDATE SET "
+            "state = excluded.state, "
+            "startedAt = excluded.startedAt, "
+            "finishedAt = excluded.finishedAt, "
+            "allocatedWorkers = excluded.allocatedWorkers, "
+            "runId = excluded.runId, "
+            "error = excluded.error, "
+            "result = excluded.result",
+            (
+                job["job_id"],
+                job.get("tenant", "default"),
+                job.get("state", "queued"),
+                int(job.get("priority", 0)),
+                job.get("campaign_name", ""),
+                json.dumps(job.get("spec", {}), sort_keys=True),
+                float(job.get("submitted_at") or 0.0),
+                job.get("started_at"),
+                job.get("finished_at"),
+                int(job.get("allocated_workers", 0)),
+                job.get("run_id"),
+                job.get("error"),
+                (
+                    json.dumps(job["result"], sort_keys=True)
+                    if job.get("result") is not None
+                    else None
+                ),
+            ),
+        )
+        self._conn.commit()
+
+    def load_job(self, job_id: str) -> Dict:
+        row = self._conn.execute(
+            "SELECT * FROM FabricJob WHERE jobId = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no fabric job {job_id!r}")
+        return self._row_to_job(row)
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        """Persisted fabric jobs, submission order (optionally one
+        tenant's)."""
+        if tenant is None:
+            rows = self._conn.execute(
+                "SELECT * FROM FabricJob ORDER BY submittedAt, jobId"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM FabricJob WHERE tenant = ? "
+                "ORDER BY submittedAt, jobId",
+                (tenant,),
+            ).fetchall()
+        return [self._row_to_job(row) for row in rows]
+
+    @staticmethod
+    def _row_to_job(row: sqlite3.Row) -> Dict:
+        return {
+            "job_id": row["jobId"],
+            "tenant": row["tenant"],
+            "state": row["state"],
+            "priority": row["priority"],
+            "campaign_name": row["campaignName"],
+            "spec": json.loads(row["spec"]) if row["spec"] else {},
+            "submitted_at": row["submittedAt"],
+            "started_at": row["startedAt"],
+            "finished_at": row["finishedAt"],
+            "allocated_workers": row["allocatedWorkers"],
+            "run_id": row["runId"],
+            "error": row["error"],
+            "result": json.loads(row["result"]) if row["result"] else None,
+        }
 
     # ------------------------------------------------------------------
     # Retrieval for the analysis phase

@@ -19,12 +19,18 @@ Schema history:
   Upgrading from v1/v2 is additive: ``CREATE TABLE IF NOT EXISTS``
   cannot grow an existing table, so the migration issues an
   ``ALTER TABLE ... ADD COLUMN`` before stamping the version.
+* **v4** — the campaign fabric (``goofi serve``): adds the ``FabricJob``
+  table (one row per submitted job: tenant, priority, lifecycle
+  timestamps, terminal result) and ``RunMeta.jobId`` / ``RunMeta.tenant``
+  so the provenance chain reaches from an experiment row through RunMeta
+  to the submitting tenant. Additive like v3: new table via
+  ``CREATE TABLE IF NOT EXISTS``, new columns via ``ALTER TABLE``.
 """
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Prior versions that upgrade in place (purely additive DDL).
-MIGRATABLE_VERSIONS = (1, 2)
+MIGRATABLE_VERSIONS = (1, 2, 3)
 
 DDL = """
 PRAGMA foreign_keys = ON;
@@ -78,11 +84,34 @@ CREATE TABLE IF NOT EXISTS RunMeta (
     nExperiments    INTEGER NOT NULL DEFAULT 0,
     state           TEXT NOT NULL DEFAULT 'running',
     metaVersion     INTEGER NOT NULL,
-    metricsSnapshot TEXT
+    metricsSnapshot TEXT,
+    jobId           TEXT,
+    tenant          TEXT
 );
 
 CREATE INDEX IF NOT EXISTS idx_runmeta_campaign
     ON RunMeta(campaignName);
+
+CREATE TABLE IF NOT EXISTS FabricJob (
+    jobId            TEXT PRIMARY KEY,
+    tenant           TEXT NOT NULL,
+    state            TEXT NOT NULL,
+    priority         INTEGER NOT NULL DEFAULT 0,
+    campaignName     TEXT NOT NULL,
+    spec             TEXT NOT NULL,
+    submittedAt      REAL NOT NULL,
+    startedAt        REAL,
+    finishedAt       REAL,
+    allocatedWorkers INTEGER NOT NULL DEFAULT 0,
+    runId            INTEGER
+                     REFERENCES RunMeta(runId)
+                     ON DELETE SET NULL,
+    error            TEXT,
+    result           TEXT
+);
+
+CREATE INDEX IF NOT EXISTS idx_fabricjob_tenant
+    ON FabricJob(tenant);
 
 CREATE TABLE IF NOT EXISTS SchemaInfo (
     version INTEGER NOT NULL

@@ -32,7 +32,8 @@ __all__ = [
 ]
 
 #: Version of the RunMeta row contract (bumped when fields change).
-RUNMETA_SCHEMA_VERSION = 1
+#: v2 adds the campaign-fabric provenance tags ``job_id`` / ``tenant``.
+RUNMETA_SCHEMA_VERSION = 2
 
 
 def tool_version() -> str:
@@ -72,6 +73,11 @@ class RunMeta:
     meta_version: int = RUNMETA_SCHEMA_VERSION
     metrics_snapshot: Optional[Dict[str, Any]] = None
     run_id: Optional[int] = None
+    #: Campaign-fabric provenance: the ``goofi serve`` job this run
+    #: executed for, and the tenant that submitted it (``None`` for
+    #: runs started outside the fabric).
+    job_id: Optional[str] = None
+    tenant: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -87,6 +93,8 @@ class RunMeta:
             "finished_at": self.finished_at,
             "meta_version": self.meta_version,
             "metrics_snapshot": self.metrics_snapshot,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
         }
 
 
@@ -123,6 +131,9 @@ def render_run(run: RunMeta) -> str:
         f"finished:     {run.finished_at or '-'}",
         f"meta version: {run.meta_version}",
     ]
+    if run.job_id is not None:
+        lines.append(f"fabric job:   {run.job_id}")
+        lines.append(f"tenant:       {run.tenant or '-'}")
     snapshot = run.metrics_snapshot
     if snapshot:
         from repro.observability.report import render_metrics

@@ -1,0 +1,55 @@
+"""Campaign fabric: fault injection as a service.
+
+The paper's campaign loop (Figure 7) assumes one operator driving one
+simulator. This package reframes it the way ProFIPy frames software
+fault injection — as a multi-tenant *service*: an asyncio REST/JSON API
+(``goofi serve``) accepts campaign specs (the same JSON ``goofi lint``
+validates), enqueues them into a priority job queue with per-tenant
+quotas, schedules shards across a fleet of local worker processes
+(reusing the :mod:`repro.core.parallel` worker protocol), streams
+results into the shared sqlite sink, dedupes reference runs through the
+golden cache keyed by config hash, and surfaces live progress/ETA per
+job next to the existing ``/metrics`` exporter surface.
+
+Modules:
+
+* :mod:`repro.service.schema` — job/value objects and the service
+  configuration (the wire contract);
+* :mod:`repro.service.jobs`   — the priority job queue with per-tenant
+  quotas and the job lifecycle;
+* :mod:`repro.service.fleet`  — the worker-slot budget shared by
+  concurrent jobs plus the per-job execution glue;
+* :mod:`repro.service.server` — the asyncio HTTP front end and the
+  scheduler loop (``goofi serve``);
+* :mod:`repro.service.client` — the stateless HTTP client
+  (``goofi submit/status/results``) and the
+  :class:`~repro.service.client.FabricCampaignController` that submits
+  instead of executing.
+"""
+
+from repro.service.client import FabricCampaignController, FabricClient
+from repro.service.fleet import WorkerFleet
+from repro.service.jobs import JobQueue
+from repro.service.schema import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    ServiceConfig,
+    canonical_rows_payload,
+)
+from repro.service.server import FabricServer
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "FabricCampaignController",
+    "FabricClient",
+    "FabricServer",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "ServiceConfig",
+    "WorkerFleet",
+    "canonical_rows_payload",
+]

@@ -1,0 +1,303 @@
+"""The fabric's HTTP client and the submit-instead-of-execute controller.
+
+:class:`FabricClient` is a stateless JSON/REST client over the stdlib
+``urllib`` (the fabric has no dependency budget): submit, status, list,
+results, pause/resume/cancel, and a polling ``wait``. Connection
+refusals are retried with linear backoff — a client started in the same
+script as the server must tolerate the instant before the listener is
+up — while HTTP-level errors surface immediately as
+:class:`~repro.util.errors.ServiceError`.
+
+:class:`FabricCampaignController` closes the loop with the rest of the
+tool: it speaks the :class:`~repro.core.controller.CampaignController`
+interface (``run``/``pause``/``resume``/``stop``/progress listeners)
+but *submits* the campaign to a fabric server and mirrors the remote
+job's progress into local :class:`~repro.core.controller.
+CampaignProgress` snapshots — code written against the Figure-7
+controller drives a remote fleet unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.campaign import CampaignData
+from repro.core.controller import CampaignController, CampaignProgress
+from repro.service.schema import TERMINAL_STATES, JobSpec
+from repro.util.errors import CampaignError, ServiceError
+
+__all__ = ["FabricCampaignController", "FabricClient"]
+
+
+class FabricClient:
+    """JSON/REST client of one ``goofi serve`` instance."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 5,
+        retry_seconds: float = 0.2,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: Connection-refused retries per request (the server may still
+        #: be binding its port when the first request goes out).
+        self.retries = retries
+        self.retry_seconds = retry_seconds
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        url = self.base_url + path
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else (b"" if method == "POST" else None)
+        )
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    text = response.read().decode("utf-8")
+                    return json.loads(text) if text.strip() else None
+            except urllib.error.HTTPError as exc:
+                # HTTPError subclasses URLError: handle it first, and
+                # never retry — the server answered.
+                detail = exc.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except (json.JSONDecodeError, AttributeError):
+                    pass
+                raise ServiceError(
+                    f"{method} {path} failed ({exc.code}): {detail}"
+                ) from exc
+            except (urllib.error.URLError, ConnectionRefusedError) as exc:
+                reason = getattr(exc, "reason", exc)
+                refused = isinstance(
+                    reason, (ConnectionRefusedError, ConnectionResetError)
+                )
+                if not refused or attempt >= self.retries:
+                    raise ServiceError(
+                        f"{method} {path} unreachable: {reason}"
+                    ) from exc
+                attempt += 1
+                time.sleep(self.retry_seconds * attempt)
+
+    # -- API ---------------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        return self._request("GET", "/")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self, spec: Union[JobSpec, CampaignData, Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the created job record (``job_id`` …).
+
+        Accepts a :class:`~repro.service.schema.JobSpec`, a bare
+        :class:`~repro.core.campaign.CampaignData`, or the raw JSON
+        document (enveloped or bare campaign spec)."""
+        if isinstance(spec, JobSpec):
+            payload = spec.to_dict()
+        elif isinstance(spec, CampaignData):
+            payload = spec.to_dict()
+        else:
+            payload = spec
+        return self._request("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(
+        self,
+        tenant: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        query = []
+        if tenant is not None:
+            query.append(f"tenant={tenant}")
+        if state is not None:
+            query.append(f"state={state}")
+        suffix = "?" + "&".join(query) if query else ""
+        return self._request("GET", "/jobs" + suffix)["jobs"]
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        """The canonical experiment rows of a finished job (the
+        byte-identity payload of ``GET /jobs/<id>/results``)."""
+        return self._request("GET", f"/jobs/{job_id}/results")
+
+    def pause(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its
+        final status. Raises on timeout (the job keeps running)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+
+class FabricCampaignController(CampaignController):
+    """A Figure-7 controller that *submits* instead of executing.
+
+    ``run`` posts the campaign to the fabric and polls the job to a
+    terminal state, mirroring remote progress into local
+    :class:`~repro.core.controller.CampaignProgress` snapshots for the
+    registered listeners; ``pause``/``resume``/``stop`` are forwarded
+    to the job. Drop-in for call sites written against the local
+    controllers — the sink lives on the server side."""
+
+    def __init__(
+        self,
+        client: FabricClient,
+        tenant: str = "default",
+        priority: int = 0,
+        n_workers: int = 1,
+        use_golden_cache: bool = True,
+        poll_seconds: float = 0.2,
+    ) -> None:
+        super().__init__(algorithm=None, sink=None)
+        self.client = client
+        self.tenant = tenant
+        self.priority = priority
+        self.n_workers = n_workers
+        self.use_golden_cache = use_golden_cache
+        self.poll_seconds = poll_seconds
+        #: The fabric job this controller submitted (``None`` until run).
+        self.job_id: Optional[str] = None
+
+    # -- run control: forwarded to the remote job --------------------------
+
+    def pause(self) -> None:
+        if self.job_id is not None:
+            self.client.pause(self.job_id)
+        self.progress.state = "paused"
+
+    def resume(self) -> None:
+        if self.job_id is not None:
+            self.client.resume(self.job_id)
+        self.progress.state = "running"
+
+    def stop(self) -> None:
+        if self.job_id is not None:
+            self.client.cancel(self.job_id)
+        self._stop_requested = True
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, campaign: CampaignData, resume: bool = False) -> Dict:
+        """Submit the campaign and poll its job until terminal; returns
+        the final job status. Raises :class:`~repro.util.errors.
+        CampaignError` when the remote run failed."""
+        if resume:
+            raise CampaignError(
+                "the fabric controller cannot resume: submit a fresh job"
+            )
+        spec = JobSpec(
+            campaign=campaign,
+            tenant=self.tenant,
+            priority=self.priority,
+            n_workers=self.n_workers,
+            use_golden_cache=self.use_golden_cache,
+        )
+        record = self.client.submit(spec)
+        self.job_id = str(record["job_id"])
+        self._stop_requested = False
+        self.progress = CampaignProgress(
+            campaign_name=campaign.campaign_name,
+            n_total=campaign.n_experiments,
+            state="queued",
+        )
+        self._notify()
+        while True:
+            status = self.client.status(self.job_id)
+            self._mirror(status)
+            self._notify()
+            if status["state"] in TERMINAL_STATES:
+                break
+            time.sleep(self.poll_seconds)
+        self.run_id = status.get("run_id")
+        if status["state"] == "failed":
+            raise CampaignError(
+                f"fabric job {self.job_id} failed: {status.get('error')}"
+            )
+        return status
+
+    def _mirror(self, status: Dict[str, Any]) -> None:
+        """Fold one remote job status into the local progress snapshot."""
+        summary = status.get("progress") or status.get("result") or {}
+        progress = self.progress
+        state_map = {"cancelled": "stopped", "queued": "idle"}
+        progress.state = state_map.get(
+            str(status["state"]), str(status["state"])
+        )
+        if summary.get("state") and status["state"] == "running":
+            progress.state = str(summary["state"])
+        progress.n_done = int(summary.get("n_done", progress.n_done))
+        progress.n_injected_faults = int(
+            summary.get("n_injected_faults", progress.n_injected_faults)
+        )
+        progress.n_derived = int(
+            summary.get("n_derived", progress.n_derived)
+        )
+        progress.n_worker_failures = int(
+            summary.get("n_worker_failures", progress.n_worker_failures)
+        )
+        progress.n_workers = int(
+            summary.get(
+                "n_workers",
+                status.get("allocated_workers", progress.n_workers),
+            )
+        )
+        progress.terminations = dict(
+            summary.get("terminations", progress.terminations)
+        )
+        progress.detections = dict(
+            summary.get("detections", progress.detections)
+        )
+        progress.elapsed_seconds = float(
+            summary.get("elapsed_seconds", progress.elapsed_seconds)
+        )
+        eta = summary.get("eta_seconds")
+        progress.eta_seconds = float(eta) if eta is not None else None

@@ -1,0 +1,220 @@
+"""The fabric's job queue: priorities, per-tenant quotas, lifecycle.
+
+A :class:`JobQueue` is the single bookkeeper of every job the server
+has ever seen. Scheduling order is **priority first** (larger runs
+earlier), **submission order within a priority** — implemented as a
+lazy-deletion heap so cancelled/paused entries cost one pop instead of
+a rebuild. Quotas bound the number of *non-terminal* jobs per tenant,
+so one client cannot monopolise the fabric by submitting faster than
+it drains.
+
+The queue owns the pre-execution lifecycle (``queued`` ⇄ ``paused``,
+``queued``/``paused`` → ``cancelled``) and the terminal transitions;
+pause/resume/cancel of a *running* job is delegated by the server to
+the job's live campaign controller and reported back here through
+:meth:`finish`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service.schema import JobRecord, JobSpec
+from repro.util.errors import ServiceError
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue + registry of fabric jobs (thread-safe)."""
+
+    def __init__(self, tenant_quota: int = 0, max_queue: int = 0) -> None:
+        #: Max non-terminal jobs per tenant (0 = unlimited).
+        self.tenant_quota = tenant_quota
+        #: Max jobs waiting in ``queued`` state across tenants (0 = no cap).
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}
+        #: (-priority, seq, job_id): heapq is a min-heap, so negating the
+        #: priority runs the largest first; ``seq`` breaks ties FIFO.
+        self._heap: List[Any] = []
+        self._seq = itertools.count()
+        #: job_id -> the heap seq it was enqueued under, so a paused job
+        #: resumes into its *original* position rather than the back.
+        self._seqs: Dict[str, int] = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Admit a job (quota and backlog permitting) and enqueue it."""
+        spec.validate()
+        with self._lock:
+            if self.max_queue:
+                backlog = sum(
+                    1 for job in self._jobs.values() if job.state == "queued"
+                )
+                if backlog >= self.max_queue:
+                    raise ServiceError(
+                        f"queue full ({backlog} jobs already waiting)"
+                    )
+            if self.tenant_quota:
+                active = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.spec.tenant == spec.tenant and job.active
+                )
+                if active >= self.tenant_quota:
+                    raise ServiceError(
+                        f"tenant {spec.tenant!r} quota exhausted "
+                        f"({active}/{self.tenant_quota} active jobs)"
+                    )
+            seq = next(self._seq)
+            job_id = f"job-{seq + 1:06d}"
+            record = JobRecord(job_id=job_id, spec=spec)
+            self._jobs[job_id] = record
+            self._seqs[job_id] = seq
+            heapq.heappush(self._heap, (-spec.priority, seq, job_id))
+            return record
+
+    # -- scheduling --------------------------------------------------------
+
+    def pop_runnable(self) -> Optional[JobRecord]:
+        """The highest-priority ``queued`` job, atomically moved to
+        ``running`` — or ``None`` when nothing is runnable. Stale heap
+        entries (cancelled, paused, already-running resubmissions) are
+        discarded lazily."""
+        with self._lock:
+            while self._heap:
+                _, seq, job_id = self._heap[0]
+                record = self._jobs.get(job_id)
+                if (
+                    record is None
+                    or record.state != "queued"
+                    or self._seqs.get(job_id) != seq
+                ):
+                    heapq.heappop(self._heap)
+                    continue
+                heapq.heappop(self._heap)
+                record.state = "running"
+                return record
+            return None
+
+    def requeue(self, job_id: str) -> None:
+        """Return a job the scheduler claimed but could not start (e.g.
+        the fleet grant fell through) to its original position."""
+        with self._lock:
+            record = self._require(job_id)
+            if record.state != "running":
+                raise ServiceError(
+                    f"job {job_id} is {record.state}, not reclaimable"
+                )
+            record.state = "queued"
+            seq = self._seqs[job_id]
+            heapq.heappush(
+                self._heap, (-record.spec.priority, seq, job_id)
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def pause(self, job_id: str) -> JobRecord:
+        """Withhold a queued job from the scheduler (running jobs are
+        paused through their controller by the server)."""
+        with self._lock:
+            record = self._require(job_id)
+            if record.state != "queued":
+                raise ServiceError(
+                    f"job {job_id} is {record.state}; only queued jobs "
+                    "pause here"
+                )
+            record.state = "paused"
+            return record
+
+    def resume(self, job_id: str) -> JobRecord:
+        """Re-admit a paused job at its original queue position."""
+        with self._lock:
+            record = self._require(job_id)
+            if record.state != "paused":
+                raise ServiceError(
+                    f"job {job_id} is {record.state}, not paused"
+                )
+            record.state = "queued"
+            heapq.heappush(
+                self._heap,
+                (-record.spec.priority, self._seqs[job_id], job_id),
+            )
+            return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job that has not started (running jobs are stopped
+        through their controller; terminal jobs cannot change)."""
+        with self._lock:
+            record = self._require(job_id)
+            if record.terminal:
+                raise ServiceError(
+                    f"job {job_id} already {record.state}"
+                )
+            if record.state == "running":
+                raise ServiceError(
+                    f"job {job_id} is running; stop it via its controller"
+                )
+            record.state = "cancelled"
+            record.finished_at = time.time()
+            return record
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        result: Optional[Dict[str, Any]] = None,
+    ) -> JobRecord:
+        """Record a terminal state for a job the server executed."""
+        if state not in ("finished", "failed", "cancelled"):
+            raise ServiceError(f"not a terminal job state: {state!r}")
+        with self._lock:
+            record = self._require(job_id)
+            record.state = state
+            record.error = error
+            if result is not None:
+                record.result = result
+            record.finished_at = time.time()
+            return record
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._require(job_id)
+
+    def jobs(
+        self,
+        tenant: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> List[JobRecord]:
+        """All known jobs, submission order, optionally filtered."""
+        with self._lock:
+            records = sorted(
+                self._jobs.values(), key=lambda job: job.submitted_at
+            )
+        if tenant is not None:
+            records = [r for r in records if r.spec.tenant == tenant]
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        return records
+
+    def depth(self) -> int:
+        """Jobs currently waiting in ``queued`` state."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.state == "queued"
+            )
+
+    def _require(self, job_id: str) -> JobRecord:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise ServiceError(f"no such job: {job_id}")
+        return record

@@ -1,0 +1,234 @@
+"""Wire contract of the campaign fabric: job specs, job records, config.
+
+Everything the REST surface exchanges is defined here as plain
+dataclasses with explicit ``to_dict`` / ``from_dict`` round trips, so
+the server, the client and the tests share one source of truth for the
+JSON shapes. A submitted job wraps a full
+:class:`~repro.core.campaign.CampaignData` spec — the same JSON document
+``goofi lint --spec`` validates — plus the scheduling envelope (tenant,
+priority, requested workers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.campaign import CampaignData
+from repro.util.errors import ServiceError
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "ServiceConfig",
+    "canonical_rows_payload",
+]
+
+#: Every state a fabric job can be in. ``queued`` and ``paused`` are
+#: pre-execution states (paused jobs are withheld from the scheduler);
+#: ``running`` jobs delegate pause/resume/cancel to their live campaign
+#: controller; the rest are terminal.
+JOB_STATES = (
+    "queued",
+    "paused",
+    "running",
+    "finished",
+    "failed",
+    "cancelled",
+)
+
+#: States a job can never leave.
+TERMINAL_STATES = ("finished", "failed", "cancelled")
+
+
+@dataclass
+class JobSpec:
+    """What a client submits: a campaign plus its scheduling envelope."""
+
+    campaign: CampaignData
+    #: Quota accounting key; every submission belongs to a tenant.
+    tenant: str = "default"
+    #: Larger runs earlier; FIFO within equal priority.
+    priority: int = 0
+    #: Worker processes requested from the fleet (the grant may be
+    #: smaller when the fleet is nearly saturated, never zero).
+    n_workers: int = 1
+    #: Adopt/populate the server's golden-run disk cache so reference
+    #: runs dedupe across jobs with identical config hashes.
+    use_golden_cache: bool = True
+
+    def validate(self) -> None:
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ServiceError("job tenant must be a non-empty string")
+        if not isinstance(self.priority, int):
+            raise ServiceError("job priority must be an integer")
+        if not isinstance(self.n_workers, int) or self.n_workers < 1:
+            raise ServiceError("job n_workers must be an integer >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign.to_dict(),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "n_workers": self.n_workers,
+            "use_golden_cache": self.use_golden_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Parse a submission body.
+
+        Accepts both the enveloped form (``{"campaign": {...},
+        "tenant": ...}``) and a bare campaign spec — the exact document
+        ``goofi lint --spec`` takes — which submits with envelope
+        defaults."""
+        if not isinstance(payload, dict):
+            raise ServiceError("job submission must be a JSON object")
+        if "campaign" in payload:
+            campaign_doc = payload["campaign"]
+            envelope = payload
+        else:
+            campaign_doc = payload
+            envelope = {}
+        if not isinstance(campaign_doc, dict):
+            raise ServiceError("job campaign must be a JSON object")
+        try:
+            campaign = CampaignData.from_dict(campaign_doc)
+        except Exception as exc:
+            raise ServiceError(f"invalid campaign spec: {exc}") from exc
+        spec = cls(
+            campaign=campaign,
+            tenant=str(envelope.get("tenant", "default")),
+            priority=int(envelope.get("priority", 0)),
+            n_workers=int(envelope.get("n_workers", 1)),
+            use_golden_cache=bool(envelope.get("use_golden_cache", True)),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle state, as tracked by the queue/server."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Worker processes actually granted by the fleet (0 until running).
+    allocated_workers: int = 0
+    #: RunMeta provenance row id once the execution opened one.
+    run_id: Optional[int] = None
+    #: Terminal error detail for ``failed`` jobs.
+    error: Optional[str] = None
+    #: Final progress summary (n_done, terminations, elapsed …).
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def active(self) -> bool:
+        """Counted against the tenant quota: not yet terminal."""
+        return not self.terminal
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` body (sans live progress, which the
+        server grafts on for running jobs)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "n_workers": self.spec.n_workers,
+            "allocated_workers": self.allocated_workers,
+            "campaign_name": self.spec.campaign.campaign_name,
+            "n_experiments": self.spec.campaign.n_experiments,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "run_id": self.run_id,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+def _default_workers() -> int:
+    return max(2, os.cpu_count() or 1)
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one ``goofi serve`` instance."""
+
+    #: The shared sqlite sink every job logs into. Must be a file path:
+    #: concurrent jobs each open their own connection against it.
+    db_path: str = "goofi-fabric.db"
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (announced on stdout by the CLI).
+    port: int = 0
+    #: Total worker processes the fleet may run at once, across jobs.
+    #: Deliberately allowed to exceed the core count: the fabric's
+    #: scaling story is oversubscription (see the E16 benchmark).
+    total_workers: int = field(default_factory=_default_workers)
+    #: Max non-terminal jobs per tenant (0 = unlimited).
+    tenant_quota: int = 8
+    #: Max queued jobs across tenants (0 = unlimited).
+    max_queue: int = 1024
+    #: Golden-run disk cache shared by every job (``None`` disables
+    #: cross-job reference-run dedup).
+    golden_cache_dir: Optional[str] = None
+    #: Scheduler poll interval (also the pause/cancel latency).
+    poll_seconds: float = 0.05
+    #: Shard size forwarded to :class:`repro.core.parallel.ParallelConfig`.
+    shard_size: int = 8
+    #: multiprocessing start method (``None`` = platform default).
+    start_method: Optional[str] = None
+
+    def validate(self) -> None:
+        if not self.db_path or self.db_path == ":memory:":
+            raise ServiceError(
+                "the fabric needs a file database (jobs share it across "
+                "connections); ':memory:' cannot be shared"
+            )
+        if self.total_workers < 1:
+            raise ServiceError("ServiceConfig.total_workers must be >= 1")
+        if self.tenant_quota < 0:
+            raise ServiceError("ServiceConfig.tenant_quota must be >= 0")
+        if self.max_queue < 0:
+            raise ServiceError("ServiceConfig.max_queue must be >= 0")
+        if self.poll_seconds <= 0:
+            raise ServiceError("ServiceConfig.poll_seconds must be positive")
+
+
+def canonical_rows_payload(
+    db: Any, campaign_name: str
+) -> List[Dict[str, str]]:
+    """JSON-safe canonical form of a campaign's logged experiment rows.
+
+    Built on :func:`repro.core.parallel.canonical_experiment_rows` (the
+    serial-vs-parallel determinism contract): wall-clock is zeroed and
+    the state-vector blob is folded to a sha256, so a fabric run and a
+    local serial run of the same spec must produce byte-identical
+    payloads. Served by ``GET /jobs/<id>/results`` and recomputed
+    client-side for the identity check."""
+    from repro.core.parallel import canonical_experiment_rows
+
+    payload: List[Dict[str, str]] = []
+    for name, data, state in canonical_experiment_rows(db, campaign_name):
+        payload.append(
+            {
+                "name": name,
+                "data": data.decode("utf-8"),
+                "state_sha256": hashlib.sha256(state).hexdigest(),
+            }
+        )
+    return payload

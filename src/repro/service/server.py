@@ -1,0 +1,456 @@
+"""``goofi serve``: the asyncio HTTP front end and the scheduler loop.
+
+One :class:`FabricServer` owns the whole fabric: an
+``asyncio.start_server`` front end (stdlib only — requests are parsed
+by hand and dispatched to a thread executor so sqlite calls never block
+the event loop), a scheduler thread that pops runnable jobs whenever
+fleet slots free up, and one executor thread per running job. Each job
+executes under its own :class:`~repro.core.parallel.
+ParallelCampaignController` against its own connection to the shared
+sqlite file (WAL mode keeps concurrent writers cheap), so the fabric's
+byte-identity guarantee is exactly the serial-vs-parallel determinism
+contract the parallel runner is property-tested for.
+
+REST surface (JSON bodies throughout)::
+
+    GET  /                   service info: fleet + queue snapshot
+    GET  /healthz            liveness: state counts, fleet, queue depth
+    GET  /metrics            OpenMetrics exposition (process registry)
+    POST /jobs               submit a job spec           -> 201 record
+    GET  /jobs[?tenant=&state=]   list known jobs
+    GET  /jobs/<id>          job record (+ live progress while running)
+    GET  /jobs/<id>/results  canonical experiment rows of the job's run
+    POST /jobs/<id>/pause    withhold (queued) / pause (running)
+    POST /jobs/<id>/resume   re-admit / resume
+    POST /jobs/<id>/cancel   cancel (running jobs stop cooperatively)
+
+Lifecycle persistence: every transition is mirrored into the
+``FabricJob`` table of the shared database (schema v4), so submitted
+work is queryable next to the experiment rows it produced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.db.database import GoofiDatabase
+from repro.observability import get_observability
+from repro.observability.exporter import (
+    CONTENT_TYPE_OPENMETRICS,
+    render_openmetrics,
+)
+from repro.service.fleet import WorkerFleet, _progress_summary, execute_job
+from repro.service.jobs import JobQueue
+from repro.service.schema import (
+    JobRecord,
+    JobSpec,
+    ServiceConfig,
+    canonical_rows_payload,
+)
+from repro.util.errors import ServiceError
+
+__all__ = ["FabricServer"]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class FabricServer:
+    """The campaign fabric: HTTP front end, scheduler, job executors."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.queue = JobQueue(
+            tenant_quota=self.config.tenant_quota,
+            max_queue=self.config.max_queue,
+        )
+        self.fleet = WorkerFleet(self.config.total_workers)
+        #: The server's own connection to the shared sink: job-table
+        #: persistence and results queries (job executors open their own).
+        self._db = GoofiDatabase(self.config.db_path)
+        self._db_lock = threading.Lock()
+        #: job_id -> live campaign controller, while the job runs (how
+        #: pause/resume/cancel reach a running campaign).
+        self._controllers: Dict[str, Any] = {}
+        self._controllers_lock = threading.Lock()
+        self._job_threads: Dict[str, threading.Thread] = {}
+        self._stop = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Future] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._scheduler_thread: Optional[threading.Thread] = None
+        self.host = self.config.host
+        #: Bound port (resolved from an ephemeral 0 once started).
+        self.port = self.config.port
+        self._started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "FabricServer":
+        """Bind the HTTP front end and start the scheduler; returns self
+        once the port is known (``self.port``)."""
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def _serve() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._serve_http(started))
+            except BaseException as exc:  # pragma: no cover - bind errors
+                failure.append(exc)
+                started.set()
+            finally:
+                loop.close()
+
+        self._http_thread = threading.Thread(
+            target=_serve, name="fabric-http", daemon=True
+        )
+        self._http_thread.start()
+        started.wait(timeout=10.0)
+        if failure:
+            raise ServiceError(f"fabric server failed to start: {failure[0]}")
+        self._scheduler_thread = threading.Thread(
+            target=self._scheduler_loop, name="fabric-scheduler", daemon=True
+        )
+        self._scheduler_thread.start()
+        return self
+
+    async def _serve_http(self, started: threading.Event) -> None:
+        server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = int(server.sockets[0].getsockname()[1])
+        loop = asyncio.get_event_loop()
+        self._shutdown = loop.create_future()
+        started.set()
+        try:
+            await self._shutdown
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    def stop(self) -> None:
+        """Stop accepting requests, cancel running jobs cooperatively,
+        join every worker thread, close the server's db connection."""
+        self._stop.set()
+        with self._controllers_lock:
+            controllers = list(self._controllers.values())
+        for controller in controllers:
+            controller.stop()
+        if self._scheduler_thread is not None:
+            self._scheduler_thread.join(timeout=10.0)
+        for thread in list(self._job_threads.values()):
+            thread.join(timeout=30.0)
+        if self._loop is not None and self._shutdown is not None:
+            def _finish(future: "asyncio.Future[None]") -> None:
+                if not future.done():
+                    future.set_result(None)
+
+            self._loop.call_soon_threadsafe(_finish, self._shutdown)
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10.0)
+        with self._db_lock:
+            self._db.close()
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def __enter__(self) -> "FabricServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- scheduler ---------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        """Claim the highest-priority runnable job whenever the fleet has
+        free slots; one executor thread per running job."""
+        while not self._stop.is_set():
+            record = None
+            granted = 0
+            if self.fleet.free > 0:
+                record = self.queue.pop_runnable()
+            if record is not None:
+                granted = self.fleet.try_acquire(record.spec.n_workers)
+                if granted == 0:
+                    # Lost the race for the last slot: put it back.
+                    self.queue.requeue(record.job_id)
+                    record = None
+            if record is None:
+                self._stop.wait(self.config.poll_seconds)
+                continue
+            thread = threading.Thread(
+                target=self._run_job,
+                args=(record, granted),
+                name=f"fabric-{record.job_id}",
+                daemon=True,
+            )
+            self._job_threads[record.job_id] = thread
+            thread.start()
+
+    def _run_job(self, record: JobRecord, granted: int) -> None:
+        try:
+            self._persist(record)
+            summary = execute_job(
+                record,
+                granted,
+                self.config,
+                self._open_sink,
+                self._publish_controller,
+            )
+            # A cooperative stop (cancel of a running job) surfaces as
+            # the controller's "stopped" state, not an exception.
+            state = (
+                "cancelled" if summary.get("state") == "stopped"
+                else "finished"
+            )
+            self.queue.finish(record.job_id, state, result=summary)
+        except Exception as exc:
+            self.queue.finish(
+                record.job_id, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self.fleet.release(granted)
+            self._job_threads.pop(record.job_id, None)
+            self._persist(record)
+
+    def _open_sink(self) -> GoofiDatabase:
+        return GoofiDatabase(self.config.db_path)
+
+    def _publish_controller(self, record: JobRecord, controller: Any) -> None:
+        with self._controllers_lock:
+            if controller is None:
+                self._controllers.pop(record.job_id, None)
+            else:
+                self._controllers[record.job_id] = controller
+
+    def _persist(self, record: JobRecord) -> None:
+        job = record.to_dict()
+        job["spec"] = record.spec.to_dict()
+        with self._db_lock:
+            self._db.save_job(job)
+
+    # -- HTTP front end ----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0].upper(), parts[1]
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or 0)
+            body = await reader.readexactly(length) if length > 0 else b""
+            loop = asyncio.get_event_loop()
+            # sqlite + queue locks are blocking: dispatch off the loop.
+            status, content_type, payload = await loop.run_in_executor(
+                None, self._dispatch, method, target, body
+            )
+            data = payload.encode("utf-8")
+            reason = _REASONS.get(status, "OK")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + data)
+            await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):  # pragma: no cover - client went away mid-request
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+    # -- routing -----------------------------------------------------------
+
+    def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, str, str]:
+        """Route one request; returns (status, content type, body)."""
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(split.query).items()
+        }
+        try:
+            return self._route(method, path, query, body)
+        except ServiceError as exc:
+            status = 404 if "no such job" in str(exc) else 400
+            return self._json(status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            get_observability().flightrec.dump(
+                "fabric-request-error", path=path
+            )
+            return self._json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def _route(
+        self, method: str, path: str, query: Dict[str, str], body: bytes
+    ) -> Tuple[int, str, str]:
+        if path == "/":
+            return self._json(200, self._info())
+        if path == "/healthz":
+            return self._json(200, self._healthz())
+        if path == "/metrics":
+            snapshot = get_observability().metrics.snapshot()
+            return (
+                200,
+                CONTENT_TYPE_OPENMETRICS,
+                render_openmetrics(snapshot),
+            )
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return self._list_jobs(query)
+            return self._json(405, {"error": f"{method} not allowed"})
+        if path.startswith("/jobs/"):
+            segments = path.split("/")[2:]
+            job_id = segments[0]
+            action = segments[1] if len(segments) > 1 else None
+            if action is None and method == "GET":
+                return self._json(200, self._job_status(job_id))
+            if action == "results" and method == "GET":
+                return self._json(200, self._job_results(job_id))
+            if action in ("pause", "resume", "cancel") and method == "POST":
+                return self._json(200, self._control(job_id, action))
+            return self._json(405, {"error": f"{method} {path} not allowed"})
+        return self._json(404, {"error": f"no such endpoint: {path}"})
+
+    @staticmethod
+    def _json(status: int, payload: Any) -> Tuple[int, str, str]:
+        return (
+            status,
+            "application/json",
+            json.dumps(payload, sort_keys=True) + "\n",
+        )
+
+    # -- handlers ----------------------------------------------------------
+
+    def _info(self) -> Dict[str, Any]:
+        return {
+            "service": "goofi-fabric",
+            "db_path": self.config.db_path,
+            "uptime_seconds": time.time() - self._started_at,
+            "fleet": self.fleet.snapshot(),
+            "queue_depth": self.queue.depth(),
+        }
+
+    def _healthz(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for record in self.queue.jobs():
+            states[record.state] = states.get(record.state, 0) + 1
+        return {
+            "status": "ok",
+            "fleet": self.fleet.snapshot(),
+            "queue_depth": self.queue.depth(),
+            "jobs": states,
+        }
+
+    def _submit(self, body: bytes) -> Tuple[int, str, str]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from exc
+        spec = JobSpec.from_dict(payload)
+        record = self.queue.submit(spec)
+        self._persist(record)
+        get_observability().metrics.counter("fabric.jobs_submitted").inc()
+        return self._json(201, record.to_dict())
+
+    def _list_jobs(self, query: Dict[str, str]) -> Tuple[int, str, str]:
+        records = self.queue.jobs(
+            tenant=query.get("tenant"), state=query.get("state")
+        )
+        return self._json(
+            200, {"jobs": [record.to_dict() for record in records]}
+        )
+
+    def _job_status(self, job_id: str) -> Dict[str, Any]:
+        record = self.queue.get(job_id)
+        status = record.to_dict()
+        with self._controllers_lock:
+            controller = self._controllers.get(job_id)
+        if controller is not None:
+            # Live per-job progress/ETA, read from the job's own
+            # controller (the process-global health slot would be
+            # clobbered by concurrent jobs).
+            status["progress"] = _progress_summary(controller)
+        return status
+
+    def _job_results(self, job_id: str) -> Dict[str, Any]:
+        record = self.queue.get(job_id)
+        if record.state != "finished":
+            raise ServiceError(
+                f"job {job_id} is {record.state}; results need a "
+                "finished job"
+            )
+        campaign_name = record.spec.campaign.campaign_name
+        with self._db_lock:
+            rows = canonical_rows_payload(self._db, campaign_name)
+        return {
+            "job_id": job_id,
+            "campaign_name": campaign_name,
+            "run_id": record.run_id,
+            "rows": rows,
+        }
+
+    def _control(self, job_id: str, action: str) -> Dict[str, Any]:
+        record = self.queue.get(job_id)
+        if record.state == "running":
+            with self._controllers_lock:
+                controller = self._controllers.get(job_id)
+            if controller is None:
+                raise ServiceError(
+                    f"job {job_id} is settling; retry the {action}"
+                )
+            if action == "pause":
+                controller.pause()
+            elif action == "resume":
+                controller.resume()
+            else:
+                controller.stop()
+            return self._job_status(job_id)
+        if action == "pause":
+            self.queue.pause(job_id)
+        elif action == "resume":
+            self.queue.resume(job_id)
+        else:
+            self.queue.cancel(job_id)
+        self._persist(record)
+        return self._job_status(job_id)

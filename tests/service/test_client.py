@@ -1,0 +1,94 @@
+"""FabricClient transport behaviour: retry policy and error mapping."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import FabricClient
+from repro.util.errors import ServiceError
+
+
+class FakeResponse(io.BytesIO):
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+def test_retries_connection_refused_then_succeeds(monkeypatch):
+    """The server may still be binding when the first request goes out:
+    connection refusals retry with backoff instead of failing."""
+    calls = []
+
+    def fake_urlopen(request, timeout=None):
+        calls.append(request.full_url)
+        if len(calls) < 3:
+            raise urllib.error.URLError(ConnectionRefusedError(111))
+        return FakeResponse(json.dumps({"service": "goofi-fabric"}).encode())
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr("time.sleep", lambda seconds: None)
+    client = FabricClient("http://127.0.0.1:1", retries=5)
+    assert client.info() == {"service": "goofi-fabric"}
+    assert len(calls) == 3
+
+
+def test_gives_up_after_retry_budget(monkeypatch):
+    attempts = []
+
+    def fake_urlopen(request, timeout=None):
+        attempts.append(1)
+        raise urllib.error.URLError(ConnectionRefusedError(111))
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr("time.sleep", lambda seconds: None)
+    client = FabricClient("http://127.0.0.1:1", retries=2)
+    with pytest.raises(ServiceError, match="unreachable"):
+        client.info()
+    assert len(attempts) == 3  # first try + 2 retries
+
+
+def test_http_errors_do_not_retry(monkeypatch):
+    """HTTPError subclasses URLError; the server answered, so the error
+    surfaces immediately with the JSON detail extracted."""
+    calls = []
+
+    def fake_urlopen(request, timeout=None):
+        calls.append(1)
+        raise urllib.error.HTTPError(
+            request.full_url, 404, "Not Found", {},
+            io.BytesIO(json.dumps({"error": "no such job: job-9"}).encode()),
+        )
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    client = FabricClient("http://127.0.0.1:1", retries=5)
+    with pytest.raises(ServiceError, match="no such job: job-9"):
+        client.status("job-9")
+    assert len(calls) == 1
+
+
+def test_non_refused_url_errors_do_not_retry(monkeypatch):
+    calls = []
+
+    def fake_urlopen(request, timeout=None):
+        calls.append(1)
+        raise urllib.error.URLError(OSError("no route to host"))
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    client = FabricClient("http://127.0.0.1:1", retries=5)
+    with pytest.raises(ServiceError, match="unreachable"):
+        client.info()
+    assert len(calls) == 1
+
+
+def test_real_connection_refused_raises(unused_tcp_port=None):
+    # No listener on port 1: the refusal is real, the budget is small.
+    client = FabricClient(
+        "http://127.0.0.1:1", retries=1, retry_seconds=0.01
+    )
+    with pytest.raises(ServiceError, match="unreachable"):
+        client.info()

@@ -1,0 +1,188 @@
+"""JobQueue: priority ordering, per-tenant quotas, lifecycle."""
+
+import pytest
+
+from repro.service.jobs import JobQueue
+from repro.service.schema import JobSpec
+from repro.util.errors import ServiceError
+from tests.conftest import make_campaign
+
+
+def spec(**overrides):
+    envelope = dict(campaign=make_campaign())
+    envelope.update(overrides)
+    return JobSpec(**envelope)
+
+
+class TestOrdering:
+    def test_higher_priority_runs_first(self):
+        queue = JobQueue()
+        low = queue.submit(spec(priority=0))
+        high = queue.submit(spec(priority=5))
+        mid = queue.submit(spec(priority=2))
+        order = [queue.pop_runnable().job_id for _ in range(3)]
+        assert order == [high.job_id, mid.job_id, low.job_id]
+
+    def test_fifo_within_equal_priority(self):
+        queue = JobQueue()
+        first = queue.submit(spec(priority=1))
+        second = queue.submit(spec(priority=1))
+        third = queue.submit(spec(priority=1))
+        order = [queue.pop_runnable().job_id for _ in range(3)]
+        assert order == [first.job_id, second.job_id, third.job_id]
+
+    def test_pop_empty_queue_returns_none(self):
+        assert JobQueue().pop_runnable() is None
+
+    def test_pop_moves_job_to_running(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        assert queue.pop_runnable().job_id == record.job_id
+        assert queue.get(record.job_id).state == "running"
+        assert queue.pop_runnable() is None
+
+    def test_requeue_restores_original_position(self):
+        queue = JobQueue()
+        first = queue.submit(spec(priority=1))
+        second = queue.submit(spec(priority=1))
+        claimed = queue.pop_runnable()
+        assert claimed.job_id == first.job_id
+        queue.requeue(first.job_id)
+        # Back at the head, not behind the later submission.
+        assert queue.pop_runnable().job_id == first.job_id
+        assert queue.pop_runnable().job_id == second.job_id
+
+
+class TestQuotas:
+    def test_tenant_quota_blocks_excess_submissions(self):
+        queue = JobQueue(tenant_quota=2)
+        queue.submit(spec(tenant="alice"))
+        queue.submit(spec(tenant="alice"))
+        with pytest.raises(ServiceError, match="quota"):
+            queue.submit(spec(tenant="alice"))
+
+    def test_quota_is_per_tenant(self):
+        queue = JobQueue(tenant_quota=1)
+        queue.submit(spec(tenant="alice"))
+        queue.submit(spec(tenant="bob"))  # different tenant: fine
+
+    def test_terminal_jobs_free_quota(self):
+        queue = JobQueue(tenant_quota=1)
+        record = queue.submit(spec(tenant="alice"))
+        queue.pop_runnable()
+        queue.finish(record.job_id, "finished")
+        queue.submit(spec(tenant="alice"))  # quota freed
+
+    def test_max_queue_bounds_backlog(self):
+        queue = JobQueue(max_queue=2)
+        queue.submit(spec())
+        queue.submit(spec())
+        with pytest.raises(ServiceError, match="queue full"):
+            queue.submit(spec())
+
+    def test_running_jobs_do_not_count_against_backlog(self):
+        queue = JobQueue(max_queue=1)
+        queue.submit(spec())
+        queue.pop_runnable()
+        queue.submit(spec())  # backlog is empty again
+
+
+class TestLifecycle:
+    def test_paused_job_is_withheld_from_scheduler(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.pause(record.job_id)
+        assert queue.pop_runnable() is None
+        assert queue.get(record.job_id).state == "paused"
+
+    def test_resume_returns_to_original_position(self):
+        queue = JobQueue()
+        first = queue.submit(spec(priority=1))
+        second = queue.submit(spec(priority=1))
+        queue.pause(first.job_id)
+        queue.resume(first.job_id)
+        assert queue.pop_runnable().job_id == first.job_id
+        assert queue.pop_runnable().job_id == second.job_id
+
+    def test_cancel_queued_job(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.cancel(record.job_id)
+        assert queue.get(record.job_id).state == "cancelled"
+        assert queue.get(record.job_id).finished_at is not None
+        assert queue.pop_runnable() is None
+
+    def test_cancel_paused_job(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.pause(record.job_id)
+        queue.cancel(record.job_id)
+        assert queue.get(record.job_id).state == "cancelled"
+
+    def test_cancel_refuses_running_job(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.pop_runnable()
+        with pytest.raises(ServiceError, match="running"):
+            queue.cancel(record.job_id)
+
+    def test_cancel_refuses_terminal_job(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.pop_runnable()
+        queue.finish(record.job_id, "finished")
+        with pytest.raises(ServiceError, match="already finished"):
+            queue.cancel(record.job_id)
+
+    def test_pause_refuses_running_job(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.pop_runnable()
+        with pytest.raises(ServiceError, match="only queued"):
+            queue.pause(record.job_id)
+
+    def test_resume_refuses_unpaused_job(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        with pytest.raises(ServiceError, match="not paused"):
+            queue.resume(record.job_id)
+
+    def test_finish_records_error_and_result(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        queue.pop_runnable()
+        queue.finish(record.job_id, "failed", error="boom",
+                     result={"n_done": 3})
+        final = queue.get(record.job_id)
+        assert final.state == "failed"
+        assert final.error == "boom"
+        assert final.result == {"n_done": 3}
+        assert final.terminal and not final.active
+
+    def test_finish_rejects_non_terminal_state(self):
+        queue = JobQueue()
+        record = queue.submit(spec())
+        with pytest.raises(ServiceError, match="not a terminal"):
+            queue.finish(record.job_id, "running")
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(ServiceError, match="no such job"):
+            JobQueue().get("job-999999")
+
+
+class TestIntrospection:
+    def test_jobs_filters_by_tenant_and_state(self):
+        queue = JobQueue()
+        a = queue.submit(spec(tenant="alice"))
+        queue.submit(spec(tenant="bob"))
+        assert [r.job_id for r in queue.jobs(tenant="alice")] == [a.job_id]
+        queue.pause(a.job_id)
+        assert [r.job_id for r in queue.jobs(state="paused")] == [a.job_id]
+
+    def test_depth_counts_queued_only(self):
+        queue = JobQueue()
+        queue.submit(spec())
+        record = queue.submit(spec())
+        assert queue.depth() == 2
+        queue.pause(record.job_id)
+        assert queue.depth() == 1

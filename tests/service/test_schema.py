@@ -1,0 +1,84 @@
+"""Wire contract: JobSpec round trips, ServiceConfig validation, fleet."""
+
+import pytest
+
+from repro.service.fleet import WorkerFleet
+from repro.service.schema import JobSpec, ServiceConfig
+from repro.util.errors import ServiceError
+from tests.conftest import make_campaign
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec(
+            campaign=make_campaign(), tenant="alice", priority=3,
+            n_workers=4, use_golden_cache=False,
+        )
+        rebuilt = JobSpec.from_dict(spec.to_dict())
+        assert rebuilt.tenant == "alice"
+        assert rebuilt.priority == 3
+        assert rebuilt.n_workers == 4
+        assert rebuilt.use_golden_cache is False
+        assert rebuilt.campaign.to_dict() == spec.campaign.to_dict()
+
+    def test_bare_campaign_spec_submits_with_defaults(self):
+        # The exact document `goofi lint --spec` validates is accepted.
+        spec = JobSpec.from_dict(make_campaign().to_dict())
+        assert spec.tenant == "default"
+        assert spec.priority == 0
+        assert spec.n_workers == 1
+
+    def test_invalid_campaign_is_a_service_error(self):
+        with pytest.raises(ServiceError, match="invalid campaign"):
+            JobSpec.from_dict({"campaign": {"campaign_name": "x"}})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            JobSpec.from_dict(["not", "a", "job"])
+
+    def test_validate_rejects_bad_envelope(self):
+        with pytest.raises(ServiceError, match="n_workers"):
+            JobSpec(campaign=make_campaign(), n_workers=0).validate()
+        with pytest.raises(ServiceError, match="tenant"):
+            JobSpec(campaign=make_campaign(), tenant="").validate()
+
+
+class TestServiceConfig:
+    def test_rejects_memory_database(self):
+        with pytest.raises(ServiceError, match="file database"):
+            ServiceConfig(db_path=":memory:").validate()
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(db_path="x.db", total_workers=0).validate()
+        with pytest.raises(ServiceError):
+            ServiceConfig(db_path="x.db", poll_seconds=0).validate()
+
+
+class TestWorkerFleet:
+    def test_partial_grant_when_nearly_saturated(self):
+        fleet = WorkerFleet(4)
+        assert fleet.try_acquire(3) == 3
+        # 1 slot left: the next job starts smaller instead of waiting.
+        assert fleet.try_acquire(4) == 1
+        assert fleet.try_acquire(2) == 0
+        fleet.release(3)
+        assert fleet.free == 3
+
+    def test_release_never_exceeds_total(self):
+        fleet = WorkerFleet(2)
+        fleet.release(5)
+        assert fleet.free == 2
+
+    def test_snapshot(self):
+        fleet = WorkerFleet(3)
+        fleet.try_acquire(2)
+        assert fleet.snapshot() == {
+            "total_workers": 3,
+            "free_workers": 1,
+            "busy_workers": 2,
+        }
+
+    def test_zero_request_rejected(self):
+        with pytest.raises(ServiceError):
+            WorkerFleet(2).try_acquire(0)

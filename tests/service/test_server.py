@@ -1,0 +1,152 @@
+"""FabricServer routing and job lifecycle over the REST surface.
+
+These tests drive :meth:`FabricServer._dispatch` directly — the full
+request pipeline minus the socket — so routing, status codes and the
+queue-level lifecycle are exercised without starting the scheduler
+(submitted jobs deterministically stay ``queued``). The socket path and
+real execution are covered by ``test_fabric.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.db import GoofiDatabase
+from repro.service import FabricServer, ServiceConfig
+from tests.conftest import make_campaign
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServiceConfig(
+        db_path=str(tmp_path / "fabric.db"), total_workers=2
+    )
+    fabric = FabricServer(config)
+    yield fabric
+    fabric.stop()
+
+
+def call(server, method, path, payload=None):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    status, content_type, text = server._dispatch(method, path, body)
+    parsed = json.loads(text) if "json" in content_type else text
+    return status, parsed
+
+
+def submit(server, **overrides):
+    payload = dict(campaign=make_campaign().to_dict())
+    payload.update(overrides)
+    status, body = call(server, "POST", "/jobs", payload)
+    assert status == 201
+    return body
+
+
+class TestRouting:
+    def test_info(self, server):
+        status, body = call(server, "GET", "/")
+        assert status == 200
+        assert body["service"] == "goofi-fabric"
+        assert body["fleet"]["total_workers"] == 2
+
+    def test_healthz(self, server):
+        submit(server)
+        status, body = call(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["jobs"] == {"queued": 1}
+
+    def test_metrics_is_openmetrics(self, server):
+        status, content_type, text = server._dispatch(
+            "GET", "/metrics", b""
+        )
+        assert status == 200
+        assert "openmetrics" in content_type
+        assert text.rstrip().endswith("# EOF")
+
+    def test_unknown_endpoint_404(self, server):
+        status, body = call(server, "GET", "/nope")
+        assert status == 404
+
+    def test_unknown_job_404(self, server):
+        status, body = call(server, "GET", "/jobs/job-999999")
+        assert status == 404
+        assert "no such job" in body["error"]
+
+    def test_method_not_allowed(self, server):
+        status, _ = call(server, "DELETE", "/jobs")
+        assert status == 405
+
+    def test_bad_json_body_400(self, server):
+        status, body = server._dispatch("POST", "/jobs", b"{nope")[::2]
+        assert status == 400
+        assert "not JSON" in json.loads(body)["error"]
+
+
+class TestSubmission:
+    def test_submit_returns_record(self, server):
+        record = submit(server, tenant="alice", priority=2)
+        assert record["job_id"] == "job-000001"
+        assert record["state"] == "queued"
+        assert record["tenant"] == "alice"
+        assert record["priority"] == 2
+
+    def test_submit_persists_job_row(self, server, tmp_path):
+        record = submit(server)
+        with GoofiDatabase(str(tmp_path / "fabric.db")) as db:
+            row = db.load_job(record["job_id"])
+        assert row["state"] == "queued"
+        assert row["spec"]["campaign"]["campaign_name"] == "test-campaign"
+
+    def test_quota_exhaustion_400(self, tmp_path):
+        config = ServiceConfig(
+            db_path=str(tmp_path / "q.db"), total_workers=2, tenant_quota=1
+        )
+        server = FabricServer(config)
+        try:
+            submit(server)
+            payload = {"campaign": make_campaign().to_dict()}
+            status, body = call(server, "POST", "/jobs", payload)
+            assert status == 400
+            assert "quota" in body["error"]
+        finally:
+            server.stop()
+
+    def test_list_jobs_filters(self, server):
+        submit(server, tenant="alice")
+        submit(server, tenant="bob")
+        status, body = call(server, "GET", "/jobs?tenant=alice")
+        assert status == 200
+        assert [job["tenant"] for job in body["jobs"]] == ["alice"]
+
+
+class TestLifecycle:
+    def test_pause_resume_cancel_queued_job(self, server):
+        record = submit(server)
+        job_id = record["job_id"]
+        status, body = call(server, "POST", f"/jobs/{job_id}/pause")
+        assert (status, body["state"]) == (200, "paused")
+        status, body = call(server, "POST", f"/jobs/{job_id}/resume")
+        assert (status, body["state"]) == (200, "queued")
+        status, body = call(server, "POST", f"/jobs/{job_id}/cancel")
+        assert (status, body["state"]) == (200, "cancelled")
+
+    def test_illegal_transition_400(self, server):
+        record = submit(server)
+        job_id = record["job_id"]
+        status, body = call(server, "POST", f"/jobs/{job_id}/resume")
+        assert status == 400
+        assert "not paused" in body["error"]
+
+    def test_results_require_finished_job(self, server):
+        record = submit(server)
+        status, body = call(
+            server, "GET", f"/jobs/{record['job_id']}/results"
+        )
+        assert status == 400
+        assert "finished" in body["error"]
+
+    def test_cancel_is_persisted(self, server, tmp_path):
+        record = submit(server)
+        call(server, "POST", f"/jobs/{record['job_id']}/cancel")
+        with GoofiDatabase(str(tmp_path / "fabric.db")) as db:
+            assert db.load_job(record["job_id"])["state"] == "cancelled"
