@@ -11,8 +11,10 @@ Classifies every fault-injection experiment against the reference run:
     correct and nothing detected,
   * *Overwritten* — no observable difference at all.
 
-Plus coverage estimation with confidence intervals and detail-mode
-error-propagation analysis.
+Plus coverage estimation with confidence intervals (Wilson and exact
+Clopper-Pearson), detail-mode error-propagation analysis, and the
+streaming analytics engine behind ``goofi analyze`` (sequential
+stopping, heatmaps, cross-campaign diffing).
 """
 
 from repro.analysis.classify import (
@@ -27,9 +29,14 @@ from repro.analysis.coverage import (
     detection_coverage,
     wilson_interval,
 )
+from repro.analysis.diff import CampaignDiff, MetricDelta, diff_reports
+from repro.analysis.engine import CampaignReport, analyze_campaign
+from repro.analysis.heatmap import OutcomeHeatmap, PropagationHeatmap
+from repro.analysis.intervals import clopper_pearson_interval
 from repro.analysis.latency import LatencyReport, detection_latency
 from repro.analysis.propagation import PropagationReport, analyse_propagation
 from repro.analysis.report import render_campaign_report
+from repro.analysis.stopping import StoppingAdvice, stopping_advice
 
 __all__ = [
     "Outcome",
@@ -39,10 +46,20 @@ __all__ = [
     "classify_campaign",
     "CoverageEstimate",
     "wilson_interval",
+    "clopper_pearson_interval",
     "detection_coverage",
     "PropagationReport",
     "analyse_propagation",
     "render_campaign_report",
     "LatencyReport",
     "detection_latency",
+    "StoppingAdvice",
+    "stopping_advice",
+    "OutcomeHeatmap",
+    "PropagationHeatmap",
+    "CampaignReport",
+    "analyze_campaign",
+    "CampaignDiff",
+    "MetricDelta",
+    "diff_reports",
 ]

@@ -1,0 +1,278 @@
+"""Cross-campaign diffing and the ``goofi analyze --gate`` regression gate.
+
+Two campaign reports are compared through their RunMeta-style config
+hash (:func:`repro.observability.runmeta.campaign_config_hash`):
+
+* **Same hash** — the runs claim identical configurations, so any drift
+  in the outcome mix is evidence, not design. Each outcome class gets a
+  two-proportion z-test, and the gate metrics (detection coverage,
+  escaped fraction) use the same tolerance-band vocabulary as
+  ``benchmarks/check_regression.py``: a metric regresses only when it
+  leaves the relative tolerance band *and* the drift is statistically
+  significant at 0.05 — noise inside the band never trips the gate.
+* **Different hash** — the configurations differ, so outcome drift is
+  expected; the diff instead reports the field-level config delta next
+  to the outcome delta and never flags a regression.
+
+``--gate`` exits nonzero iff :attr:`CampaignDiff.regressed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.classify import Outcome
+from repro.analysis.engine import CampaignReport
+from repro.analysis.faultspace import ProportionComparison, compare_proportions
+
+__all__ = ["CampaignDiff", "MetricDelta", "diff_reports"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One gated metric compared across two runs."""
+
+    name: str
+    direction: str  # "higher_better" | "lower_better"
+    base: float
+    fresh: float
+    comparison: Optional[ProportionComparison]
+    regressed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "direction": self.direction,
+            "base": self.base,
+            "fresh": self.fresh,
+            "regressed": self.regressed,
+        }
+        if self.comparison is not None:
+            out["z"] = self.comparison.z
+            out["p_value"] = self.comparison.p_value
+            out["significant_05"] = self.comparison.significant_05
+        return out
+
+
+@dataclass
+class CampaignDiff:
+    """Outcome (and, when configs differ, config) delta of two runs."""
+
+    base_campaign: str
+    fresh_campaign: str
+    base_hash: str
+    fresh_hash: str
+    same_config: bool
+    tolerance: float
+    #: outcome label -> {base/fresh count+fraction, z-test}
+    outcome_delta: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: total variation distance between the two outcome distributions
+    tv_distance: float = 0.0
+    metrics: List[MetricDelta] = field(default_factory=list)
+    #: dotted config field -> {"base": ..., "fresh": ...}; empty when
+    #: the hashes match.
+    config_delta: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    regressed: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base_campaign": self.base_campaign,
+            "fresh_campaign": self.fresh_campaign,
+            "base_config_hash": self.base_hash,
+            "fresh_config_hash": self.fresh_hash,
+            "same_config": self.same_config,
+            "tolerance": self.tolerance,
+            "outcome_delta": self.outcome_delta,
+            "tv_distance": self.tv_distance,
+            "metrics": [metric.to_dict() for metric in self.metrics],
+            "config_delta": self.config_delta,
+            "regressed": self.regressed,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Campaign diff: {self.base_campaign} (base) vs "
+            f"{self.fresh_campaign} (fresh)",
+            "=" * 60,
+            f"config hashes: {self.base_hash[:12]}… vs "
+            f"{self.fresh_hash[:12]}… "
+            f"({'identical' if self.same_config else 'DIFFERENT'})",
+        ]
+        if self.config_delta:
+            lines.append("config delta:")
+            for key in sorted(self.config_delta):
+                entry = self.config_delta[key]
+                lines.append(
+                    f"  {key}: {entry['base']!r} -> {entry['fresh']!r}"
+                )
+        lines.append(
+            f"{'outcome':26s} {'base':>12s} {'fresh':>12s} {'drift':>16s}"
+        )
+        lines.append("-" * 70)
+        for label, row in self.outcome_delta.items():
+            drift = (
+                f"z={row['z']:+.2f} p={row['p_value']:.3f}"
+                if "z" in row
+                else "-"
+            )
+            lines.append(
+                f"{label:26s} {row['base_count']:5d} {row['base_fraction']:6.1%}"
+                f" {row['fresh_count']:5d} {row['fresh_fraction']:6.1%}"
+                f" {drift:>16s}"
+            )
+        lines.append(
+            f"total variation distance: {self.tv_distance:.4f} "
+            f"(tolerance band ±{self.tolerance:.0%})"
+        )
+        for metric in self.metrics:
+            arrow = "REGRESSED" if metric.regressed else "ok"
+            lines.append(
+                f"{metric.name} ({metric.direction}): "
+                f"{metric.base:.3f} -> {metric.fresh:.3f} [{arrow}]"
+            )
+        if self.same_config:
+            lines.append(
+                "verdict: REGRESSION" if self.regressed else "verdict: PASS"
+            )
+        else:
+            lines.append(
+                "verdict: configs differ — outcome drift reported, not gated"
+            )
+        return "\n".join(lines)
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    elif isinstance(value, list):
+        # Lists (fault locations, output spec) are compared wholesale —
+        # elementwise diffs of reordered location lists read as noise.
+        out[prefix] = value
+    else:
+        out[prefix] = value
+
+
+def _config_delta(
+    base_config: Optional[Dict[str, Any]],
+    fresh_config: Optional[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    base_flat: Dict[str, Any] = {}
+    fresh_flat: Dict[str, Any] = {}
+    _flatten("", base_config or {}, base_flat)
+    _flatten("", fresh_config or {}, fresh_flat)
+    delta: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(set(base_flat) | set(fresh_flat)):
+        base_value = base_flat.get(key)
+        fresh_value = fresh_flat.get(key)
+        if base_value != fresh_value:
+            delta[key] = {"base": base_value, "fresh": fresh_value}
+    return delta
+
+
+def _gate_metric(
+    name: str,
+    direction: str,
+    base_successes: int,
+    base_trials: int,
+    fresh_successes: int,
+    fresh_trials: int,
+    tolerance: float,
+) -> MetricDelta:
+    base = base_successes / base_trials if base_trials else 0.0
+    fresh = fresh_successes / fresh_trials if fresh_trials else 0.0
+    comparison = None
+    if base_trials > 0 and fresh_trials > 0:
+        comparison = compare_proportions(
+            base_successes, base_trials, fresh_successes, fresh_trials
+        )
+    if direction == "higher_better":
+        outside_band = fresh < base * (1.0 - tolerance)
+    else:
+        outside_band = fresh > base * (1.0 + tolerance) and fresh > base
+    regressed = bool(
+        outside_band and comparison is not None and comparison.significant_05
+    )
+    return MetricDelta(
+        name=name,
+        direction=direction,
+        base=base,
+        fresh=fresh,
+        comparison=comparison,
+        regressed=regressed,
+    )
+
+
+def diff_reports(
+    base: CampaignReport,
+    fresh: CampaignReport,
+    base_config: Optional[Dict[str, Any]] = None,
+    fresh_config: Optional[Dict[str, Any]] = None,
+    tolerance: float = 0.1,
+) -> CampaignDiff:
+    """Compare two campaign reports keyed by their config hashes.
+
+    ``tolerance`` is the relative band a gated metric may move within
+    before it can count as a regression (mirroring the benchmark gate's
+    ``GOOFI_BENCH_TOLERANCE`` semantics).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1): {tolerance}")
+    same = base.config_hash == fresh.config_hash
+
+    outcome_delta: Dict[str, Dict[str, Any]] = {}
+    tv = 0.0
+    for outcome in Outcome:
+        base_count = base.summary.count(outcome)
+        fresh_count = fresh.summary.count(outcome)
+        row: Dict[str, Any] = {
+            "base_count": base_count,
+            "base_fraction": base.summary.fraction(outcome),
+            "fresh_count": fresh_count,
+            "fresh_fraction": fresh.summary.fraction(outcome),
+        }
+        tv += abs(row["base_fraction"] - row["fresh_fraction"])
+        if base.total > 0 and fresh.total > 0:
+            comparison = compare_proportions(
+                base_count, base.total, fresh_count, fresh.total
+            )
+            row["z"] = comparison.z
+            row["p_value"] = comparison.p_value
+            row["significant_05"] = comparison.significant_05
+        outcome_delta[outcome.value] = row
+
+    metrics = [
+        _gate_metric(
+            "detection_coverage",
+            "higher_better",
+            base.summary.detected,
+            base.summary.effective,
+            fresh.summary.detected,
+            fresh.summary.effective,
+            tolerance,
+        ),
+        _gate_metric(
+            "escaped_fraction",
+            "lower_better",
+            base.summary.escaped,
+            base.total,
+            fresh.summary.escaped,
+            fresh.total,
+            tolerance,
+        ),
+    ]
+
+    return CampaignDiff(
+        base_campaign=base.campaign_name,
+        fresh_campaign=fresh.campaign_name,
+        base_hash=base.config_hash,
+        fresh_hash=fresh.config_hash,
+        same_config=same,
+        tolerance=tolerance,
+        outcome_delta=outcome_delta,
+        tv_distance=0.5 * tv,
+        metrics=metrics,
+        config_delta={} if same else _config_delta(base_config, fresh_config),
+        regressed=same and any(metric.regressed for metric in metrics),
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.campaign import CampaignData
 from repro.core.experiment import ExperimentResult, ReferenceRun, Termination
@@ -43,8 +43,48 @@ _LOGGED_UPSERT = (
 class GoofiDatabase:
     """A GOOFI campaign database (sqlite3 file or in-memory)."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:", readonly: bool = False):
         self.path = path
+        self.readonly = readonly
+        if readonly:
+            # Analytics connections: a WAL *snapshot* reader that can
+            # never take the write lock, so a mid-campaign
+            # ``goofi analyze`` cannot stall the writer (and a crash of
+            # the analysis can never corrupt the sink). ``mode=ro``
+            # makes the failure mode an immediate error instead of a
+            # blocking lock acquisition.
+            if path == ":memory:":
+                raise DatabaseError(
+                    "read-only connections need a database file"
+                )
+            from urllib.parse import quote
+
+            try:
+                self._conn = sqlite3.connect(
+                    f"file:{quote(path)}?mode=ro",
+                    uri=True,
+                    check_same_thread=False,
+                )
+            except sqlite3.OperationalError as exc:
+                raise DatabaseError(
+                    f"cannot open {path!r} read-only: {exc}"
+                ) from exc
+            self._conn.row_factory = sqlite3.Row
+            # Belt and braces: refuse writes at the connection level too
+            # (mode=ro already rejects them at the VFS layer).
+            self._conn.execute("PRAGMA query_only = ON")
+            row = self._conn.execute(
+                "SELECT version FROM SchemaInfo"
+            ).fetchone()
+            version = row["version"] if row is not None else None
+            # Older-but-migratable files are readable as-is: every v5
+            # feature the reader relies on is additive (the new indices
+            # only make queries faster, never change their results).
+            if version not in MIGRATABLE_VERSIONS + (SCHEMA_VERSION,):
+                raise DatabaseError(
+                    f"database schema version {version} != {SCHEMA_VERSION}"
+                )
+            return
         # Campaigns may log from a worker thread (run_in_thread) or flush
         # batches from the parallel runner's parent loop.
         self._conn = sqlite3.connect(path, check_same_thread=False)
@@ -517,6 +557,33 @@ class GoofiDatabase:
             (campaign_name,),
         ).fetchall()
         return [self._row_to_result(row) for row in rows]
+
+    def iter_experiments(
+        self, campaign_name: str, batch_size: int = 1024
+    ) -> Iterator[ExperimentResult]:
+        """Server-side batched cursor over a campaign's experiment rows.
+
+        Streams rows in ``experimentName`` order (the same order
+        :meth:`load_experiments` returns) without ever materialising the
+        whole campaign in memory — the streaming analytics engine walks
+        million-row campaigns through this in ``batch_size`` windows.
+        The cursor reads whatever rows are committed when each
+        ``fetchmany`` executes, so it is safe to run against a live
+        campaign (on a WAL file the reader never blocks the writer)."""
+        if batch_size < 1:
+            raise DatabaseError(f"batch_size must be >= 1: {batch_size}")
+        cursor = self._conn.execute(
+            "SELECT * FROM LoggedSystemState "
+            "WHERE campaignName = ? AND isReference = 0 "
+            "ORDER BY experimentName",
+            (campaign_name,),
+        )
+        while True:
+            rows = cursor.fetchmany(batch_size)
+            if not rows:
+                break
+            for row in rows:
+                yield self._row_to_result(row)
 
     def count_experiments(self, campaign_name: str) -> int:
         row = self._conn.execute(

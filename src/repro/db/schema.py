@@ -25,12 +25,20 @@ Schema history:
   so the provenance chain reaches from an experiment row through RunMeta
   to the submitting tenant. Additive like v3: new table via
   ``CREATE TABLE IF NOT EXISTS``, new columns via ``ALTER TABLE``.
+* **v5** — the streaming analytics layer (``goofi analyze``): two
+  covering expression indices over ``LoggedSystemState`` so per-campaign
+  outcome mixes and location×time heatmaps come out of index scans
+  instead of full-table JSON parses — ``(campaignName, termination
+  kind)`` and ``(campaignName, first-injection location, first-injection
+  time)``, both extracted from the ``experimentData`` JSON. Purely
+  additive (``CREATE INDEX IF NOT EXISTS``), so v1–v4 files upgrade in
+  place by stamping the version.
 """
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Prior versions that upgrade in place (purely additive DDL).
-MIGRATABLE_VERSIONS = (1, 2, 3)
+MIGRATABLE_VERSIONS = (1, 2, 3, 4)
 
 DDL = """
 PRAGMA foreign_keys = ON;
@@ -69,6 +77,19 @@ CREATE TABLE IF NOT EXISTS LoggedSystemState (
 
 CREATE INDEX IF NOT EXISTS idx_logged_campaign
     ON LoggedSystemState(campaignName);
+
+CREATE INDEX IF NOT EXISTS idx_logged_campaign_outcome
+    ON LoggedSystemState(
+        campaignName,
+        json_extract(experimentData, '$.termination.kind')
+    );
+
+CREATE INDEX IF NOT EXISTS idx_logged_campaign_location_time
+    ON LoggedSystemState(
+        campaignName,
+        json_extract(experimentData, '$.injections[0].location'),
+        json_extract(experimentData, '$.injections[0].time')
+    );
 
 CREATE TABLE IF NOT EXISTS RunMeta (
     runId           INTEGER PRIMARY KEY AUTOINCREMENT,

@@ -42,10 +42,29 @@ __all__ = ["main"]
 
 
 def _load_snapshot(path: str) -> Dict[str, Any]:
+    """Read and structurally validate a metrics snapshot.
+
+    Truncated files surface as ``json.JSONDecodeError`` (a
+    ``ValueError``) and malformed-but-parseable documents are rejected
+    here, so ``report``/``diff`` always exit 1 with a one-line message
+    instead of tracebacking deep inside the renderers."""
     with open(path, encoding="utf-8") as handle:
         snapshot = json.load(handle)
     if not isinstance(snapshot, dict):
         raise ValueError(f"{path}: not a metrics snapshot object")
+    for section in ("counters", "gauges", "histograms"):
+        value = snapshot.get(section, {})
+        if not isinstance(value, dict):
+            raise ValueError(
+                f"{path}: snapshot section {section!r} is "
+                f"{type(value).__name__}, expected an object"
+            )
+    for name, data in snapshot.get("histograms", {}).items():
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"{path}: histogram {name!r} is {type(data).__name__}, "
+                "expected an object"
+            )
     return snapshot
 
 

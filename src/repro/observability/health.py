@@ -39,9 +39,29 @@ __all__ = [
     "CampaignHealthMonitor",
     "HealthAlert",
     "NULL_HEALTH",
+    "analysis_metrics",
     "get_health",
     "set_health",
 ]
+
+
+def analysis_metrics() -> Dict[str, float]:
+    """Live analytics gauges (set by the streaming analysis engine),
+    keyed without their ``analysis.`` prefix — the health monitor and
+    the fabric progress display graft these next to row-count progress
+    so "how tight is the CI" is visible beside "how many rows are done".
+    Empty when metrics are disabled or no analysis has run yet."""
+    from repro.observability import get_observability
+
+    metrics = get_observability().metrics
+    if not metrics.enabled:
+        return {}
+    gauges = metrics.snapshot().get("gauges", {})
+    return {
+        key.split(".", 1)[1]: value
+        for key, value in gauges.items()
+        if key.startswith("analysis.")
+    }
 
 #: EWMA smoothing factor for inter-completion latency.
 _EWMA_ALPHA = 0.2
@@ -408,7 +428,7 @@ class CampaignHealthMonitor:
             status = "drift"
         if stalled:
             status = "stall"
-        return {
+        body = {
             "status": status,
             "campaign": self.campaign_name,
             "n_total": self.n_total,
@@ -425,6 +445,10 @@ class CampaignHealthMonitor:
             },
             "alerts": alerts,
         }
+        analysis = analysis_metrics()
+        if analysis:
+            body["analysis"] = analysis
+        return body
 
 
 #: Shared disabled monitor (the module default).

@@ -146,6 +146,23 @@ class FabricClient:
         byte-identity payload of ``GET /jobs/<id>/results``)."""
         return self._request("GET", f"/jobs/{job_id}/results")
 
+    def analysis(
+        self,
+        job_id: str,
+        confidence: Optional[float] = None,
+        epsilon: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Streaming campaign analytics for a job (``GET
+        /jobs/<id>/analysis``) — works on running jobs: the report
+        covers the rows committed so far."""
+        query = []
+        if confidence is not None:
+            query.append(f"confidence={confidence}")
+        if epsilon is not None:
+            query.append(f"epsilon={epsilon}")
+        suffix = "?" + "&".join(query) if query else ""
+        return self._request("GET", f"/jobs/{job_id}/analysis" + suffix)
+
     def pause(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/pause")
 

@@ -71,8 +71,10 @@ class WorkerFleet:
 def _progress_summary(controller: CampaignController) -> Dict[str, Any]:
     """JSON-safe snapshot of a controller's live progress (the per-job
     progress/ETA block of ``GET /jobs/<id>``)."""
+    from repro.observability.health import analysis_metrics
+
     progress = controller.progress
-    return {
+    summary = {
         "state": progress.state,
         "n_total": progress.n_total,
         "n_done": progress.n_done,
@@ -87,6 +89,10 @@ def _progress_summary(controller: CampaignController) -> Dict[str, Any]:
         "eta_seconds": progress.eta_seconds,
         "n_workers": progress.n_workers,
     }
+    analysis = analysis_metrics()
+    if analysis:
+        summary["analysis"] = analysis
+    return summary
 
 
 def build_controller(

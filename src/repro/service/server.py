@@ -52,7 +52,7 @@ from repro.service.schema import (
     ServiceConfig,
     canonical_rows_payload,
 )
-from repro.util.errors import ServiceError
+from repro.util.errors import DatabaseError, ServiceError
 
 __all__ = ["FabricServer"]
 
@@ -347,6 +347,8 @@ class FabricServer:
                 return self._json(200, self._job_status(job_id))
             if action == "results" and method == "GET":
                 return self._json(200, self._job_results(job_id))
+            if action == "analysis" and method == "GET":
+                return self._json(200, self._job_analysis(job_id, query))
             if action in ("pause", "resume", "cancel") and method == "POST":
                 return self._json(200, self._control(job_id, action))
             return self._json(405, {"error": f"{method} {path} not allowed"})
@@ -428,6 +430,48 @@ class FabricServer:
             "campaign_name": campaign_name,
             "run_id": record.run_id,
             "rows": rows,
+        }
+
+    def _job_analysis(
+        self, job_id: str, query: Dict[str, str]
+    ) -> Dict[str, Any]:
+        """Streaming analytics over a job's campaign — valid on *running*
+        jobs too: the report is computed on a fresh read-only WAL
+        connection, so it sees the last committed rows and never blocks
+        the job's writer. The payload is deterministic for a given
+        database state and identical to ``goofi analyze --json``."""
+        from repro.analysis import analyze_campaign
+
+        record = self.queue.get(job_id)
+        if record.state in ("queued", "cancelled"):
+            raise ServiceError(
+                f"job {job_id} is {record.state}; analysis needs a job "
+                "that has started executing"
+            )
+        campaign_name = record.spec.campaign.campaign_name
+        try:
+            confidence = float(query.get("confidence", 0.95))
+            epsilon = float(query.get("epsilon", 0.05))
+        except ValueError as exc:
+            raise ServiceError(f"bad analysis parameter: {exc}") from None
+        try:
+            with GoofiDatabase(self.config.db_path, readonly=True) as db:
+                report = analyze_campaign(
+                    db, campaign_name, confidence=confidence, epsilon=epsilon
+                )
+        except DatabaseError as exc:
+            # A running job whose reference run has not committed yet
+            # (or a database still being created): a retryable client
+            # error, not a server fault.
+            raise ServiceError(
+                f"job {job_id} is not analyzable yet: {exc}"
+            ) from exc
+        return {
+            "job_id": job_id,
+            "campaign_name": campaign_name,
+            "run_id": record.run_id,
+            "state": record.state,
+            "analysis": report.to_dict(),
         }
 
     def _control(self, job_id: str, action: str) -> Dict[str, Any]:

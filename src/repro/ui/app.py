@@ -45,7 +45,7 @@ from repro.core.framework import (
 )
 from repro.core.triggers import TriggerSpec
 from repro.db import GoofiDatabase
-from repro.db.autoanalysis import generate_analysis_script, run_auto_analysis
+from repro.db.autoanalysis import generate_analysis_script
 from repro.ui.campaign_window import CampaignSetupWindow
 from repro.ui.config_window import TargetConfigurationWindow
 from repro.ui.progress_window import ProgressWindow
@@ -164,9 +164,42 @@ def _build_parser() -> argparse.ArgumentParser:
                         "to workload end (the escape hatch for "
                         "debugging or timing studies)")
 
-    p = sub.add_parser("analyze", help="classify a stored campaign")
+    p = sub.add_parser(
+        "analyze",
+        help="streaming campaign analytics: outcome mix with Wilson and "
+             "exact intervals, heatmaps, sequential stopping advice, "
+             "cross-campaign diffing (safe to run against a live "
+             "campaign — the database is opened read-only)",
+    )
     p.add_argument("--db", required=True)
-    p.add_argument("--campaign", required=True)
+    p.add_argument("--campaign", required=True,
+                   help="campaign to analyze (the run under test when "
+                        "diffing)")
+    p.add_argument("--confidence", type=float, default=0.95)
+    p.add_argument("--half-width", type=float, default=0.05,
+                   help="sequential-stopping target CI half-width ε: "
+                        "advice says stop once the detection-coverage "
+                        "interval half-width is ≤ ε")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (identical to "
+                        "the fabric's /jobs/<id>/analysis payload)")
+    p.add_argument("--batch-size", type=int, default=512,
+                   help="rows fetched per cursor batch")
+    p.add_argument("--time-bins", type=int, default=12,
+                   help="time-axis resolution of the heatmaps")
+    p.add_argument("--diff", metavar="BASELINE",
+                   help="diff against this baseline campaign: same config "
+                        "hash → outcome-mix drift with significance tests; "
+                        "different hash → field-level config delta")
+    p.add_argument("--diff-db", metavar="PATH",
+                   help="database holding the baseline campaign "
+                        "(default: --db)")
+    p.add_argument("--gate", action="store_true",
+                   help="with --diff: exit 1 when the run under test "
+                        "regressed vs. the baseline (tolerance band + "
+                        "significance, like benchmarks/check_regression.py)")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="relative tolerance band for --gate metrics")
 
     p = sub.add_parser("rerun", help="re-run one experiment in detail mode")
     p.add_argument("--db", required=True)
@@ -493,9 +526,59 @@ def _cmd_lint(args) -> int:
     return 1 if n_errors else 0
 
 
+def _analyze_one(db, campaign_name: str, args):
+    from repro.analysis import analyze_campaign
+
+    return analyze_campaign(
+        db,
+        campaign_name,
+        confidence=args.confidence,
+        epsilon=args.half_width,
+        batch_size=args.batch_size,
+        time_bins=args.time_bins,
+    )
+
+
 def _cmd_analyze(args) -> int:
-    with GoofiDatabase(args.db) as db:
-        print(run_auto_analysis(db, args.campaign))
+    import json
+
+    from repro.analysis import diff_reports
+
+    if args.gate and not args.diff:
+        print("goofi: error: --gate needs --diff BASELINE", file=sys.stderr)
+        return 2
+    # Analytics never mutate: a read-only WAL connection sees the last
+    # committed snapshot and cannot stall a live 'goofi run'/'goofi serve'
+    # writer on the same file.
+    with GoofiDatabase(args.db, readonly=True) as db:
+        fresh = _analyze_one(db, args.campaign, args)
+        if not args.diff:
+            if args.json:
+                print(json.dumps(fresh.to_dict(), indent=2, sort_keys=True))
+            else:
+                print(fresh.render())
+            return 0
+        fresh_config = db.load_campaign(args.campaign).to_dict()
+        if args.diff_db and args.diff_db != args.db:
+            with GoofiDatabase(args.diff_db, readonly=True) as base_db:
+                base = _analyze_one(base_db, args.diff, args)
+                base_config = base_db.load_campaign(args.diff).to_dict()
+        else:
+            base = _analyze_one(db, args.diff, args)
+            base_config = db.load_campaign(args.diff).to_dict()
+    diff = diff_reports(
+        base, fresh, base_config, fresh_config, tolerance=args.tolerance
+    )
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    if args.gate and diff.regressed:
+        print(
+            f"goofi: gate: {args.campaign} regressed vs {args.diff}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -680,6 +763,12 @@ def _cmd_status(args) -> int:
             print(f"progress:  {progress['n_done']}/{progress['n_total']} "
                   f"({progress['percent_done']:.1f}%), "
                   f"eta {'-' if eta is None else f'{eta:.1f}s'}")
+            analysis = progress.get("analysis")
+            if analysis and "ci_half_width" in analysis:
+                rows = analysis.get("rows_processed")
+                print(f"analysis:  CI half-width "
+                      f"{analysis['ci_half_width']:.4f} over "
+                      f"{int(rows) if rows is not None else '?'} rows")
         if status.get("error"):
             print(f"error:     {status['error']}")
         return 0

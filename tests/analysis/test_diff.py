@@ -1,0 +1,149 @@
+"""Tests for cross-campaign diffing and the analyze regression gate."""
+
+import pytest
+
+from repro.analysis.diff import diff_reports
+from repro.analysis.engine import analyze_campaign
+from repro.core.experiment import Injection, Termination
+from repro.core.locations import FaultLocation
+from repro.db import GoofiDatabase
+from tests.conftest import make_campaign
+from tests.db.test_database import make_reference, make_result
+
+
+def _result(i, detected: bool, campaign="test-campaign"):
+    termination = (
+        Termination(kind="trap", pc=1, cycle=50, trap_name="wdog")
+        if detected
+        else Termination(kind="timeout", pc=2, cycle=999)
+    )
+    return make_result(
+        i,
+        campaign=campaign,
+        termination=termination,
+        injections=[
+            Injection(
+                time=i % 90,
+                location=FaultLocation(
+                    "scan:internal", f"cpu.regfile.r{i % 4}", i % 8
+                ),
+                op="flip",
+                bit_before=0,
+                bit_after=1,
+            )
+        ],
+    )
+
+
+def _report(detected_count, total, campaign_kw=None):
+    """An analyzed in-memory campaign with the given detected/total mix.
+
+    Every experiment is effective (trap or timeout), so detection
+    coverage is detected/total exactly."""
+    db = GoofiDatabase(":memory:")
+    campaign = make_campaign(
+        n_experiments=total, **(campaign_kw or {})
+    )
+    db.save_campaign(campaign)
+    db.log_reference(campaign, make_reference())
+    db.log_experiments(
+        campaign,
+        [
+            _result(
+                i,
+                detected=i < detected_count,
+                campaign=campaign.campaign_name,
+            )
+            for i in range(total)
+        ],
+    )
+    report = analyze_campaign(db, campaign.campaign_name)
+    config = db.load_campaign(campaign.campaign_name).to_dict()
+    db.close()
+    return report, config
+
+
+class TestSameConfigDiff:
+    def test_identical_runs_pass(self):
+        base, base_config = _report(40, 100)
+        fresh, fresh_config = _report(40, 100)
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        assert diff.same_config
+        assert not diff.regressed
+        assert diff.config_delta == {}
+        assert diff.tv_distance == pytest.approx(0.0)
+
+    def test_significant_coverage_drop_regresses(self):
+        base, base_config = _report(80, 100)
+        fresh, fresh_config = _report(30, 100)
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        assert diff.same_config
+        assert diff.regressed
+        by_name = {metric.name: metric for metric in diff.metrics}
+        assert by_name["detection_coverage"].regressed
+        assert by_name["detection_coverage"].comparison.significant_05
+
+    def test_drift_inside_tolerance_band_passes(self):
+        # 80.0% -> 78.5% detection (and 20% -> 21.5% escaped) stays
+        # inside a 10% relative band on both gated metrics, so the gate
+        # must not fire regardless of what the z-test says.
+        base, base_config = _report(800, 1000)
+        fresh, fresh_config = _report(785, 1000)
+        diff = diff_reports(
+            base, fresh, base_config, fresh_config, tolerance=0.1
+        )
+        assert not diff.regressed
+
+    def test_insignificant_drop_outside_band_passes(self):
+        # Tiny samples: 4/5 -> 2/5 leaves the band but cannot be
+        # statistically significant, so the gate must not fire.
+        base, base_config = _report(4, 5)
+        fresh, fresh_config = _report(2, 5)
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        assert not diff.regressed
+
+    def test_improvement_never_regresses(self):
+        base, base_config = _report(30, 100)
+        fresh, fresh_config = _report(80, 100)
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        assert not diff.regressed
+
+    def test_outcome_delta_has_z_tests(self):
+        base, base_config = _report(80, 100)
+        fresh, fresh_config = _report(30, 100)
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        row = diff.outcome_delta["detected"]
+        assert row["base_count"] == 80
+        assert row["fresh_count"] == 30
+        assert row["significant_05"]
+        assert diff.tv_distance == pytest.approx(0.5)
+
+    def test_render_verdict(self):
+        base, base_config = _report(80, 100)
+        fresh, fresh_config = _report(30, 100)
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        assert "verdict: REGRESSION" in diff.render()
+
+
+class TestChangedConfigDiff:
+    def test_config_delta_reported_and_never_gated(self):
+        base, base_config = _report(80, 100)
+        fresh, fresh_config = _report(
+            30, 100, campaign_kw={"seed": 999, "workload_name": "bubblesort"}
+        )
+        diff = diff_reports(base, fresh, base_config, fresh_config)
+        assert not diff.same_config
+        # Even a catastrophic coverage drop is not a regression when the
+        # configs differ — it is an expected consequence of the change.
+        assert not diff.regressed
+        assert "seed" in diff.config_delta
+        assert diff.config_delta["seed"] == {"base": 1234, "fresh": 999}
+        assert "workload_name" in diff.config_delta
+        text = diff.render()
+        assert "configs differ" in text
+        assert "seed" in text
+
+    def test_invalid_tolerance_rejected(self):
+        base, base_config = _report(5, 10)
+        with pytest.raises(ValueError):
+            diff_reports(base, base, base_config, base_config, tolerance=1.0)

@@ -1,0 +1,246 @@
+"""Tests for the streaming analytics engine (``goofi analyze``)."""
+
+import pytest
+
+from repro.analysis import classify_campaign
+from repro.analysis.engine import analyze_campaign
+from repro.analysis.heatmap import OutcomeHeatmap, PropagationHeatmap
+from repro.core.experiment import Injection, Termination
+from repro.core.locations import FaultLocation
+from repro.observability.runmeta import campaign_config_hash
+from tests.conftest import make_campaign
+from tests.db.test_database import make_reference, make_result
+
+
+def _mixed_results(n=40, campaign="test-campaign"):
+    """Deterministic mix of every outcome class, with injections that
+    sweep locations and injection times."""
+    results = []
+    for i in range(n):
+        kw = {
+            "injections": [
+                Injection(
+                    time=(i * 13) % 100,
+                    location=FaultLocation(
+                        "scan:internal", f"cpu.regfile.r{i % 4}", i % 8
+                    ),
+                    op="flip" if i % 2 else "stuck0",
+                    bit_before=0,
+                    bit_after=1,
+                )
+            ]
+        }
+        if i % 5 == 0:
+            kw["termination"] = Termination(
+                kind="trap", pc=1, cycle=50, trap_name="wdog"
+            )
+        elif i % 5 == 1:
+            kw["termination"] = Termination(kind="timeout", pc=2, cycle=999)
+        elif i % 5 == 2:
+            kw["outputs"] = {"total": 99}
+        elif i % 5 == 3:
+            kw["state_vector"] = {
+                "scan:internal/cpu.pc": 0x110,
+                "scan:internal/cpu.regfile.r2": 7,
+            }
+        if i % 7 == 0 and i > 0:
+            kw["derived_from"] = f"{campaign}-exp00000"
+        results.append(make_result(i, campaign=campaign, **kw))
+    return results
+
+
+def _populate(db, n=40, name="test-campaign", detail=False):
+    campaign = make_campaign(campaign_name=name, n_experiments=n)
+    db.save_campaign(campaign)
+    ref_kw = {}
+    if detail:
+        ref_kw["detail_states"] = [
+            {"scan:internal/cpu.pc": i, "scan:internal/cpu.regfile.r1": 5}
+            for i in range(10)
+        ]
+    db.log_reference(campaign, make_reference(**ref_kw))
+    db.log_experiments(campaign, _mixed_results(n, campaign=name))
+    return campaign
+
+
+class TestAnalyzeCampaign:
+    def test_streaming_counts_match_batch_classifier(self, db):
+        _populate(db, n=40)
+        report = analyze_campaign(db, "test-campaign")
+        reference = db.load_reference("test-campaign")
+        batch = classify_campaign(
+            db.load_experiments("test-campaign"), reference
+        )
+        assert report.summary.total == batch.total == 40
+        assert report.summary.counts == batch.counts
+        assert (
+            report.summary.detections_by_mechanism
+            == batch.detections_by_mechanism
+        )
+
+    def test_batch_size_does_not_change_the_report(self, db):
+        _populate(db, n=37)
+        small = analyze_campaign(db, "test-campaign", batch_size=3)
+        large = analyze_campaign(db, "test-campaign", batch_size=4096)
+        assert small.to_dict() == large.to_dict()
+
+    def test_report_dict_is_deterministic_and_json_safe(self, db):
+        import json
+
+        _populate(db, n=20)
+        first = analyze_campaign(db, "test-campaign").to_dict()
+        second = analyze_campaign(db, "test-campaign").to_dict()
+        assert first == second
+        json.dumps(first)  # no exotic types
+
+    def test_config_hash_matches_stored_campaign(self, db):
+        campaign = _populate(db, n=10)
+        report = analyze_campaign(db, "test-campaign")
+        assert report.config_hash == campaign_config_hash(campaign)
+
+    def test_equivalence_accounting(self, db):
+        _populate(db, n=40)
+        report = analyze_campaign(db, "test-campaign")
+        expected_derived = len([i for i in range(40) if i % 7 == 0 and i > 0])
+        assert report.n_derived == expected_derived
+        assert report.n_executed == 40 - expected_derived
+        assert report.n_representatives == 1
+        payload = report.to_dict()["equivalence"]
+        assert payload["derived"] == expected_derived
+        assert payload["derived_fraction"] == pytest.approx(
+            expected_derived / 40
+        )
+
+    def test_both_intervals_in_payload(self, db):
+        _populate(db, n=40)
+        payload = analyze_campaign(db, "test-campaign").to_dict()
+        coverage = payload["detection_coverage"]
+        w_lo, w_hi = coverage["interval"]
+        c_lo, c_hi = coverage["exact_interval"]
+        assert 0.0 <= w_lo <= w_hi <= 1.0
+        assert 0.0 <= c_lo <= c_hi <= 1.0
+        assert c_lo <= coverage["estimate"] <= c_hi
+
+    def test_breakdowns_partition_the_injected_rows(self, db):
+        _populate(db, n=40)
+        payload = analyze_campaign(db, "test-campaign").to_dict()
+        assert sum(
+            row["total"] for row in payload["by_technique"].values()
+        ) == 40
+        assert sum(
+            row["total"] for row in payload["by_location"].values()
+        ) == 40
+        assert set(payload["by_technique"]) == {"flip", "stuck0"}
+
+    def test_propagation_heatmap_from_detail_rows(self, db):
+        campaign = make_campaign()
+        db.save_campaign(campaign)
+        db.log_reference(
+            campaign,
+            make_reference(
+                detail_states=[
+                    {"scan:internal/cpu.regfile.r1": 5} for _ in range(10)
+                ]
+            ),
+        )
+        result = make_result(
+            0,
+            detail_states=[
+                {"scan:internal/cpu.regfile.r1": 5 if i < 5 else 6}
+                for i in range(10)
+            ],
+        )
+        db.log_experiment(campaign, result)
+        report = analyze_campaign(db, "test-campaign")
+        prop = report.propagation.to_dict()
+        assert prop["n_traces"] == 1
+        assert "scan:internal/cpu.regfile.r1" in prop["rows"]
+        # Infections live in the back half of the trace only.
+        counts = prop["rows"]["scan:internal/cpu.regfile.r1"]
+        mid = len(counts) // 2
+        assert sum(counts[:mid]) == 0
+        assert sum(counts[mid:]) == 5
+
+    def test_stopping_advice_reflects_epsilon(self, db):
+        _populate(db, n=40)
+        loose = analyze_campaign(db, "test-campaign", epsilon=0.49)
+        tight = analyze_campaign(db, "test-campaign", epsilon=0.01)
+        assert loose.stopping.satisfied
+        assert not tight.stopping.satisfied
+        assert tight.stopping.additional_trials > 0
+
+    def test_render_mentions_the_load_bearing_sections(self, db):
+        _populate(db, n=40)
+        text = analyze_campaign(db, "test-campaign").render()
+        assert "detection coverage" in text
+        assert "Clopper-Pearson" in text
+        assert "stopping advice" in text
+        assert "location x injection time" in text
+
+    def test_missing_reference_raises(self, db):
+        campaign = make_campaign()
+        db.save_campaign(campaign)
+        from repro.util.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            analyze_campaign(db, "test-campaign")
+
+    def test_gauges_exported_when_metrics_enabled(self, db, tmp_path):
+        from repro.observability import configure, disable, get_observability
+
+        _populate(db, n=40)
+        configure(metrics=True)
+        try:
+            analyze_campaign(db, "test-campaign", batch_size=8)
+            snapshot = get_observability().metrics.snapshot()
+        finally:
+            disable()
+        gauges = snapshot["gauges"]
+        assert gauges["analysis.rows_processed"] == 40
+        assert 0.0 < gauges["analysis.ci_half_width"] <= 0.5
+        assert snapshot["counters"]["analysis.reports_total"] == 1
+
+
+class TestOutcomeHeatmap:
+    def test_bins_cover_and_clamp(self):
+        heatmap = OutcomeHeatmap(max_time=100, time_bins=10)
+        heatmap.add("s/cpu.a[0]", 0, True, False)
+        heatmap.add("s/cpu.a[3]", 100, True, True)  # same cell, last bin
+        heatmap.add("s/cpu.a[1]", 5000, False, False)  # overflow clamps
+        payload = heatmap.to_dict()
+        assert payload["n_locations"] == 1
+        row = payload["rows"]["s/cpu.a"]
+        assert row["counts"][0] == 1
+        assert row["counts"][-1] == 2
+        assert sum(row["effective"]) == 2
+        assert sum(row["detected"]) == 1
+
+    def test_row_cap_keeps_busiest(self):
+        heatmap = OutcomeHeatmap(max_time=10, time_bins=4, max_rows=2)
+        for i in range(5):
+            for _ in range(i + 1):
+                heatmap.add(f"s/cpu.r{i}[0]", 1, True, False)
+        payload = heatmap.to_dict()
+        assert payload["n_locations"] == 5
+        assert set(payload["rows"]) == {"s/cpu.r4", "s/cpu.r3"}
+
+    def test_render_empty(self):
+        assert "(no data)" in OutcomeHeatmap(max_time=10).render()
+
+
+class TestPropagationHeatmap:
+    def test_normalises_trace_lengths(self):
+        heatmap = PropagationHeatmap(time_bins=4)
+        # Short trace infected at its end, long trace infected at its end:
+        # both must land in the final bin.
+        heatmap.add_trace([{"c": 0}] * 4, [{"c": 0}] * 3 + [{"c": 1}])
+        heatmap.add_trace([{"c": 0}] * 40, [{"c": 0}] * 39 + [{"c": 1}])
+        payload = heatmap.to_dict()
+        assert payload["n_traces"] == 2
+        assert payload["rows"]["c"][-1] == 2
+        assert sum(payload["rows"]["c"][:-1]) == 0
+
+    def test_empty_traces_ignored(self):
+        heatmap = PropagationHeatmap()
+        heatmap.add_trace([], [])
+        assert heatmap.to_dict()["n_traces"] == 0

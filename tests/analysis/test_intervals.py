@@ -1,0 +1,160 @@
+"""Tests for exact (Clopper-Pearson) intervals and sequential stopping."""
+
+import random
+
+import pytest
+
+from repro.analysis.coverage import wilson_interval
+from repro.analysis.intervals import (
+    clopper_pearson_interval,
+    regularized_incomplete_beta,
+)
+from repro.analysis.stopping import stopping_advice
+
+
+class TestRegularizedIncompleteBeta:
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_uniform_case_is_identity(self):
+        # Beta(1,1) is the uniform distribution: I_x(1,1) = x.
+        for x in (0.1, 0.25, 0.5, 0.9):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(x)
+
+    def test_symmetry(self):
+        # I_x(a,b) = 1 - I_{1-x}(b,a)
+        value = regularized_incomplete_beta(3.0, 7.0, 0.2)
+        mirror = regularized_incomplete_beta(7.0, 3.0, 0.8)
+        assert value == pytest.approx(1.0 - mirror, abs=1e-10)
+
+    def test_monotone_in_x(self):
+        values = [
+            regularized_incomplete_beta(4.5, 2.5, x / 20.0)
+            for x in range(21)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+
+
+class TestClopperPearsonGoldenValues:
+    def test_published_5_of_10(self):
+        # Classic textbook case: k=5, n=10 at 95%.
+        lo, hi = clopper_pearson_interval(5, 10, 0.95)
+        assert lo == pytest.approx(0.1871, abs=2e-4)
+        assert hi == pytest.approx(0.8129, abs=2e-4)
+
+    def test_zero_trials_is_vacuous(self):
+        assert clopper_pearson_interval(0, 0) == (0.0, 1.0)
+
+    def test_zero_successes_pins_lower(self):
+        lo, hi = clopper_pearson_interval(0, 20, 0.95)
+        assert lo == 0.0
+        # Rule of three: upper ≈ 1 - (alpha/2)^(1/n)
+        assert hi == pytest.approx(1.0 - 0.025 ** (1 / 20), abs=1e-9)
+
+    def test_all_successes_pins_upper(self):
+        lo, hi = clopper_pearson_interval(20, 20, 0.95)
+        assert hi == 1.0
+        assert lo == pytest.approx(0.025 ** (1 / 20), abs=1e-9)
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(5, 3)
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(-1, 3)
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(1, 2, confidence=1.0)
+
+
+class TestIntervalProperties:
+    """Property tests over random (k, n, confidence) samples."""
+
+    def _samples(self, n_samples=300, seed=20260808):
+        rng = random.Random(seed)
+        for _ in range(n_samples):
+            n = rng.randint(1, 400)
+            k = rng.randint(0, n)
+            confidence = rng.choice([0.90, 0.95, 0.99])
+            yield k, n, confidence
+
+    def test_both_intervals_contain_the_point_estimate(self):
+        for k, n, confidence in self._samples():
+            p = k / n
+            for fn in (wilson_interval, clopper_pearson_interval):
+                lo, hi = fn(k, n, confidence)
+                assert lo - 1e-12 <= p <= hi + 1e-12, (k, n, confidence, fn)
+
+    def test_bounds_stay_in_unit_interval(self):
+        for k, n, confidence in self._samples():
+            for fn in (wilson_interval, clopper_pearson_interval):
+                lo, hi = fn(k, n, confidence)
+                assert 0.0 <= lo <= hi <= 1.0, (k, n, confidence, fn)
+
+    def test_exact_interval_never_narrower_away_from_boundary(self):
+        # Mathematical caveat: Clopper-Pearson is NOT uniformly wider
+        # than Wilson — very close to k=0 / k=n (min(k, n-k) ≤ ~6 at
+        # 99% confidence) the exact interval's pinned endpoint can make
+        # it the narrower one. Away from that boundary band the
+        # conservative-exact ordering holds, which is what this asserts.
+        checked = 0
+        for k, n, confidence in self._samples(n_samples=600):
+            if min(k, n - k) < 8:
+                continue
+            w_lo, w_hi = wilson_interval(k, n, confidence)
+            c_lo, c_hi = clopper_pearson_interval(k, n, confidence)
+            assert (c_hi - c_lo) >= (w_hi - w_lo) - 1e-9, (k, n, confidence)
+            checked += 1
+        assert checked > 100  # the filter must not hollow out the test
+
+    def test_higher_confidence_widens(self):
+        for k, n in [(3, 10), (50, 100), (1, 30)]:
+            widths = []
+            for confidence in (0.90, 0.95, 0.99):
+                lo, hi = clopper_pearson_interval(k, n, confidence)
+                widths.append(hi - lo)
+            assert widths == sorted(widths)
+
+
+class TestStoppingAdvice:
+    def test_no_trials_is_vacuous_and_unsatisfied(self):
+        advice = stopping_advice(0, 0, target_half_width=0.05)
+        assert not advice.satisfied
+        assert advice.half_width == pytest.approx(0.5)
+        assert advice.additional_trials >= 1
+
+    def test_tight_sample_satisfies(self):
+        advice = stopping_advice(500, 1000, target_half_width=0.05)
+        assert advice.satisfied
+        assert advice.additional_trials == 0
+        assert advice.half_width <= 0.05
+
+    def test_half_width_matches_wilson(self):
+        advice = stopping_advice(8, 24, target_half_width=0.05)
+        lo, hi = wilson_interval(8, 24, 0.95)
+        assert advice.half_width == pytest.approx((hi - lo) / 2.0)
+
+    def test_additional_trials_shrinks_as_sample_grows(self):
+        small = stopping_advice(5, 20, target_half_width=0.02)
+        large = stopping_advice(50, 200, target_half_width=0.02)
+        assert large.additional_trials < small.additional_trials
+
+    def test_boundary_estimate_is_clamped_in_planning(self):
+        # A lucky 0/5 must not claim the goal is one experiment away.
+        advice = stopping_advice(0, 5, target_half_width=0.05)
+        assert advice.additional_trials > 10
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            stopping_advice(1, 2, target_half_width=0.0)
+
+    def test_describe_and_to_dict(self):
+        advice = stopping_advice(8, 24, target_half_width=0.1)
+        text = advice.describe()
+        assert "8/24" in text and "continue" in text
+        payload = advice.to_dict()
+        assert payload["satisfied"] is False
+        assert payload["metric"] == "detection_coverage"

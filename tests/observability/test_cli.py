@@ -202,3 +202,47 @@ class TestGoofiRunFlags:
         out = capsys.readouterr().out
         assert "state:        finished" in out
         assert "seed:         3" in out
+
+
+class TestSnapshotValidation:
+    """report/diff must exit 1 with a one-line message on bad files —
+    never traceback (they gate CI steps)."""
+
+    def _check(self, argv, capsys, needle):
+        assert metrics_main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("goofi-metrics: error:")
+        assert needle in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        self._check(
+            ["report", str(tmp_path / "nope.json")], capsys, "nope.json"
+        )
+
+    def test_report_truncated_json(self, tmp_path, capsys):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"counters": {')
+        self._check(["report", str(path)], capsys, "Expecting")
+
+    def test_report_non_object_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        self._check(["report", str(path)], capsys, "not a metrics snapshot")
+
+    def test_report_section_wrong_type(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"counters": []}')
+        self._check(["report", str(path)], capsys, "'counters'")
+
+    def test_report_histogram_wrong_type(self, tmp_path, capsys):
+        path = tmp_path / "hist.json"
+        path.write_text('{"histograms": {"h": 3}}')
+        self._check(["report", str(path)], capsys, "histogram 'h'")
+
+    def test_diff_rejects_either_side(self, snapshot_file, tmp_path, capsys):
+        good, _ = snapshot_file
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"gauges": 7}')
+        self._check(["diff", str(good), str(bad)], capsys, "'gauges'")
+        self._check(["diff", str(bad), str(good)], capsys, "'gauges'")

@@ -333,3 +333,23 @@ class TestDisabledPath:
         assert status["n_done"] == 1
         assert status["n_workers"] == 2
         assert status["rate_per_second"] > 0
+
+    def test_status_grafts_live_analysis_gauges(self):
+        from repro.observability import configure, disable, get_observability
+        from repro.observability.health import analysis_metrics
+
+        monitor, _ = make_monitor()
+        monitor.begin("c1", n_total=10, n_workers=1)
+        # Disabled observability: no analysis block, helper is empty.
+        assert analysis_metrics() == {}
+        assert "analysis" not in monitor.status()
+        configure(metrics=True)
+        try:
+            metrics = get_observability().metrics
+            metrics.gauge("analysis.ci_half_width").set(0.04)
+            metrics.gauge("analysis.rows_processed").set(128)
+            status = monitor.status()
+        finally:
+            disable()
+        assert status["analysis"]["ci_half_width"] == 0.04
+        assert status["analysis"]["rows_processed"] == 128

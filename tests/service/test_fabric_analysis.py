@@ -1,0 +1,121 @@
+"""The fabric's ``/jobs/<id>/analysis`` endpoint and the live
+``goofi analyze`` acceptance path: analytics over a job while the
+campaign keeps completing, with CLI and endpoint payloads identical."""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.service import FabricClient, FabricServer, ServiceConfig
+from repro.ui.app import main as goofi_main
+from repro.util.errors import ServiceError
+from tests.conftest import make_campaign
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fabric integration tests need the fork start method",
+)
+
+
+@pytest.fixture
+def fabric(tmp_path):
+    config = ServiceConfig(
+        db_path=str(tmp_path / "fabric.db"),
+        total_workers=2,
+        start_method="fork",
+        poll_seconds=0.02,
+    )
+    server = FabricServer(config).start()
+    yield server
+    server.stop()
+
+
+def test_analysis_of_finished_job_matches_cli_json(fabric, capsys):
+    client = FabricClient(fabric.url())
+    campaign = make_campaign(campaign_name="fabric-an", n_experiments=8)
+    record = client.submit({"campaign": campaign.to_dict(), "n_workers": 2})
+    status = client.wait(record["job_id"], timeout=120)
+    assert status["state"] == "finished"
+
+    payload = client.analysis(record["job_id"])
+    assert payload["job_id"] == record["job_id"]
+    assert payload["campaign_name"] == "fabric-an"
+    analysis = payload["analysis"]
+    assert analysis["total"] == 8
+    assert analysis["stopping"]["trials"] == analysis["outcomes"][
+        "effective"
+    ]["count"]
+
+    # The acceptance contract: the endpoint payload and the CLI's
+    # --json report over the same database state are identical.
+    assert goofi_main([
+        "analyze", "--db", fabric.config.db_path,
+        "--campaign", "fabric-an", "--json",
+    ]) == 0
+    cli_report = json.loads(capsys.readouterr().out)
+    assert cli_report == analysis
+
+
+def test_analysis_while_job_is_live(fabric):
+    """Analyze a paused (mid-flight) job, then let it finish — the
+    read-only analytics pass must neither block nor be blocked by the
+    job's writer."""
+    client = FabricClient(fabric.url())
+    campaign = make_campaign(campaign_name="fabric-live", n_experiments=24)
+    record = client.submit({"campaign": campaign.to_dict(), "n_workers": 1})
+    job_id = record["job_id"]
+
+    deadline = time.monotonic() + 60
+    status = client.status(job_id)
+    while status["state"] == "queued" and time.monotonic() < deadline:
+        time.sleep(0.02)
+        status = client.status(job_id)
+    assert status["state"] in ("running", "finished")
+
+    # Immediately after start the reference run may not have committed
+    # yet — the endpoint answers with a retryable client error until it
+    # has (pausing only afterwards: a pause taken before the reference
+    # lands would freeze the campaign in an unanalyzable state).
+    payload = None
+    while payload is None and time.monotonic() < deadline:
+        try:
+            payload = client.analysis(job_id)
+        except ServiceError as exc:
+            assert "not analyzable yet" in str(exc)
+            time.sleep(0.05)
+    assert payload is not None
+    assert payload["state"] in ("running", "finished")
+    assert 0 <= payload["analysis"]["total"] <= 24
+
+    if client.status(job_id)["state"] == "running":
+        client.pause(job_id)
+        # Rows committed so far, classified mid-campaign while the job
+        # is frozen.
+        frozen = client.analysis(job_id)
+        assert 0 <= frozen["analysis"]["total"] <= 24
+        client.resume(job_id)
+
+    final = client.wait(job_id, timeout=120)
+    assert final["state"] == "finished"
+    assert final["result"]["n_done"] == 24
+    # And the campaign completed to the full count afterwards.
+    assert client.analysis(job_id)["analysis"]["total"] == 24
+
+
+def test_analysis_parameters_flow_through(fabric):
+    client = FabricClient(fabric.url())
+    campaign = make_campaign(campaign_name="fabric-eps", n_experiments=6)
+    record = client.submit({"campaign": campaign.to_dict()})
+    client.wait(record["job_id"], timeout=120)
+    payload = client.analysis(record["job_id"], confidence=0.99, epsilon=0.2)
+    stopping = payload["analysis"]["stopping"]
+    assert stopping["confidence"] == 0.99
+    assert stopping["target_half_width"] == 0.2
+
+
+def test_analysis_of_unknown_job_is_a_client_error(fabric):
+    client = FabricClient(fabric.url())
+    with pytest.raises(ServiceError):
+        client.analysis("job-999999")

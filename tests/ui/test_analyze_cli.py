@@ -1,0 +1,139 @@
+"""The ``goofi analyze`` CLI: reports, --json, diffing and --gate."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import Injection, Termination
+from repro.core.locations import FaultLocation
+from repro.db import GoofiDatabase
+from repro.ui.app import main
+from tests.conftest import make_campaign
+from tests.db.test_database import make_reference, make_result
+
+
+def _result(i, detected):
+    termination = (
+        Termination(kind="trap", pc=1, cycle=50, trap_name="wdog")
+        if detected
+        else Termination(kind="timeout", pc=2, cycle=999)
+    )
+    return make_result(
+        i,
+        termination=termination,
+        injections=[
+            Injection(
+                time=i % 90,
+                location=FaultLocation(
+                    "scan:internal", f"cpu.regfile.r{i % 4}", i % 8
+                ),
+                op="flip",
+                bit_before=0,
+                bit_after=1,
+            )
+        ],
+    )
+
+
+def _write_db(path, detected_count, total, **campaign_kw):
+    """A campaign database where the first ``detected_count`` of
+    ``total`` effective experiments were detected. With identical
+    ``campaign_kw`` two databases carry the same config hash."""
+    campaign = make_campaign(n_experiments=total, **campaign_kw)
+    with GoofiDatabase(str(path)) as db:
+        db.save_campaign(campaign)
+        db.log_reference(campaign, make_reference())
+        db.log_experiments(
+            campaign,
+            [_result(i, detected=i < detected_count) for i in range(total)],
+        )
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_report_over_synthetic_campaign(self, tmp_path, capsys):
+        db = _write_db(tmp_path / "a.db", 40, 100)
+        assert main(["analyze", "--db", db, "--campaign",
+                     "test-campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "detection coverage" in out
+        assert "Clopper-Pearson" in out
+        assert "stopping advice" in out
+
+    def test_json_report_round_trips(self, tmp_path, capsys):
+        db = _write_db(tmp_path / "a.db", 40, 100)
+        assert main(["analyze", "--db", db, "--campaign", "test-campaign",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 100
+        assert payload["stopping"]["successes"] == 40
+        assert payload["detection_coverage"]["estimate"] == pytest.approx(
+            0.4
+        )
+
+    def test_missing_campaign_exits_1(self, tmp_path, capsys):
+        db = _write_db(tmp_path / "a.db", 2, 4)
+        assert main(["analyze", "--db", db, "--campaign", "ghost"]) == 1
+        assert "goofi: error:" in capsys.readouterr().err
+
+    def test_half_width_controls_stopping(self, tmp_path, capsys):
+        db = _write_db(tmp_path / "a.db", 40, 100)
+        assert main(["analyze", "--db", db, "--campaign", "test-campaign",
+                     "--half-width", "0.4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stopping"]["satisfied"] is True
+
+
+class TestAnalyzeGate:
+    def test_gate_fails_on_injected_regression_same_config_hash(
+        self, tmp_path, capsys
+    ):
+        # Two runs of the byte-identical campaign spec (same config
+        # hash), where the fresh run's detections collapsed.
+        base = _write_db(tmp_path / "base.db", 80, 100)
+        fresh = _write_db(tmp_path / "fresh.db", 30, 100)
+        code = main(["analyze", "--db", fresh, "--campaign", "test-campaign",
+                     "--diff", "test-campaign", "--diff-db", base, "--gate"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "identical" in captured.out  # hashes matched
+        assert "verdict: REGRESSION" in captured.out
+        assert "regressed vs" in captured.err
+
+    def test_gate_passes_on_identical_runs(self, tmp_path, capsys):
+        base = _write_db(tmp_path / "base.db", 40, 100)
+        fresh = _write_db(tmp_path / "fresh.db", 40, 100)
+        assert main(["analyze", "--db", fresh, "--campaign", "test-campaign",
+                     "--diff", "test-campaign", "--diff-db", base,
+                     "--gate"]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_changed_config_reports_delta_and_never_gates(
+        self, tmp_path, capsys
+    ):
+        base = _write_db(tmp_path / "base.db", 80, 100)
+        fresh = _write_db(tmp_path / "fresh.db", 30, 100, seed=777)
+        assert main(["analyze", "--db", fresh, "--campaign", "test-campaign",
+                     "--diff", "test-campaign", "--diff-db", base,
+                     "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "DIFFERENT" in out
+        assert "seed" in out
+        assert "configs differ" in out
+
+    def test_gate_without_diff_is_a_usage_error(self, tmp_path, capsys):
+        db = _write_db(tmp_path / "a.db", 2, 4)
+        assert main(["analyze", "--db", db, "--campaign", "test-campaign",
+                     "--gate"]) == 2
+        assert "--gate needs --diff" in capsys.readouterr().err
+
+    def test_diff_json_payload(self, tmp_path, capsys):
+        base = _write_db(tmp_path / "base.db", 80, 100)
+        fresh = _write_db(tmp_path / "fresh.db", 30, 100)
+        assert main(["analyze", "--db", fresh, "--campaign", "test-campaign",
+                     "--diff", "test-campaign", "--diff-db", base,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["same_config"] is True
+        assert payload["regressed"] is True
+        assert payload["outcome_delta"]["detected"]["base_count"] == 80
