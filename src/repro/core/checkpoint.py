@@ -39,7 +39,7 @@ import hashlib
 from array import array
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.util.errors import CampaignError
 
@@ -62,8 +62,11 @@ __all__ = [
 #: snapshot (pipeline force flags, last-executed-instruction record) in
 #: addition to the scan-visible cells, making digest equality total with
 #: respect to future execution — the divergence-window soundness
-#: requirement.
-CHECKPOINT_FORMAT = 2
+#: requirement. v3: bulk payloads (memory pages, cache arrays, scan-chain
+#: captures) travel as typed ``array`` buffers hashed via ``tobytes`` —
+#: a different canonical encoding than the v2 int-list walk, so v2
+#: stores miss cleanly through the golden-cache key.
+CHECKPOINT_FORMAT = 3
 
 #: Words per memory page in the dirty-page delta encoding (2^8 words —
 #: small enough that a sparse workload dirties few pages, large enough
@@ -96,12 +99,13 @@ class CheckpointMismatch(CampaignError):
 def state_digest(parts: Any) -> str:
     """Canonical sha256 digest of a nested structure of plain state.
 
-    Accepts ``None``, bools, ints, strings, bytes, lists/tuples and
-    dicts (keys sorted, so insertion order never leaks into the
-    fingerprint). Integer lists — the dominant payload: register files,
-    memory pages, scan-chain values — take a fast ``array`` path. Every
-    node is type-tagged so e.g. ``0`` and ``False`` and ``""`` cannot
-    collide.
+    Accepts ``None``, bools, ints, strings, bytes, typed ``array``
+    buffers, lists/tuples and dicts (keys sorted, so insertion order
+    never leaks into the fingerprint). Typed arrays — the dominant
+    payload since checkpoint format v3: memory pages, cache data words,
+    scan-chain captures — are hashed zero-copy via ``tobytes``; integer
+    lists still take a packed fast path. Every node is type-tagged so
+    e.g. ``0`` and ``False`` and ``""`` cannot collide.
     """
     digest = hashlib.sha256()
     _feed(digest, parts)
@@ -122,6 +126,15 @@ def _feed(digest: "hashlib._Hash", obj: Any) -> None:
     elif isinstance(obj, bytes):
         digest.update(b"\x00B")
         digest.update(obj)
+    elif isinstance(obj, array):
+        # Zero-copy path: the buffer is fed to the hash directly. The
+        # typecode is part of the tag so e.g. array("I") and array("Q")
+        # holding equal values stay distinct, mirroring the type-tagging
+        # of every other node.
+        digest.update(b"\x00A")
+        digest.update(obj.typecode.encode("ascii"))
+        digest.update(str(len(obj)).encode("ascii"))
+        digest.update(obj.tobytes())
     elif isinstance(obj, (list, tuple)):
         digest.update(b"\x00L")
         digest.update(str(len(obj)).encode("ascii"))
@@ -165,7 +178,7 @@ class CheckpointTick:
 
     cycle: int
     payload: Dict[str, Any]
-    dirty_pages: Dict[int, List[int]] = field(default_factory=dict)
+    dirty_pages: Dict[int, Sequence[int]] = field(default_factory=dict)
     fingerprint: str = ""
     core_fingerprint: str = ""
 
@@ -180,7 +193,7 @@ class RestoreImage:
 
     cycle: int
     payload: Dict[str, Any]
-    pages: Dict[int, List[int]]
+    pages: Dict[int, Sequence[int]]
     fingerprint: str = ""
 
 
@@ -260,7 +273,7 @@ class CheckpointStore:
         run)."""
         if not 0 <= index < len(self._ticks):
             raise CampaignError(f"no checkpoint at index {index}")
-        pages: Dict[int, List[int]] = {}
+        pages: Dict[int, Sequence[int]] = {}
         for tick in self._ticks[: index + 1]:
             pages.update(tick.dirty_pages)
         chosen = self._ticks[index]

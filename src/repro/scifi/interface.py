@@ -713,7 +713,14 @@ class ThorRDInterface(Framework):
         pipeline force flags and the last-executed-instruction record
         are not scan-mapped but do shape what runs next. Totality is
         what lets the divergence-window runner treat digest equality as
-        proof of re-convergence (checkpoint format v2)."""
+        proof of re-convergence (checkpoint format v2).
+
+        Since checkpoint format v3 the bulk parts are contiguous
+        buffers hashed zero-copy: chains contribute
+        :meth:`~repro.thor.scanchain.ScanChain.capture_words` arrays
+        (cell order is structural, so values alone identify the state)
+        and memory pages arrive as ``array`` slices from
+        :meth:`~repro.thor.memory.Memory.read_page`."""
         cpu = self.card.cpu
         memory = cpu.memory
         parts = {
@@ -723,7 +730,7 @@ class ThorRDInterface(Framework):
             "halted": cpu.halted,
             "cpu": cpu.snapshot(),
             "chains": {
-                name: chain.capture_values()
+                name: chain.capture_words()
                 for name, chain in self.card.chains.items()
             },
             "pages": {page: memory.read_page(page) for page in pages},

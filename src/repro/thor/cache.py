@@ -17,10 +17,12 @@ multiple simultaneous flips.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
-from repro.util.bits import parity
+from repro.thor.memory import WORD_TYPECODE
+from repro.util.bits import _BYTE_PARITY, parity
 
 DEFAULT_LINES = 16
 DEFAULT_WORDS_PER_LINE = 4
@@ -44,11 +46,16 @@ class CacheParityError(Exception):
 
 @dataclass
 class CacheLine:
+    """One direct-mapped line. ``data``/``data_parity`` are contiguous
+    typed arrays (not lists) so snapshot/restore and checkpoint digests
+    move them as buffers; scan-chain cells index them exactly as they
+    indexed the former lists."""
+
     valid: bool = False
     tag: int = 0
     tag_parity: int = 0
-    data: List[int] = field(default_factory=list)
-    data_parity: List[int] = field(default_factory=list)
+    data: array = field(default_factory=lambda: array(WORD_TYPECODE))
+    data_parity: array = field(default_factory=lambda: array("B"))
 
 
 @dataclass
@@ -61,6 +68,14 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.parity_errors = 0
+
+
+def _as_array(values: Sequence[int], typecode: str) -> array:
+    """Coerce a snapshot row to the line's array type (snapshots made by
+    this build already are; integer sequences are converted)."""
+    if isinstance(values, array) and values.typecode == typecode:
+        return values
+    return array(typecode, values)
 
 
 class Cache:
@@ -88,19 +103,24 @@ class Cache:
         self.check_parity = check_parity
         self._offset_bits = words_per_line.bit_length() - 1
         self._index_bits = n_lines.bit_length() - 1
+        # Hot-path address split without the split() tuple round-trip.
+        self._offset_mask = words_per_line - 1
+        self._index_mask = n_lines - 1
+        self._tag_shift = self._offset_bits + self._index_bits
         self.tag_bits = max(1, address_bits - self._offset_bits - self._index_bits)
         self.lines: List[CacheLine] = []
         self.stats = CacheStats()
         self.reset()
 
     def reset(self) -> None:
+        words = self.words_per_line
         self.lines = [
             CacheLine(
                 valid=False,
                 tag=0,
                 tag_parity=0,
-                data=[0] * self.words_per_line,
-                data_parity=[0] * self.words_per_line,
+                data=array(WORD_TYPECODE, (0,)) * words,
+                data_parity=array("B", (0,)) * words,
             )
             for _ in range(self.n_lines)
         ]
@@ -127,14 +147,36 @@ class Cache:
         Returns ``(value, extra_cycles)`` where ``extra_cycles`` is the
         miss penalty (0 on a hit). Raises :class:`CacheParityError` when a
         stored parity bit disagrees with its protected field.
+
+        The hit path is the single hottest call in the simulator (every
+        fetch crosses it), so the address split and the parity folds are
+        inlined here: a scan write masks any stored field to its cell
+        width (< 33 bits), so the four-byte XOR fold is always exact.
         """
-        tag, index, offset = self.split(address)
+        offset = address & self._offset_mask
+        index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> self._tag_shift
         line = self.lines[index]
+        table = _BYTE_PARITY
         if line.valid:
-            self._check_tag(line, index, address)
+            if self.check_parity:
+                stored = line.tag
+                if (
+                    table[stored & 0xFF]
+                    ^ table[(stored >> 8) & 0xFF]
+                    ^ table[(stored >> 16) & 0xFF]
+                    ^ table[(stored >> 24) & 0xFF]
+                ) != line.tag_parity:
+                    self.stats.parity_errors += 1
+                    raise CacheParityError(self.name, index, "tag", address)
             if line.tag == tag:
                 value = line.data[offset]
-                if self.check_parity and parity(value) != line.data_parity[offset]:
+                if self.check_parity and (
+                    table[value & 0xFF]
+                    ^ table[(value >> 8) & 0xFF]
+                    ^ table[(value >> 16) & 0xFF]
+                    ^ table[value >> 24]
+                ) != line.data_parity[offset]:
                     self.stats.parity_errors += 1
                     raise CacheParityError(self.name, index, "data", address)
                 self.stats.hits += 1
@@ -187,15 +229,17 @@ class Cache:
     def snapshot_state(self) -> dict:
         """Full stored state of the arrays plus the access counters (the
         counters are deterministic along the reference run, so restoring
-        them keeps a warm experiment bit-identical to a cold one)."""
+        them keeps a warm experiment bit-identical to a cold one). Line
+        data travels as typed ``array`` copies — buffer copies on
+        capture, ``tobytes`` feeds on digest."""
         return {
             "lines": [
                 (
                     line.valid,
                     line.tag,
                     line.tag_parity,
-                    list(line.data),
-                    list(line.data_parity),
+                    line.data[:],
+                    line.data_parity[:],
                 )
                 for line in self.lines
             ],
@@ -212,8 +256,8 @@ class Cache:
             line.valid = bool(valid)
             line.tag = tag
             line.tag_parity = tag_parity
-            line.data[:] = data
-            line.data_parity[:] = data_parity
+            line.data[:] = _as_array(data, line.data.typecode)
+            line.data_parity[:] = _as_array(data_parity, "B")
         hits, misses, parity_errors = state["stats"]
         self.stats.hits = hits
         self.stats.misses = misses

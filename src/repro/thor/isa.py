@@ -354,13 +354,18 @@ def assemble_word(instr: Instruction) -> int:
     return word & WORD_MASK
 
 
-def decode(word: int) -> Instruction:
-    """Decode a 32-bit instruction word.
+#: Shared decode memo: instruction word -> frozen :class:`Instruction`.
+#: Workload images are tiny (hundreds of distinct words) and campaigns
+#: re-execute them millions of times, so decode hit rates are ~100%.
+#: Illegal words are *never* inserted (they raise first), so the cache
+#: cannot be poisoned by fault-injected garbage words; the size cap
+#: bounds memory against adversarial word streams (every faulted word is
+#: a potential new key) by dropping the whole memo and rebuilding.
+_DECODE_CACHE: Dict[int, Instruction] = {}
+_DECODE_CACHE_MAX = 1 << 16
 
-    Raises :class:`IllegalOpcode` when the opcode field does not name a
-    legal instruction.
-    """
-    word &= WORD_MASK
+
+def _decode_uncached(word: int) -> Instruction:
     op_field = (word >> 26) & 0x3F
     opcode = _VALID_OPCODES.get(op_field)
     if opcode is None:
@@ -376,6 +381,33 @@ def decode(word: int) -> Instruction:
     else:
         imm = sign_extend(raw_imm, IMM_BITS)
     return Instruction(opcode, rd=rd, rs1=rs1, imm=imm)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word (memoized; the returned
+    :class:`Instruction` is frozen and shared between callers).
+
+    Raises :class:`IllegalOpcode` when the opcode field does not name a
+    legal instruction.
+    """
+    word &= WORD_MASK
+    instr = _DECODE_CACHE.get(word)
+    if instr is None:
+        instr = _decode_uncached(word)  # raises before caching
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[word] = instr
+    return instr
+
+
+def decode_cache_size() -> int:
+    """Number of memoized decodes (test/diagnostic hook)."""
+    return len(_DECODE_CACHE)
+
+
+def decode_cache_clear() -> None:
+    """Drop the decode memo (test hook; execution only gets slower)."""
+    _DECODE_CACHE.clear()
 
 
 def try_decode(word: int) -> Optional[Instruction]:

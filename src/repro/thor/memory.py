@@ -19,11 +19,17 @@ hardware except where noted)::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from array import array
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.thor.isa import WORD_MASK
 
 DEFAULT_SIZE = 65536
+
+#: Typecode of the contiguous word store. "I" is 32-bit on every current
+#: CPython platform; fall back to "L" where it is not — values are always
+#: masked to WORD_MASK before storage, so either code holds them.
+WORD_TYPECODE = "I" if array("I").itemsize == 4 else "L"
 #: Words per page for checkpoint dirty-page tracking (must match
 #: repro.core.checkpoint.PAGE_WORDS; kept local so the simulator layer
 #: stays import-independent of the algorithm layer).
@@ -44,13 +50,19 @@ class IllegalAddress(Exception):
 
 
 class Memory:
-    """Flat word-addressed RAM with bounds checking and write protection."""
+    """Flat word-addressed RAM with bounds checking and write protection.
+
+    The word store is a contiguous ``array`` rather than a Python list:
+    page reads, page loads and checkpoint fingerprints then move whole
+    buffers (``tobytes``/slice assignment) instead of walking per-word
+    Python objects, and :meth:`nonzero_pages` reduces to byte compares.
+    """
 
     def __init__(self, size: int = DEFAULT_SIZE):
         if size <= 0:
             raise ValueError(f"memory size must be positive, got {size}")
         self.size = size
-        self._words: List[int] = [0] * size
+        self._words: array = array(WORD_TYPECODE, (0,)) * size
         # Optional write-protected range [lo, hi] (inclusive), used to
         # protect the code image when the campaign asks for it.
         self._protected: Tuple[int, int] = (1, 0)  # empty
@@ -61,7 +73,7 @@ class Memory:
         self._dirty_pages: Set[int] = set()
 
     def reset(self) -> None:
-        self._words = [0] * self.size
+        self._words = array(WORD_TYPECODE, (0,)) * self.size
         self._protected = (1, 0)
         self._dirty_pages.clear()
 
@@ -111,10 +123,21 @@ class Memory:
         """Words in [lo, hi) — used to build logged state vectors."""
         if not (0 <= lo <= hi <= self.size):
             raise IllegalAddress(hi, "dump")
-        return self._words[lo:hi]
+        return self._words[lo:hi].tolist()
 
     def nonzero_addresses(self) -> Iterable[int]:
-        return (a for a, w in enumerate(self._words) if w)
+        """Addresses of non-zero words, ascending. Skips all-zero pages
+        wholesale (byte compare) before touching individual words."""
+        return self._iter_nonzero()
+
+    def _iter_nonzero(self) -> Iterator[int]:
+        words = self._words
+        for page in sorted(self.nonzero_pages()):
+            base = page * PAGE_WORDS
+            limit = min(base + PAGE_WORDS, self.size)
+            for address in range(base, limit):
+                if words[address]:
+                    yield address
 
     # -- checkpoint support (golden-run warm starts) ----------------------
 
@@ -145,7 +168,25 @@ class Memory:
 
     def nonzero_pages(self) -> Set[int]:
         """Pages holding at least one non-zero word — the first
-        checkpoint's page set (everything downloaded since reset)."""
+        checkpoint's page set (everything downloaded since reset).
+
+        One ``tobytes`` of the whole store plus a memcmp-speed slice
+        compare per page, instead of the former O(memory_size) per-word
+        Python scan (:meth:`_nonzero_pages_reference`, kept as the
+        regression-test oracle)."""
+        raw = self._words.tobytes()
+        page_bytes = PAGE_WORDS * self._words.itemsize
+        zero_page = bytes(page_bytes)
+        pages: Set[int] = set()
+        for page in range(self.n_pages):
+            chunk = raw[page * page_bytes : (page + 1) * page_bytes]
+            if chunk != zero_page and chunk.strip(b"\x00"):
+                pages.add(page)
+        return pages
+
+    def _nonzero_pages_reference(self) -> Set[int]:
+        """The original per-word scan; equality with
+        :meth:`nonzero_pages` is pinned by a regression test."""
         pages: Set[int] = set()
         words = self._words
         for base in range(0, self.size, PAGE_WORDS):
@@ -153,25 +194,33 @@ class Memory:
                 pages.add(base // PAGE_WORDS)
         return pages
 
-    def read_page(self, page: int) -> List[int]:
-        """Full word image of one page (short final page zero-padded to
-        PAGE_WORDS so every stored page has uniform size)."""
+    def read_page(self, page: int) -> Sequence[int]:
+        """Full word image of one page as a typed ``array`` slice (short
+        final page zero-padded to PAGE_WORDS so every stored page has
+        uniform size)."""
         if not 0 <= page < self.n_pages:
             raise IllegalAddress(page * PAGE_WORDS, "read-page")
         base = page * PAGE_WORDS
         words = self._words[base : base + PAGE_WORDS]
         if len(words) < PAGE_WORDS:
-            words = words + [0] * (PAGE_WORDS - len(words))
+            words.extend((0,) * (PAGE_WORDS - len(words)))
         return words
 
-    def load_page(self, page: int, words: List[int]) -> None:
+    def load_page(self, page: int, words: Sequence[int]) -> None:
         """Restore one page image (raw chip access: bypasses write
-        protection, like :meth:`poke`)."""
+        protection, like :meth:`poke`). Accepts a typed ``array`` (the
+        zero-copy checkpoint path) or any integer sequence."""
         if not 0 <= page < self.n_pages:
             raise IllegalAddress(page * PAGE_WORDS, "load-page")
         base = page * PAGE_WORDS
         count = min(PAGE_WORDS, self.size - base)
-        self._words[base : base + count] = words[:count]
+        image = words[:count]
+        if not (
+            isinstance(image, array)
+            and image.typecode == self._words.typecode
+        ):
+            image = array(self._words.typecode, image)
+        self._words[base : base + count] = image
         if self._track_dirty:
             self._dirty_pages.add(page)
 

@@ -13,13 +13,20 @@ from repro.thor.isa import NUM_REGISTERS, WORD_MASK
 
 
 class RegisterFile:
-    """Sixteen 32-bit general-purpose registers."""
+    """Sixteen 32-bit general-purpose registers.
+
+    The backing list is allocated once and only ever mutated in place:
+    the CPU's fast dispatch path aliases it (``Cpu._regs``) so handlers
+    can hit the register file with single C-level list indexing. Every
+    write path masks to ``WORD_MASK``, so the list invariantly holds
+    values in ``[0, 2**32)``.
+    """
 
     def __init__(self) -> None:
         self._regs: List[int] = [0] * NUM_REGISTERS
 
     def reset(self) -> None:
-        self._regs = [0] * NUM_REGISTERS
+        self._regs[:] = [0] * NUM_REGISTERS
 
     def read(self, index: int) -> int:
         return self._regs[index]
@@ -31,13 +38,14 @@ class RegisterFile:
         return list(self._regs)
 
     def restore(self, values: List[int]) -> None:
-        """Checkpoint restore: replace the whole file at once."""
+        """Checkpoint restore: replace the whole file at once (in place —
+        see the class invariant)."""
         if len(values) != NUM_REGISTERS:
             raise ValueError(
                 f"register snapshot needs {NUM_REGISTERS} values, "
                 f"got {len(values)}"
             )
-        self._regs = [value & WORD_MASK for value in values]
+        self._regs[:] = [value & WORD_MASK for value in values]
 
     def __getitem__(self, index: int) -> int:
         return self._regs[index]

@@ -17,16 +17,30 @@ operation counter, which the E1/E2 benchmarks use.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.thor.cpu import Cpu
 from repro.thor.traps import Trap
-from repro.util.bits import bits_to_int, int_to_bits
 from repro.util.errors import TargetError
 
 # Fixed encoding of the trap-status scan cell (0 = no trap latched).
 _TRAP_CODES = {trap: index + 1 for index, trap in enumerate(Trap)}
+
+# Byte-granular shift tables: full-chain reads and writes move 8 bits
+# per table access instead of one Python-level mask/shift per bit (the
+# chains are ~4.6 Kbit and every SCIFI experiment shifts them three
+# times, so per-bit loops were a measurable campaign cost).
+_BITS_OF_BYTE: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple((value >> i) & 1 for i in range(8)) for value in range(256)
+)
+# Inverse table. Bit lists that went through injection may hold bools
+# (``apply_op`` results); True/False hash as 1/0, so tuple lookup treats
+# them identically — exactly like the former per-bit ``bit << i`` packing.
+_BYTE_OF_BITS: Dict[Tuple[int, ...], int] = {
+    bits: value for value, bits in enumerate(_BITS_OF_BYTE)
+}
 
 
 @dataclass
@@ -81,11 +95,31 @@ class ScanChain:
 
     def read(self) -> List[int]:
         """Shift out the full chain as a bit list (chain order, LSB-first
-        within each cell)."""
+        within each cell). Cells expand eight bits per table access."""
         self.reads += 1
         bits: List[int] = []
+        append = bits.append
+        extend = bits.extend
+        table = _BITS_OF_BYTE
         for slot in self._slots:
-            bits.extend(int_to_bits(slot.cell.reader(), slot.cell.width))
+            cell = slot.cell
+            value = cell.reader()
+            width = cell.width
+            if width == 1:
+                if value >> 1:
+                    raise ValueError(f"value {value:#x} does not fit in 1 bits")
+                append(value)
+                continue
+            if value < 0 or value >> width:
+                raise ValueError(
+                    f"value {value:#x} does not fit in {width} bits"
+                )
+            while width >= 8:
+                extend(table[value & 0xFF])
+                value >>= 8
+                width -= 8
+            if width:
+                extend(table[value][:width])
         return bits
 
     def write(self, bits: List[int]) -> None:
@@ -104,22 +138,56 @@ class ScanChain:
                 f"got {len(bits)}"
             )
         self.writes += 1
+        table = _BYTE_OF_BITS
         for slot in self._slots:
-            if slot.cell.read_only:
+            cell = slot.cell
+            if cell.writer is None:
                 continue
-            value = bits_to_int(bits[slot.offset : slot.offset + slot.cell.width])
-            if value != slot.cell.reader():
-                slot.cell.writer(value)
+            width = cell.width
+            pos = slot.offset
+            if width == 1:
+                bit = bits[pos]
+                if bit not in (0, 1):
+                    raise ValueError(f"bit {pos} must be 0 or 1, got {bit}")
+                value = bit & 1
+            else:
+                end = pos + width
+                value = 0
+                shift = 0
+                try:
+                    while width >= 8:
+                        value |= table[tuple(bits[pos : pos + 8])] << shift
+                        pos += 8
+                        shift += 8
+                        width -= 8
+                    if width:
+                        residual = tuple(bits[pos:end]) + (0,) * (8 - width)
+                        value |= table[residual] << shift
+                except KeyError:
+                    raise ValueError(
+                        f"chain {self.name!r}: non-binary bits for cell "
+                        f"{cell.path!r}"
+                    ) from None
+            if value != cell.reader():
+                cell.writer(value)
 
     # -- checkpoint support ---------------------------------------------------
 
     def capture_values(self) -> List[Tuple[str, int]]:
         """Raw ``(path, value)`` pairs of every cell, **without** shift
-        accounting. Used by golden-run checkpointing to fingerprint the
-        chain-visible state: checkpoint capture is host-side
-        bookkeeping, not a TAP access, so it must not perturb the scan
-        cycle counters the E1/E2 benchmarks measure."""
+        accounting — host-side bookkeeping, not a TAP access, so it must
+        not perturb the scan cycle counters the E1/E2 benchmarks
+        measure."""
         return [(slot.cell.path, slot.cell.reader()) for slot in self._slots]
+
+    def capture_words(self) -> array:
+        """Raw cell values in chain order as a contiguous ``array('Q')``,
+        **without** shift accounting. Golden-run checkpointing hashes the
+        buffer (``tobytes``) directly instead of walking per-cell
+        ``(path, value)`` tuples; the cell order and paths are structural
+        (fixed per target build), so the values alone identify the
+        chain-visible state."""
+        return array("Q", [slot.cell.reader() for slot in self._slots])
 
     # -- structural queries (used by campaign set-up and the GUI) -------------
 

@@ -162,6 +162,12 @@ class TestCard:
         cpu = self.cpu
         if cpu.halted:
             raise TargetError("target is halted; re-initialise the card first")
+        # Loop-invariant hoists: breakpoints and hooks are only
+        # reconfigured while the card is stopped, so the per-instruction
+        # body should not pay an attribute lookup for each of them.
+        step = cpu.step
+        breakpoints = self._breakpoints
+        on_step = self.on_step
         while True:
             if stop_cycle is not None and cpu.cycles >= stop_cycle:
                 return DebugEvent(
@@ -170,7 +176,7 @@ class TestCard:
                     cycle=cpu.cycles,
                     reason=f"cycle>={stop_cycle}",
                 )
-            if cpu.pc in self._breakpoints and not self._skip_breakpoint_once:
+            if cpu.pc in breakpoints and not self._skip_breakpoint_once:
                 self._skip_breakpoint_once = True
                 return DebugEvent(
                     kind=DebugEventKind.BREAKPOINT,
@@ -187,13 +193,13 @@ class TestCard:
                     reason=f"budget {timeout_cycles}",
                 )
 
-            event = cpu.step()
+            event = step()
             # Step hooks (tracing, detail-mode logging, trap re-planting)
             # see only completed instructions, not halting/trapping steps.
-            if self.on_step is not None and (
+            if on_step is not None and (
                 event is None or event.kind == "sync"
             ):
-                self.on_step(self)
+                on_step(self)
             if event is None:
                 continue
             if event.kind == "halt":

@@ -63,6 +63,13 @@ def popcount(value: int) -> int:
     return bin(value).count("1")
 
 
+#: Parity of every byte value — the cache model computes one parity bit
+#: per stored word on every fill and every hit, so this is one of the
+#: hottest scalar helpers in the simulator. (``int.bit_count`` would be
+#: the obvious tool but the support floor is Python 3.9.)
+_BYTE_PARITY = bytes(bin(b).count("1") & 1 for b in range(256))
+
+
 def parity(value: int) -> int:
     """Even-parity bit of ``value`` (1 if the popcount is odd).
 
@@ -70,6 +77,15 @@ def parity(value: int) -> int:
     stored parity bit makes the total popcount of (word, parity) even, so a
     single bit flip anywhere in the pair is detectable.
     """
+    if 0 <= value <= 0xFFFFFFFF:
+        # Fold the (at most) four bytes of a word — XOR preserves parity.
+        table = _BYTE_PARITY
+        return (
+            table[value & 0xFF]
+            ^ table[(value >> 8) & 0xFF]
+            ^ table[(value >> 16) & 0xFF]
+            ^ table[value >> 24]
+        )
     return popcount(value) & 1
 
 

@@ -1,0 +1,144 @@
+"""Property test: the vectorized core is row-identical to the reference.
+
+The fast dispatcher (:meth:`repro.thor.cpu.Cpu._step_fast` — memoized
+fused fetch/decode/execute over per-opcode handlers) must be
+*extensionally invisible*: for any campaign shape, every logged
+experiment row — injections drawn, termination kind and detail, outputs,
+observed state vectors, cycle counts — must equal what the seed's
+straight-line decode/if-chain core (:meth:`Cpu._step_reference`)
+produces. Hypothesis drives technique, seed, campaign size and workload;
+the invariant is exact equality of the canonicalised rows (only the
+nondeterministic wall-clock field is zeroed).
+
+This is the correctness gate for the whole perf PR: the E18 benchmark
+measures the same two dispatchers and is only meaningful because this
+suite pins them to identical behaviour.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import create_target
+from repro.thor.cpu import Cpu
+from tests.conftest import make_campaign
+
+_TECHNIQUE_PATTERNS = {
+    "scifi": ["scan:internal/cpu.regfile.*"],
+    "simfi": ["scan:internal/cpu.regfile.*", "memory:data/*"],
+    "pinlevel": ["scan:boundary/pins.data_bus"],
+    "swifi-runtime": ["memory:data/*"],
+}
+
+campaign_shapes = st.fixed_dictionaries(
+    {
+        "technique": st.sampled_from(sorted(_TECHNIQUE_PATTERNS)),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "n_experiments": st.integers(min_value=1, max_value=6),
+        "workload_name": st.sampled_from(["vecsum", "bubblesort"]),
+        "warm_start": st.booleans(),
+    }
+)
+
+
+def _canonical(sink):
+    rows = []
+    for result in sink.results:
+        data = dataclasses.asdict(result)
+        data["wall_seconds"] = 0.0
+        rows.append(data)
+    return rows
+
+
+def _run(shape, fast):
+    previous = Cpu.fast_dispatch
+    Cpu.fast_dispatch = fast
+    try:
+        campaign = make_campaign(
+            campaign_name="core-equivalence-prop",
+            technique=shape["technique"],
+            location_patterns=_TECHNIQUE_PATTERNS[shape["technique"]],
+            seed=shape["seed"],
+            n_experiments=shape["n_experiments"],
+            workload_name=shape["workload_name"],
+            warm_start=shape["warm_start"],
+        )
+        target = create_target("thor-rd")
+        sink = target.run_campaign(campaign)
+    finally:
+        Cpu.fast_dispatch = previous
+    return _canonical(sink)
+
+
+class TestCoreEquivalence:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(shape=campaign_shapes)
+    def test_fast_rows_equal_reference_rows(self, shape):
+        fast = _run(shape, fast=True)
+        reference = _run(shape, fast=False)
+        assert fast == reference
+
+    def test_dispatcher_binding_follows_class_attribute(self):
+        previous = Cpu.fast_dispatch
+        try:
+            Cpu.fast_dispatch = True
+            assert Cpu().step.__func__ is Cpu._step_fast
+            Cpu.fast_dispatch = False
+            assert Cpu().step.__func__ is Cpu._step_reference
+        finally:
+            Cpu.fast_dispatch = previous
+
+    def test_single_step_state_identical_on_program(self):
+        """Cheap direct pin (no campaign machinery): stepping the same
+        program under both dispatchers yields identical snapshots and
+        digests every step."""
+        from repro.core.checkpoint import state_digest
+        from repro.thor.assembler import assemble
+        from repro.thor.testcard import TestCard
+
+        source = """
+            start:
+                LDI  r14, 0xE000   ; stack pointer
+                LDI  r1, 100
+                LDI  r2, 3
+            loop:
+                MUL  r3, r1, r2
+                DIV  r4, r3, r2
+                ADDI r1, r1, -1
+                ST   r3, [r1+0x200]
+                LD   r5, [r1+0x200]
+                PUSH r5
+                POP  r6
+                CMPI r1, 0
+                BNE  loop
+                HALT
+        """
+        program = assemble(source)
+        previous = Cpu.fast_dispatch
+        try:
+            cards = []
+            for fast in (True, False):
+                Cpu.fast_dispatch = fast
+                card = TestCard()
+                card.init()
+                card.load_program(program)
+                cards.append(card)
+            fast_card, ref_card = cards
+            for _ in range(2000):
+                if fast_card.cpu.halted:
+                    break
+                fast_event = fast_card.cpu.step()
+                ref_event = ref_card.cpu.step()
+                assert (fast_event is None) == (ref_event is None)
+                fast_snapshot = fast_card.cpu.snapshot()
+                assert fast_snapshot == ref_card.cpu.snapshot()
+                assert state_digest(fast_snapshot) == state_digest(
+                    ref_card.cpu.snapshot()
+                )
+            assert fast_card.cpu.halted and ref_card.cpu.halted
+        finally:
+            Cpu.fast_dispatch = previous
